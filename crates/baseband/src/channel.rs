@@ -1,0 +1,259 @@
+//! Channel models: AWGN, flat and frequency-selective Rayleigh fading.
+//!
+//! The over-the-air leg of the paper's WARP experiments is replaced by
+//! these models (see DESIGN.md). A channel is a causal FIR tap-delay line
+//! plus additive white Gaussian noise; the three presets are
+//!
+//! * [`ChannelModel::Awgn`] — a single unity tap (pure AWGN),
+//! * [`ChannelModel::FlatRayleigh`] — a single `CN(0,1)` tap (all
+//!   subcarriers fade together),
+//! * [`ChannelModel::SelectiveRayleigh`] — several exponentially decaying
+//!   Rayleigh taps, so that *"each subcarrier experiences a different
+//!   fade"* — the mechanism §3.1 blames for the extra error probability of
+//!   the wider, 108-subcarrier band.
+//!
+//! Gaussian variates come from a Box–Muller transform over `rand`'s uniform
+//! source, keeping the dependency footprint to the approved list.
+
+use crate::cplx::Cplx;
+use rand::Rng;
+
+/// Draws a zero-mean complex Gaussian sample with total variance
+/// `variance` (split evenly between the real and imaginary parts).
+pub fn complex_gaussian<R: Rng + ?Sized>(rng: &mut R, variance: f64) -> Cplx {
+    // Box–Muller: two uniforms → two independent N(0,1).
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    Cplx::new(r * theta.cos(), r * theta.sin()).scale((variance / 2.0).sqrt())
+}
+
+/// Adds white Gaussian noise of per-sample variance `noise_power` to a
+/// buffer in place.
+pub fn add_awgn<R: Rng + ?Sized>(samples: &mut [Cplx], noise_power: f64, rng: &mut R) {
+    if noise_power <= 0.0 {
+        return;
+    }
+    for s in samples.iter_mut() {
+        *s += complex_gaussian(rng, noise_power);
+    }
+}
+
+/// Multipath/fading presets for one transmit→receive antenna path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChannelModel {
+    /// No fading: a single unity tap. The pure-AWGN reference used for the
+    /// BER-vs-SNR validation against theory (Fig. 3a).
+    Awgn,
+    /// Single Rayleigh tap: the whole band fades by one `CN(0,1)` gain.
+    FlatRayleigh,
+    /// `taps` Rayleigh taps with an exponential power-delay profile
+    /// (decay constant `delay_spread_taps`), normalized to unit average
+    /// energy. Produces per-subcarrier frequency selectivity.
+    SelectiveRayleigh {
+        /// Number of FIR taps (must fit inside the cyclic prefix to avoid
+        /// inter-symbol interference; the frame layer asserts this).
+        taps: usize,
+        /// Exponential decay constant of the power-delay profile, in taps.
+        delay_spread_taps: f64,
+    },
+}
+
+impl ChannelModel {
+    /// Draws a tap-delay-line realization for one antenna path.
+    ///
+    /// Taps are normalized so the *expected* channel energy is 1 (a fair
+    /// comparison across models); individual realizations fluctuate, which
+    /// is exactly the fading we want.
+    pub fn draw_taps<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Cplx> {
+        match *self {
+            ChannelModel::Awgn => vec![Cplx::ONE],
+            ChannelModel::FlatRayleigh => vec![complex_gaussian(rng, 1.0)],
+            ChannelModel::SelectiveRayleigh {
+                taps,
+                delay_spread_taps,
+            } => {
+                assert!(taps >= 1, "at least one tap required");
+                let decay = delay_spread_taps.max(1e-6);
+                let powers: Vec<f64> = (0..taps).map(|k| (-(k as f64) / decay).exp()).collect();
+                let total: f64 = powers.iter().sum();
+                powers
+                    .iter()
+                    .map(|p| complex_gaussian(rng, p / total))
+                    .collect()
+            }
+        }
+    }
+
+    /// Maximum channel memory (taps − 1) — must not exceed the cyclic
+    /// prefix length.
+    pub fn memory(&self) -> usize {
+        match *self {
+            ChannelModel::Awgn | ChannelModel::FlatRayleigh => 0,
+            ChannelModel::SelectiveRayleigh { taps, .. } => taps.saturating_sub(1),
+        }
+    }
+}
+
+/// Causal FIR convolution of `signal` with `taps`, truncated to the input
+/// length (the trailing `taps−1` smeared samples fall into the next frame's
+/// guard time and are discarded).
+pub fn convolve(signal: &[Cplx], taps: &[Cplx]) -> Vec<Cplx> {
+    let mut out = vec![Cplx::ZERO; signal.len()];
+    for (n, o) in out.iter_mut().enumerate() {
+        let mut acc = Cplx::ZERO;
+        for (k, t) in taps.iter().enumerate() {
+            if n >= k {
+                acc += *t * signal[n - k];
+            }
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Frequency response of a tap-delay line on an `fft_size`-point grid:
+/// `H_k = Σ_m h_m e^{−j2πkm/N}`.
+pub fn frequency_response(taps: &[Cplx], fft_size: usize) -> Vec<Cplx> {
+    let mut h = vec![Cplx::ZERO; fft_size];
+    for (k, hk) in h.iter_mut().enumerate() {
+        let mut acc = Cplx::ZERO;
+        for (m, t) in taps.iter().enumerate() {
+            acc += *t * Cplx::cis(-2.0 * std::f64::consts::PI * k as f64 * m as f64 / fft_size as f64);
+        }
+        *hk = acc;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complex_gaussian_statistics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let mut mean = Cplx::ZERO;
+        let mut power = 0.0;
+        for _ in 0..n {
+            let z = complex_gaussian(&mut rng, 2.0);
+            mean += z;
+            power += z.norm_sqr();
+        }
+        mean = mean.scale(1.0 / n as f64);
+        power /= n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean:?}");
+        assert!((power - 2.0).abs() < 0.05, "power {power}");
+    }
+
+    #[test]
+    fn awgn_noise_power_matches_request() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut buf = vec![Cplx::ZERO; 100_000];
+        add_awgn(&mut buf, 0.5, &mut rng);
+        let p = crate::cplx::mean_power(&buf);
+        assert!((p - 0.5).abs() < 0.02, "p = {p}");
+    }
+
+    #[test]
+    fn zero_noise_is_noop() {
+        let mut buf = vec![Cplx::ONE; 16];
+        let mut rng = StdRng::seed_from_u64(3);
+        add_awgn(&mut buf, 0.0, &mut rng);
+        assert!(buf.iter().all(|s| *s == Cplx::ONE));
+    }
+
+    #[test]
+    fn awgn_channel_is_identity_tap() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let taps = ChannelModel::Awgn.draw_taps(&mut rng);
+        assert_eq!(taps, vec![Cplx::ONE]);
+        assert_eq!(ChannelModel::Awgn.memory(), 0);
+    }
+
+    #[test]
+    fn rayleigh_taps_have_unit_mean_energy() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for model in [
+            ChannelModel::FlatRayleigh,
+            ChannelModel::SelectiveRayleigh {
+                taps: 6,
+                delay_spread_taps: 2.0,
+            },
+        ] {
+            let trials = 20_000;
+            let mut energy = 0.0;
+            for _ in 0..trials {
+                energy += model
+                    .draw_taps(&mut rng)
+                    .iter()
+                    .map(|t| t.norm_sqr())
+                    .sum::<f64>();
+            }
+            energy /= trials as f64;
+            assert!((energy - 1.0).abs() < 0.05, "{model:?}: {energy}");
+        }
+    }
+
+    #[test]
+    fn selective_channel_varies_across_subcarriers() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let model = ChannelModel::SelectiveRayleigh {
+            taps: 8,
+            delay_spread_taps: 2.0,
+        };
+        let h = frequency_response(&model.draw_taps(&mut rng), 64);
+        let mags: Vec<f64> = h.iter().map(|x| x.abs()).collect();
+        let min = mags.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = mags.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 1.5, "selective channel should vary: {min}..{max}");
+    }
+
+    #[test]
+    fn flat_channel_is_flat_across_subcarriers() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let h = frequency_response(&ChannelModel::FlatRayleigh.draw_taps(&mut rng), 64);
+        let first = h[0].abs();
+        for x in &h {
+            assert!((x.abs() - first).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn convolution_with_impulse_is_identity() {
+        let sig: Vec<Cplx> = (0..32).map(|i| Cplx::new(i as f64, -(i as f64))).collect();
+        let out = convolve(&sig, &[Cplx::ONE]);
+        assert_eq!(out, sig);
+    }
+
+    #[test]
+    fn convolution_with_delay_shifts() {
+        let sig: Vec<Cplx> = (0..8).map(|i| Cplx::new(i as f64, 0.0)).collect();
+        let out = convolve(&sig, &[Cplx::ZERO, Cplx::ONE]);
+        assert_eq!(out[0], Cplx::ZERO);
+        for i in 1..8 {
+            assert_eq!(out[i], sig[i - 1]);
+        }
+    }
+
+    #[test]
+    fn frequency_response_matches_fft_of_padded_taps() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let taps = ChannelModel::SelectiveRayleigh {
+            taps: 4,
+            delay_spread_taps: 1.5,
+        }
+        .draw_taps(&mut rng);
+        let h = frequency_response(&taps, 16);
+        let mut padded = taps.clone();
+        padded.resize(16, Cplx::ZERO);
+        let via_fft = crate::fft::fft_vec(&padded);
+        for (a, b) in h.iter().zip(via_fft.iter()) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Minimal complex arithmetic for the baseband DSP chain.
+//!
+//! A local, dependency-free complex type keeps the whole baseband
+//! self-contained (the approved dependency list has no `num-complex`) and
+//! lets us expose exactly the operations the signal chain needs.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A complex sample `re + j·im` in double precision.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cplx {
+    /// Real (in-phase, "I") part.
+    pub re: f64,
+    /// Imaginary (quadrature, "Q") part.
+    pub im: f64,
+}
+
+impl Cplx {
+    /// Zero.
+    pub const ZERO: Cplx = Cplx { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Cplx = Cplx { re: 1.0, im: 0.0 };
+    /// The imaginary unit `j`.
+    pub const J: Cplx = Cplx { re: 0.0, im: 1.0 };
+
+    /// Constructs a complex number from rectangular coordinates.
+    pub fn new(re: f64, im: f64) -> Cplx {
+        Cplx { re, im }
+    }
+
+    /// Constructs `r·e^{jθ}` from polar coordinates.
+    pub fn from_polar(r: f64, theta: f64) -> Cplx {
+        Cplx {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// Unit phasor `e^{jθ}`.
+    pub fn cis(theta: f64) -> Cplx {
+        Cplx::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Cplx {
+        Cplx {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `|z|²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase) in radians, in `(−π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, k: f64) -> Cplx {
+        Cplx {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+}
+
+impl Add for Cplx {
+    type Output = Cplx;
+    fn add(self, rhs: Cplx) -> Cplx {
+        Cplx::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Cplx {
+    fn add_assign(&mut self, rhs: Cplx) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Cplx {
+    type Output = Cplx;
+    fn sub(self, rhs: Cplx) -> Cplx {
+        Cplx::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Cplx {
+    type Output = Cplx;
+    fn mul(self, rhs: Cplx) -> Cplx {
+        Cplx::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for Cplx {
+    type Output = Cplx;
+    fn mul(self, rhs: f64) -> Cplx {
+        self.scale(rhs)
+    }
+}
+
+impl Div for Cplx {
+    type Output = Cplx;
+    fn div(self, rhs: Cplx) -> Cplx {
+        let d = rhs.norm_sqr();
+        Cplx::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Cplx {
+    type Output = Cplx;
+    fn neg(self) -> Cplx {
+        Cplx::new(-self.re, -self.im)
+    }
+}
+
+/// Mean power `E[|z|²]` of a sample buffer (0 for an empty buffer).
+pub fn mean_power(samples: &[Cplx]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().map(|s| s.norm_sqr()).sum::<f64>() / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Cplx::new(1.0, 2.0);
+        let b = Cplx::new(-3.0, 0.5);
+        assert_eq!(a + b, Cplx::new(-2.0, 2.5));
+        assert_eq!(a - b, Cplx::new(4.0, 1.5));
+        // (1+2j)(−3+0.5j) = −3 + 0.5j − 6j + j² = −4 − 5.5j
+        assert_eq!(a * b, Cplx::new(-4.0, -5.5));
+        assert_eq!(-a, Cplx::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Cplx::new(2.0, -1.5);
+        let b = Cplx::new(0.3, 4.0);
+        let q = (a * b) / b;
+        assert!((q - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let z = Cplx::new(3.0, 4.0);
+        assert_eq!(z.conj(), Cplx::new(3.0, -4.0));
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.abs(), 5.0);
+        let p = z * z.conj();
+        assert!((p.re - 25.0).abs() < 1e-12 && p.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Cplx::from_polar(2.0, PI / 3.0);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - PI / 3.0).abs() < 1e-12);
+        assert!((Cplx::cis(PI).re + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn j_squared_is_minus_one() {
+        assert!(((Cplx::J * Cplx::J) - Cplx::new(-1.0, 0.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mean_power_of_unit_phasors_is_one() {
+        let v: Vec<Cplx> = (0..100).map(|i| Cplx::cis(i as f64)).collect();
+        assert!((mean_power(&v) - 1.0).abs() < 1e-12);
+        assert_eq!(mean_power(&[]), 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Iterative radix-2 FFT/IFFT.
+//!
+//! The WARP reference design the paper builds on uses a 64-point FFT for
+//! 20 MHz channels and a 128-point FFT when channel bonding is enabled
+//! ("we implement the CB functionality by appropriately changing the
+//! subcarrier mappings, and using a 128-point FFT"). Both sizes are powers
+//! of two, so a plain iterative Cooley–Tukey radix-2 transform is all the
+//! baseband needs — no external FFT dependency.
+//!
+//! Conventions: [`fft`] is unnormalized (`X_k = Σ x_n e^{−j2πkn/N}`);
+//! [`ifft`] carries the full `1/N` factor, so `ifft(fft(x)) == x`.
+
+use crate::cplx::Cplx;
+use std::f64::consts::PI;
+
+/// In-place bit-reversal permutation. `len` must be a power of two.
+fn bit_reverse_permute(buf: &mut [Cplx]) {
+    let n = buf.len();
+    let mut j = 0usize;
+    for i in 0..n {
+        if i < j {
+            buf.swap(i, j);
+        }
+        let mut mask = n >> 1;
+        while mask > 0 && j & mask != 0 {
+            j &= !mask;
+            mask >>= 1;
+        }
+        j |= mask;
+    }
+}
+
+/// Core iterative butterfly pass. `sign` is −1 for the forward transform
+/// and +1 for the inverse.
+fn transform(buf: &mut [Cplx], sign: f64) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    bit_reverse_permute(buf);
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Cplx::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Cplx::ONE;
+            for k in 0..len / 2 {
+                let u = buf[start + k];
+                let v = buf[start + k + len / 2] * w;
+                buf[start + k] = u + v;
+                buf[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward DFT, in place and unnormalized.
+pub fn fft(buf: &mut [Cplx]) {
+    transform(buf, -1.0);
+}
+
+/// Inverse DFT, in place, normalized by `1/N` so that `ifft(fft(x)) == x`.
+pub fn ifft(buf: &mut [Cplx]) {
+    transform(buf, 1.0);
+    let n = buf.len() as f64;
+    for s in buf.iter_mut() {
+        *s = s.scale(1.0 / n);
+    }
+}
+
+/// Convenience: out-of-place forward DFT.
+pub fn fft_vec(input: &[Cplx]) -> Vec<Cplx> {
+    let mut buf = input.to_vec();
+    fft(&mut buf);
+    buf
+}
+
+/// Convenience: out-of-place inverse DFT.
+pub fn ifft_vec(input: &[Cplx]) -> Vec<Cplx> {
+    let mut buf = input.to_vec();
+    ifft(&mut buf);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Cplx, b: Cplx) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut buf = vec![Cplx::ZERO; 8];
+        buf[0] = Cplx::ONE;
+        fft(&mut buf);
+        for s in &buf {
+            assert!(close(*s, Cplx::ONE));
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_on_one_bin() {
+        let n = 64;
+        let k0 = 5;
+        let mut buf: Vec<Cplx> = (0..n)
+            .map(|i| Cplx::cis(2.0 * PI * k0 as f64 * i as f64 / n as f64))
+            .collect();
+        fft(&mut buf);
+        for (k, s) in buf.iter().enumerate() {
+            if k == k0 {
+                assert!((s.abs() - n as f64).abs() < 1e-6, "bin {k}: {}", s.abs());
+            } else {
+                assert!(s.abs() < 1e-6, "leakage in bin {k}: {}", s.abs());
+            }
+        }
+    }
+
+    use std::f64::consts::PI;
+
+    #[test]
+    fn roundtrip_is_identity() {
+        for n in [2usize, 8, 64, 128, 256] {
+            let input: Vec<Cplx> = (0..n)
+                .map(|i| Cplx::new((i as f64 * 0.37).sin(), (i as f64 * 1.13).cos()))
+                .collect();
+            let rt = ifft_vec(&fft_vec(&input));
+            for (a, b) in input.iter().zip(rt.iter()) {
+                assert!(close(*a, *b));
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 128;
+        let input: Vec<Cplx> = (0..n)
+            .map(|i| Cplx::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let time_energy: f64 = input.iter().map(|s| s.norm_sqr()).sum();
+        let spec = fft_vec(&input);
+        let freq_energy: f64 = spec.iter().map(|s| s.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-12);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 32;
+        let a: Vec<Cplx> = (0..n).map(|i| Cplx::new(i as f64, 0.0)).collect();
+        let b: Vec<Cplx> = (0..n).map(|i| Cplx::new(0.0, (i * i) as f64)).collect();
+        let sum: Vec<Cplx> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let fa = fft_vec(&a);
+        let fb = fft_vec(&b);
+        let fsum = fft_vec(&sum);
+        for k in 0..n {
+            assert!(close(fsum[k], fa[k] + fb[k]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut buf = vec![Cplx::ZERO; 48];
+        fft(&mut buf);
+    }
+}

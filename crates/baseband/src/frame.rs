@@ -1,0 +1,940 @@
+//! End-to-end OFDM frame pipeline — the software WARP board.
+//!
+//! Mirrors the paper's WarpLab chain (§3.1): random bitstream → (optional
+//! convolutional coding) → constellation mapping → subcarrier mapping →
+//! IFFT (64- or 128-point) → cyclic prefix → Barker preamble → channel →
+//! preamble detection → CP strip → FFT → per-subcarrier equalization /
+//! Alamouti combining → demapping → (Viterbi) → BER/PER counting.
+//!
+//! Channel bonding is implemented exactly as the paper describes: "by
+//! appropriately changing the subcarrier mappings, and using a 128-point
+//! FFT (as opposed to a 64-point FFT with a 20 MHz channel)". The physics
+//! of the CB penalty emerges naturally rather than being painted on: the
+//! same total transmit power spreads over 108 instead of 52 data
+//! subcarriers while the per-sample noise variance doubles with the
+//! sampling bandwidth, so the per-subcarrier SNR drops by ~3 dB.
+
+use crate::channel::{add_awgn, convolve, frequency_response, ChannelModel};
+use crate::cplx::{mean_power, Cplx};
+use crate::fft::{fft, ifft};
+use crate::modem::{demodulate, modulate};
+use crate::preamble::{build_preamble, detect_preamble, preamble_len};
+use crate::prefix::{add_cp, cp_len_for, strip_cp};
+use crate::stbc::{alamouti_combine, Mimo2x2};
+use acorn_phy::{ChannelWidth, CodeRate, Modulation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How the receiver finds the frame start.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SyncMode {
+    /// The receiver is told the exact frame offset (the paper's BERMAC
+    /// effectively has this: both boards are loaded with the same known
+    /// payload, so raw-BER measurement is sync-independent).
+    Genie,
+    /// Barker correlation detection with the given normalized threshold;
+    /// a missed detection makes the whole frame a packet error.
+    Preamble {
+        /// Normalized correlation threshold in `(0, 1)`.
+        threshold: f64,
+    },
+}
+
+/// How the receiver obtains its per-subcarrier channel estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Equalization {
+    /// The receiver is handed the exact channel frequency response (no
+    /// training overhead, no estimation noise). Use for validating against
+    /// closed-form theory — the paper's Fig. 3a comparison implicitly has
+    /// this property because BER is computed on known payloads.
+    Genie,
+    /// Least-squares estimation from `symbols` known training OFDM symbols
+    /// (averaged). Estimation noise scales as `1/symbols`; real preamble
+    /// designs use 2–4 long training fields.
+    Training {
+        /// Number of training OFDM symbols to average (per antenna for
+        /// STBC). Must be ≥ 1.
+        symbols: usize,
+    },
+}
+
+/// Full configuration of one Monte-Carlo link experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameConfig {
+    /// Channel width (selects FFT size and subcarrier map).
+    pub width: ChannelWidth,
+    /// Subcarrier modulation.
+    pub modulation: Modulation,
+    /// FEC; `None` reproduces the paper's *uncoded* WARP measurements.
+    pub code_rate: Option<CodeRate>,
+    /// `true` → 2×2 Alamouti STBC (the paper's WARP mode); `false` → SISO.
+    pub stbc: bool,
+    /// Total transmit power, linear relative units (width-independent, as
+    /// the 802.11n spec mandates).
+    pub tx_power: f64,
+    /// Noise variance per complex sample *at 20 MHz sampling*; the 40 MHz
+    /// path automatically doubles it (same N₀, twice the bandwidth).
+    pub noise_density: f64,
+    /// Fading model for each antenna path.
+    pub channel: ChannelModel,
+    /// Payload length in bytes (the paper uses 1500).
+    pub packet_bytes: usize,
+    /// Frame-synchronization mode.
+    pub sync: SyncMode,
+    /// Channel-estimation mode.
+    pub equalization: Equalization,
+    /// Guard interval: long (800 ns, N/4 cyclic prefix) or short (400 ns,
+    /// N/8) — the rate-boosting option of the paper's footnote 2.
+    pub gi: acorn_phy::GuardInterval,
+}
+
+impl FrameConfig {
+    /// A clean baseline config: uncoded QPSK, SISO, AWGN, genie sync,
+    /// 1500-byte packets, unit noise density.
+    pub fn baseline(width: ChannelWidth) -> FrameConfig {
+        FrameConfig {
+            width,
+            modulation: Modulation::Qpsk,
+            code_rate: None,
+            stbc: false,
+            tx_power: 1.0,
+            noise_density: 1.0,
+            channel: ChannelModel::Awgn,
+            packet_bytes: 1500,
+            sync: SyncMode::Genie,
+            equalization: Equalization::Training { symbols: 4 },
+            gi: acorn_phy::GuardInterval::Long,
+        }
+    }
+
+    /// Number of training OFDM symbols sent per transmit antenna.
+    fn n_train(&self) -> usize {
+        match self.equalization {
+            Equalization::Genie => 0,
+            Equalization::Training { symbols } => symbols.max(1),
+        }
+    }
+
+    /// Per-sample noise variance for this config's width.
+    pub fn sample_noise(&self) -> f64 {
+        match self.width {
+            ChannelWidth::Ht20 => self.noise_density,
+            ChannelWidth::Ht40 => 2.0 * self.noise_density,
+        }
+    }
+
+    /// Per-subcarrier data amplitude for this config: the total transmit
+    /// power `P` spread over the data subcarriers, expressed on the
+    /// unnormalized-FFT grid (`A = N·√(P/N_data)`).
+    pub fn subcarrier_amplitude(&self) -> f64 {
+        let n = self.width.fft_size() as f64;
+        let nd = self.width.data_subcarriers() as f64;
+        n * (self.tx_power / nd).sqrt()
+    }
+
+    /// The per-subcarrier SNR (dB) this config produces:
+    /// `γ = A² / (N·σ²) = N·P / (N_data·σ²)`.
+    pub fn snr_per_subcarrier_db(&self) -> f64 {
+        let n = self.width.fft_size() as f64;
+        let nd = self.width.data_subcarriers() as f64;
+        let gamma = n * self.tx_power / (nd * self.sample_noise());
+        10.0 * gamma.log10()
+    }
+
+    /// Sets `tx_power` so the per-subcarrier SNR equals `snr_db` at this
+    /// config's width and noise density.
+    pub fn with_target_snr(mut self, snr_db: f64) -> FrameConfig {
+        let n = self.width.fft_size() as f64;
+        let nd = self.width.data_subcarriers() as f64;
+        let gamma = 10f64.powf(snr_db / 10.0);
+        self.tx_power = gamma * nd * self.sample_noise() / n;
+        self
+    }
+}
+
+/// Aggregated results of a Monte-Carlo run.
+#[derive(Debug, Clone)]
+pub struct FrameReport {
+    /// Total payload bits compared.
+    pub bits: usize,
+    /// Payload bits received in error.
+    pub bit_errors: usize,
+    /// Packets transmitted.
+    pub packets: usize,
+    /// Packets with ≥ 1 payload bit error (or a sync failure).
+    pub packet_errors: usize,
+    /// Frames whose preamble was not detected (only in `Preamble` sync).
+    pub sync_failures: usize,
+    /// Sample of equalized data-subcarrier symbols (unit-energy scale),
+    /// for constellation plots (Fig. 2).
+    pub constellation: Vec<Cplx>,
+    /// RMS error-vector magnitude of the sampled constellation.
+    pub evm_rms: f64,
+    /// The configured per-subcarrier SNR (dB) for convenience.
+    pub snr_per_subcarrier_db: f64,
+    /// Measured mean transmit power of the time-domain signal (sanity
+    /// check that 20/40 MHz use the same total power).
+    pub measured_tx_power: f64,
+}
+
+impl FrameReport {
+    /// Bit error rate.
+    pub fn ber(&self) -> f64 {
+        if self.bits == 0 {
+            0.0
+        } else {
+            self.bit_errors as f64 / self.bits as f64
+        }
+    }
+
+    /// Packet error rate.
+    pub fn per(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.packet_errors as f64 / self.packets as f64
+        }
+    }
+}
+
+/// Indices of the data subcarriers on the FFT grid, DC (bin 0) excluded,
+/// split symmetrically over positive and negative frequencies — the
+/// "subcarrier mapping" the paper changes to implement CB.
+pub fn data_subcarrier_bins(width: ChannelWidth) -> Vec<usize> {
+    let n = width.fft_size();
+    let nd = width.data_subcarriers();
+    let half = nd / 2;
+    let mut bins = Vec::with_capacity(nd);
+    // Positive frequencies: bins 1..=half.
+    bins.extend(1..=half);
+    // Negative frequencies: bins n-half..n-1 … plus one extra positive bin
+    // if nd is odd (it never is for 52/108, but stay correct).
+    bins.extend(n - (nd - half)..n);
+    bins
+}
+
+/// Builds the time-domain OFDM symbol for one grid of subcarrier values.
+fn ofdm_symbol(grid: &[Cplx], cp_len: usize) -> Vec<Cplx> {
+    let mut time = grid.to_vec();
+    ifft(&mut time);
+    add_cp(&time, cp_len)
+}
+
+/// Internal: maps `symbols` onto consecutive OFDM symbol grids.
+fn fill_grids(width: ChannelWidth, amplitude: f64, symbols: &[Cplx]) -> Vec<Vec<Cplx>> {
+    let bins = data_subcarrier_bins(width);
+    let n = width.fft_size();
+    let mut grids = Vec::new();
+    for chunk in symbols.chunks(bins.len()) {
+        let mut grid = vec![Cplx::ZERO; n];
+        for (slot, sym) in chunk.iter().enumerate() {
+            grid[bins[slot]] = sym.scale(amplitude);
+        }
+        grids.push(grid);
+    }
+    grids
+}
+
+/// The known training grid: unit-energy QPSK-like pilots on every data
+/// subcarrier with a deterministic phase pattern (good PAPR is not a goal
+/// here, channel identifiability is).
+fn training_grid(width: ChannelWidth, amplitude: f64) -> Vec<Cplx> {
+    let bins = data_subcarrier_bins(width);
+    let n = width.fft_size();
+    let mut grid = vec![Cplx::ZERO; n];
+    for (i, &b) in bins.iter().enumerate() {
+        grid[b] = Cplx::cis(std::f64::consts::PI * ((i * i) % 7) as f64 / 3.5).scale(amplitude);
+    }
+    grid
+}
+
+/// Runs `n_packets` independent packets through the pipeline and
+/// aggregates a [`FrameReport`]. Deterministic for a given `seed`.
+pub fn run_trial(config: &FrameConfig, n_packets: usize, seed: u64) -> FrameReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut report = FrameReport {
+        bits: 0,
+        bit_errors: 0,
+        packets: 0,
+        packet_errors: 0,
+        sync_failures: 0,
+        constellation: Vec::new(),
+        evm_rms: 0.0,
+        snr_per_subcarrier_db: config.snr_per_subcarrier_db(),
+        measured_tx_power: 0.0,
+    };
+    let mut evm_acc = 0.0;
+    let mut evm_n = 0usize;
+    let mut tx_power_acc = 0.0;
+
+    for _ in 0..n_packets {
+        let outcome = run_packet(config, &mut rng, &mut report.constellation, &mut evm_acc, &mut evm_n);
+        report.packets += 1;
+        report.bits += outcome.bits;
+        report.bit_errors += outcome.bit_errors;
+        if outcome.sync_failed {
+            report.sync_failures += 1;
+        }
+        if outcome.bit_errors > 0 || outcome.sync_failed {
+            report.packet_errors += 1;
+        }
+        tx_power_acc += outcome.tx_power;
+    }
+    report.evm_rms = if evm_n > 0 { (evm_acc / evm_n as f64).sqrt() } else { 0.0 };
+    report.measured_tx_power = tx_power_acc / n_packets.max(1) as f64;
+    // Keep the constellation sample bounded.
+    if report.constellation.len() > 4096 {
+        let step = report.constellation.len() / 4096;
+        report.constellation = report
+            .constellation
+            .iter()
+            .step_by(step.max(1))
+            .copied()
+            .collect();
+    }
+    report
+}
+
+struct PacketOutcome {
+    bits: usize,
+    bit_errors: usize,
+    sync_failed: bool,
+    tx_power: f64,
+}
+
+fn run_packet(
+    config: &FrameConfig,
+    rng: &mut StdRng,
+    constellation: &mut Vec<Cplx>,
+    evm_acc: &mut f64,
+    evm_n: &mut usize,
+) -> PacketOutcome {
+    let n = config.width.fft_size();
+    let cp = cp_len_for(n, config.gi);
+    assert!(
+        config.channel.memory() <= cp,
+        "channel memory ({}) exceeds the cyclic prefix ({cp})",
+        config.channel.memory()
+    );
+    let amplitude = config.subcarrier_amplitude();
+
+    // 1. Payload and (optional) FEC.
+    let info: Vec<bool> = (0..config.packet_bytes * 8).map(|_| rng.gen()).collect();
+    let coded: Vec<bool> = match config.code_rate {
+        Some(rate) => crate::convcode::Codec::new(rate).encode(&info),
+        None => info.clone(),
+    };
+
+    // 2. Constellation mapping.
+    let tx_symbols = modulate(config.modulation, &coded);
+
+    // 3-4. Subcarrier mapping + IFFT + CP, per antenna.
+    let preamble_amp = config.tx_power.sqrt();
+
+    let (time_streams, tx_grids): (Vec<Vec<Cplx>>, Vec<Vec<Cplx>>) = if config.stbc {
+        build_stbc_streams(config, amplitude, &tx_symbols, cp)
+    } else {
+        build_siso_stream(config, amplitude, &tx_symbols, cp)
+    };
+    let _ = &tx_grids;
+
+    // 5. Channel + noise per receive antenna.
+    let n_rx = if config.stbc { 2 } else { 1 };
+    let n_tx = time_streams.len();
+    // One tap realization per (tx, rx) path.
+    let taps: Vec<Vec<Vec<Cplx>>> = (0..n_tx)
+        .map(|_| (0..n_rx).map(|_| config.channel.draw_taps(rng)).collect())
+        .collect();
+
+    // Prepend preamble (sent identically from antenna 1 only, which is
+    // enough for detection) and measure transmit power.
+    let preamble = build_preamble(preamble_amp);
+    let mut tx_power_meas = 0.0;
+    for s in &time_streams {
+        tx_power_meas += mean_power(s);
+    }
+
+    let frame_offset = preamble.len();
+    let frame_len = time_streams[0].len();
+    let mut rx_streams: Vec<Vec<Cplx>> = Vec::with_capacity(n_rx);
+    for j in 0..n_rx {
+        let mut rx = vec![Cplx::ZERO; frame_offset + frame_len];
+        for (i, stream) in time_streams.iter().enumerate() {
+            // Antenna 1 carries the preamble.
+            let mut full = Vec::with_capacity(frame_offset + frame_len);
+            if i == 0 {
+                full.extend_from_slice(&preamble);
+            } else {
+                full.extend(std::iter::repeat(Cplx::ZERO).take(frame_offset));
+            }
+            full.extend_from_slice(stream);
+            let faded = convolve(&full, &taps[i][j]);
+            for (acc, s) in rx.iter_mut().zip(faded.iter()) {
+                *acc += *s;
+            }
+        }
+        add_awgn(&mut rx, config.sample_noise(), rng);
+        rx_streams.push(rx);
+    }
+
+    // 6. Synchronization.
+    let data_start = match config.sync {
+        SyncMode::Genie => frame_offset,
+        SyncMode::Preamble { threshold } => {
+            match detect_preamble(&rx_streams[0], 4, threshold) {
+                Some(off) => off,
+                None => {
+                    return PacketOutcome {
+                        bits: info.len(),
+                        bit_errors: info.len(),
+                        sync_failed: true,
+                        tx_power: tx_power_meas,
+                    }
+                }
+            }
+        }
+    };
+    debug_assert!(data_start >= preamble_len() || matches!(config.sync, SyncMode::Genie));
+
+    // 7. FFT + equalize/combine + demap.
+    let rx_symbols = if config.stbc {
+        receive_stbc(config, amplitude, &rx_streams, data_start, tx_symbols.len(), cp, &taps)
+    } else {
+        receive_siso(config, amplitude, &rx_streams[0], data_start, tx_symbols.len(), cp, &taps)
+    };
+
+    // Constellation / EVM bookkeeping (on up to 512 symbols per packet).
+    for (txs, rxs) in tx_symbols.iter().zip(rx_symbols.iter()).take(512) {
+        constellation.push(*rxs);
+        *evm_acc += (*rxs - *txs).norm_sqr();
+        *evm_n += 1;
+    }
+
+    // 8. Demap + decode + count.
+    let rx_bits_full = demodulate(config.modulation, &rx_symbols);
+    let rx_info: Vec<bool> = match config.code_rate {
+        Some(rate) => crate::convcode::Codec::new(rate).decode(&rx_bits_full[..coded.len()], info.len()),
+        None => rx_bits_full[..info.len()].to_vec(),
+    };
+    let bit_errors = rx_info.iter().zip(&info).filter(|(a, b)| a != b).count();
+    PacketOutcome {
+        bits: info.len(),
+        bit_errors,
+        sync_failed: false,
+        tx_power: tx_power_meas,
+    }
+}
+
+/// SISO transmit: `n_train` training symbols followed by data symbols.
+fn build_siso_stream(
+    config: &FrameConfig,
+    amplitude: f64,
+    tx_symbols: &[Cplx],
+    cp: usize,
+) -> (Vec<Vec<Cplx>>, Vec<Vec<Cplx>>) {
+    let train = training_grid(config.width, amplitude);
+    let mut grids = vec![train; config.n_train()];
+    grids.extend(fill_grids(config.width, amplitude, tx_symbols));
+    let mut stream = Vec::new();
+    for g in &grids {
+        stream.extend(ofdm_symbol(g, cp));
+    }
+    (vec![stream], grids)
+}
+
+/// STBC transmit: two training slots (antenna 1 alone, then antenna 2
+/// alone) followed by Alamouti-encoded data symbol pairs.
+fn build_stbc_streams(
+    config: &FrameConfig,
+    amplitude: f64,
+    tx_symbols: &[Cplx],
+    cp: usize,
+) -> (Vec<Vec<Cplx>>, Vec<Vec<Cplx>>) {
+    let width = config.width;
+    let n = width.fft_size();
+    let bins = data_subcarrier_bins(width);
+    let nd = bins.len();
+    let train = training_grid(width, amplitude);
+    let silent = vec![Cplx::ZERO; n];
+
+    // Group data symbols into OFDM symbols, padded to an even count.
+    let mut grids_data = fill_grids(width, 1.0, tx_symbols); // unit scale; amplitude applied below
+    if grids_data.len() % 2 == 1 {
+        grids_data.push(vec![Cplx::ZERO; n]);
+    }
+
+    let k = std::f64::consts::SQRT_2.recip();
+    let n_train = config.n_train();
+    let mut ant1_grids: Vec<Vec<Cplx>> = Vec::new();
+    let mut ant2_grids: Vec<Vec<Cplx>> = Vec::new();
+    // Antenna 1 trains alone, then antenna 2.
+    for _ in 0..n_train {
+        ant1_grids.push(train.clone());
+        ant2_grids.push(silent.clone());
+    }
+    for _ in 0..n_train {
+        ant1_grids.push(silent.clone());
+        ant2_grids.push(train.clone());
+    }
+    for pair in grids_data.chunks(2) {
+        let (g1, g2) = (&pair[0], &pair[1]);
+        let mut a1_t1 = vec![Cplx::ZERO; n];
+        let mut a2_t1 = vec![Cplx::ZERO; n];
+        let mut a1_t2 = vec![Cplx::ZERO; n];
+        let mut a2_t2 = vec![Cplx::ZERO; n];
+        for &b in bins.iter().take(nd) {
+            let s1 = g1[b].scale(amplitude);
+            let s2 = g2[b].scale(amplitude);
+            a1_t1[b] = s1.scale(k);
+            a2_t1[b] = s2.scale(k);
+            a1_t2[b] = -s2.conj().scale(k);
+            a2_t2[b] = s1.conj().scale(k);
+        }
+        ant1_grids.push(a1_t1);
+        ant1_grids.push(a1_t2);
+        ant2_grids.push(a2_t1);
+        ant2_grids.push(a2_t2);
+    }
+
+    let to_stream = |grids: &[Vec<Cplx>]| {
+        let mut stream = Vec::new();
+        for g in grids {
+            stream.extend(ofdm_symbol(g, cp));
+        }
+        stream
+    };
+    let s1 = to_stream(&ant1_grids);
+    let s2 = to_stream(&ant2_grids);
+    let mut all = ant1_grids;
+    all.extend(ant2_grids);
+    (vec![s1, s2], all)
+}
+
+/// SISO receive: obtain H (genie or averaged training), equalize, demap.
+fn receive_siso(
+    config: &FrameConfig,
+    amplitude: f64,
+    rx: &[Cplx],
+    data_start: usize,
+    n_symbols: usize,
+    cp: usize,
+    taps: &[Vec<Vec<Cplx>>],
+) -> Vec<Cplx> {
+    let width = config.width;
+    let n = width.fft_size();
+    let bins = data_subcarrier_bins(width);
+    let block = n + cp;
+    let train_ref = training_grid(width, amplitude);
+    let n_train = config.n_train();
+
+    let fft_block = |start: usize| -> Vec<Cplx> {
+        let mut buf = rx
+            .get(start..start + block)
+            .map(|b| strip_cp(b, cp).to_vec())
+            .unwrap_or_else(|| vec![Cplx::ZERO; n]);
+        buf.resize(n, Cplx::ZERO);
+        fft(&mut buf);
+        buf
+    };
+
+    // Channel estimate: genie frequency response or LS over the training
+    // symbols, averaged.
+    let h = match config.equalization {
+        Equalization::Genie => frequency_response(&taps[0][0], n),
+        Equalization::Training { .. } => {
+            let mut h = vec![Cplx::ZERO; n];
+            for t in 0..n_train {
+                let y = fft_block(data_start + t * block);
+                for &b in &bins {
+                    h[b] += (y[b] / train_ref[b]).scale(1.0 / n_train as f64);
+                }
+            }
+            h
+        }
+    };
+
+    let mut out = Vec::with_capacity(n_symbols);
+    let mut sym_idx = 0usize;
+    let mut ofdm_idx = n_train;
+    while sym_idx < n_symbols {
+        let y = fft_block(data_start + ofdm_idx * block);
+        for &b in &bins {
+            if sym_idx >= n_symbols {
+                break;
+            }
+            let eq = (y[b] / h[b]).scale(1.0 / amplitude);
+            out.push(eq);
+            sym_idx += 1;
+        }
+        ofdm_idx += 1;
+    }
+    out
+}
+
+/// STBC receive: estimate the four per-subcarrier paths from the two
+/// training slots, then Alamouti-combine each data pair.
+fn receive_stbc(
+    config: &FrameConfig,
+    amplitude: f64,
+    rx_streams: &[Vec<Cplx>],
+    data_start: usize,
+    n_symbols: usize,
+    cp: usize,
+    taps: &[Vec<Vec<Cplx>>],
+) -> Vec<Cplx> {
+    let width = config.width;
+    let n = width.fft_size();
+    let bins = data_subcarrier_bins(width);
+    let block = n + cp;
+    let train_ref = training_grid(width, amplitude);
+    let n_train = config.n_train();
+
+    let fft_block = |stream: &[Cplx], start: usize| -> Vec<Cplx> {
+        let mut buf = stream
+            .get(start..start + block)
+            .map(|b| strip_cp(b, cp).to_vec())
+            .unwrap_or_else(|| vec![Cplx::ZERO; n]);
+        buf.resize(n, Cplx::ZERO);
+        fft(&mut buf);
+        buf
+    };
+
+    // h[tx][rx] per subcarrier: genie responses or LS estimates averaged
+    // over the per-antenna training slots (antenna 1 trains in slots
+    // 0..n_train, antenna 2 in n_train..2·n_train).
+    let mut h: Vec<Mimo2x2> = vec![
+        Mimo2x2 {
+            h: [[Cplx::ONE; 2]; 2]
+        };
+        n
+    ];
+    match config.equalization {
+        Equalization::Genie => {
+            let resp: Vec<Vec<Vec<Cplx>>> = taps
+                .iter()
+                .map(|per_rx| per_rx.iter().map(|t| frequency_response(t, n)).collect())
+                .collect();
+            for &b in &bins {
+                h[b] = Mimo2x2 {
+                    h: [
+                        [resp[0][0][b], resp[0][1][b]],
+                        [resp[1][0][b], resp[1][1][b]],
+                    ],
+                };
+            }
+        }
+        Equalization::Training { .. } => {
+            for t in 0..n_train {
+                let y1_a = fft_block(&rx_streams[0], data_start + t * block);
+                let y2_a = fft_block(&rx_streams[1], data_start + t * block);
+                let y1_b = fft_block(&rx_streams[0], data_start + (n_train + t) * block);
+                let y2_b = fft_block(&rx_streams[1], data_start + (n_train + t) * block);
+                for &b in &bins {
+                    let tr = train_ref[b];
+                    if t == 0 {
+                        h[b] = Mimo2x2 {
+                            h: [[Cplx::ZERO; 2]; 2],
+                        };
+                    }
+                    let k = 1.0 / n_train as f64;
+                    h[b].h[0][0] += (y1_a[b] / tr).scale(k);
+                    h[b].h[0][1] += (y2_a[b] / tr).scale(k);
+                    h[b].h[1][0] += (y1_b[b] / tr).scale(k);
+                    h[b].h[1][1] += (y2_b[b] / tr).scale(k);
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(n_symbols);
+    let mut pair_idx = 0usize;
+    while out.len() < n_symbols {
+        let base = data_start + (2 * n_train + 2 * pair_idx) * block;
+        let y1_a = fft_block(&rx_streams[0], base);
+        let y1_b = fft_block(&rx_streams[0], base + block);
+        let y2_a = fft_block(&rx_streams[1], base);
+        let y2_b = fft_block(&rx_streams[1], base + block);
+        // First OFDM symbol of the pair yields s1 on each subcarrier, the
+        // second yields s2; reconstruct in transmit order.
+        let mut s1_row = Vec::with_capacity(bins.len());
+        let mut s2_row = Vec::with_capacity(bins.len());
+        for &b in &bins {
+            let (s1, s2) = alamouti_combine(&h[b], [y1_a[b], y1_b[b]], [y2_a[b], y2_b[b]]);
+            s1_row.push(s1.scale(1.0 / amplitude));
+            s2_row.push(s2.scale(1.0 / amplitude));
+        }
+        for s in s1_row {
+            if out.len() < n_symbols {
+                out.push(s);
+            }
+        }
+        for s in s2_row {
+            if out.len() < n_symbols {
+                out.push(s);
+            }
+        }
+        pair_idx += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subcarrier_maps_have_right_size_and_skip_dc() {
+        for w in [ChannelWidth::Ht20, ChannelWidth::Ht40] {
+            let bins = data_subcarrier_bins(w);
+            assert_eq!(bins.len(), w.data_subcarriers());
+            assert!(!bins.contains(&0), "DC must stay empty");
+            assert!(bins.iter().all(|&b| b < w.fft_size()));
+            let mut uniq = bins.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), bins.len(), "bins must be unique");
+        }
+    }
+
+    #[test]
+    fn noiseless_siso_is_error_free() {
+        for w in [ChannelWidth::Ht20, ChannelWidth::Ht40] {
+            for m in Modulation::ALL {
+                let mut cfg = FrameConfig::baseline(w);
+                cfg.modulation = m;
+                cfg.noise_density = 0.0;
+                cfg.packet_bytes = 200;
+                let r = run_trial(&cfg, 2, 1);
+                assert_eq!(r.bit_errors, 0, "{w:?}/{m:?}");
+                assert_eq!(r.packet_errors, 0);
+                assert!(r.evm_rms < 1e-9, "EVM {}", r.evm_rms);
+            }
+        }
+    }
+
+    #[test]
+    fn noiseless_stbc_is_error_free() {
+        let mut cfg = FrameConfig::baseline(ChannelWidth::Ht20);
+        cfg.stbc = true;
+        cfg.noise_density = 0.0;
+        cfg.channel = ChannelModel::FlatRayleigh;
+        cfg.packet_bytes = 200;
+        let r = run_trial(&cfg, 3, 2);
+        assert_eq!(r.bit_errors, 0);
+    }
+
+    #[test]
+    fn noiseless_selective_channel_is_equalized() {
+        let mut cfg = FrameConfig::baseline(ChannelWidth::Ht40);
+        cfg.noise_density = 0.0;
+        cfg.channel = ChannelModel::SelectiveRayleigh {
+            taps: 8,
+            delay_spread_taps: 2.0,
+        };
+        cfg.packet_bytes = 150;
+        let r = run_trial(&cfg, 3, 3);
+        assert_eq!(r.bit_errors, 0, "per-subcarrier equalization must fix a static channel");
+    }
+
+    #[test]
+    fn equal_tx_power_across_widths() {
+        // The 802.11n constraint: both widths transmit the same total power.
+        let cfg20 = FrameConfig::baseline(ChannelWidth::Ht20);
+        let cfg40 = FrameConfig::baseline(ChannelWidth::Ht40);
+        let r20 = run_trial(&cfg20, 2, 4);
+        let r40 = run_trial(&cfg40, 2, 4);
+        let ratio = r40.measured_tx_power / r20.measured_tx_power;
+        assert!((ratio - 1.0).abs() < 0.1, "tx power ratio {ratio}");
+    }
+
+    #[test]
+    fn cb_costs_three_db_of_subcarrier_snr() {
+        let cfg20 = FrameConfig::baseline(ChannelWidth::Ht20);
+        let cfg40 = FrameConfig::baseline(ChannelWidth::Ht40);
+        let d = cfg20.snr_per_subcarrier_db() - cfg40.snr_per_subcarrier_db();
+        // 10·log10((64/52)/(128/216)) = 3.17 dB.
+        assert!(d > 2.9 && d < 3.4, "Δ = {d}");
+    }
+
+    #[test]
+    fn with_target_snr_is_consistent() {
+        for w in [ChannelWidth::Ht20, ChannelWidth::Ht40] {
+            let cfg = FrameConfig::baseline(w).with_target_snr(7.5);
+            assert!((cfg.snr_per_subcarrier_db() - 7.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn monte_carlo_ber_matches_theory_awgn_qpsk() {
+        // The Fig. 3a validation in miniature: uncoded QPSK BER at a fixed
+        // per-subcarrier SNR should match Q(√γ) regardless of width.
+        for w in [ChannelWidth::Ht20, ChannelWidth::Ht40] {
+            let snr = 8.0;
+            let cfg = FrameConfig {
+                packet_bytes: 500,
+                equalization: Equalization::Genie,
+                ..FrameConfig::baseline(w)
+            }
+            .with_target_snr(snr);
+            let r = run_trial(&cfg, 30, 5);
+            let theory = Modulation::Qpsk.ber_awgn(snr);
+            let measured = r.ber();
+            assert!(
+                (measured / theory) > 0.7 && (measured / theory) < 1.4,
+                "{w:?}: measured {measured:.2e} vs theory {theory:.2e}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_power_forty_mhz_has_higher_ber() {
+        // Fig. 3b: same Tx → the wider channel has more bit errors.
+        let p = 1.2;
+        let mk = |w| FrameConfig {
+            tx_power: p,
+            noise_density: 0.18,
+            packet_bytes: 400,
+            ..FrameConfig::baseline(w)
+        };
+        let r20 = run_trial(&mk(ChannelWidth::Ht20), 25, 6);
+        let r40 = run_trial(&mk(ChannelWidth::Ht40), 25, 6);
+        assert!(
+            r40.ber() > 1.5 * r20.ber(),
+            "BER20 {:.3e}, BER40 {:.3e}",
+            r20.ber(),
+            r40.ber()
+        );
+    }
+
+    #[test]
+    fn preamble_sync_works_at_reasonable_snr() {
+        let cfg = FrameConfig {
+            sync: SyncMode::Preamble { threshold: 0.5 },
+            packet_bytes: 120,
+            ..FrameConfig::baseline(ChannelWidth::Ht20)
+        }
+        .with_target_snr(15.0);
+        let r = run_trial(&cfg, 10, 7);
+        assert_eq!(r.sync_failures, 0);
+        assert_eq!(r.packet_errors, 0);
+    }
+
+    #[test]
+    fn coded_frames_clean_up_moderate_noise() {
+        // At an SNR where uncoded QPSK has BER ~1e-2, rate-1/2 coding
+        // should deliver error-free packets.
+        let uncoded = FrameConfig {
+            packet_bytes: 300,
+            equalization: Equalization::Genie,
+            ..FrameConfig::baseline(ChannelWidth::Ht20)
+        }
+        .with_target_snr(7.0);
+        let coded = FrameConfig {
+            code_rate: Some(CodeRate::R12),
+            ..uncoded
+        };
+        let ru = run_trial(&uncoded, 10, 8);
+        let rc = run_trial(&coded, 10, 8);
+        assert!(ru.bit_errors > 0, "uncoded should see errors");
+        assert_eq!(rc.bit_errors, 0, "coded should be clean (got {})", rc.bit_errors);
+    }
+
+    #[test]
+    fn constellation_spreads_with_cb_at_fixed_power() {
+        // Fig. 2: at the same Tx, the 40 MHz constellation is noisier.
+        let mk = |w| FrameConfig {
+            tx_power: 2.0,
+            noise_density: 0.1,
+            packet_bytes: 200,
+            ..FrameConfig::baseline(w)
+        };
+        let r20 = run_trial(&mk(ChannelWidth::Ht20), 4, 9);
+        let r40 = run_trial(&mk(ChannelWidth::Ht40), 4, 9);
+        assert!(
+            r40.evm_rms > 1.2 * r20.evm_rms,
+            "EVM20 {:.3}, EVM40 {:.3}",
+            r20.evm_rms,
+            r40.evm_rms
+        );
+    }
+
+    #[test]
+    fn stbc_outperforms_siso_on_fading_links() {
+        let mk = |stbc| {
+            FrameConfig {
+                stbc,
+                channel: ChannelModel::FlatRayleigh,
+                packet_bytes: 200,
+                ..FrameConfig::baseline(ChannelWidth::Ht20)
+            }
+            .with_target_snr(14.0)
+        };
+        let r_siso = run_trial(&mk(false), 60, 10);
+        let r_stbc = run_trial(&mk(true), 60, 10);
+        assert!(
+            r_stbc.ber() < r_siso.ber(),
+            "STBC {:.3e} !< SISO {:.3e}",
+            r_stbc.ber(),
+            r_siso.ber()
+        );
+    }
+}
+
+#[cfg(test)]
+mod sgi_tests {
+    use super::*;
+    use acorn_phy::GuardInterval;
+
+    #[test]
+    fn short_gi_frames_roundtrip_cleanly() {
+        for w in [ChannelWidth::Ht20, ChannelWidth::Ht40] {
+            let cfg = FrameConfig {
+                gi: GuardInterval::Short,
+                noise_density: 0.0,
+                packet_bytes: 200,
+                ..FrameConfig::baseline(w)
+            };
+            let r = run_trial(&cfg, 2, 51);
+            assert_eq!(r.bit_errors, 0, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn short_gi_shortens_the_prefix() {
+        use crate::prefix::cp_len_for;
+        assert_eq!(cp_len_for(64, GuardInterval::Long), 16);
+        assert_eq!(cp_len_for(64, GuardInterval::Short), 8);
+        assert_eq!(cp_len_for(128, GuardInterval::Short), 16);
+    }
+
+    #[test]
+    fn short_gi_equalizes_channels_within_its_prefix() {
+        // Delay spread must fit the *shorter* CP now.
+        let cfg = FrameConfig {
+            gi: GuardInterval::Short,
+            noise_density: 0.0,
+            packet_bytes: 150,
+            channel: ChannelModel::SelectiveRayleigh {
+                taps: 8, // memory 7 ≤ CP 8 at HT20-SGI
+                delay_spread_taps: 2.0,
+            },
+            ..FrameConfig::baseline(ChannelWidth::Ht20)
+        };
+        let r = run_trial(&cfg, 2, 53);
+        assert_eq!(r.bit_errors, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the cyclic prefix")]
+    fn over_long_channels_are_rejected_under_sgi() {
+        let cfg = FrameConfig {
+            gi: GuardInterval::Short,
+            channel: ChannelModel::SelectiveRayleigh {
+                taps: 12, // memory 11 > CP 8
+                delay_spread_taps: 2.0,
+            },
+            ..FrameConfig::baseline(ChannelWidth::Ht20)
+        };
+        run_trial(&cfg, 1, 1);
+    }
+}

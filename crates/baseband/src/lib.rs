@@ -1,0 +1,46 @@
+//! # acorn-baseband — a software OFDM/MIMO baseband (the WARP substitute)
+//!
+//! The ACORN paper's PHY-layer study (§3.1) runs on WARP software-defined
+//! radio boards with the WarpLab OFDM reference design. This crate rebuilds
+//! that measurement apparatus in Rust so the paper's Figures 1–4 can be
+//! regenerated without hardware:
+//!
+//! * [`cplx`] — complex sample arithmetic.
+//! * [`fft`] — radix-2 FFT/IFFT (64-point for 20 MHz, 128-point for 40 MHz,
+//!   exactly the switch the paper performs to implement channel bonding).
+//! * [`modem`] — Gray BPSK/QPSK/16-QAM/64-QAM mappers and slicers, plus the
+//!   DQPSK variant the WarpLab experiments transmit.
+//! * [`prefix`] — cyclic prefix handling.
+//! * [`preamble`] — Barker-13 preamble construction and correlation
+//!   detection ("a Barker sequence is later prepended to facilitate symbol
+//!   detection at the receiver").
+//! * [`channel`] — AWGN and (flat / frequency-selective) Rayleigh fading.
+//! * [`stbc`] — 2×2 Alamouti space-time block coding, the transmission mode
+//!   the paper uses on WARP.
+//! * [`convcode`] — the K=7 (133,171) convolutional codec with 802.11
+//!   puncturing and hard-decision Viterbi decoding.
+//! * [`psd`] — Welch power-spectral-density estimation (Fig. 1).
+//! * [`frame`] — the end-to-end Tx → channel → Rx pipeline with BER/PER
+//!   counting, constellation capture and EVM (Figs. 2–4).
+//!
+//! The crate is deterministic given a seed, allocation-conscious, and —
+//! following the smoltcp design guide idiom — synchronous and free of
+//! type-level tricks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod convcode;
+pub mod cplx;
+pub mod fft;
+pub mod frame;
+pub mod modem;
+pub mod preamble;
+pub mod prefix;
+pub mod psd;
+pub mod stbc;
+
+pub use channel::ChannelModel;
+pub use cplx::Cplx;
+pub use frame::{run_trial, Equalization, FrameConfig, FrameReport, SyncMode};

@@ -1,0 +1,306 @@
+//! Constellation mappers and hard-decision slicers.
+//!
+//! Gray-coded BPSK, QPSK, 16-QAM and 64-QAM — the four modulations of the
+//! HT MCS table — plus the differential QPSK (DQPSK) variant the paper's
+//! WarpLab experiments use ("We generate a random bitstream and modulate it
+//! using DQPSK"). All constellations are normalized to unit average energy
+//! so that transmit power is controlled entirely by the frame builder.
+
+use crate::cplx::Cplx;
+use acorn_phy::Modulation;
+
+/// Per-axis Gray code for 2-bit PAM-4 (used by 16-QAM): levels ±1, ±3
+/// normalized later. Bit order: MSB selects half, LSB selects inner/outer.
+fn pam4_level(bits: u8) -> f64 {
+    match bits & 0b11 {
+        0b00 => -3.0,
+        0b01 => -1.0,
+        0b11 => 1.0,
+        _ => 3.0, // 0b10
+    }
+}
+
+fn pam4_slice(x: f64) -> u8 {
+    if x < -2.0 {
+        0b00
+    } else if x < 0.0 {
+        0b01
+    } else if x < 2.0 {
+        0b11
+    } else {
+        0b10
+    }
+}
+
+/// Per-axis Gray code for 3-bit PAM-8 (used by 64-QAM): levels ±1..±7.
+fn pam8_level(bits: u8) -> f64 {
+    match bits & 0b111 {
+        0b000 => -7.0,
+        0b001 => -5.0,
+        0b011 => -3.0,
+        0b010 => -1.0,
+        0b110 => 1.0,
+        0b111 => 3.0,
+        0b101 => 5.0,
+        _ => 7.0, // 0b100
+    }
+}
+
+fn pam8_slice(x: f64) -> u8 {
+    if x < -6.0 {
+        0b000
+    } else if x < -4.0 {
+        0b001
+    } else if x < -2.0 {
+        0b011
+    } else if x < 0.0 {
+        0b010
+    } else if x < 2.0 {
+        0b110
+    } else if x < 4.0 {
+        0b111
+    } else if x < 6.0 {
+        0b101
+    } else {
+        0b100
+    }
+}
+
+/// Normalization factor giving unit average symbol energy.
+fn norm(modulation: Modulation) -> f64 {
+    match modulation {
+        Modulation::Bpsk => 1.0,
+        Modulation::Qpsk => std::f64::consts::SQRT_2.recip(),
+        Modulation::Qam16 => (10f64).sqrt().recip(),
+        Modulation::Qam64 => (42f64).sqrt().recip(),
+    }
+}
+
+/// Maps `bits_per_symbol` bits (LSB-first within the slice) to one
+/// constellation point with unit average energy.
+pub fn map_symbol(modulation: Modulation, bits: &[bool]) -> Cplx {
+    debug_assert_eq!(bits.len(), modulation.bits_per_symbol() as usize);
+    let k = norm(modulation);
+    match modulation {
+        Modulation::Bpsk => Cplx::new(if bits[0] { 1.0 } else { -1.0 }, 0.0),
+        Modulation::Qpsk => Cplx::new(
+            if bits[0] { 1.0 } else { -1.0 },
+            if bits[1] { 1.0 } else { -1.0 },
+        )
+        .scale(k),
+        Modulation::Qam16 => {
+            let i = (bits[0] as u8) << 1 | bits[1] as u8;
+            let q = (bits[2] as u8) << 1 | bits[3] as u8;
+            Cplx::new(pam4_level(i), pam4_level(q)).scale(k)
+        }
+        Modulation::Qam64 => {
+            let i = (bits[0] as u8) << 2 | (bits[1] as u8) << 1 | bits[2] as u8;
+            let q = (bits[3] as u8) << 2 | (bits[4] as u8) << 1 | bits[5] as u8;
+            Cplx::new(pam8_level(i), pam8_level(q)).scale(k)
+        }
+    }
+}
+
+/// Hard-decision slicer: maps a (noisy) received point back to bits.
+/// Inverse of [`map_symbol`] in the noiseless case.
+pub fn slice_symbol(modulation: Modulation, point: Cplx, out: &mut Vec<bool>) {
+    let z = point.scale(1.0 / norm(modulation));
+    match modulation {
+        Modulation::Bpsk => out.push(z.re >= 0.0),
+        Modulation::Qpsk => {
+            out.push(z.re >= 0.0);
+            out.push(z.im >= 0.0);
+        }
+        Modulation::Qam16 => {
+            let i = pam4_slice(z.re);
+            let q = pam4_slice(z.im);
+            out.push(i & 0b10 != 0);
+            out.push(i & 0b01 != 0);
+            out.push(q & 0b10 != 0);
+            out.push(q & 0b01 != 0);
+        }
+        Modulation::Qam64 => {
+            let i = pam8_slice(z.re);
+            let q = pam8_slice(z.im);
+            out.push(i & 0b100 != 0);
+            out.push(i & 0b010 != 0);
+            out.push(i & 0b001 != 0);
+            out.push(q & 0b100 != 0);
+            out.push(q & 0b010 != 0);
+            out.push(q & 0b001 != 0);
+        }
+    }
+}
+
+/// Maps a bitstream to a symbol stream. The tail is zero-padded to a whole
+/// symbol if needed.
+pub fn modulate(modulation: Modulation, bits: &[bool]) -> Vec<Cplx> {
+    let bps = modulation.bits_per_symbol() as usize;
+    let mut symbols = Vec::with_capacity(bits.len().div_ceil(bps));
+    let mut chunk = vec![false; bps];
+    for group in bits.chunks(bps) {
+        chunk[..group.len()].copy_from_slice(group);
+        for b in chunk[group.len()..].iter_mut() {
+            *b = false;
+        }
+        symbols.push(map_symbol(modulation, &chunk));
+    }
+    symbols
+}
+
+/// Hard-demodulates a symbol stream back to bits (length `symbols.len() ×
+/// bits_per_symbol`; the caller truncates any pad).
+pub fn demodulate(modulation: Modulation, symbols: &[Cplx]) -> Vec<bool> {
+    let mut bits = Vec::with_capacity(symbols.len() * modulation.bits_per_symbol() as usize);
+    for s in symbols {
+        slice_symbol(modulation, *s, &mut bits);
+    }
+    bits
+}
+
+/// Differentially encodes QPSK symbols: each output symbol is the previous
+/// output rotated by the current symbol's phase (reference symbol 1+0j).
+/// This is the DQPSK the paper's WarpLab pipeline transmits.
+pub fn dqpsk_encode(symbols: &[Cplx]) -> Vec<Cplx> {
+    let mut out = Vec::with_capacity(symbols.len());
+    let mut prev = Cplx::ONE;
+    for s in symbols {
+        // Unit-energy QPSK symbols have |s| = 1, so the running product
+        // stays on the unit circle.
+        let cur = prev * *s;
+        out.push(cur);
+        prev = cur;
+    }
+    out
+}
+
+/// Differentially decodes DQPSK: recovers each symbol from the phase
+/// difference of consecutive received samples — no channel estimate needed,
+/// which is why the WARP experiments favour it.
+pub fn dqpsk_decode(received: &[Cplx]) -> Vec<Cplx> {
+    let mut out = Vec::with_capacity(received.len());
+    let mut prev = Cplx::ONE;
+    for r in received {
+        let d = *r * prev.conj();
+        let mag_sqr = prev.norm_sqr().max(1e-24);
+        out.push(d.scale(1.0 / mag_sqr));
+        prev = *r;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_bits(n: usize, seed: u64) -> Vec<bool> {
+        // Simple xorshift so the test has no RNG dependency.
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state & 1 == 1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_all_modulations() {
+        for m in Modulation::ALL {
+            let bps = m.bits_per_symbol() as usize;
+            let bits = random_bits(bps * 200, 7);
+            let rx = demodulate(m, &modulate(m, &bits));
+            assert_eq!(bits, rx[..bits.len()], "{m:?}");
+        }
+    }
+
+    #[test]
+    fn unit_average_energy() {
+        for m in Modulation::ALL {
+            let bps = m.bits_per_symbol() as usize;
+            // Exhaustive constellation sweep.
+            let count = 1usize << bps;
+            let mut energy = 0.0;
+            for v in 0..count {
+                let bits: Vec<bool> = (0..bps).map(|i| v >> i & 1 == 1).collect();
+                energy += map_symbol(m, &bits).norm_sqr();
+            }
+            energy /= count as f64;
+            assert!((energy - 1.0).abs() < 1e-12, "{m:?}: energy {energy}");
+        }
+    }
+
+    #[test]
+    fn gray_neighbours_differ_by_one_bit_qam16() {
+        // Adjacent PAM-4 levels must differ in exactly one bit.
+        let levels = [0b00u8, 0b01, 0b11, 0b10];
+        for w in levels.windows(2) {
+            assert_eq!((w[0] ^ w[1]).count_ones(), 1);
+        }
+        // And pam4_level must be increasing along that Gray sequence.
+        let mut prev = f64::NEG_INFINITY;
+        for l in levels {
+            let v = pam4_level(l);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn gray_neighbours_differ_by_one_bit_qam64() {
+        let levels = [0b000u8, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100];
+        for w in levels.windows(2) {
+            assert_eq!((w[0] ^ w[1]).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn slicer_tolerates_small_noise() {
+        for m in Modulation::ALL {
+            let bps = m.bits_per_symbol() as usize;
+            let bits = random_bits(bps * 64, 3);
+            let mut symbols = modulate(m, &bits);
+            for (i, s) in symbols.iter_mut().enumerate() {
+                *s += Cplx::new(0.01 * ((i % 3) as f64 - 1.0), -0.01 * ((i % 5) as f64 - 2.0));
+            }
+            let rx = demodulate(m, &symbols);
+            assert_eq!(bits, rx[..bits.len()], "{m:?}");
+        }
+    }
+
+    #[test]
+    fn dqpsk_roundtrip() {
+        let bits = random_bits(2 * 300, 11);
+        let symbols = modulate(Modulation::Qpsk, &bits);
+        let tx = dqpsk_encode(&symbols);
+        let decoded = dqpsk_decode(&tx);
+        let rx = demodulate(Modulation::Qpsk, &decoded);
+        assert_eq!(bits, rx[..bits.len()]);
+    }
+
+    #[test]
+    fn dqpsk_survives_constant_phase_rotation() {
+        // The whole point of differential encoding: an unknown channel
+        // phase common to all samples cancels in the decode.
+        let bits = random_bits(2 * 100, 23);
+        let symbols = modulate(Modulation::Qpsk, &bits);
+        let tx = dqpsk_encode(&symbols);
+        let rotated: Vec<Cplx> = tx.iter().map(|s| *s * Cplx::cis(1.234)).collect();
+        let decoded = dqpsk_decode(&rotated);
+        // The first symbol is corrupted by the rotated reference; skip it.
+        let rx = demodulate(Modulation::Qpsk, &decoded[1..]);
+        assert_eq!(bits[2..], rx[..bits.len() - 2]);
+    }
+
+    #[test]
+    fn tail_padding_roundtrip() {
+        // 7 bits into 16-QAM (4 bits/sym) — pads to 8, decodes to 8.
+        let bits = vec![true, false, true, true, false, false, true];
+        let rx = demodulate(Modulation::Qam16, &modulate(Modulation::Qam16, &bits));
+        assert_eq!(rx.len(), 8);
+        assert_eq!(bits[..], rx[..7]);
+        assert!(!rx[7]); // pad bit was false
+    }
+}

@@ -1,0 +1,120 @@
+//! Cyclic-prefix insertion and removal.
+//!
+//! The WarpLab pipeline the paper describes: "The Inverse Fast Fourier
+//! Transform (IFFT) is applied on the modulated I-Q samples. A cyclic
+//! prefix is then added. ... The cyclic prefix is removed and the remaining
+//! samples are fed into a Fast Fourier Transform (FFT) module."
+//!
+//! The prefix copies the tail of each OFDM symbol to its front; as long as
+//! the channel's delay spread fits within it, inter-symbol interference is
+//! absorbed and per-subcarrier equalization stays a scalar divide.
+
+use crate::cplx::Cplx;
+
+/// Prepends a cyclic prefix of `cp_len` samples to one OFDM symbol.
+///
+/// Panics if `cp_len > symbol.len()` — a prefix longer than the symbol has
+/// no cyclic interpretation.
+pub fn add_cp(symbol: &[Cplx], cp_len: usize) -> Vec<Cplx> {
+    assert!(
+        cp_len <= symbol.len(),
+        "cyclic prefix ({cp_len}) longer than symbol ({})",
+        symbol.len()
+    );
+    let mut out = Vec::with_capacity(symbol.len() + cp_len);
+    out.extend_from_slice(&symbol[symbol.len() - cp_len..]);
+    out.extend_from_slice(symbol);
+    out
+}
+
+/// Strips the cyclic prefix from a received block of `fft_size + cp_len`
+/// samples, returning the `fft_size` useful samples.
+pub fn strip_cp(block: &[Cplx], cp_len: usize) -> &[Cplx] {
+    &block[cp_len..]
+}
+
+/// The cyclic-prefix length (in samples) for an 802.11n symbol: the 800 ns
+/// long guard interval is 1/4 of the 3.2 µs useful symbol, i.e. `N/4`
+/// samples for an `N`-point FFT (16 at 20 MHz, 32 at 40 MHz).
+pub fn standard_cp_len(fft_size: usize) -> usize {
+    fft_size / 4
+}
+
+/// Cyclic-prefix length for a guard-interval choice: `N/4` for the long
+/// 800 ns GI, `N/8` for the short 400 ns GI (the rate-boosting option of
+/// the paper's footnote 2).
+pub fn cp_len_for(fft_size: usize, gi: acorn_phy::GuardInterval) -> usize {
+    match gi {
+        acorn_phy::GuardInterval::Long => fft_size / 4,
+        acorn_phy::GuardInterval::Short => fft_size / 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn symbol(n: usize) -> Vec<Cplx> {
+        (0..n).map(|i| Cplx::new(i as f64, -(i as f64) * 0.5)).collect()
+    }
+
+    #[test]
+    fn add_then_strip_is_identity() {
+        let sym = symbol(64);
+        let cp = standard_cp_len(64);
+        let with = add_cp(&sym, cp);
+        assert_eq!(with.len(), 64 + 16);
+        assert_eq!(strip_cp(&with, cp), &sym[..]);
+    }
+
+    #[test]
+    fn prefix_is_cyclic() {
+        let sym = symbol(64);
+        let with = add_cp(&sym, 16);
+        // The first 16 samples equal the last 16 of the symbol.
+        assert_eq!(&with[..16], &sym[48..]);
+    }
+
+    #[test]
+    fn standard_lengths() {
+        assert_eq!(standard_cp_len(64), 16);
+        assert_eq!(standard_cp_len(128), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than symbol")]
+    fn oversized_prefix_panics() {
+        add_cp(&symbol(8), 9);
+    }
+
+    #[test]
+    fn cp_makes_linear_convolution_look_circular() {
+        // The core property: after CP-strip, a channel shorter than the CP
+        // acts as a circular convolution, i.e. a scalar per FFT bin.
+        use crate::channel::{convolve, frequency_response};
+        use crate::fft::{fft_vec, ifft_vec};
+
+        let n = 64;
+        let freq: Vec<Cplx> = (0..n)
+            .map(|i| Cplx::cis(0.7 * i as f64))
+            .collect();
+        let time = ifft_vec(&freq);
+        let tx = add_cp(&time, 16);
+
+        let taps = [Cplx::new(0.8, 0.1), Cplx::new(0.0, -0.3), Cplx::new(0.2, 0.0)];
+        let rx = convolve(&tx, &taps);
+        let stripped = strip_cp(&rx, 16);
+        let rx_freq = fft_vec(stripped);
+
+        let h = frequency_response(&taps, n);
+        for k in 0..n {
+            let expected = freq[k] * h[k];
+            assert!(
+                (rx_freq[k] - expected).abs() < 1e-9,
+                "bin {k}: {:?} vs {:?}",
+                rx_freq[k],
+                expected
+            );
+        }
+    }
+}

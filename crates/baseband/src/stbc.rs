@@ -1,0 +1,242 @@
+//! Alamouti 2×2 space-time block coding.
+//!
+//! The paper transmits its WARP frames "using 2x2 STBC (Space Time Block
+//! Codes with two antennas — Alamouti); we use the STBC mode of
+//! transmission since on poor quality links, the auto-rate function of our
+//! 802.11n cards induces operations in this mode."
+//!
+//! Alamouti encodes symbol pairs `(s1, s2)` over two antennas and two
+//! symbol periods:
+//!
+//! ```text
+//! time:      t1        t2
+//! antenna 1: s1/√2   −s2*/√2
+//! antenna 2: s2/√2    s1*/√2
+//! ```
+//!
+//! (the `1/√2` keeps total transmit power equal to the single-antenna
+//! case, as the 802.11n spec requires). With per-path flat gains `h_ij`
+//! (tx antenna i → rx antenna j) constant over the pair, maximum-ratio
+//! combining at the receiver recovers each symbol with diversity order
+//! `2·N_rx` and effective gain `Σ|h_ij|²/2`.
+
+use crate::cplx::Cplx;
+
+/// Encodes a symbol stream into the two per-antenna streams. Odd-length
+/// inputs are zero-padded to a whole Alamouti pair.
+pub fn alamouti_encode(symbols: &[Cplx]) -> (Vec<Cplx>, Vec<Cplx>) {
+    let k = std::f64::consts::SQRT_2.recip();
+    let n = symbols.len().div_ceil(2) * 2;
+    let mut ant1 = Vec::with_capacity(n);
+    let mut ant2 = Vec::with_capacity(n);
+    let mut i = 0;
+    while i < symbols.len() {
+        let s1 = symbols[i];
+        let s2 = if i + 1 < symbols.len() { symbols[i + 1] } else { Cplx::ZERO };
+        ant1.push(s1.scale(k));
+        ant2.push(s2.scale(k));
+        ant1.push(-s2.conj().scale(k));
+        ant2.push(s1.conj().scale(k));
+        i += 2;
+    }
+    (ant1, ant2)
+}
+
+/// Flat channel gains of a 2×2 link: `h[i][j]` is transmit antenna `i+1` →
+/// receive antenna `j+1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mimo2x2 {
+    /// Path gains, `h[tx][rx]`.
+    pub h: [[Cplx; 2]; 2],
+}
+
+impl Mimo2x2 {
+    /// Total channel energy `Σ|h_ij|²`.
+    pub fn energy(&self) -> f64 {
+        self.h.iter().flatten().map(|g| g.norm_sqr()).sum()
+    }
+}
+
+/// Alamouti maximum-ratio combining for one received pair.
+///
+/// `r1` and `r2` are the two receive antennas' samples at the two symbol
+/// times (`r1 = [r1(t1), r1(t2)]`). Returns the combined estimates
+/// `(ŝ1, ŝ2)`, normalized so that a noiseless channel returns the original
+/// symbols exactly (the combiner divides by the channel energy and undoes
+/// the `1/√2` power split).
+pub fn alamouti_combine(ch: &Mimo2x2, r1: [Cplx; 2], r2: [Cplx; 2]) -> (Cplx, Cplx) {
+    let [h11, h12] = ch.h[0];
+    let [h21, h22] = ch.h[1];
+    // Standard Alamouti combining, summed over both receive antennas.
+    let mut s1 = h11.conj() * r1[0] + h21 * r1[1].conj();
+    s1 += h12.conj() * r2[0] + h22 * r2[1].conj();
+    let mut s2 = h21.conj() * r1[0] - h11 * r1[1].conj();
+    s2 += h22.conj() * r2[0] - h12 * r2[1].conj();
+    let energy = ch.energy();
+    if energy <= 0.0 {
+        return (Cplx::ZERO, Cplx::ZERO);
+    }
+    let k = std::f64::consts::SQRT_2 / energy;
+    (s1.scale(k), s2.scale(k))
+}
+
+/// Applies a flat 2×2 channel to the two transmit streams, producing the
+/// two receive streams (noise is added separately by the caller).
+pub fn apply_mimo_channel(ch: &Mimo2x2, ant1: &[Cplx], ant2: &[Cplx]) -> (Vec<Cplx>, Vec<Cplx>) {
+    assert_eq!(ant1.len(), ant2.len());
+    let [h11, h12] = ch.h[0];
+    let [h21, h22] = ch.h[1];
+    let rx1: Vec<Cplx> = ant1
+        .iter()
+        .zip(ant2)
+        .map(|(a, b)| h11 * *a + h21 * *b)
+        .collect();
+    let rx2: Vec<Cplx> = ant1
+        .iter()
+        .zip(ant2)
+        .map(|(a, b)| h12 * *a + h22 * *b)
+        .collect();
+    (rx1, rx2)
+}
+
+/// End-to-end Alamouti transmission of a symbol stream over a flat 2×2
+/// channel with optional per-sample noise callback; returns the combined
+/// symbol estimates. This is the per-subcarrier primitive the OFDM frame
+/// layer invokes once per subcarrier.
+pub fn alamouti_transmit<F>(
+    symbols: &[Cplx],
+    ch: &Mimo2x2,
+    mut noise: F,
+) -> Vec<Cplx>
+where
+    F: FnMut() -> Cplx,
+{
+    let (ant1, ant2) = alamouti_encode(symbols);
+    let (mut rx1, mut rx2) = apply_mimo_channel(ch, &ant1, &ant2);
+    for s in rx1.iter_mut().chain(rx2.iter_mut()) {
+        *s += noise();
+    }
+    let mut out = Vec::with_capacity(symbols.len());
+    let mut t = 0;
+    while t < rx1.len() {
+        let (s1, s2) = alamouti_combine(ch, [rx1[t], rx1[t + 1]], [rx2[t], rx2[t + 1]]);
+        out.push(s1);
+        if out.len() < symbols.len() {
+            out.push(s2);
+        }
+        t += 2;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::complex_gaussian;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_channel(rng: &mut StdRng) -> Mimo2x2 {
+        Mimo2x2 {
+            h: [
+                [complex_gaussian(rng, 1.0), complex_gaussian(rng, 1.0)],
+                [complex_gaussian(rng, 1.0), complex_gaussian(rng, 1.0)],
+            ],
+        }
+    }
+
+    fn qpsk_symbols(n: usize, seed: u64) -> Vec<Cplx> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let re = if rand::Rng::gen::<bool>(&mut rng) { 1.0 } else { -1.0 };
+                let im = if rand::Rng::gen::<bool>(&mut rng) { 1.0 } else { -1.0 };
+                Cplx::new(re, im).scale(std::f64::consts::SQRT_2.recip())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encode_preserves_total_power() {
+        let syms = qpsk_symbols(1000, 3);
+        let (a1, a2) = alamouti_encode(&syms);
+        // Total power per time slot, summed across both antennas, equals
+        // the single-antenna symbol power (1.0): the 1/√2 split halves
+        // each antenna's share.
+        let total: f64 =
+            a1.iter().chain(a2.iter()).map(|s| s.norm_sqr()).sum::<f64>() / a1.len() as f64;
+        assert!((total - 1.0).abs() < 1e-12, "per-slot total power {total}");
+        let ant1_only: f64 = a1.iter().map(|s| s.norm_sqr()).sum::<f64>() / a1.len() as f64;
+        assert!((ant1_only - 0.5).abs() < 1e-12, "per-antenna power {ant1_only}");
+    }
+
+    #[test]
+    fn noiseless_roundtrip_identity_channel() {
+        let syms = qpsk_symbols(64, 5);
+        let ch = Mimo2x2 {
+            h: [[Cplx::ONE, Cplx::ZERO], [Cplx::ZERO, Cplx::ONE]],
+        };
+        let out = alamouti_transmit(&syms, &ch, || Cplx::ZERO);
+        for (a, b) in syms.iter().zip(out.iter()) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn noiseless_roundtrip_random_channel() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let ch = random_channel(&mut rng);
+            let syms = qpsk_symbols(32, 11);
+            let out = alamouti_transmit(&syms, &ch, || Cplx::ZERO);
+            for (a, b) in syms.iter().zip(out.iter()) {
+                assert!((*a - *b).abs() < 1e-9, "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_length_input_roundtrips() {
+        let syms = qpsk_symbols(7, 13);
+        let mut rng = StdRng::seed_from_u64(17);
+        let ch = random_channel(&mut rng);
+        let out = alamouti_transmit(&syms, &ch, || Cplx::ZERO);
+        assert_eq!(out.len(), 7);
+        for (a, b) in syms.iter().zip(out.iter()) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn diversity_beats_siso_in_deep_fade() {
+        // When one path is in a deep fade, the other three keep the
+        // combined SNR up — the whole point of STBC on poor links.
+        let ch = Mimo2x2 {
+            h: [
+                [Cplx::new(0.05, 0.0), Cplx::ONE],
+                [Cplx::new(0.8, 0.3), Cplx::new(0.0, 0.9)],
+            ],
+        };
+        assert!(ch.energy() > 1.0);
+        let syms = qpsk_symbols(512, 19);
+        let mut rng = StdRng::seed_from_u64(23);
+        let out = alamouti_transmit(&syms, &ch, || complex_gaussian(&mut rng, 0.05));
+        // Hard-decide QPSK and count symbol errors.
+        let errors = syms
+            .iter()
+            .zip(out.iter())
+            .filter(|(a, b)| (a.re >= 0.0) != (b.re >= 0.0) || (a.im >= 0.0) != (b.im >= 0.0))
+            .count();
+        assert!(errors == 0, "STBC should survive one deep-faded path, got {errors} errors");
+    }
+
+    #[test]
+    fn zero_channel_returns_zero() {
+        let ch = Mimo2x2 {
+            h: [[Cplx::ZERO; 2]; 2],
+        };
+        let (s1, s2) = alamouti_combine(&ch, [Cplx::ONE, Cplx::ONE], [Cplx::ONE, Cplx::ONE]);
+        assert_eq!(s1, Cplx::ZERO);
+        assert_eq!(s2, Cplx::ZERO);
+    }
+}

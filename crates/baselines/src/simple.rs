@@ -1,0 +1,164 @@
+//! Simple baselines: RSSI association, random configurations, and fixed
+//! channel-width plans.
+//!
+//! * RSSI association is the strawman §4.1 argues against: "affiliation
+//!   decisions that are based on the received signal strength (RSS) of the
+//!   beacons ... can lead to configurations with a few overloaded APs and
+//!   other underloaded APs".
+//! * Random configurations are the comparison set of Table 3: "we
+//!   configure APs with random channels (both 20 and 40 MHz) and let each
+//!   client associate with one of the APs in range with equal
+//!   probability."
+//! * Fixed-width plans (all-20 / all-40 with round-robin channel reuse)
+//!   are the static strawmen of Figs. 11 and 13.
+
+use acorn_phy::ChannelWidth;
+use acorn_topology::{ApId, ChannelAssignment, ChannelPlan, ClientId, Wlan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// RSSI (strongest-beacon) association: the client picks the AP with the
+/// highest received signal power, provided it clears `snr_floor_db` at
+/// 20 MHz. Returns `None` when nothing is in range.
+pub fn associate_rssi(wlan: &Wlan, client: ClientId, snr_floor_db: f64) -> Option<ApId> {
+    (0..wlan.aps.len())
+        .map(ApId)
+        .filter(|&ap| wlan.snr_db(ap, client, ChannelWidth::Ht20) >= snr_floor_db)
+        .max_by(|&a, &b| {
+            wlan.link_budget(a, client)
+                .rx_power_dbm()
+                .partial_cmp(&wlan.link_budget(b, client).rx_power_dbm())
+                .unwrap()
+        })
+}
+
+/// One random manual configuration (Table 3): random channels (both
+/// widths) for every AP and uniform-random association for every client
+/// among its in-range APs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomConfig {
+    /// Channel per AP.
+    pub assignments: Vec<ChannelAssignment>,
+    /// Association per client (`None` when no AP is in range).
+    pub assoc: Vec<Option<ApId>>,
+}
+
+/// Draws a random configuration.
+pub fn random_config(wlan: &Wlan, plan: &ChannelPlan, snr_floor_db: f64, seed: u64) -> RandomConfig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let all = plan.all_assignments();
+    let assignments = (0..wlan.aps.len())
+        .map(|_| all[rng.gen_range(0..all.len())])
+        .collect();
+    let assoc = (0..wlan.clients.len())
+        .map(|c| {
+            let in_range: Vec<ApId> = (0..wlan.aps.len())
+                .map(ApId)
+                .filter(|&ap| wlan.snr_db(ap, ClientId(c), ChannelWidth::Ht20) >= snr_floor_db)
+                .collect();
+            if in_range.is_empty() {
+                None
+            } else {
+                Some(in_range[rng.gen_range(0..in_range.len())])
+            }
+        })
+        .collect();
+    RandomConfig {
+        assignments,
+        assoc,
+    }
+}
+
+/// Fixed-width plan: every AP at the given width, channels assigned
+/// round-robin over the plan's non-overlapping options of that width.
+pub fn fixed_width(plan: &ChannelPlan, n_aps: usize, width: ChannelWidth) -> Vec<ChannelAssignment> {
+    let options: Vec<ChannelAssignment> = match width {
+        ChannelWidth::Ht20 => plan.singles().collect(),
+        ChannelWidth::Ht40 => plan.bonds().collect(),
+    };
+    assert!(!options.is_empty(), "plan has no channel of width {width:?}");
+    (0..n_aps).map(|i| options[i % options.len()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acorn_topology::Point;
+
+    fn wlan() -> Wlan {
+        let mut w = Wlan::new(
+            vec![Point::new(0.0, 0.0), Point::new(60.0, 0.0)],
+            vec![Point::new(5.0, 0.0), Point::new(50.0, 0.0), Point::new(3000.0, 0.0)],
+            3,
+        );
+        w.pathloss.shadowing_sigma_db = 0.0;
+        w
+    }
+
+    #[test]
+    fn rssi_picks_the_nearest_ap() {
+        let w = wlan();
+        assert_eq!(associate_rssi(&w, ClientId(0), -3.0), Some(ApId(0)));
+        assert_eq!(associate_rssi(&w, ClientId(1), -3.0), Some(ApId(1)));
+        assert_eq!(associate_rssi(&w, ClientId(2), -3.0), None);
+    }
+
+    #[test]
+    fn rssi_ignores_load() {
+        // RSSI never considers K or delays — that's its defining flaw; it
+        // depends only on geometry, so the answer never changes with load.
+        let w = wlan();
+        for _ in 0..3 {
+            assert_eq!(associate_rssi(&w, ClientId(0), -3.0), Some(ApId(0)));
+        }
+    }
+
+    #[test]
+    fn random_config_is_seeded_and_legal() {
+        let w = wlan();
+        let plan = ChannelPlan::full_5ghz();
+        let a = random_config(&w, &plan, -3.0, 42);
+        let b = random_config(&w, &plan, -3.0, 42);
+        assert_eq!(a, b);
+        assert_ne!(a, random_config(&w, &plan, -3.0, 43));
+        assert!(a.assignments.iter().all(|x| plan.contains(*x)));
+        // The out-of-range client stays unassociated.
+        assert_eq!(a.assoc[2], None);
+        assert!(a.assoc[0].is_some() && a.assoc[1].is_some());
+    }
+
+    #[test]
+    fn random_configs_cover_both_widths() {
+        let w = wlan();
+        let plan = ChannelPlan::full_5ghz();
+        let mut seen20 = false;
+        let mut seen40 = false;
+        for seed in 0..50 {
+            for a in random_config(&w, &plan, -3.0, seed).assignments {
+                match a.width() {
+                    ChannelWidth::Ht20 => seen20 = true,
+                    ChannelWidth::Ht40 => seen40 = true,
+                }
+            }
+        }
+        assert!(seen20 && seen40);
+    }
+
+    #[test]
+    fn fixed_width_round_robins_channels() {
+        let plan = ChannelPlan::restricted(4);
+        let a20 = fixed_width(&plan, 6, ChannelWidth::Ht20);
+        assert!(a20.iter().all(|x| x.width() == ChannelWidth::Ht20));
+        assert_eq!(a20[0], a20[4]); // wraps after 4 singles
+        assert_ne!(a20[0], a20[1]);
+        let a40 = fixed_width(&plan, 3, ChannelWidth::Ht40);
+        assert!(a40.iter().all(|x| x.width() == ChannelWidth::Ht40));
+        assert_eq!(a40[0], a40[2]); // only 2 bonds in a 4-channel plan
+    }
+
+    #[test]
+    #[should_panic(expected = "no channel of width")]
+    fn fixed_40_needs_a_bond() {
+        fixed_width(&ChannelPlan::restricted(1), 2, ChannelWidth::Ht40);
+    }
+}

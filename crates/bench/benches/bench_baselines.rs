@@ -1,0 +1,55 @@
+//! Criterion benches for the baselines: the [17]-style aggressive scan,
+//! the exhaustive optimum (Fig. 14's reference), and the full-network
+//! evaluation used by Table 3.
+
+use acorn_baselines::kauffmann::allocate_aggressive_cb;
+use acorn_baselines::optimal::optimal_allocation;
+use acorn_baselines::simple::random_config;
+use acorn_core::model::{ClientSnr, NetworkModel};
+use acorn_phy::estimator::LinkQualityEstimator;
+use acorn_sim::runner::evaluate_analytic;
+use acorn_sim::scenario::enterprise_grid;
+use acorn_sim::traffic::Traffic;
+use acorn_topology::{ChannelPlan, InterferenceGraph};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_aggressive_scan(c: &mut Criterion) {
+    let wlan = enterprise_grid(3, 3, 50.0, 0, 5);
+    let graph = wlan.ap_only_interference_graph();
+    let plan = ChannelPlan::full_5ghz();
+    c.bench_function("baselines/aggressive_cb_9aps", |b| {
+        b.iter(|| allocate_aggressive_cb(black_box(&wlan), &graph, &plan, 8))
+    });
+}
+
+fn bench_optimal(c: &mut Criterion) {
+    let cells = (0..3)
+        .map(|a| {
+            vec![ClientSnr {
+                client: a,
+                snr20_db: 6.0 + 9.0 * a as f64,
+            }]
+        })
+        .collect();
+    let m = NetworkModel::new(InterferenceGraph::complete(3), cells);
+    let plan = ChannelPlan::restricted(4);
+    c.bench_function("baselines/optimal_3aps_4ch", |b| {
+        b.iter(|| optimal_allocation(black_box(&m), &plan, 10_000))
+    });
+}
+
+fn bench_random_config_eval(c: &mut Criterion) {
+    // One Table 3 sample: draw a random configuration and score it.
+    let wlan = enterprise_grid(2, 2, 55.0, 12, 2010);
+    let plan = ChannelPlan::full_5ghz();
+    let est = LinkQualityEstimator::default();
+    c.bench_function("baselines/table3_one_random_config", |b| {
+        b.iter(|| {
+            let cfg = random_config(&wlan, &plan, -3.0, black_box(7));
+            evaluate_analytic(&wlan, &cfg.assignments, &cfg.assoc, &est, 1500, Traffic::Udp)
+        })
+    });
+}
+
+criterion_group!(benches, bench_aggressive_scan, bench_optimal, bench_random_config_eval);
+criterion_main!(benches);

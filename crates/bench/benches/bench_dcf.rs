@@ -1,0 +1,42 @@
+//! Criterion benches for the slot-level DCF simulator — the validation
+//! engine behind the airtime model used in every throughput table.
+
+use acorn_mac::airtime::ClientLink;
+use acorn_mac::dcf::{simulate_dcf, StationConfig};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn station(n_clients: usize) -> StationConfig {
+    StationConfig::new(
+        (0..n_clients)
+            .map(|i| ClientLink {
+                rate_bps: [6.5e6, 65e6, 130e6][i % 3],
+                per: 0.05 * (i % 3) as f64,
+            })
+            .collect(),
+    )
+}
+
+fn bench_single_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dcf/one_second_single_cell");
+    for n in [1usize, 4, 16] {
+        let cfg = vec![station(n)];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| simulate_dcf(black_box(&cfg), 1.0, 3))
+        });
+    }
+    group.finish();
+}
+
+fn bench_contending_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dcf/one_second_contenders");
+    for n in [2usize, 3, 6] {
+        let cfg: Vec<StationConfig> = (0..n).map(|_| station(2)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| simulate_dcf(black_box(&cfg), 1.0, 3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_cell, bench_contending_cells);
+criterion_main!(benches);

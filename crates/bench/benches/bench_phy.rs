@@ -1,0 +1,40 @@
+//! Criterion benches for the analytic PHY — the machinery behind Table 1
+//! and Figs. 5–6 (σ curves, crossover search, estimator pipeline).
+
+use acorn_phy::estimator::LinkQualityEstimator;
+use acorn_phy::link::{sigma_crossover_snr, sigma_for};
+use acorn_phy::{ChannelWidth, CodeRate, Modulation};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_coded_ber(c: &mut Criterion) {
+    c.bench_function("phy/coded_ber_64qam_r56", |b| {
+        b.iter(|| {
+            acorn_phy::coding::coded_ber(
+                CodeRate::R56,
+                black_box(Modulation::Qam64.ber_awgn(black_box(18.0))),
+            )
+        })
+    });
+}
+
+fn bench_sigma(c: &mut Criterion) {
+    c.bench_function("phy/sigma_for (one Fig.5 point)", |b| {
+        b.iter(|| sigma_for(Modulation::Qam16, CodeRate::R34, black_box(12.0), 1500))
+    });
+    c.bench_function("phy/sigma_crossover (one Table 1 cell)", |b| {
+        b.iter(|| sigma_crossover_snr(Modulation::Qam16, CodeRate::R34, 1500))
+    });
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let est = LinkQualityEstimator::default();
+    c.bench_function("phy/estimator_full_pipeline", |b| {
+        b.iter(|| est.estimate(black_box(14.0), ChannelWidth::Ht20))
+    });
+    c.bench_function("phy/estimator_best_rate_point", |b| {
+        b.iter(|| est.best_rate_point(black_box(14.0), ChannelWidth::Ht40))
+    });
+}
+
+criterion_group!(benches, bench_coded_ber, bench_sigma, bench_estimator);
+criterion_main!(benches);

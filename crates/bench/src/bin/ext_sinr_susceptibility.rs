@@ -1,0 +1,85 @@
+//! Extension experiment — interference susceptibility of bonded channels.
+//!
+//! §1 of the paper: "due to the 3 dB reduction in the per-carrier signal
+//! power, transmissions with the wider bands are more susceptible to
+//! interference (i.e., the SINR is lower)." The testbed evaluation shows
+//! this indirectly (Fig. 11); here we measure it directly with the
+//! SINR-aware evaluator: a victim cell at increasing distance from a
+//! hidden (out-of-carrier-sense) interferer, 20 MHz vs bonded.
+
+use acorn_bench::{header, mbps, print_table, save_json};
+use acorn_phy::estimator::LinkQualityEstimator;
+use acorn_sim::interference::evaluate_analytic_sinr;
+use acorn_sim::traffic::Traffic;
+use acorn_topology::{ApId, Channel20, ChannelAssignment, Point, Wlan};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    interferer_distance_m: f64,
+    victim20_bps: f64,
+    victim40_bps: f64,
+    loss20: f64,
+    loss40: f64,
+}
+
+fn main() {
+    header("Extension: interference susceptibility, 20 MHz vs bonded victim");
+    let est = LinkQualityEstimator::default();
+    let single = ChannelAssignment::Single(Channel20(0));
+    let bonded = ChannelAssignment::bonded(Channel20(0)).unwrap();
+    let far = ChannelAssignment::Single(Channel20(11));
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for dist in [120.0, 150.0, 200.0, 300.0, 500.0] {
+        let mut w = Wlan::new(
+            vec![Point::new(0.0, 0.0), Point::new(dist, 0.0)],
+            vec![Point::new(45.0, 0.0), Point::new(dist - 20.0, 0.0)],
+            3,
+        );
+        w.pathloss.shadowing_sigma_db = 0.0;
+        let assoc = vec![Some(ApId(0)), Some(ApId(1))];
+        let run = |victim: ChannelAssignment, interferer: ChannelAssignment| {
+            evaluate_analytic_sinr(&w, &[victim, interferer], &assoc, &est, 1500, Traffic::Udp)
+                .per_ap_bps[0]
+        };
+        // Interferer fully covers the victim's spectrum in both cases.
+        let v20 = run(single, bonded);
+        let v20_clean = run(single, far);
+        let v40 = run(bonded, bonded);
+        let v40_clean = run(bonded, far);
+        let loss20 = 1.0 - v20 / v20_clean;
+        let loss40 = 1.0 - v40 / v40_clean;
+        rows.push(vec![
+            format!("{dist:.0}"),
+            mbps(v20),
+            format!("{:.1}%", 100.0 * loss20),
+            mbps(v40),
+            format!("{:.1}%", 100.0 * loss40),
+        ]);
+        out.push(Row {
+            interferer_distance_m: dist,
+            victim20_bps: v20,
+            victim40_bps: v40,
+            loss20,
+            loss40,
+        });
+    }
+    print_table(
+        &["interferer (m)", "20MHz (Mb/s)", "loss", "40MHz (Mb/s)", "loss"],
+        &rows,
+    );
+    println!();
+    let worse = out.iter().filter(|r| r.loss40 >= r.loss20 - 1e-9).count();
+    println!(
+        "bonded victim loses at least as much in {worse}/{} distances",
+        out.len()
+    );
+    println!("paper §1: wider bands are more susceptible to interference.");
+    println!("note: at the longest distances MCS quantization can mask the");
+    println!("effect (a victim sitting just past an MCS threshold absorbs");
+    println!("small SINR hits for free); the claim holds in the regime where");
+    println!("interference is strong enough to move the operating point.");
+    save_json("ext_sinr_susceptibility", &out);
+}

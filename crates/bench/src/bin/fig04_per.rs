@@ -1,0 +1,118 @@
+//! Figure 4 — uncoded QPSK PER (a) vs SNR and (b) vs Tx.
+//!
+//! Paper: "for a given SNR the BER does not depend on the channel width;
+//! thus, the uncoded PER is similar for the 20 and 40 MHz channels for
+//! the same SNR. However, for the same Tx, the PER with CB is much higher
+//! as compared to that without the feature."
+
+use acorn_baseband::frame::{run_trial, Equalization, FrameConfig};
+use acorn_bench::{header, print_table, save_json};
+use acorn_phy::coding::per_from_ber_bytes;
+use acorn_phy::{ChannelWidth, Modulation};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct PerPoint {
+    x: f64,
+    per20: f64,
+    per40: f64,
+    theory20: f64,
+    theory40: f64,
+}
+
+#[derive(Serialize)]
+struct Fig04 {
+    vs_snr: Vec<PerPoint>,
+    vs_tx_dbm: Vec<PerPoint>,
+}
+
+const PACKETS: usize = 150;
+const BYTES: usize = 1500;
+
+fn per_at(cfg: &FrameConfig, seed: u64) -> f64 {
+    run_trial(cfg, PACKETS, seed).per()
+}
+
+fn theory_per(snr_db: f64) -> f64 {
+    per_from_ber_bytes(Modulation::Qpsk.ber_awgn(snr_db), BYTES as u32)
+}
+
+fn main() {
+    header("Figure 4(a): uncoded QPSK PER vs per-subcarrier SNR");
+    let mut vs_snr = Vec::new();
+    let mut rows = Vec::new();
+    for snr_step in 0..=12 {
+        let snr = snr_step as f64;
+        let mk = |w| {
+            FrameConfig {
+                packet_bytes: BYTES,
+                equalization: Equalization::Genie,
+                ..FrameConfig::baseline(w)
+            }
+            .with_target_snr(snr)
+        };
+        let p20 = per_at(&mk(ChannelWidth::Ht20), 500 + snr_step);
+        let p40 = per_at(&mk(ChannelWidth::Ht40), 600 + snr_step);
+        let t = theory_per(snr);
+        vs_snr.push(PerPoint {
+            x: snr,
+            per20: p20,
+            per40: p40,
+            theory20: t,
+            theory40: t,
+        });
+        rows.push(vec![
+            format!("{snr:.0}"),
+            format!("{p20:.3}"),
+            format!("{p40:.3}"),
+            format!("{t:.3}"),
+        ]);
+    }
+    print_table(&["SNR (dB)", "PER 20MHz", "PER 40MHz", "theory"], &rows);
+    println!();
+    println!("paper: uncoded PER is similar for both widths at the same SNR");
+
+    header("Figure 4(b): uncoded QPSK PER vs transmit power");
+    let p25 = 10f64.powf(25.0 / 10.0);
+    let gamma = 10f64.powf(14.0 / 10.0);
+    let noise_density = 64.0 * p25 / (52.0 * gamma);
+    let mut vs_tx = Vec::new();
+    let mut rows = Vec::new();
+    for step in 0..=10 {
+        let tx_dbm = 2.5 * step as f64;
+        let mk = |w| FrameConfig {
+            tx_power: 10f64.powf(tx_dbm / 10.0),
+            noise_density,
+            packet_bytes: BYTES,
+            equalization: Equalization::Genie,
+            ..FrameConfig::baseline(w)
+        };
+        let c20 = mk(ChannelWidth::Ht20);
+        let c40 = mk(ChannelWidth::Ht40);
+        let p20 = per_at(&c20, 700 + step);
+        let p40 = per_at(&c40, 800 + step);
+        vs_tx.push(PerPoint {
+            x: tx_dbm,
+            per20: p20,
+            per40: p40,
+            theory20: theory_per(c20.snr_per_subcarrier_db()),
+            theory40: theory_per(c40.snr_per_subcarrier_db()),
+        });
+        rows.push(vec![
+            format!("{tx_dbm:.1}"),
+            format!("{p20:.3}"),
+            format!("{p40:.3}"),
+        ]);
+    }
+    print_table(&["Tx (dBm)", "PER 20MHz", "PER 40MHz"], &rows);
+    println!();
+    println!("paper: for the same Tx, the PER with CB is much higher");
+
+    save_json(
+        "fig04_per",
+        &Fig04 {
+            vs_snr,
+            vs_tx_dbm: vs_tx,
+        },
+    );
+}

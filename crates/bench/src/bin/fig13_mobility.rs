@@ -1,0 +1,97 @@
+//! Figures 12–13 — mobility: ACORN's opportunistic width adaptation vs
+//! fixed 40 MHz (outbound walk) and fixed 20 MHz (inbound walk).
+//!
+//! Paper: outbound, "ACORN uses the 40 MHz channel in the beginning and
+//! sustains this until the point where the link quality becomes poor for
+//! the mobile laptop (around 30 sec). From that point ... ACORN falls
+//! back to the 20 MHz mode and is able to sustain a cell throughput that
+//! is almost ten times that of a fixed 40 MHz channel." Inbound, ACORN
+//! "switches to a 40 MHz channel (at around 10 sec)".
+
+use acorn_bench::{header, mbps, print_table, save_json};
+use acorn_phy::ChannelWidth;
+use acorn_sim::mobility::{paper_walk, WidthPolicy};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct TracePoint {
+    t_s: f64,
+    acorn_bps: f64,
+    fixed_bps: f64,
+    acorn_width: String,
+    mobile_snr20_db: f64,
+}
+
+#[derive(Serialize)]
+struct Walk {
+    direction: String,
+    switch_time_s: Option<f64>,
+    endgame_gain: f64,
+    trace: Vec<TracePoint>,
+}
+
+fn run_walk(outbound: bool) -> Walk {
+    let direction = if outbound { "outbound (vs fixed 40 MHz)" } else { "inbound (vs fixed 20 MHz)" };
+    header(&format!("Figure 13 — {direction}"));
+    let exp = paper_walk(outbound);
+    let fixed_width = if outbound { ChannelWidth::Ht40 } else { ChannelWidth::Ht20 };
+    let acorn = exp.run(WidthPolicy::AcornAdaptive);
+    let fixed = exp.run(WidthPolicy::Fixed(fixed_width));
+
+    let mut trace = Vec::new();
+    let mut rows = Vec::new();
+    let mut switch_time = None;
+    for (i, (a, f)) in acorn.iter().zip(&fixed).enumerate() {
+        if i > 0 && acorn[i - 1].width != a.width && switch_time.is_none() {
+            switch_time = Some(a.t_s);
+        }
+        trace.push(TracePoint {
+            t_s: a.t_s,
+            acorn_bps: a.cell_bps,
+            fixed_bps: f.cell_bps,
+            acorn_width: format!("{:?}", a.width),
+            mobile_snr20_db: a.mobile_snr20_db,
+        });
+        if i % 5 == 0 {
+            rows.push(vec![
+                format!("{:.0}", a.t_s),
+                format!("{:.1}", a.mobile_snr20_db),
+                mbps(a.cell_bps),
+                format!("{:?}", a.width),
+                mbps(f.cell_bps),
+            ]);
+        }
+    }
+    print_table(
+        &["t (s)", "mobile SNR", "ACORN (Mb/s)", "width", "fixed (Mb/s)"],
+        &rows,
+    );
+    let last_a = acorn.last().unwrap().cell_bps;
+    let last_f = fixed.last().unwrap().cell_bps.max(1.0);
+    let endgame_gain = last_a / last_f;
+    println!();
+    match switch_time {
+        Some(t) => println!("ACORN switched width at t = {t:.0} s"),
+        None => println!("ACORN never switched width"),
+    }
+    let paper_note = if outbound {
+        "paper: almost 10x over fixed 40 MHz"
+    } else {
+        "paper: ACORN switches to 40 MHz and utilizes the CB gains"
+    };
+    println!(
+        "end-of-walk gain over fixed {fixed_width:?}: {endgame_gain:.1}x ({paper_note})"
+    );
+    Walk {
+        direction: direction.to_string(),
+        switch_time_s: switch_time,
+        endgame_gain,
+        trace,
+    }
+}
+
+fn main() {
+    let out = run_walk(true);
+    let inb = run_walk(false);
+    save_json("fig13_mobility", &vec![out, inb]);
+}

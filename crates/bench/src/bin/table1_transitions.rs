@@ -1,0 +1,89 @@
+//! Table 1 — experimental transition SNRs for σ = 2 per mod/cod.
+//!
+//! Paper's Table 1 (SNR γ where σ crosses 2):
+//!
+//! | modcod     | QPSK 3/4 | 16QAM 3/4 | 64QAM 3/4 | 64QAM 5/6 |
+//! |------------|----------|-----------|-----------|-----------|
+//! | σ ≥ 2      | −7 dB    | 3 dB      | 5 dB      | 8 dB      |
+//! | σ < 2      | −4 dB    | 5 dB      | 7 dB      | 11 dB     |
+//!
+//! The *shape* we must match: the threshold rises monotonically with
+//! modulation aggressiveness, with a 2–3 dB transition band. Absolute dB
+//! values differ (their SNR reference includes receiver implementation
+//! offsets; ours is the ideal per-subcarrier SNR).
+
+use acorn_bench::{header, print_table, save_json};
+use acorn_phy::link::{sigma_crossover_snr, sigma_transition_band};
+use acorn_phy::{CodeRate, Modulation};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    modcod: String,
+    last_snr_sigma_ge2_db: f64,
+    first_snr_sigma_lt2_db: f64,
+    crossover_db: f64,
+    paper_ge2_db: f64,
+    paper_lt2_db: f64,
+}
+
+fn main() {
+    header("Table 1: sigma = 2 transition SNRs");
+    let cases = [
+        (Modulation::Qpsk, CodeRate::R34, "QPSK 3/4", -7.0, -4.0),
+        (Modulation::Qam16, CodeRate::R34, "16QAM 3/4", 3.0, 5.0),
+        (Modulation::Qam64, CodeRate::R34, "64QAM 3/4", 5.0, 7.0),
+        (Modulation::Qam64, CodeRate::R56, "64QAM 5/6", 8.0, 11.0),
+    ];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut prev = f64::NEG_INFINITY;
+    let mut monotone = true;
+    for (m, r, label, p_ge, p_lt) in cases {
+        let x = sigma_crossover_snr(m, r, 1500).expect("crossover exists");
+        let (lo, hi) = sigma_transition_band(m, r, 1500).expect("band exists");
+        monotone &= x > prev;
+        prev = x;
+        rows.push(vec![
+            label.to_string(),
+            format!("{lo:.0}"),
+            format!("{hi:.0}"),
+            format!("{x:.2}"),
+            format!("{p_ge:.0} / {p_lt:.0}"),
+        ]);
+        json.push(Row {
+            modcod: label.to_string(),
+            last_snr_sigma_ge2_db: lo,
+            first_snr_sigma_lt2_db: hi,
+            crossover_db: x,
+            paper_ge2_db: p_ge,
+            paper_lt2_db: p_lt,
+        });
+    }
+    print_table(
+        &["modcod", "σ≥2 (dB)", "σ<2 (dB)", "crossover", "paper σ≥2/σ<2"],
+        &rows,
+    );
+    println!();
+    println!(
+        "threshold rises with aggressiveness: {}",
+        if monotone { "yes (matches paper)" } else { "NO" }
+    );
+    // The paper's SNR axis is the Ralink driver's RSSI-derived estimate,
+    // which carries a large constant offset (QPSK 3/4 at −7 dB true SNR is
+    // physically impossible). Align both scales at the first modcod and
+    // compare the *relative* thresholds, which is the reproducible shape.
+    let ours0 = json[0].crossover_db;
+    let paper0 = -7.0;
+    println!();
+    println!("offset-aligned thresholds (relative to QPSK 3/4):");
+    for (r, paper_ge2) in json.iter().zip([-7.0, 3.0, 5.0, 8.0]) {
+        println!(
+            "  {:<10}  ours {:>5.1} dB   paper {:>5.1} dB",
+            r.modcod,
+            r.crossover_db - ours0,
+            paper_ge2 - paper0
+        );
+    }
+    save_json("table1_transitions", &json);
+}

@@ -1,0 +1,359 @@
+//! Algorithm 2 — ACORN's channel-bonding selection / channel allocation.
+//!
+//! The problem (§4.2): assign each AP a basic colour (20 MHz channel) or a
+//! composite colour (bonded 40 MHz channel) to maximize aggregate network
+//! throughput `Y = Σ_i X_i(F)` (Eq. 5). The decision version is
+//! NP-complete (reduction from graph k-colouring — see
+//! [`crate::theory`]), so ACORN runs an iterative greedy:
+//!
+//! 1. Every AP that has not yet switched in this round evaluates every
+//!    colour, assuming all other APs keep their current colours, and
+//!    computes its `rank` — the aggregate-throughput gain of its best
+//!    switch.
+//! 2. The max-rank AP (the "winner") switches; it is removed from the
+//!    round's eligible set.
+//! 3. Repeat within the round until no eligible AP has a positive rank;
+//!    repeat rounds until the improvement falls below the ε = 1.05
+//!    stopping rule ("if there is a 5 % or less increase in the total
+//!    aggregate throughput as compared to the previous iteration, the
+//!    algorithm stops").
+//!
+//! This mimics gradient descent on the throughput landscape; its
+//! worst-case approximation ratio is O(1/(Δ+1)) ([`crate::theory`]), but
+//! §5.2 shows it does far better in practice.
+
+use crate::model::ThroughputModel;
+use acorn_topology::{ChannelAssignment, ChannelPlan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning knobs of Algorithm 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllocationConfig {
+    /// Stopping rule: continue rounds only while
+    /// `Y_new > epsilon · Y_old`. The paper uses ε = 1.05.
+    pub epsilon: f64,
+    /// Hard cap on rounds (safety; the paper's algorithm converges long
+    /// before this).
+    pub max_rounds: usize,
+}
+
+impl Default for AllocationConfig {
+    fn default() -> Self {
+        AllocationConfig {
+            epsilon: 1.05,
+            max_rounds: 32,
+        }
+    }
+}
+
+/// Output of one allocation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocationResult {
+    /// The final channel assignment `F`.
+    pub assignments: Vec<ChannelAssignment>,
+    /// Aggregate predicted throughput of the final assignment (bits/s).
+    pub total_bps: f64,
+    /// Number of single-AP evaluation iterations performed (the paper's
+    /// `k` counter).
+    pub iterations: usize,
+    /// Number of actual channel switches.
+    pub switches: usize,
+    /// Aggregate throughput after each switch (for convergence plots).
+    pub history_bps: Vec<f64>,
+}
+
+/// Draws the random initial assignment of Algorithm 2: "Initially, all
+/// APs are assigned either a 20 MHz or a 40 MHz channel at random."
+pub fn random_initial(plan: &ChannelPlan, n_aps: usize, seed: u64) -> Vec<ChannelAssignment> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let all = plan.all_assignments();
+    (0..n_aps).map(|_| all[rng.gen_range(0..all.len())]).collect()
+}
+
+/// Runs Algorithm 2 from a given initial assignment.
+pub fn allocate<M: ThroughputModel>(
+    model: &M,
+    plan: &ChannelPlan,
+    initial: Vec<ChannelAssignment>,
+    config: &AllocationConfig,
+) -> AllocationResult {
+    let n = model.n_aps();
+    assert_eq!(initial.len(), n, "one initial assignment per AP");
+    for a in &initial {
+        assert!(plan.contains(*a), "initial assignment {a:?} outside plan");
+    }
+    let colours = plan.all_assignments();
+    let mut assignments = initial;
+    let mut y = model.total_bps(&assignments);
+    let mut iterations = 0usize;
+    let mut switches = 0usize;
+    let mut history = vec![y];
+
+    for _round in 0..config.max_rounds {
+        let y_round_start = y;
+        let mut eligible: Vec<bool> = vec![true; n];
+        // Inner loop: repeatedly let the max-rank eligible AP switch.
+        loop {
+            let mut best: Option<(usize, ChannelAssignment, f64)> = None;
+            for i in 0..n {
+                if !eligible[i] {
+                    continue;
+                }
+                iterations += 1;
+                // Best colour for AP i with everyone else frozen (line 10).
+                let current = assignments[i];
+                let mut ap_best: Option<(ChannelAssignment, f64)> = None;
+                for &c in &colours {
+                    assignments[i] = c;
+                    let total = model.total_bps(&assignments);
+                    match ap_best {
+                        Some((_, t)) if t >= total => {}
+                        _ => ap_best = Some((c, total)),
+                    }
+                }
+                assignments[i] = current;
+                let (c_star, t_star) = ap_best.expect("plan has colours");
+                let rank = t_star - y;
+                match best {
+                    Some((_, _, r)) if r >= rank => {}
+                    _ => best = Some((i, c_star, rank)),
+                }
+            }
+            match best {
+                // "winner" switches if it improves the objective.
+                Some((winner, c_star, rank)) if rank > 0.0 => {
+                    if assignments[winner] != c_star {
+                        switches += 1;
+                    }
+                    assignments[winner] = c_star;
+                    eligible[winner] = false;
+                    y += rank;
+                    history.push(y);
+                }
+                _ => break, // no eligible AP can improve
+            }
+            if !eligible.iter().any(|e| *e) {
+                break;
+            }
+        }
+        // ε stopping rule across rounds.
+        if y <= config.epsilon * y_round_start {
+            break;
+        }
+    }
+
+    AllocationResult {
+        total_bps: y,
+        assignments,
+        iterations,
+        switches,
+        history_bps: history,
+    }
+}
+
+/// Convenience: random initialization + allocation.
+pub fn allocate_from_random<M: ThroughputModel>(
+    model: &M,
+    plan: &ChannelPlan,
+    config: &AllocationConfig,
+    seed: u64,
+) -> AllocationResult {
+    let initial = random_initial(plan, model.n_aps(), seed);
+    allocate(model, plan, initial, config)
+}
+
+/// Multi-restart allocation: runs Algorithm 2 from `restarts` random
+/// initial assignments and keeps the best outcome. A standard hedge for
+/// gradient-style local search — the greedy has an O(1/(Δ+1)) worst case
+/// precisely because single runs can stall in local optima (e.g. a bond
+/// parked on the wrong AP with no improving unilateral move).
+pub fn allocate_with_restarts<M: ThroughputModel>(
+    model: &M,
+    plan: &ChannelPlan,
+    config: &AllocationConfig,
+    restarts: usize,
+    seed: u64,
+) -> AllocationResult {
+    assert!(restarts >= 1, "need at least one restart");
+    (0..restarts)
+        .map(|i| allocate_from_random(model, plan, config, seed.wrapping_add(i as u64)))
+        .max_by(|a, b| a.total_bps.partial_cmp(&b.total_bps).unwrap())
+        .expect("restarts >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ClientSnr, NetworkModel};
+    use acorn_topology::{Channel20, InterferenceGraph};
+
+    fn model(snrs_per_ap: &[&[f64]], graph: InterferenceGraph) -> NetworkModel {
+        let cells = snrs_per_ap
+            .iter()
+            .map(|snrs| {
+                snrs.iter()
+                    .enumerate()
+                    .map(|(i, &s)| ClientSnr {
+                        client: i,
+                        snr20_db: s,
+                    })
+                    .collect()
+            })
+            .collect();
+        NetworkModel::new(graph, cells)
+    }
+
+    fn single(c: u8) -> ChannelAssignment {
+        ChannelAssignment::Single(Channel20(c))
+    }
+
+    #[test]
+    fn never_decreases_throughput() {
+        let m = model(
+            &[&[30.0, 28.0], &[5.0, 4.0], &[20.0]],
+            InterferenceGraph::complete(3),
+        );
+        let plan = ChannelPlan::restricted(4);
+        for seed in 0..10 {
+            let initial = random_initial(&plan, 3, seed);
+            let y0 = m.total_bps(&initial);
+            let r = allocate(&m, &plan, initial, &AllocationConfig::default());
+            assert!(r.total_bps + 1e-6 >= y0, "seed {seed}");
+            // History is monotone.
+            for w in r.history_bps.windows(2) {
+                assert!(w[1] + 1e-6 >= w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_good_cell_gets_bonded() {
+        // One AP, strong clients, plenty of channels → it should end up on
+        // a 40 MHz channel.
+        let m = model(&[&[30.0, 28.0]], InterferenceGraph::new(1));
+        let plan = ChannelPlan::full_5ghz();
+        let r = allocate(&m, &plan, vec![single(0)], &AllocationConfig::default());
+        assert_eq!(
+            r.assignments[0].width(),
+            acorn_phy::ChannelWidth::Ht40,
+            "{:?}",
+            r.assignments
+        );
+    }
+
+    #[test]
+    fn isolated_poor_cell_stays_at_20mhz() {
+        let m = model(&[&[2.0, 1.0]], InterferenceGraph::new(1));
+        let plan = ChannelPlan::full_5ghz();
+        let bonded0 = ChannelAssignment::bonded(Channel20(0)).unwrap();
+        let r = allocate(&m, &plan, vec![bonded0], &AllocationConfig::default());
+        assert_eq!(r.assignments[0].width(), acorn_phy::ChannelWidth::Ht20);
+    }
+
+    #[test]
+    fn contending_aps_spread_across_channels() {
+        // Two mutually interfering strong cells with 4 channels: the
+        // optimum is two disjoint bonds; at minimum they must not overlap.
+        let m = model(&[&[30.0], &[30.0]], InterferenceGraph::complete(2));
+        let plan = ChannelPlan::restricted(4);
+        let r = allocate(
+            &m,
+            &plan,
+            vec![single(0), single(0)],
+            &AllocationConfig::default(),
+        );
+        assert!(
+            !r.assignments[0].conflicts(r.assignments[1]),
+            "{:?}",
+            r.assignments
+        );
+    }
+
+    #[test]
+    fn fig11_shape_three_aps_four_channels() {
+        // Fig. 11: AP 1 good client, APs 2–3 poor clients, 4 channels —
+        // only one AP can bond without overlap, and it should be the good
+        // one: widths (40, 20, 20). Single greedy runs can park the bond
+        // on a poor AP (a true local optimum: no unilateral move escapes),
+        // so run with restarts, as the evaluation harness does.
+        let m = model(
+            &[&[28.0], &[0.0], &[0.0]],
+            InterferenceGraph::complete(3),
+        );
+        let plan = ChannelPlan::restricted(4);
+        let r = allocate_with_restarts(&m, &plan, &AllocationConfig::default(), 8, 7);
+        use acorn_phy::ChannelWidth::*;
+        let widths: Vec<_> = r.assignments.iter().map(|a| a.width()).collect();
+        assert_eq!(widths, vec![Ht40, Ht20, Ht20], "{:?}", r.assignments);
+        // And nobody overlaps anybody.
+        for i in 0..3 {
+            for j in i + 1..3 {
+                assert!(!r.assignments[i].conflicts(r.assignments[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_one_runs_to_a_local_optimum() {
+        // ε = 1.0 keeps iterating while *any* improvement exists, so the
+        // result must be single-switch stable.
+        let m = model(
+            &[&[30.0], &[12.0], &[4.0]],
+            InterferenceGraph::complete(3),
+        );
+        let plan = ChannelPlan::restricted(6);
+        let cfg = AllocationConfig {
+            epsilon: 1.0,
+            max_rounds: 64,
+        };
+        let r = allocate_from_random(&m, &plan, &cfg, 3);
+        // No single AP can improve the total by moving.
+        for i in 0..3 {
+            let mut alt = r.assignments.clone();
+            for c in plan.all_assignments() {
+                alt[i] = c;
+                assert!(
+                    m.total_bps(&alt) <= r.total_bps + 1e-6,
+                    "AP {i} could still improve via {c:?}"
+                );
+            }
+            alt[i] = r.assignments[i];
+        }
+    }
+
+    #[test]
+    fn random_initial_is_reproducible_and_legal() {
+        let plan = ChannelPlan::restricted(4);
+        let a = random_initial(&plan, 10, 99);
+        let b = random_initial(&plan, 10, 99);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|x| plan.contains(*x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside plan")]
+    fn illegal_initial_panics() {
+        let m = model(&[&[20.0]], InterferenceGraph::new(1));
+        let plan = ChannelPlan::restricted(2);
+        allocate(
+            &m,
+            &plan,
+            vec![single(7)],
+            &AllocationConfig::default(),
+        );
+    }
+
+    #[test]
+    fn iteration_counter_grows_with_network_size() {
+        let plan = ChannelPlan::restricted(4);
+        let small = model(&[&[20.0]], InterferenceGraph::new(1));
+        let large = model(
+            &[&[20.0], &[18.0], &[16.0], &[14.0]],
+            InterferenceGraph::complete(4),
+        );
+        let rs = allocate_from_random(&small, &plan, &AllocationConfig::default(), 1);
+        let rl = allocate_from_random(&large, &plan, &AllocationConfig::default(), 1);
+        assert!(rl.iterations > rs.iterations);
+    }
+}

@@ -1,0 +1,212 @@
+//! Algorithm 1 — ACORN's network-aware user association.
+//!
+//! A newly arriving client `u` with candidate AP set `A_u` computes, for
+//! every candidate `i`:
+//!
+//! ```text
+//! X_{w,u}^i  = M_i / ATD_i            (per-client throughput with u)
+//! X_{wo,u}^i = M_i / (ATD_i − d_u^i)  (per-client throughput without u)
+//!
+//! U_assoc(u, i) = K_i·X_{w,u}^i + Σ_{j ∈ A_u, j≠i} (K_j − 1)·X_{wo,u}^j
+//! ```
+//!
+//! and associates with the argmax. The utility is the predicted *total
+//! network throughput* if `u` joins cell `i`: the first term is cell `i`'s
+//! aggregate including `u`; each remaining term is cell `j`'s aggregate
+//! after `u` declines it. The effect (§4.1): a poor client gravitates to
+//! an AP already serving similar-quality clients, minimizing the
+//! network-wide damage of the 802.11 performance anomaly, while good
+//! clients simply pick their best AP.
+//!
+//! All quantities come out of the modified beacons plus the client's own
+//! probed delay `d_u^i`, exactly as the paper's Click implementation does.
+
+use acorn_topology::ApId;
+
+/// Everything the client knows about one candidate AP after probing it:
+/// the beacon contents *with the client provisionally counted in*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The candidate AP.
+    pub ap: ApId,
+    /// `K_i` — number of associated clients *including u*.
+    pub k_including_u: usize,
+    /// `M_i` — the AP's channel-access share.
+    pub access_share: f64,
+    /// `ATD_i` — aggregate transmission delay *including u's delay*
+    /// (seconds).
+    pub atd_including_u_s: f64,
+    /// `d_u^i` — u's own delivery delay at this AP (seconds).
+    pub delay_u_s: f64,
+}
+
+impl Candidate {
+    /// `X_{w,u}` — per-client throughput with u associated, in packets/s
+    /// (the payload factor is common to all terms and cancels in the
+    /// argmax).
+    pub fn x_with(&self) -> f64 {
+        safe_div(self.access_share, self.atd_including_u_s)
+    }
+
+    /// `X_{wo,u}` — per-client throughput without u.
+    pub fn x_without(&self) -> f64 {
+        safe_div(self.access_share, self.atd_including_u_s - self.delay_u_s)
+    }
+}
+
+fn safe_div(num: f64, den: f64) -> f64 {
+    if den.is_finite() && den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+/// Evaluates `U_assoc(u, i)` for `choice` being an index into
+/// `candidates` (Eq. 4).
+pub fn utility(candidates: &[Candidate], choice: usize) -> f64 {
+    let mut u = 0.0;
+    for (j, cand) in candidates.iter().enumerate() {
+        if j == choice {
+            u += cand.k_including_u as f64 * cand.x_with();
+        } else {
+            // K_j includes u by definition; the cell without u serves
+            // K_j − 1 clients.
+            u += (cand.k_including_u.saturating_sub(1)) as f64 * cand.x_without();
+        }
+    }
+    u
+}
+
+/// Algorithm 1: returns the index of the utility-maximizing candidate, or
+/// `None` for an empty candidate set. Ties break toward the earlier
+/// candidate (stable).
+pub fn choose_ap(candidates: &[Candidate]) -> Option<usize> {
+    (0..candidates.len()).max_by(|&a, &b| {
+        utility(candidates, a)
+            .partial_cmp(&utility(candidates, b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            // max_by keeps the *last* maximal element; invert equality
+            // handling by comparing indices so earlier wins ties.
+            .then(b.cmp(&a))
+    })
+}
+
+/// Greedy/selfish baseline for comparison and ablations: pick the AP
+/// maximizing only u's own throughput `X_{w,u}` — ignoring collateral
+/// damage to neighbouring cells.
+pub fn choose_ap_selfish(candidates: &[Candidate]) -> Option<usize> {
+    (0..candidates.len()).max_by(|&a, &b| {
+        candidates[a]
+            .x_with()
+            .partial_cmp(&candidates[b].x_with())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.cmp(&a))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(ap: usize, k: usize, m: f64, atd: f64, du: f64) -> Candidate {
+        Candidate {
+            ap: ApId(ap),
+            k_including_u: k,
+            access_share: m,
+            atd_including_u_s: atd,
+            delay_u_s: du,
+        }
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        assert_eq!(choose_ap(&[]), None);
+        assert_eq!(choose_ap_selfish(&[]), None);
+    }
+
+    #[test]
+    fn single_candidate_is_chosen() {
+        let c = [cand(0, 1, 1.0, 0.01, 0.01)];
+        assert_eq!(choose_ap(&c), Some(0));
+    }
+
+    #[test]
+    fn x_terms_match_definitions() {
+        let c = cand(0, 3, 0.5, 0.030, 0.010);
+        assert!((c.x_with() - 0.5 / 0.030).abs() < 1e-9);
+        assert!((c.x_without() - 0.5 / 0.020).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_delays_are_safe() {
+        // u is the only client and its delay equals ATD → "without u" the
+        // cell is empty; the term must be 0, not ∞.
+        let c = cand(0, 1, 1.0, 0.02, 0.02);
+        assert_eq!(c.x_without(), 0.0);
+        // Dead link: infinite ATD → both terms zero.
+        let dead = cand(0, 2, 1.0, f64::INFINITY, f64::INFINITY);
+        assert_eq!(dead.x_with(), 0.0);
+        assert_eq!(dead.x_without(), 0.0);
+    }
+
+    #[test]
+    fn poor_client_joins_the_poor_cell() {
+        // AP 0 serves two good clients (small delays); AP 1 serves two
+        // poor clients (large delays). A poor arriving client u (large
+        // delay at both) must pick AP 1: joining AP 0 would wreck two good
+        // clients' throughput via the anomaly.
+        let d_good = 0.002; // 2 ms per delivered packet
+        let d_poor = 0.020;
+        let c = [
+            cand(0, 3, 1.0, 2.0 * d_good + d_poor, d_poor),
+            cand(1, 3, 1.0, 2.0 * d_poor + d_poor, d_poor),
+        ];
+        assert_eq!(choose_ap(&c), Some(1));
+        // The selfish rule picks AP 0 (better personal throughput) —
+        // exactly the failure mode ACORN's utility avoids.
+        assert_eq!(choose_ap_selfish(&c), Some(0));
+    }
+
+    #[test]
+    fn good_client_joins_its_best_ap() {
+        // A good client picks the AP where it (and the network) does best;
+        // with identical neighbours that is the one with the smaller ATD.
+        let d_u = 0.002;
+        let c = [
+            cand(0, 2, 1.0, 0.004 + d_u, d_u), // one good client + u
+            cand(1, 2, 1.0, 0.020 + d_u, d_u), // one poor client + u
+        ];
+        assert_eq!(choose_ap(&c), Some(0));
+    }
+
+    #[test]
+    fn contended_ap_is_less_attractive() {
+        // u would be the only client of either AP; AP 1 only has half the
+        // medium, so the uncontended AP 0 wins.
+        let d = 0.004;
+        let c = [cand(0, 1, 1.0, d, d), cand(1, 1, 0.5, d, d)];
+        assert!(utility(&c, 0) > utility(&c, 1));
+        assert_eq!(choose_ap(&c), Some(0));
+    }
+
+    #[test]
+    fn utility_is_total_network_throughput_shaped() {
+        // Utility of choosing i must equal cell i's aggregate with u plus
+        // the other cells' aggregates without u.
+        let c = [
+            cand(0, 2, 1.0, 0.010, 0.004),
+            cand(1, 4, 0.5, 0.040, 0.010),
+        ];
+        let u0 = utility(&c, 0);
+        let manual = 2.0 * (1.0 / 0.010) + 3.0 * (0.5 / 0.030);
+        assert!((u0 - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ties_break_stably() {
+        let d = 0.005;
+        let c = [cand(7, 2, 1.0, 2.0 * d, d), cand(9, 2, 1.0, 2.0 * d, d)];
+        assert_eq!(choose_ap(&c), Some(0));
+    }
+}

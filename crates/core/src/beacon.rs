@@ -1,0 +1,158 @@
+//! The modified beacon ACORN APs broadcast (§4.1, §5.1).
+//!
+//! "This beacon includes the number of clients associated with the AP
+//! (including u) K_i, the transmission delays per client d_cl, the
+//! aggregate transmission delay ATD_i of the AP and the channel access
+//! time M_i of the AP (if there is fully saturated traffic and no
+//! contention M_i = 1)."
+//!
+//! In the paper this structure rides in 802.11 beacon frames emitted by a
+//! Click user-level utility; here it is the message type the simulated
+//! APs hand to prospective clients.
+
+use acorn_mac::airtime::CellAirtime;
+use acorn_topology::{ApId, ChannelAssignment};
+
+/// The ACORN beacon payload for one AP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Beacon {
+    /// The advertising AP.
+    pub ap: ApId,
+    /// The AP's current channel assignment (so clients can measure/
+    /// calibrate SNR at the right width).
+    pub assignment: ChannelAssignment,
+    /// Number of associated clients, `K_i`.
+    pub n_clients: usize,
+    /// Per-client delivery delays `d_cl` in seconds (one per associated
+    /// client, order private to the AP).
+    pub client_delays_s: Vec<f64>,
+    /// Aggregate transmission delay `ATD_i = Σ d_cl` (seconds).
+    pub atd_s: f64,
+    /// Channel-access share `M_i ∈ (0, 1]`.
+    pub access_share: f64,
+}
+
+impl Beacon {
+    /// Builds a beacon from a cell's airtime accounting and access share.
+    pub fn from_airtime(
+        ap: ApId,
+        assignment: ChannelAssignment,
+        airtime: &CellAirtime,
+        access_share: f64,
+    ) -> Beacon {
+        Beacon {
+            ap,
+            assignment,
+            n_clients: airtime.n_clients(),
+            client_delays_s: airtime.delays_s.clone(),
+            atd_s: airtime.atd_s(),
+            access_share,
+        }
+    }
+
+    /// Internal consistency check: ATD must equal the delay sum and the
+    /// share must be a valid probability. Used by debug assertions and
+    /// property tests.
+    pub fn is_consistent(&self) -> bool {
+        let sum: f64 = self.client_delays_s.iter().sum();
+        let atd_ok = if sum.is_finite() {
+            (self.atd_s - sum).abs() <= 1e-9 * sum.max(1.0)
+        } else {
+            !self.atd_s.is_finite()
+        };
+        atd_ok
+            && self.client_delays_s.len() == self.n_clients
+            && self.access_share > 0.0
+            && self.access_share <= 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acorn_mac::airtime::ClientLink;
+    use acorn_topology::Channel20;
+
+    fn beacon() -> Beacon {
+        let airtime = CellAirtime::new(
+            &[
+                ClientLink {
+                    rate_bps: 65e6,
+                    per: 0.05,
+                },
+                ClientLink {
+                    rate_bps: 13e6,
+                    per: 0.2,
+                },
+            ],
+            1500,
+        );
+        Beacon::from_airtime(
+            ApId(3),
+            ChannelAssignment::Single(Channel20(2)),
+            &airtime,
+            0.5,
+        )
+    }
+
+    #[test]
+    fn beacon_reflects_airtime() {
+        let b = beacon();
+        assert_eq!(b.n_clients, 2);
+        assert_eq!(b.client_delays_s.len(), 2);
+        assert!((b.atd_s - b.client_delays_s.iter().sum::<f64>()).abs() < 1e-12);
+        assert!(b.is_consistent());
+    }
+
+    #[test]
+    fn inconsistent_beacons_detected() {
+        let mut b = beacon();
+        b.atd_s *= 2.0;
+        assert!(!b.is_consistent());
+        let mut b2 = beacon();
+        b2.access_share = 0.0;
+        assert!(!b2.is_consistent());
+        let mut b3 = beacon();
+        b3.n_clients = 5;
+        assert!(!b3.is_consistent());
+    }
+
+    #[test]
+    fn saturated_uncontended_ap_advertises_full_share() {
+        // "if there is fully saturated traffic and no contention M_i = 1".
+        let airtime = CellAirtime::new(
+            &[ClientLink {
+                rate_bps: 65e6,
+                per: 0.0,
+            }],
+            1500,
+        );
+        let b = Beacon::from_airtime(
+            ApId(0),
+            ChannelAssignment::Single(Channel20(0)),
+            &airtime,
+            1.0,
+        );
+        assert_eq!(b.access_share, 1.0);
+        assert!(b.is_consistent());
+    }
+
+    #[test]
+    fn dead_link_beacon_is_still_consistent() {
+        let airtime = CellAirtime::new(
+            &[ClientLink {
+                rate_bps: 6.5e6,
+                per: 1.0,
+            }],
+            1500,
+        );
+        let b = Beacon::from_airtime(
+            ApId(0),
+            ChannelAssignment::Single(Channel20(0)),
+            &airtime,
+            1.0,
+        );
+        assert!(b.atd_s.is_infinite());
+        assert!(b.is_consistent());
+    }
+}

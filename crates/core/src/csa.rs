@@ -1,0 +1,266 @@
+//! Channel-switch orchestration (802.11h-style CSA).
+//!
+//! Algorithm 2 outputs a new assignment `F`; deploying it must not strand
+//! associated clients. 802.11 solves this with the Channel Switch
+//! Announcement: the AP advertises (target channel, countdown) in its
+//! beacons for a few intervals, clients arm themselves, and everyone hops
+//! together when the countdown reaches zero. This module implements that
+//! machinery for ACORN's re-allocation epochs:
+//!
+//! * [`switch_plans`] — diffs old vs new assignments into per-AP plans
+//!   (unchanged APs produce none).
+//! * [`ApCsa`] — the AP-side countdown state machine, ticked once per
+//!   beacon interval.
+//! * [`ClientCsa`] — the client-side follower: arms on the first heard
+//!   announcement, tolerates missed beacons by tracking the absolute
+//!   switch epoch, and reports the channel to retune to.
+
+use acorn_topology::{ApId, ChannelAssignment};
+
+/// One AP's pending channel switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchPlan {
+    /// The AP that will switch.
+    pub ap: ApId,
+    /// Assignment being vacated.
+    pub from: ChannelAssignment,
+    /// Assignment being adopted.
+    pub to: ChannelAssignment,
+}
+
+/// Diffs two full assignments into the switches that must be announced.
+pub fn switch_plans(
+    old: &[ChannelAssignment],
+    new: &[ChannelAssignment],
+) -> Vec<SwitchPlan> {
+    assert_eq!(old.len(), new.len(), "assignment vectors must align");
+    old.iter()
+        .zip(new.iter())
+        .enumerate()
+        .filter(|(_, (a, b))| a != b)
+        .map(|(i, (a, b))| SwitchPlan {
+            ap: ApId(i),
+            from: *a,
+            to: *b,
+        })
+        .collect()
+}
+
+/// What an AP does at a beacon interval while a switch is pending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsaAction {
+    /// No switch pending.
+    Idle,
+    /// Keep operating on the old channel; announce (target, remaining).
+    Announce {
+        /// The assignment being switched to.
+        to: ChannelAssignment,
+        /// Beacons left before the switch (≥ 1).
+        remaining: u8,
+    },
+    /// Countdown expired: retune to the target now.
+    SwitchNow(ChannelAssignment),
+}
+
+/// AP-side CSA state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ApCsa {
+    pending: Option<(ChannelAssignment, u8)>,
+}
+
+impl ApCsa {
+    /// Schedules a switch `countdown_beacons` intervals ahead
+    /// (must be ≥ 1 so clients get at least one announcement).
+    pub fn schedule(&mut self, to: ChannelAssignment, countdown_beacons: u8) {
+        assert!(countdown_beacons >= 1, "countdown must be at least 1 beacon");
+        self.pending = Some((to, countdown_beacons));
+    }
+
+    /// Whether a switch is pending.
+    pub fn is_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Advances one beacon interval; returns what to do this interval.
+    pub fn tick(&mut self) -> CsaAction {
+        match self.pending {
+            None => CsaAction::Idle,
+            Some((to, remaining)) => {
+                if remaining == 0 {
+                    self.pending = None;
+                    CsaAction::SwitchNow(to)
+                } else {
+                    self.pending = Some((to, remaining - 1));
+                    CsaAction::Announce { to, remaining }
+                }
+            }
+        }
+    }
+}
+
+/// Client-side CSA follower. The client tracks the *absolute* switch
+/// epoch (in beacon counts) so missing intermediate announcements is
+/// harmless — the 802.11h design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientCsa {
+    armed: Option<(ChannelAssignment, u64)>, // (target, switch epoch)
+}
+
+impl ClientCsa {
+    /// Processes a heard announcement at beacon epoch `now`. Later
+    /// announcements for the same switch refresh/correct the epoch.
+    pub fn on_announcement(&mut self, to: ChannelAssignment, remaining: u8, now: u64) {
+        self.armed = Some((to, now + remaining as u64));
+    }
+
+    /// Called every beacon epoch (whether or not a beacon was heard).
+    /// Returns the assignment to retune to when the switch epoch arrives.
+    pub fn poll(&mut self, now: u64) -> Option<ChannelAssignment> {
+        match self.armed {
+            Some((to, epoch)) if now >= epoch => {
+                self.armed = None;
+                Some(to)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the client is armed for a switch.
+    pub fn is_armed(&self) -> bool {
+        self.armed.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acorn_topology::Channel20;
+
+    fn single(c: u8) -> ChannelAssignment {
+        ChannelAssignment::Single(Channel20(c))
+    }
+
+    fn bonded(c: u8) -> ChannelAssignment {
+        ChannelAssignment::bonded(Channel20(c)).unwrap()
+    }
+
+    #[test]
+    fn diff_only_reports_changes() {
+        let old = vec![single(0), bonded(2), single(5)];
+        let new = vec![single(0), single(2), bonded(6)];
+        let plans = switch_plans(&old, &new);
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans[0].ap, ApId(1));
+        assert_eq!(plans[0].to, single(2));
+        assert_eq!(plans[1].ap, ApId(2));
+        assert_eq!(plans[1].from, single(5));
+        assert!(switch_plans(&old, &old).is_empty());
+    }
+
+    #[test]
+    fn ap_countdown_sequence() {
+        let mut ap = ApCsa::default();
+        assert_eq!(ap.tick(), CsaAction::Idle);
+        ap.schedule(bonded(4), 3);
+        assert_eq!(
+            ap.tick(),
+            CsaAction::Announce {
+                to: bonded(4),
+                remaining: 3
+            }
+        );
+        assert_eq!(
+            ap.tick(),
+            CsaAction::Announce {
+                to: bonded(4),
+                remaining: 2
+            }
+        );
+        assert_eq!(
+            ap.tick(),
+            CsaAction::Announce {
+                to: bonded(4),
+                remaining: 1
+            }
+        );
+        assert_eq!(ap.tick(), CsaAction::SwitchNow(bonded(4)));
+        assert_eq!(ap.tick(), CsaAction::Idle);
+        assert!(!ap.is_pending());
+    }
+
+    #[test]
+    fn client_follows_even_with_missed_beacons() {
+        let mut ap = ApCsa::default();
+        let mut client = ClientCsa::default();
+        ap.schedule(single(7), 3);
+        // Client hears only the FIRST announcement (epoch 0, remaining 3),
+        // then misses everything.
+        if let CsaAction::Announce { to, remaining } = ap.tick() {
+            client.on_announcement(to, remaining, 0);
+        } else {
+            panic!("expected announce");
+        }
+        assert!(client.is_armed());
+        assert_eq!(client.poll(1), None);
+        assert_eq!(client.poll(2), None);
+        // AP switches after its countdown (epochs 1, 2 announce; 3 switch).
+        ap.tick();
+        ap.tick();
+        assert_eq!(ap.tick(), CsaAction::SwitchNow(single(7)));
+        // Client's absolute epoch 0+3 = 3: it hops in the same interval.
+        assert_eq!(client.poll(3), Some(single(7)));
+        assert!(!client.is_armed());
+    }
+
+    #[test]
+    fn late_announcements_refresh_the_epoch() {
+        let mut client = ClientCsa::default();
+        client.on_announcement(single(2), 5, 0); // epoch 5
+        client.on_announcement(single(2), 1, 6); // corrected: epoch 7
+        assert_eq!(client.poll(5), None);
+        assert_eq!(client.poll(7), Some(single(2)));
+    }
+
+    #[test]
+    fn whole_network_hops_in_lockstep() {
+        // Orchestrate a re-allocation across 3 APs and their clients and
+        // verify everyone lands on the new plan at the same epoch.
+        let old = vec![single(0), single(0), bonded(2)];
+        let new = vec![bonded(0), single(4), bonded(2)];
+        let plans = switch_plans(&old, &new);
+        let countdown = 4u8;
+        let mut aps: Vec<ApCsa> = vec![ApCsa::default(); 3];
+        for p in &plans {
+            aps[p.ap.0].schedule(p.to, countdown);
+        }
+        let mut clients: Vec<ClientCsa> = vec![ClientCsa::default(); 3];
+        let mut current = old.clone();
+        for epoch in 0..=u64::from(countdown) {
+            for i in 0..3 {
+                match aps[i].tick() {
+                    CsaAction::Announce { to, remaining } => {
+                        clients[i].on_announcement(to, remaining, epoch);
+                    }
+                    CsaAction::SwitchNow(to) => current[i] = to,
+                    CsaAction::Idle => {}
+                }
+                if let Some(to) = clients[i].poll(epoch) {
+                    assert_eq!(to, new[i], "client {i} must follow its AP");
+                }
+            }
+        }
+        assert_eq!(current, new);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 beacon")]
+    fn zero_countdown_panics() {
+        ApCsa::default().schedule(single(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_diff_panics() {
+        switch_plans(&[single(0)], &[]);
+    }
+}

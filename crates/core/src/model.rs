@@ -1,0 +1,264 @@
+//! The network throughput model ACORN's algorithms optimize over.
+//!
+//! Algorithm 2 repeatedly asks: *if AP `i` moved to channel `c` while
+//! everyone else stayed put, what would the aggregate network throughput
+//! be?* (line 10 of the pseudocode). Answering that requires exactly two
+//! ingredients, both from the paper:
+//!
+//! 1. the AP's channel-access share `M_a = 1/(|con_a|+1)` given the
+//!    interference graph and the hypothetical assignment (§5.1), and
+//! 2. each client's goodput at the hypothetical width, predicted by the
+//!    §4.2 estimator (SNR ± 3 dB calibration → coded BER → PER), fed into
+//!    the performance-anomaly airtime model (§4.1).
+//!
+//! [`NetworkModel`] packages those ingredients behind the
+//! [`ThroughputModel`] trait so the allocation algorithm (and the
+//! baselines) stay independent of how throughputs are predicted.
+
+use acorn_mac::airtime::{CellAirtime, ClientLink};
+use acorn_mac::contention::access_share;
+use acorn_phy::estimator::LinkQualityEstimator;
+use acorn_phy::ChannelWidth;
+use acorn_topology::{ApId, ChannelAssignment, InterferenceGraph};
+
+/// Anything that can score a full channel assignment.
+pub trait ThroughputModel {
+    /// Number of APs.
+    fn n_aps(&self) -> usize;
+
+    /// Predicted long-term throughput of one AP's cell under a full
+    /// network assignment (bits/s).
+    fn ap_throughput_bps(&self, ap: ApId, assignments: &[ChannelAssignment]) -> f64;
+
+    /// Predicted aggregate network throughput `Y = Σ X_i` (bits/s) — the
+    /// objective of Eq. 5.
+    fn total_bps(&self, assignments: &[ChannelAssignment]) -> f64 {
+        (0..self.n_aps())
+            .map(|i| self.ap_throughput_bps(ApId(i), assignments))
+            .sum()
+    }
+}
+
+/// One client as the model sees it: its 20 MHz-referenced SNR.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientSnr {
+    /// Global client index (for bookkeeping; not used in the math).
+    pub client: usize,
+    /// Per-subcarrier SNR the client would see on a 20 MHz channel (dB).
+    pub snr20_db: f64,
+}
+
+/// The concrete model: interference graph + per-cell client SNRs +
+/// estimator.
+///
+/// A cell's throughput at a width is independent of the rest of the
+/// assignment and *linear* in the access share `M` (`X = M·K·L/ATD`), so
+/// the model memoizes the `M = 1` value per (AP, width) — Algorithm 2
+/// evaluates `total_bps` thousands of times per run and would otherwise
+/// re-derive every client's MCS/PER pipeline each time. The cache is
+/// invalidated implicitly by construction: configure `estimator` /
+/// `payload_bytes` *before* the first throughput query (the controller
+/// does).
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    /// AP-level interference graph (footnote 5 semantics).
+    pub graph: InterferenceGraph,
+    /// Clients associated with each AP.
+    pub cells: Vec<Vec<ClientSnr>>,
+    /// The §4.2 link-quality estimator.
+    pub estimator: LinkQualityEstimator,
+    /// Payload size for airtime accounting (bytes).
+    pub payload_bytes: u32,
+    /// Memoized `M = 1` cell throughput per (AP, width).
+    cell_cache: std::cell::RefCell<std::collections::HashMap<(usize, ChannelWidth), f64>>,
+}
+
+impl NetworkModel {
+    /// Creates a model; `cells[i]` lists AP i's associated clients.
+    pub fn new(graph: InterferenceGraph, cells: Vec<Vec<ClientSnr>>) -> NetworkModel {
+        assert_eq!(graph.len(), cells.len(), "one cell per AP");
+        NetworkModel {
+            graph,
+            cells,
+            estimator: LinkQualityEstimator::default(),
+            payload_bytes: 1500,
+            cell_cache: std::cell::RefCell::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Drops the memoized cell throughputs. Call after mutating
+    /// `estimator`, `payload_bytes` or `cells` post-first-use.
+    pub fn invalidate_cache(&mut self) {
+        self.cell_cache.borrow_mut().clear();
+    }
+
+    /// Predicts the MAC-layer operating point of a client at a width.
+    pub fn client_link(&self, snr20_db: f64, width: ChannelWidth) -> ClientLink {
+        let est = self.estimator.estimate(snr20_db, ChannelWidth::Ht20);
+        let point = est.rate_point(width);
+        ClientLink {
+            rate_bps: point.mcs.mcs().rate_bps(width, self.estimator.gi),
+            per: point.per,
+        }
+    }
+
+    /// The cell's airtime accounting at a width.
+    pub fn cell_airtime(&self, ap: ApId, width: ChannelWidth) -> CellAirtime {
+        let links: Vec<ClientLink> = self.cells[ap.0]
+            .iter()
+            .map(|c| self.client_link(c.snr20_db, width))
+            .collect();
+        CellAirtime::new(&links, self.payload_bytes)
+    }
+
+    /// Isolated (contention-free) cell throughput at a width — the
+    /// `X_i^{isol-20/40}` of the NP-completeness argument and Fig. 14's
+    /// `Y*` calibration.
+    pub fn isolated_throughput_bps(&self, ap: ApId, width: ChannelWidth) -> f64 {
+        self.cell_airtime(ap, width).cell_throughput_bps(1.0)
+    }
+
+    /// `X_i^{isol} = max(X_i^{isol-20}, X_i^{isol-40})`.
+    pub fn isolated_best_bps(&self, ap: ApId) -> f64 {
+        self.isolated_throughput_bps(ap, ChannelWidth::Ht20)
+            .max(self.isolated_throughput_bps(ap, ChannelWidth::Ht40))
+    }
+}
+
+impl ThroughputModel for NetworkModel {
+    fn n_aps(&self) -> usize {
+        self.graph.len()
+    }
+
+    fn ap_throughput_bps(&self, ap: ApId, assignments: &[ChannelAssignment]) -> f64 {
+        let m = access_share(&self.graph, assignments, ap);
+        let width = assignments[ap.0].width();
+        let base = {
+            let cache = self.cell_cache.borrow();
+            cache.get(&(ap.0, width)).copied()
+        };
+        let base = match base {
+            Some(v) => v,
+            None => {
+                let v = self.cell_airtime(ap, width).cell_throughput_bps(1.0);
+                self.cell_cache.borrow_mut().insert((ap.0, width), v);
+                v
+            }
+        };
+        m.clamp(0.0, 1.0) * base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acorn_topology::Channel20;
+
+    fn single(c: u8) -> ChannelAssignment {
+        ChannelAssignment::Single(Channel20(c))
+    }
+
+    fn bonded(c: u8) -> ChannelAssignment {
+        ChannelAssignment::bonded(Channel20(c)).unwrap()
+    }
+
+    fn two_ap_model(snrs_a: &[f64], snrs_b: &[f64], connected: bool) -> NetworkModel {
+        let graph = if connected {
+            InterferenceGraph::complete(2)
+        } else {
+            InterferenceGraph::new(2)
+        };
+        let mk = |snrs: &[f64]| {
+            snrs.iter()
+                .enumerate()
+                .map(|(i, &s)| ClientSnr {
+                    client: i,
+                    snr20_db: s,
+                })
+                .collect()
+        };
+        NetworkModel::new(graph, vec![mk(snrs_a), mk(snrs_b)])
+    }
+
+    #[test]
+    fn strong_cell_prefers_bonding() {
+        let m = two_ap_model(&[32.0, 30.0], &[], false);
+        let t20 = m.isolated_throughput_bps(ApId(0), ChannelWidth::Ht20);
+        let t40 = m.isolated_throughput_bps(ApId(0), ChannelWidth::Ht40);
+        assert!(t40 > 1.3 * t20, "t20 {t20:.3e} t40 {t40:.3e}");
+    }
+
+    #[test]
+    fn weak_cell_prefers_20mhz() {
+        let m = two_ap_model(&[1.0], &[], false);
+        let t20 = m.isolated_throughput_bps(ApId(0), ChannelWidth::Ht20);
+        let t40 = m.isolated_throughput_bps(ApId(0), ChannelWidth::Ht40);
+        assert!(t20 > t40, "t20 {t20:.3e} t40 {t40:.3e}");
+    }
+
+    #[test]
+    fn contention_halves_cochannel_throughput() {
+        let m = two_ap_model(&[25.0], &[25.0], true);
+        let same = vec![single(0), single(0)];
+        let diff = vec![single(0), single(1)];
+        let y_same = m.total_bps(&same);
+        let y_diff = m.total_bps(&diff);
+        assert!((y_same * 2.0 - y_diff).abs() / y_diff < 1e-9);
+    }
+
+    #[test]
+    fn bonded_overlap_contends() {
+        // AP 0 bonded on {0,1}, AP 1 single on 1 → both share the medium.
+        let m = two_ap_model(&[25.0], &[25.0], true);
+        let overlap = vec![bonded(0), single(1)];
+        let x1 = m.ap_throughput_bps(ApId(1), &overlap);
+        let clear = vec![bonded(0), single(2)];
+        let x1_clear = m.ap_throughput_bps(ApId(1), &clear);
+        assert!((x1 * 2.0 - x1_clear).abs() / x1_clear < 1e-9);
+    }
+
+    #[test]
+    fn isolated_best_picks_the_right_width() {
+        let m = two_ap_model(&[32.0], &[1.0], false);
+        assert_eq!(
+            m.isolated_best_bps(ApId(0)),
+            m.isolated_throughput_bps(ApId(0), ChannelWidth::Ht40)
+        );
+        assert_eq!(
+            m.isolated_best_bps(ApId(1)),
+            m.isolated_throughput_bps(ApId(1), ChannelWidth::Ht20)
+        );
+    }
+
+    #[test]
+    fn poor_client_drags_down_a_bonded_cell() {
+        // The anomaly + CB interaction at the heart of the paper: a strong
+        // cell loses more from one poor client at 40 MHz than at 20 MHz.
+        let strong = two_ap_model(&[30.0, 30.0], &[], false);
+        let mixed = two_ap_model(&[30.0, 30.0, 2.0], &[], false);
+        let loss_at = |width| {
+            mixed.isolated_throughput_bps(ApId(0), width)
+                / strong.isolated_throughput_bps(ApId(0), width)
+        };
+        assert!(
+            loss_at(ChannelWidth::Ht40) < loss_at(ChannelWidth::Ht20),
+            "40 MHz should suffer relatively more: {} vs {}",
+            loss_at(ChannelWidth::Ht40),
+            loss_at(ChannelWidth::Ht20)
+        );
+    }
+
+    #[test]
+    fn empty_cell_contributes_zero() {
+        let m = two_ap_model(&[], &[20.0], false);
+        let a = vec![single(0), single(1)];
+        assert_eq!(m.ap_throughput_bps(ApId(0), &a), 0.0);
+        assert!(m.total_bps(&a) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one cell per AP")]
+    fn mismatched_cells_panic() {
+        NetworkModel::new(InterferenceGraph::new(2), vec![vec![]]);
+    }
+}

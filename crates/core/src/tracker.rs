@@ -1,0 +1,204 @@
+//! Per-client link statistics tracking — the driver-side bookkeeping of
+//! §5.1.
+//!
+//! "We keep track of the SNR, the nominal rate and the association time
+//! per client by using dedicated functions implemented in our card's
+//! driver." Raw per-frame SNR readings are noisy; the delays ACORN
+//! advertises in beacons should reflect the *link*, not the last frame.
+//! [`ClientTracker`] provides the standard treatment: EWMA smoothing with
+//! median-of-recent outlier rejection, staleness detection, and the
+//! association-time clock.
+
+use std::collections::VecDeque;
+
+/// Tracker configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackerConfig {
+    /// EWMA weight of a new (accepted) sample, in `(0, 1]`.
+    pub alpha: f64,
+    /// Samples deviating more than this from the median of the recent
+    /// window are rejected as outliers (dB).
+    pub outlier_db: f64,
+    /// Recent-sample window used for the outlier median.
+    pub window: usize,
+    /// A link with no samples for this long is stale and should be
+    /// re-probed before its estimate is trusted (seconds).
+    pub staleness_s: f64,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig {
+            alpha: 0.2,
+            outlier_db: 10.0,
+            window: 8,
+            staleness_s: 5.0,
+        }
+    }
+}
+
+/// Smoothed link state for one client.
+#[derive(Debug, Clone)]
+pub struct ClientTracker {
+    config: TrackerConfig,
+    associated_at_s: f64,
+    ewma_snr_db: Option<f64>,
+    recent: VecDeque<f64>,
+    last_sample_s: f64,
+    samples: u64,
+    rejected: u64,
+}
+
+impl ClientTracker {
+    /// Starts tracking a client that associated at `now_s`.
+    pub fn new(config: TrackerConfig, now_s: f64) -> ClientTracker {
+        assert!(config.alpha > 0.0 && config.alpha <= 1.0, "alpha in (0,1]");
+        assert!(config.window >= 1, "window must be positive");
+        ClientTracker {
+            config,
+            associated_at_s: now_s,
+            ewma_snr_db: None,
+            recent: VecDeque::with_capacity(config.window),
+            last_sample_s: now_s,
+            samples: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Feeds one per-frame SNR reading. Returns `true` if the sample was
+    /// accepted (not an outlier).
+    pub fn observe_snr(&mut self, snr_db: f64, now_s: f64) -> bool {
+        self.samples += 1;
+        // Outlier test against the median of the recent window (only once
+        // the window has some substance; early samples are all accepted).
+        if self.recent.len() >= self.config.window / 2 + 1 {
+            let mut sorted: Vec<f64> = self.recent.iter().copied().collect();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let median = sorted[sorted.len() / 2];
+            if (snr_db - median).abs() > self.config.outlier_db {
+                self.rejected += 1;
+                return false;
+            }
+        }
+        if self.recent.len() == self.config.window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(snr_db);
+        self.ewma_snr_db = Some(match self.ewma_snr_db {
+            Some(prev) => prev + self.config.alpha * (snr_db - prev),
+            None => snr_db,
+        });
+        self.last_sample_s = now_s;
+        true
+    }
+
+    /// The smoothed SNR estimate, if any sample was ever accepted.
+    pub fn snr_db(&self) -> Option<f64> {
+        self.ewma_snr_db
+    }
+
+    /// Whether the estimate is stale at `now_s`.
+    pub fn is_stale(&self, now_s: f64) -> bool {
+        self.ewma_snr_db.is_none() || now_s - self.last_sample_s > self.config.staleness_s
+    }
+
+    /// Association duration so far — the quantity Fig. 9's trace records.
+    pub fn association_time_s(&self, now_s: f64) -> f64 {
+        (now_s - self.associated_at_s).max(0.0)
+    }
+
+    /// (accepted, rejected) sample counts.
+    pub fn sample_counts(&self) -> (u64, u64) {
+        (self.samples - self.rejected, self.rejected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> ClientTracker {
+        ClientTracker::new(TrackerConfig::default(), 100.0)
+    }
+
+    #[test]
+    fn first_sample_seeds_the_ewma() {
+        let mut t = tracker();
+        assert_eq!(t.snr_db(), None);
+        assert!(t.observe_snr(17.0, 100.1));
+        assert_eq!(t.snr_db(), Some(17.0));
+    }
+
+    #[test]
+    fn ewma_converges_to_a_level_shift() {
+        let mut t = tracker();
+        for i in 0..50 {
+            t.observe_snr(10.0, 100.0 + i as f64);
+        }
+        assert!((t.snr_db().unwrap() - 10.0).abs() < 1e-6);
+        // Gradual 5 dB drop (within the outlier gate) is tracked.
+        for i in 0..80 {
+            t.observe_snr(5.0, 200.0 + i as f64);
+        }
+        assert!((t.snr_db().unwrap() - 5.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn spikes_are_rejected_but_persistent_changes_accepted() {
+        let mut t = tracker();
+        for i in 0..10 {
+            t.observe_snr(20.0, 100.0 + i as f64);
+        }
+        // A single 30 dB spike: rejected, estimate unmoved.
+        assert!(!t.observe_snr(50.0, 111.0));
+        assert!((t.snr_db().unwrap() - 20.0).abs() < 0.1);
+        let (ok, bad) = t.sample_counts();
+        assert_eq!(bad, 1);
+        assert_eq!(ok, 10);
+    }
+
+    #[test]
+    fn smoothing_beats_raw_samples_under_noise() {
+        // Deterministic zig-zag noise around 15 dB: the EWMA's error must
+        // be far below the raw sample error.
+        let mut t = tracker();
+        let mut worst_raw: f64 = 0.0;
+        for i in 0..200 {
+            let noise = if i % 2 == 0 { 4.0 } else { -4.0 };
+            let sample = 15.0 + noise;
+            worst_raw = worst_raw.max((sample - 15.0f64).abs());
+            t.observe_snr(sample, 100.0 + i as f64);
+        }
+        let err = (t.snr_db().unwrap() - 15.0).abs();
+        assert!(err < 1.0, "ewma err {err}");
+        assert!(worst_raw >= 4.0);
+    }
+
+    #[test]
+    fn staleness_detection() {
+        let mut t = tracker();
+        assert!(t.is_stale(100.0), "no samples yet");
+        t.observe_snr(12.0, 100.0);
+        assert!(!t.is_stale(104.0));
+        assert!(t.is_stale(106.0));
+    }
+
+    #[test]
+    fn association_clock() {
+        let t = tracker();
+        assert_eq!(t.association_time_s(100.0), 0.0);
+        assert_eq!(t.association_time_s(1900.0), 1800.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha in (0,1]")]
+    fn zero_alpha_panics() {
+        ClientTracker::new(
+            TrackerConfig {
+                alpha: 0.0,
+                ..TrackerConfig::default()
+            },
+            0.0,
+        );
+    }
+}

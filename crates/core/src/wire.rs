@@ -1,0 +1,374 @@
+//! Wire format of the ACORN modified beacon.
+//!
+//! §5.1: "The delay for each client is calculated and broadcast in a
+//! beacon ... along with the M_a values, the number of clients and the
+//! aggregate transmission delay of an AP." The paper's Click utility
+//! rides this in 802.11 beacon frames; this module defines the actual
+//! bytes: an 802.11 management-frame beacon carrying a vendor-specific
+//! information element (ID 221) with the ACORN payload.
+//!
+//! Layout (all multi-byte fields little-endian, as on the 802.11 wire):
+//!
+//! ```text
+//! MAC header (24 B): frame control | duration | DA | SA | BSSID | seq
+//! Beacon fixed part (12 B): timestamp (8) | interval (2) | capability (2)
+//! ACORN IE: 221 | len | OUI 0x41 0x43 0x4F ("ACO") | type 0x01 |
+//!           version u8 | ap_id u16 | channel u8 | width u8 |
+//!           access_share_q u16 (share × 2^14) | n_clients u8 |
+//!           atd_us u32 | n_clients × delay_us u32
+//! ```
+//!
+//! Delays are saturating microseconds (`u32::MAX` encodes ∞ — a dead
+//! link). Parsing is defensive: every malformed input maps to a typed
+//! [`WireError`], never a panic — property-tested against random bytes.
+
+use crate::beacon::Beacon;
+use acorn_topology::{ApId, Channel20, ChannelAssignment};
+
+/// 802.11 management / beacon frame-control value (version 0, type
+/// management, subtype beacon) in little-endian byte order.
+pub const FC_BEACON: [u8; 2] = [0x80, 0x00];
+/// Vendor-specific information element ID.
+pub const IE_VENDOR: u8 = 221;
+/// Our (made-up, documentation-range) OUI: "ACO".
+pub const ACORN_OUI: [u8; 3] = [0x41, 0x43, 0x4F];
+/// OUI subtype for the ACORN beacon payload.
+pub const ACORN_OUI_TYPE: u8 = 0x01;
+/// Wire-format version this module speaks.
+pub const WIRE_VERSION: u8 = 1;
+/// Fixed-point scale of the access share (Q2.14-ish: share × 2^14).
+pub const SHARE_SCALE: f64 = 16384.0;
+/// Maximum clients one IE can carry (IE length is a u8).
+pub const MAX_CLIENTS: usize = (255 - IE_FIXED) / 4;
+
+/// Bytes of the IE payload before the per-client delay list:
+/// OUI(3) + type(1) + version(1) + ap_id(2) + channel(1) + width(1) +
+/// share(2) + n_clients(1) + atd(4).
+const IE_FIXED: usize = 16;
+/// MAC header + beacon fixed part.
+const HEADER: usize = 24 + 12;
+
+/// Typed parse failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer shorter than the fixed header or a declared length.
+    Truncated,
+    /// Frame control is not a beacon.
+    NotABeacon,
+    /// No ACORN vendor IE present.
+    MissingIe,
+    /// Vendor IE with our ID but wrong OUI/type.
+    ForeignVendorIe,
+    /// Unsupported wire version.
+    BadVersion(u8),
+    /// Width byte is neither 20 nor 40.
+    BadWidth(u8),
+    /// Bonded assignment with an odd (illegal) primary channel.
+    IllegalBond(u8),
+    /// The declared client count disagrees with the IE length.
+    LengthMismatch,
+    /// Too many clients for one IE.
+    TooManyClients(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::NotABeacon => write!(f, "not a beacon frame"),
+            WireError::MissingIe => write!(f, "no ACORN information element"),
+            WireError::ForeignVendorIe => write!(f, "vendor IE is not ACORN's"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadWidth(w) => write!(f, "bad width byte {w}"),
+            WireError::IllegalBond(c) => write!(f, "illegal bond primary {c}"),
+            WireError::LengthMismatch => write!(f, "client count / length mismatch"),
+            WireError::TooManyClients(n) => write!(f, "{n} clients exceed one IE"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn delay_to_us(d_s: f64) -> u32 {
+    if !d_s.is_finite() {
+        return u32::MAX;
+    }
+    (d_s * 1e6).clamp(0.0, (u32::MAX - 1) as f64) as u32
+}
+
+fn us_to_delay(us: u32) -> f64 {
+    if us == u32::MAX {
+        f64::INFINITY
+    } else {
+        us as f64 / 1e6
+    }
+}
+
+/// Serializes a beacon into a full management frame. `bssid` stamps the
+/// SA/BSSID fields; `timestamp_us` the TSF field.
+///
+/// Fails with [`WireError::TooManyClients`] if the delay list cannot fit
+/// one vendor IE (the paper's enterprise cells are far smaller).
+pub fn serialize_beacon(
+    beacon: &Beacon,
+    bssid: [u8; 6],
+    timestamp_us: u64,
+) -> Result<Vec<u8>, WireError> {
+    if beacon.client_delays_s.len() > MAX_CLIENTS {
+        return Err(WireError::TooManyClients(beacon.client_delays_s.len()));
+    }
+    let n = beacon.client_delays_s.len();
+    let ie_len = IE_FIXED + 4 * n;
+    let mut out = Vec::with_capacity(HEADER + 2 + ie_len);
+
+    // MAC header.
+    out.extend_from_slice(&FC_BEACON);
+    out.extend_from_slice(&[0, 0]); // duration
+    out.extend_from_slice(&[0xFF; 6]); // DA: broadcast
+    out.extend_from_slice(&bssid); // SA
+    out.extend_from_slice(&bssid); // BSSID
+    out.extend_from_slice(&[0, 0]); // sequence control
+
+    // Beacon fixed part.
+    out.extend_from_slice(&timestamp_us.to_le_bytes());
+    out.extend_from_slice(&100u16.to_le_bytes()); // 100 TU interval
+    out.extend_from_slice(&0x0001u16.to_le_bytes()); // ESS capability
+
+    // ACORN vendor IE.
+    out.push(IE_VENDOR);
+    out.push(ie_len as u8);
+    out.extend_from_slice(&ACORN_OUI);
+    out.push(ACORN_OUI_TYPE);
+    out.push(WIRE_VERSION);
+    out.extend_from_slice(&(beacon.ap.0 as u16).to_le_bytes());
+    let (channel, width) = match beacon.assignment {
+        ChannelAssignment::Single(c) => (c.0, 20u8),
+        ChannelAssignment::Bonded(c) => (c.0, 40u8),
+    };
+    out.push(channel);
+    out.push(width);
+    let share_q = (beacon.access_share.clamp(0.0, 1.0) * SHARE_SCALE).round() as u16;
+    out.extend_from_slice(&share_q.to_le_bytes());
+    out.push(n as u8);
+    out.extend_from_slice(&delay_to_us(beacon.atd_s).to_le_bytes());
+    for d in &beacon.client_delays_s {
+        out.extend_from_slice(&delay_to_us(*d).to_le_bytes());
+    }
+    Ok(out)
+}
+
+/// Parses a management frame back into a [`Beacon`].
+///
+/// Round-trip note: delays quantize to 1 µs and the share to 1/2^14, so
+/// `parse(serialize(b))` matches `b` to those resolutions (asserted by
+/// the property tests); an infinite ATD/delay survives exactly.
+pub fn parse_beacon(frame: &[u8]) -> Result<Beacon, WireError> {
+    if frame.len() < HEADER {
+        return Err(WireError::Truncated);
+    }
+    if frame[0..2] != FC_BEACON {
+        return Err(WireError::NotABeacon);
+    }
+    // Walk the IE list.
+    let mut off = HEADER;
+    while off + 2 <= frame.len() {
+        let id = frame[off];
+        let len = frame[off + 1] as usize;
+        let body = frame
+            .get(off + 2..off + 2 + len)
+            .ok_or(WireError::Truncated)?;
+        if id == IE_VENDOR {
+            return parse_acorn_ie(body);
+        }
+        off += 2 + len;
+    }
+    Err(WireError::MissingIe)
+}
+
+fn parse_acorn_ie(body: &[u8]) -> Result<Beacon, WireError> {
+    if body.len() < IE_FIXED {
+        return Err(WireError::ForeignVendorIe);
+    }
+    if body[0..3] != ACORN_OUI || body[3] != ACORN_OUI_TYPE {
+        return Err(WireError::ForeignVendorIe);
+    }
+    if body[4] != WIRE_VERSION {
+        return Err(WireError::BadVersion(body[4]));
+    }
+    let ap = ApId(u16::from_le_bytes([body[5], body[6]]) as usize);
+    let channel = body[7];
+    let assignment = match body[8] {
+        20 => ChannelAssignment::Single(Channel20(channel)),
+        40 => ChannelAssignment::bonded(Channel20(channel))
+            .ok_or(WireError::IllegalBond(channel))?,
+        w => return Err(WireError::BadWidth(w)),
+    };
+    let share = u16::from_le_bytes([body[9], body[10]]) as f64 / SHARE_SCALE;
+    let n = body[11] as usize;
+    let atd = us_to_delay(u32::from_le_bytes([body[12], body[13], body[14], body[15]]));
+    if body.len() != IE_FIXED + 4 * n {
+        return Err(WireError::LengthMismatch);
+    }
+    let mut delays = Vec::with_capacity(n);
+    for i in 0..n {
+        let b = &body[IE_FIXED + 4 * i..IE_FIXED + 4 * i + 4];
+        delays.push(us_to_delay(u32::from_le_bytes([b[0], b[1], b[2], b[3]])));
+    }
+    Ok(Beacon {
+        ap,
+        assignment,
+        n_clients: n,
+        client_delays_s: delays,
+        atd_s: atd,
+        access_share: share.clamp(f64::MIN_POSITIVE, 1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beacon(n: usize, bonded: bool) -> Beacon {
+        Beacon {
+            ap: ApId(7),
+            assignment: if bonded {
+                ChannelAssignment::bonded(Channel20(4)).unwrap()
+            } else {
+                ChannelAssignment::Single(Channel20(9))
+            },
+            n_clients: n,
+            client_delays_s: (0..n).map(|i| 0.001 * (i + 1) as f64).collect(),
+            atd_s: (0..n).map(|i| 0.001 * (i + 1) as f64).sum(),
+            access_share: 1.0 / 3.0,
+        }
+    }
+
+    #[test]
+    fn roundtrip_single_and_bonded() {
+        for bonded in [false, true] {
+            let b = beacon(3, bonded);
+            let frame = serialize_beacon(&b, [2; 6], 123_456).unwrap();
+            let parsed = parse_beacon(&frame).unwrap();
+            assert_eq!(parsed.ap, b.ap);
+            assert_eq!(parsed.assignment, b.assignment);
+            assert_eq!(parsed.n_clients, 3);
+            assert!((parsed.atd_s - b.atd_s).abs() < 2e-6);
+            assert!((parsed.access_share - b.access_share).abs() < 1e-4);
+            for (x, y) in parsed.client_delays_s.iter().zip(&b.client_delays_s) {
+                assert!((x - y).abs() < 2e-6);
+            }
+            assert!(parsed.is_consistent());
+        }
+    }
+
+    #[test]
+    fn infinite_delays_survive() {
+        let mut b = beacon(2, false);
+        b.client_delays_s[1] = f64::INFINITY;
+        b.atd_s = f64::INFINITY;
+        let frame = serialize_beacon(&b, [0; 6], 0).unwrap();
+        let parsed = parse_beacon(&frame).unwrap();
+        assert!(parsed.client_delays_s[1].is_infinite());
+        assert!(parsed.atd_s.is_infinite());
+    }
+
+    #[test]
+    fn empty_cell_roundtrips() {
+        let b = beacon(0, false);
+        let parsed = parse_beacon(&serialize_beacon(&b, [0; 6], 0).unwrap()).unwrap();
+        assert_eq!(parsed.n_clients, 0);
+        assert_eq!(parsed.atd_s, 0.0);
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let frame = serialize_beacon(&beacon(2, true), [1; 6], 9).unwrap();
+        for cut in [0, 1, HEADER - 1, HEADER + 1, frame.len() - 1] {
+            assert!(
+                parse_beacon(&frame[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn non_beacon_frames_are_rejected() {
+        let mut frame = serialize_beacon(&beacon(1, false), [1; 6], 9).unwrap();
+        frame[0] = 0x08; // data frame
+        assert_eq!(parse_beacon(&frame), Err(WireError::NotABeacon));
+    }
+
+    #[test]
+    fn foreign_vendor_ie_is_rejected() {
+        let mut frame = serialize_beacon(&beacon(1, false), [1; 6], 9).unwrap();
+        frame[HEADER + 2] = 0x00; // clobber the OUI
+        assert_eq!(parse_beacon(&frame), Err(WireError::ForeignVendorIe));
+    }
+
+    #[test]
+    fn version_and_width_are_checked() {
+        let mut f1 = serialize_beacon(&beacon(1, false), [1; 6], 9).unwrap();
+        f1[HEADER + 2 + 4] = 99; // version byte
+        assert_eq!(parse_beacon(&f1), Err(WireError::BadVersion(99)));
+        let mut f2 = serialize_beacon(&beacon(1, false), [1; 6], 9).unwrap();
+        f2[HEADER + 2 + 8] = 30; // width byte
+        assert_eq!(parse_beacon(&f2), Err(WireError::BadWidth(30)));
+    }
+
+    #[test]
+    fn illegal_bond_is_rejected() {
+        let mut frame = serialize_beacon(&beacon(1, true), [1; 6], 9).unwrap();
+        frame[HEADER + 2 + 7] = 5; // odd primary channel
+        assert_eq!(parse_beacon(&frame), Err(WireError::IllegalBond(5)));
+    }
+
+    #[test]
+    fn client_count_must_match_length() {
+        let mut frame = serialize_beacon(&beacon(2, false), [1; 6], 9).unwrap();
+        let count_off = HEADER + 2 + 11;
+        frame[count_off] = 3; // claim one more client than present
+        assert_eq!(parse_beacon(&frame), Err(WireError::LengthMismatch));
+    }
+
+    #[test]
+    fn too_many_clients_is_a_serialize_error() {
+        let b = beacon(MAX_CLIENTS + 1, false);
+        assert_eq!(
+            serialize_beacon(&b, [0; 6], 0),
+            Err(WireError::TooManyClients(MAX_CLIENTS + 1))
+        );
+        // And the maximum itself fits.
+        assert!(serialize_beacon(&beacon(MAX_CLIENTS, false), [0; 6], 0).is_ok());
+    }
+
+    #[test]
+    fn other_ies_before_ours_are_skipped() {
+        let b = beacon(1, false);
+        let mut frame = serialize_beacon(&b, [3; 6], 1).unwrap();
+        // Splice an SSID IE (id 0) in front of the vendor IE.
+        let ssid: &[u8] = &[0u8, 4, b't', b'e', b's', b't'];
+        let mut spliced = frame[..HEADER].to_vec();
+        spliced.extend_from_slice(ssid);
+        spliced.extend_from_slice(&frame[HEADER..]);
+        frame = spliced;
+        let parsed = parse_beacon(&frame).unwrap();
+        assert_eq!(parsed.ap, b.ap);
+    }
+
+    #[test]
+    fn random_bytes_never_panic() {
+        // Cheap robustness sweep (the proptest suite goes further).
+        let mut x = 0x12345u64;
+        for len in 0..200 {
+            let bytes: Vec<u8> = (0..len)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x as u8
+                })
+                .collect();
+            let _ = parse_beacon(&bytes);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Bianchi's analytic model of DCF saturation throughput.
+//!
+//! The classic fixed-point analysis (Bianchi, JSAC 2000), adapted to this
+//! crate's timing and A-MPDU burst model. It provides a third, independent
+//! estimate of how `n` saturated stations share the medium — sitting
+//! between the paper's coarse `M = 1/(|con|+1)` rule (which ignores
+//! collision overhead) and the slot-level simulator (which has it all):
+//!
+//! * per-station transmission probability τ and conditional collision
+//!   probability p solve the fixed point
+//!   `τ = 2(1−2p) / ((1−2p)(W+1) + pW(1−(2p)^m))`,
+//!   `p = 1 − (1−τ)^(n−1)`;
+//! * slot-time accounting turns (τ, p) into aggregate throughput.
+//!
+//! The tests cross-validate all three views on homogeneous stations.
+
+use crate::timing::{txop_time_s, BURST, CW_MAX, CW_MIN, DIFS_S, SLOT_S};
+
+/// The solved operating point of `n` saturated contenders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BianchiPoint {
+    /// Number of contending stations.
+    pub n: usize,
+    /// Per-station per-slot transmission probability.
+    pub tau: f64,
+    /// Conditional collision probability seen by a transmitting station.
+    pub p: f64,
+}
+
+/// Maximum backoff stage `m` implied by CWmin/CWmax (1024/16 → 6).
+fn max_stage() -> u32 {
+    (((CW_MAX + 1) / (CW_MIN + 1)) as f64).log2().round() as u32
+}
+
+/// τ as a function of p (Bianchi Eq. 7), with `W = CWmin + 1`.
+fn tau_of_p(p: f64) -> f64 {
+    let w = (CW_MIN + 1) as f64;
+    let m = max_stage() as f64;
+    let num = 2.0 * (1.0 - 2.0 * p);
+    let den = (1.0 - 2.0 * p) * (w + 1.0) + p * w * (1.0 - (2.0 * p).powf(m));
+    num / den
+}
+
+/// Solves the (τ, p) fixed point for `n ≥ 1` stations by bisection on p.
+pub fn solve(n: usize) -> BianchiPoint {
+    assert!(n >= 1, "need at least one station");
+    if n == 1 {
+        return BianchiPoint {
+            n,
+            tau: tau_of_p(0.0),
+            p: 0.0,
+        };
+    }
+    // g(p) = p − (1 − (1 − τ(p))^(n−1)) is increasing from negative at
+    // p=0 toward positive near p=1; bisect.
+    let g = |p: f64| p - (1.0 - (1.0 - tau_of_p(p)).powi(n as i32 - 1));
+    let mut lo = 0.0;
+    let mut hi = 0.999_999;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if g(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let p = 0.5 * (lo + hi);
+    BianchiPoint {
+        n,
+        tau: tau_of_p(p),
+        p,
+    }
+}
+
+/// Saturation throughput (bits/s of delivered payload, aggregate over all
+/// stations) for `n` homogeneous stations sending `burst`-MPDU TXOPs of
+/// `payload_bytes` at PHY rate `rate_bps`, with per-MPDU error rate `per`.
+pub fn saturation_throughput_bps(
+    n: usize,
+    payload_bytes: u32,
+    rate_bps: f64,
+    per: f64,
+    burst: u32,
+) -> f64 {
+    let pt = solve(n);
+    let tau = pt.tau;
+    let p_tr = 1.0 - (1.0 - tau).powi(n as i32);
+    if p_tr <= 0.0 {
+        return 0.0;
+    }
+    let p_s = n as f64 * tau * (1.0 - tau).powi(n as i32 - 1) / p_tr;
+    let t_busy = txop_time_s(payload_bytes, rate_bps, burst) + DIFS_S;
+    let payload_bits = burst as f64 * (1.0 - per.clamp(0.0, 1.0)) * 8.0 * payload_bytes as f64;
+    let e_slot = (1.0 - p_tr) * SLOT_S + p_tr * t_busy;
+    p_tr * p_s * payload_bits / e_slot
+}
+
+/// Per-station share of the medium relative to running alone — the
+/// quantity the paper approximates with `M = 1/(n)` for `n` mutual
+/// contenders (`M = 1/(|con|+1)`).
+pub fn per_station_share(n: usize, payload_bytes: u32, rate_bps: f64) -> f64 {
+    let alone = saturation_throughput_bps(1, payload_bytes, rate_bps, 0.0, BURST);
+    let together = saturation_throughput_bps(n, payload_bytes, rate_bps, 0.0, BURST) / n as f64;
+    together / alone
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::airtime::{cell_throughput_bps, ClientLink};
+    use crate::dcf::{simulate_dcf, StationConfig};
+
+    #[test]
+    fn max_stage_is_six() {
+        assert_eq!(max_stage(), 6);
+    }
+
+    #[test]
+    fn single_station_has_no_collisions() {
+        let pt = solve(1);
+        assert_eq!(pt.p, 0.0);
+        // τ = 2/(W+1) with W = 16.
+        assert!((pt.tau - 2.0 / 17.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collision_probability_grows_with_n() {
+        let mut prev = 0.0;
+        for n in 2..10 {
+            let pt = solve(n);
+            assert!(pt.p > prev, "n={n}");
+            assert!(pt.p < 1.0);
+            prev = pt.p;
+        }
+    }
+
+    #[test]
+    fn tau_decreases_with_n() {
+        let mut prev = 1.0;
+        for n in 1..10 {
+            let pt = solve(n);
+            assert!(pt.tau < prev, "n={n}");
+            prev = pt.tau;
+        }
+    }
+
+    #[test]
+    fn fixed_point_is_consistent() {
+        for n in [2usize, 5, 10] {
+            let pt = solve(n);
+            let p_check = 1.0 - (1.0 - pt.tau).powi(n as i32 - 1);
+            assert!((pt.p - p_check).abs() < 1e-6, "n={n}");
+        }
+    }
+
+    #[test]
+    fn single_station_matches_the_cycle_model() {
+        // Bianchi with n=1 and the simple access-cycle model must agree
+        // closely (they differ only in mean-backoff bookkeeping).
+        let bianchi = saturation_throughput_bps(1, 1500, 65e6, 0.0, BURST);
+        let cycle = cell_throughput_bps(
+            &[ClientLink {
+                rate_bps: 65e6,
+                per: 0.0,
+            }],
+            1500,
+            1.0,
+        );
+        let err = (bianchi - cycle).abs() / cycle;
+        assert!(err < 0.03, "bianchi {bianchi:.3e} vs cycle {cycle:.3e}");
+    }
+
+    #[test]
+    fn matches_the_slot_simulator() {
+        for n in [1usize, 2, 3] {
+            let analytic = saturation_throughput_bps(n, 1500, 65e6, 0.0, BURST);
+            let stations: Vec<StationConfig> = (0..n)
+                .map(|_| {
+                    StationConfig::new(vec![ClientLink {
+                        rate_bps: 65e6,
+                        per: 0.0,
+                    }])
+                })
+                .collect();
+            let stats = simulate_dcf(&stations, 10.0, 7);
+            let sim: f64 = stats.iter().map(|s| s.throughput_bps(10.0)).sum();
+            let err = (analytic - sim).abs() / sim;
+            assert!(
+                err < 0.1,
+                "n={n}: bianchi {analytic:.3e} vs sim {sim:.3e} (err {err:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn per_losses_scale_goodput_linearly() {
+        let clean = saturation_throughput_bps(2, 1500, 65e6, 0.0, BURST);
+        let half = saturation_throughput_bps(2, 1500, 65e6, 0.5, BURST);
+        assert!((half / clean - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn share_approximates_one_over_n_with_collision_tax() {
+        // The paper's M = 1/n estimate, refined: Bianchi's share is a bit
+        // below 1/n because collisions burn airtime.
+        for n in [2usize, 3, 4] {
+            let share = per_station_share(n, 1500, 65e6);
+            let m = 1.0 / n as f64;
+            assert!(share < m, "n={n}: share {share} !< M {m}");
+            assert!(share > 0.75 * m, "n={n}: share {share} too far below M {m}");
+        }
+    }
+
+    #[test]
+    fn aggregate_degrades_gracefully_with_n() {
+        // Total saturation throughput shrinks slowly as contention grows —
+        // the well-known Bianchi curve shape.
+        let t1 = saturation_throughput_bps(1, 1500, 65e6, 0.0, BURST);
+        let t10 = saturation_throughput_bps(10, 1500, 65e6, 0.0, BURST);
+        assert!(t10 < t1);
+        assert!(t10 > 0.6 * t1, "t1 {t1:.3e}, t10 {t10:.3e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one station")]
+    fn zero_stations_panics() {
+        solve(0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Channel-access shares under inter-cell contention.
+//!
+//! §5.1: "We estimate M_a for an AP a by 1/(|con_a|+1) where con_a denotes
+//! the set of neighboring APs that reside on the same channel as AP a.
+//! This estimation has very high accuracy when these APs can hear each
+//! other under saturated traffic."
+//!
+//! With channel bonding, "the same channel" generalizes to *spectral
+//! overlap*: a 40 MHz AP contends with any neighbour occupying either of
+//! its two 20 MHz members (the basic-vs-composite colour conflict of
+//! §4.2).
+
+use acorn_topology::{ApId, ChannelAssignment, InterferenceGraph};
+
+/// The set of interference-graph neighbours of `ap` whose assignment
+/// spectrally overlaps `assignment[ap]` — the paper's `con_a`.
+pub fn contenders(
+    graph: &InterferenceGraph,
+    assignments: &[ChannelAssignment],
+    ap: ApId,
+) -> Vec<ApId> {
+    assert_eq!(graph.len(), assignments.len(), "one assignment per AP");
+    graph
+        .neighbors(ap)
+        .filter(|n| assignments[ap.0].conflicts(assignments[n.0]))
+        .collect()
+}
+
+/// The channel-access share `M_a = 1/(|con_a|+1)`.
+pub fn access_share(
+    graph: &InterferenceGraph,
+    assignments: &[ChannelAssignment],
+    ap: ApId,
+) -> f64 {
+    1.0 / (contenders(graph, assignments, ap).len() as f64 + 1.0)
+}
+
+/// Access shares for all APs at once.
+pub fn access_shares(graph: &InterferenceGraph, assignments: &[ChannelAssignment]) -> Vec<f64> {
+    (0..graph.len())
+        .map(|i| access_share(graph, assignments, ApId(i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acorn_topology::{Channel20, InterferenceGraph};
+
+    fn single(c: u8) -> ChannelAssignment {
+        ChannelAssignment::Single(Channel20(c))
+    }
+
+    fn bonded(c: u8) -> ChannelAssignment {
+        ChannelAssignment::bonded(Channel20(c)).unwrap()
+    }
+
+    #[test]
+    fn isolated_ap_gets_full_share() {
+        let g = InterferenceGraph::new(1);
+        assert_eq!(access_share(&g, &[single(0)], ApId(0)), 1.0);
+    }
+
+    #[test]
+    fn same_channel_neighbours_split_the_medium() {
+        let g = InterferenceGraph::complete(3);
+        let a = vec![single(0); 3];
+        for i in 0..3 {
+            assert!((access_share(&g, &a, ApId(i)) - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn orthogonal_channels_restore_full_shares() {
+        let g = InterferenceGraph::complete(3);
+        let a = vec![single(0), single(1), single(2)];
+        for i in 0..3 {
+            assert_eq!(access_share(&g, &a, ApId(i)), 1.0);
+        }
+    }
+
+    #[test]
+    fn bonded_ap_contends_with_both_members() {
+        // AP 0 bonded on {0,1}; APs 1 and 2 on channels 0 and 1: all three
+        // mutually visible. AP 0 contends with both; APs 1 and 2 only with
+        // AP 0 (channels 0 and 1 don't conflict with each other).
+        let g = InterferenceGraph::complete(3);
+        let a = vec![bonded(0), single(0), single(1)];
+        assert_eq!(contenders(&g, &a, ApId(0)).len(), 2);
+        assert!((access_share(&g, &a, ApId(0)) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((access_share(&g, &a, ApId(1)) - 0.5).abs() < 1e-12);
+        assert!((access_share(&g, &a, ApId(2)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn graph_distance_gates_contention() {
+        // Same channel but no IG edge → no contention (hidden by walls).
+        let g = InterferenceGraph::new(2);
+        let a = vec![single(0), single(0)];
+        assert_eq!(access_share(&g, &a, ApId(0)), 1.0);
+    }
+
+    #[test]
+    fn contention_is_per_ap_not_global() {
+        // Chain 0–1–2 (0 and 2 not adjacent), all on channel 0: the middle
+        // AP sees two contenders, the ends one each.
+        let g = InterferenceGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let a = vec![single(0); 3];
+        assert!((access_share(&g, &a, ApId(1)) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((access_share(&g, &a, ApId(0)) - 0.5).abs() < 1e-12);
+        assert!((access_share(&g, &a, ApId(2)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shares_vector_matches_elementwise() {
+        let g = InterferenceGraph::complete(2);
+        let a = vec![bonded(0), single(1)];
+        let shares = access_shares(&g, &a);
+        assert_eq!(shares.len(), 2);
+        assert_eq!(shares[0], access_share(&g, &a, ApId(0)));
+        assert_eq!(shares[1], access_share(&g, &a, ApId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "one assignment per AP")]
+    fn mismatched_lengths_panic() {
+        let g = InterferenceGraph::new(2);
+        access_share(&g, &[single(0)], ApId(0));
+    }
+}

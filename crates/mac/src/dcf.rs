@@ -1,0 +1,321 @@
+//! A slot-level discrete-event simulator of the 802.11 DCF.
+//!
+//! The analytic airtime model ([`crate::airtime`]) is what ACORN's
+//! algorithms consume; this simulator exists to *validate* that model's
+//! two load-bearing properties against an actual CSMA/CA process:
+//!
+//! 1. equal long-term access opportunities → the performance anomaly
+//!    (a slow client drags every client of the cell to its throughput);
+//! 2. `n` saturated co-channel transmitters each obtain ≈ `1/n` of the
+//!    medium (the `M_a = 1/(|con_a|+1)` estimate of §5.1).
+//!
+//! Model: each *station* is an AP with a saturated downlink queue, serving
+//! its clients in round-robin order, one A-MPDU burst ([`BURST`] MPDUs
+//! under a BlockAck) per TXOP. Binary exponential backoff with
+//! CWmin/CWmax; collisions when two backoff counters expire in the same
+//! slot double the CW; per-MPDU losses are BlockAck'd and re-sent in later
+//! TXOPs (modelled as independent Bernoulli subframe losses). All stations
+//! passed to one [`simulate_dcf`] call share one collision domain (callers
+//! partition by channel).
+
+use crate::airtime::ClientLink;
+use crate::timing::{txop_time_s, BURST, CW_MAX, CW_MIN, DIFS_S, SLOT_S};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of one contending AP ("station").
+#[derive(Debug, Clone)]
+pub struct StationConfig {
+    /// The clients this AP serves round-robin (rate and PER per client).
+    pub clients: Vec<ClientLink>,
+    /// Payload bytes per MPDU.
+    pub payload_bytes: u32,
+    /// MPDUs aggregated per TXOP.
+    pub burst: u32,
+}
+
+impl StationConfig {
+    /// A station with the standard payload and burst size.
+    pub fn new(clients: Vec<ClientLink>) -> StationConfig {
+        StationConfig {
+            clients,
+            payload_bytes: 1500,
+            burst: BURST,
+        }
+    }
+}
+
+/// Per-station simulation output.
+#[derive(Debug, Clone, Default)]
+pub struct StationStats {
+    /// Payload bits delivered to each client.
+    pub delivered_bits: Vec<u64>,
+    /// TXOPs attempted (including those lost to collisions).
+    pub txops: u64,
+    /// TXOPs that ended in a collision.
+    pub collisions: u64,
+    /// Individual MPDUs lost to channel errors (re-sent later).
+    pub subframes_lost: u64,
+    /// Channel time spent transmitting (s).
+    pub airtime_s: f64,
+}
+
+impl StationStats {
+    /// Aggregate delivered throughput over `duration_s`, bits/s.
+    pub fn throughput_bps(&self, duration_s: f64) -> f64 {
+        self.delivered_bits.iter().sum::<u64>() as f64 / duration_s
+    }
+
+    /// Per-client delivered throughput, bits/s.
+    pub fn per_client_bps(&self, duration_s: f64) -> Vec<f64> {
+        self.delivered_bits
+            .iter()
+            .map(|b| *b as f64 / duration_s)
+            .collect()
+    }
+}
+
+struct StationState {
+    cw: u32,
+    backoff: u32,
+    rr: usize,
+    /// Deliveries still owed to the current round-robin client before the
+    /// scheduler advances. Per-*delivered*-packet fairness is what yields
+    /// the 802.11 performance anomaly: a lossy client keeps the channel
+    /// (through BlockAck retransmissions) until its quota is delivered.
+    quota: u32,
+}
+
+/// Runs the DCF for `duration_s` simulated seconds over one collision
+/// domain. Deterministic for a given seed.
+pub fn simulate_dcf(stations: &[StationConfig], duration_s: f64, seed: u64) -> Vec<StationStats> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats: Vec<StationStats> = stations
+        .iter()
+        .map(|s| StationStats {
+            delivered_bits: vec![0; s.clients.len()],
+            ..StationStats::default()
+        })
+        .collect();
+    let active: Vec<usize> = stations
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.clients.is_empty())
+        .map(|(i, _)| i)
+        .collect();
+    if active.is_empty() {
+        return stats;
+    }
+    let mut state: Vec<StationState> = stations
+        .iter()
+        .map(|s| StationState {
+            cw: CW_MIN,
+            backoff: rng.gen_range(0..=CW_MIN),
+            rr: 0,
+            quota: s.burst,
+        })
+        .collect();
+
+    let mut t = 0.0f64;
+    while t < duration_s {
+        // Advance to the next backoff expiry.
+        let min_b = active.iter().map(|&i| state[i].backoff).min().unwrap();
+        t += min_b as f64 * SLOT_S;
+        if t >= duration_s {
+            break;
+        }
+        for &i in &active {
+            state[i].backoff -= min_b;
+        }
+        let tx: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&i| state[i].backoff == 0)
+            .collect();
+
+        if tx.len() > 1 {
+            // Collision: every TXOP is lost, channel busy for the longest,
+            // CWs double.
+            let mut longest = 0.0f64;
+            for &i in &tx {
+                let st = &state[i];
+                let c = stations[i].clients[st.rr];
+                let dur = txop_time_s(stations[i].payload_bytes, c.rate_bps, stations[i].burst);
+                longest = longest.max(dur);
+                stats[i].txops += 1;
+                stats[i].collisions += 1;
+                stats[i].airtime_s += dur;
+            }
+            t += longest + DIFS_S;
+            for &i in &tx {
+                let st = &mut state[i];
+                st.cw = (2 * st.cw + 1).min(CW_MAX);
+                st.backoff = rng.gen_range(0..=st.cw);
+            }
+        } else {
+            // One winner: burst of `burst` MPDUs to the round-robin
+            // client; each survives independently with prob 1−per.
+            let i = tx[0];
+            let st = &mut state[i];
+            let client = stations[i].clients[st.rr];
+            let dur = txop_time_s(stations[i].payload_bytes, client.rate_bps, stations[i].burst);
+            stats[i].txops += 1;
+            stats[i].airtime_s += dur;
+            t += dur + DIFS_S;
+            let p_ok = 1.0 - client.per.clamp(0.0, 1.0);
+            for _ in 0..stations[i].burst {
+                if rng.gen_bool(p_ok) {
+                    stats[i].delivered_bits[st.rr] += 8 * stations[i].payload_bytes as u64;
+                    st.quota = st.quota.saturating_sub(1);
+                } else {
+                    stats[i].subframes_lost += 1;
+                }
+            }
+            if st.quota == 0 {
+                st.rr = (st.rr + 1) % stations[i].clients.len();
+                st.quota = stations[i].burst;
+            }
+            st.cw = CW_MIN;
+            st.backoff = rng.gen_range(0..=st.cw);
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::airtime::cell_throughput_bps;
+
+    fn clean(rate_mbps: f64) -> ClientLink {
+        ClientLink {
+            rate_bps: rate_mbps * 1e6,
+            per: 0.0,
+        }
+    }
+
+    #[test]
+    fn single_station_matches_analytic_model() {
+        let cfg = StationConfig::new(vec![clean(65.0)]);
+        let stats = simulate_dcf(&[cfg], 5.0, 1);
+        let sim = stats[0].throughput_bps(5.0);
+        let model = cell_throughput_bps(&[clean(65.0)], 1500, 1.0);
+        let err = (sim - model).abs() / model;
+        assert!(err < 0.05, "sim {sim:.3e} vs model {model:.3e} (err {err:.3})");
+    }
+
+    #[test]
+    fn performance_anomaly_reproduced() {
+        // One AP, one fast and one slow client: both clients end up with
+        // nearly identical delivered throughput.
+        let cfg = StationConfig::new(vec![clean(130.0), clean(6.5)]);
+        let stats = simulate_dcf(&[cfg], 10.0, 2);
+        let per = stats[0].per_client_bps(10.0);
+        let ratio = per[0] / per[1];
+        assert!((ratio - 1.0).abs() < 0.05, "per-client ratio {ratio}");
+        // And the aggregate matches the anomaly model.
+        let model = cell_throughput_bps(&[clean(130.0), clean(6.5)], 1500, 1.0);
+        let sim = stats[0].throughput_bps(10.0);
+        assert!((sim - model).abs() / model < 0.08, "sim {sim:.3e} model {model:.3e}");
+    }
+
+    #[test]
+    fn two_contenders_split_the_medium() {
+        let mk = || StationConfig::new(vec![clean(65.0)]);
+        let stats = simulate_dcf(&[mk(), mk()], 10.0, 3);
+        let a = stats[0].throughput_bps(10.0);
+        let b = stats[1].throughput_bps(10.0);
+        assert!((a / b - 1.0).abs() < 0.1, "a {a:.3e} b {b:.3e}");
+        // Each should get roughly M = 1/2 of its isolated throughput
+        // (collisions shave a little more off).
+        let iso = cell_throughput_bps(&[clean(65.0)], 1500, 1.0);
+        let share = a / iso;
+        assert!(share > 0.38 && share < 0.55, "share {share}");
+    }
+
+    #[test]
+    fn three_contenders_get_a_third_each() {
+        let mk = || StationConfig::new(vec![clean(58.5)]);
+        let stats = simulate_dcf(&[mk(), mk(), mk()], 10.0, 4);
+        let iso = cell_throughput_bps(&[clean(58.5)], 1500, 1.0);
+        for s in &stats {
+            let share = s.throughput_bps(10.0) / iso;
+            assert!(share > 0.25 && share < 0.4, "share {share}");
+        }
+    }
+
+    #[test]
+    fn lossy_links_deliver_proportionally_less() {
+        let lossy = StationConfig::new(vec![ClientLink {
+            rate_bps: 65e6,
+            per: 0.5,
+        }]);
+        let cleanst = StationConfig::new(vec![clean(65.0)]);
+        let s_lossy = simulate_dcf(&[lossy], 5.0, 5);
+        let s_clean = simulate_dcf(&[cleanst], 5.0, 5);
+        let ratio = s_lossy[0].throughput_bps(5.0) / s_clean[0].throughput_bps(5.0);
+        assert!((ratio - 0.5).abs() < 0.05, "ratio {ratio}");
+        assert!(s_lossy[0].subframes_lost > 0);
+    }
+
+    #[test]
+    fn dead_link_delivers_nothing_but_burns_airtime() {
+        let cfg = StationConfig::new(vec![ClientLink {
+            rate_bps: 6.5e6,
+            per: 1.0,
+        }]);
+        let stats = simulate_dcf(&[cfg], 2.0, 6);
+        assert_eq!(stats[0].delivered_bits[0], 0);
+        assert!(stats[0].subframes_lost > 0);
+        assert!(stats[0].airtime_s > 0.5);
+    }
+
+    #[test]
+    fn empty_station_is_inert() {
+        let empty = StationConfig::new(vec![]);
+        let busy = StationConfig::new(vec![clean(65.0)]);
+        let stats = simulate_dcf(&[empty, busy], 2.0, 7);
+        assert!(stats[0].delivered_bits.is_empty());
+        assert_eq!(stats[0].txops, 0);
+        assert!(stats[1].throughput_bps(2.0) > 1e6);
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let cfg = StationConfig::new(vec![clean(65.0), clean(13.0)]);
+        let a = simulate_dcf(&[cfg.clone()], 2.0, 42);
+        let b = simulate_dcf(&[cfg], 2.0, 42);
+        assert_eq!(a[0].delivered_bits, b[0].delivered_bits);
+        assert_eq!(a[0].txops, b[0].txops);
+    }
+
+    #[test]
+    fn anomaly_model_validated_with_losses() {
+        // Analytic vs simulated cell throughput with a lossy slow client.
+        let clients = vec![
+            clean(130.0),
+            ClientLink {
+                rate_bps: 13e6,
+                per: 0.3,
+            },
+        ];
+        let cfg = StationConfig::new(clients.clone());
+        let stats = simulate_dcf(&[cfg], 10.0, 8);
+        let sim = stats[0].throughput_bps(10.0);
+        let model = cell_throughput_bps(&clients, 1500, 1.0);
+        let err = (sim - model).abs() / model;
+        assert!(err < 0.1, "sim {sim:.3e} model {model:.3e} (err {err:.3})");
+    }
+
+    #[test]
+    fn larger_bursts_raise_efficiency() {
+        let mk = |burst| StationConfig {
+            clients: vec![clean(130.0)],
+            payload_bytes: 1500,
+            burst,
+        };
+        let s1 = simulate_dcf(&[mk(1)], 5.0, 9);
+        let s8 = simulate_dcf(&[mk(8)], 5.0, 9);
+        assert!(s8[0].throughput_bps(5.0) > 1.3 * s1[0].throughput_bps(5.0));
+    }
+}

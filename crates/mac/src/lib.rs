@@ -1,0 +1,36 @@
+//! # acorn-mac — DCF airtime modelling, contention and rate control
+//!
+//! The MAC-layer substrate under ACORN:
+//!
+//! * [`timing`] — 802.11n MAC timing constants and per-packet cycle /
+//!   delivery-delay accounting (the `d_cl` values ACORN's beacons carry).
+//! * [`airtime`] — the long-term DCF airtime model with the 802.11
+//!   performance anomaly; implements the `X = M/ATD` throughput arithmetic
+//!   of §4.1.
+//! * [`contention`] — channel-access shares `M_a = 1/(|con_a|+1)` over the
+//!   interference graph, spectral-overlap aware for mixed 20/40 MHz
+//!   assignments.
+//! * [`rate_control`] — the vendor auto-rate model: expected-goodput
+//!   argmax over MCS × {SDM, STBC} with hysteresis, plus the exhaustive
+//!   fixed-rate search of Fig. 6(b).
+//! * [`dcf`] — a slot-level CSMA/CA discrete-event simulator used to
+//!   validate the analytic model (anomaly, medium sharing).
+//! * [`bianchi`] — Bianchi's DCF saturation fixed-point analysis, a third
+//!   independent view on medium sharing that cross-validates both the
+//!   simulator and the paper's M-share estimate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod airtime;
+pub mod bianchi;
+pub mod contention;
+pub mod dcf;
+pub mod rate_control;
+pub mod timing;
+
+pub use bianchi::{saturation_throughput_bps, solve as bianchi_solve, BianchiPoint};
+pub use airtime::{cell_throughput_bps, CellAirtime, ClientLink};
+pub use contention::{access_share, access_shares, contenders};
+pub use dcf::{simulate_dcf, StationConfig, StationStats};
+pub use rate_control::{optimal_mcs_pair, RateController};

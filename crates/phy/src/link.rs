@@ -1,0 +1,335 @@
+//! Link budgets, the −3 dB channel-bonding rule, and the σ metric (Eq. 3).
+//!
+//! The central empirical finding of the paper's §3 is captured by two pieces
+//! of machinery here:
+//!
+//! * [`LinkBudget::snr_db`]: for a fixed transmit power, a bonded 40 MHz
+//!   channel sees ~3 dB less SNR than a 20 MHz channel (total noise doubles
+//!   while total signal power is unchanged; equivalently, per-subcarrier
+//!   energy halves while per-subcarrier noise is constant).
+//! * [`sigma`] / [`sigma_for`]: the delivery-ratio ratio
+//!   `σ = (1 − PER20) / (1 − PER40)` of Eq. 3. When `σ > R40/R20 ≈ 2`, a
+//!   20 MHz channel out-throughputs the bonded channel, despite the bonded
+//!   channel's doubled nominal rate.
+//!
+//! [`sigma_crossover_snr`] searches for the SNR threshold γ at which σ
+//! falls back below 2 — the quantity tabulated in the paper's Table 1.
+
+use crate::coding::CodeRate;
+use crate::coding::{coded_ber, per_from_ber_bytes};
+use crate::modulation::Modulation;
+use crate::noise::channel_noise_floor_dbm;
+use crate::ofdm::ChannelWidth;
+use crate::units::{dbm_add, dbm_to_mw, mw_to_dbm};
+
+/// The SNR shift (in dB, negative) a link experiences when it moves from a
+/// 20 MHz channel to a bonded 40 MHz channel at the same transmit power.
+///
+/// This is the paper's "3 dB change in the SNR" calibration rule used by
+/// ACORN's estimator (§4.2). We use the exact value 10·log10(2).
+pub fn cb_snr_shift_db() -> f64 {
+    -10.0 * 2f64.log10()
+}
+
+/// A point-to-point link budget.
+///
+/// All quantities are in dB/dBm. Path loss is supplied by the caller
+/// (computed by `acorn-topology` from geometry) so this type stays a pure
+/// power-accounting structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkBudget {
+    /// Transmit power in dBm (the paper sweeps 0–25 dBm on WARP and a
+    /// 0–100 driver scale on the Ralink cards).
+    pub tx_power_dbm: f64,
+    /// Combined antenna gains (transmit + receive) in dBi. The testbed uses
+    /// 5 dBi omni antennas on both ends.
+    pub antenna_gains_dbi: f64,
+    /// Path loss between transmitter and receiver in dB.
+    pub path_loss_db: f64,
+    /// Receiver noise figure in dB.
+    pub noise_figure_db: f64,
+}
+
+impl LinkBudget {
+    /// Received signal power in dBm (width-independent: total transmit
+    /// power is the same with and without bonding, per the 802.11n spec).
+    pub fn rx_power_dbm(&self) -> f64 {
+        self.tx_power_dbm + self.antenna_gains_dbi - self.path_loss_db
+    }
+
+    /// Per-subcarrier SNR (dB) when operating at the given channel width.
+    ///
+    /// The width enters through the noise floor: doubling the bandwidth
+    /// raises in-band noise by 3 dB, which is exactly equivalent to the
+    /// per-subcarrier energy halving the paper measures in Fig. 1.
+    pub fn snr_db(&self, width: ChannelWidth) -> f64 {
+        self.rx_power_dbm() - channel_noise_floor_dbm(width, self.noise_figure_db)
+    }
+
+    /// Per-subcarrier SINR (dB) given aggregate co-channel interference
+    /// received at `interference_dbm` (use `f64::NEG_INFINITY` for none).
+    ///
+    /// §1: "due to the 3 dB reduction in the per-carrier signal power,
+    /// transmissions with the wider bands are more susceptible to
+    /// interference (i.e., the SINR is lower)".
+    pub fn sinr_db(&self, width: ChannelWidth, interference_dbm: f64) -> f64 {
+        let noise_floor = channel_noise_floor_dbm(width, self.noise_figure_db);
+        let noise_plus_interference = if interference_dbm == f64::NEG_INFINITY {
+            noise_floor
+        } else {
+            dbm_add(noise_floor, interference_dbm)
+        };
+        self.rx_power_dbm() - noise_plus_interference
+    }
+}
+
+/// σ from the paper's Eq. 3: the ratio of packet delivery probabilities
+/// achieved without and with channel bonding.
+///
+/// `σ > R40/R20 ≈ 2` means the 20 MHz channel yields higher throughput.
+/// Returns `f64::INFINITY` when the bonded channel delivers nothing while
+/// the 20 MHz channel still delivers.
+pub fn sigma(per_20: f64, per_40: f64) -> f64 {
+    let d20 = (1.0 - per_20).max(0.0);
+    let d40 = (1.0 - per_40).max(0.0);
+    if d40 == 0.0 {
+        if d20 == 0.0 {
+            1.0 // both channels dead: CB neither helps nor hurts (σ ≈ 1).
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        d20 / d40
+    }
+}
+
+/// The exact rate ratio R40/R20 for a given mod/cod pair: ~2.08
+/// (108/52), independent of modulation since both widths use the same MCS.
+pub fn rate_ratio_40_over_20() -> f64 {
+    ChannelWidth::Ht40.data_subcarriers() as f64 / ChannelWidth::Ht20.data_subcarriers() as f64
+}
+
+/// σ for a (modulation, code-rate) pair at a given 20 MHz-referenced SNR.
+///
+/// The 40 MHz PER is evaluated at `snr20_db + cb_snr_shift_db()` — the same
+/// calibration ACORN's estimator performs.
+pub fn sigma_for(
+    modulation: Modulation,
+    code_rate: CodeRate,
+    snr20_db: f64,
+    packet_bytes: u32,
+) -> f64 {
+    let per = |snr: f64| per_from_ber_bytes(coded_ber(code_rate, modulation.ber_awgn(snr)), packet_bytes);
+    sigma(per(snr20_db), per(snr20_db + cb_snr_shift_db()))
+}
+
+/// Whether channel bonding *hurts* (20 MHz wins) at this operating point:
+/// the test `σ > R40/R20` from inequality (3).
+pub fn cb_hurts(modulation: Modulation, code_rate: CodeRate, snr20_db: f64, packet_bytes: u32) -> bool {
+    sigma_for(modulation, code_rate, snr20_db, packet_bytes) > rate_ratio_40_over_20()
+}
+
+/// Searches for the σ = 2 *falling-edge* crossover SNR γ for a mod/cod pair
+/// — the threshold the paper tabulates in Table 1. Above the returned SNR,
+/// σ < 2 and channel bonding is beneficial; in a band just below it, σ ≥ 2
+/// and a 20 MHz channel wins.
+///
+/// σ(SNR) is unimodal: ≈1 when both channels are dead, peaks while the
+/// 20 MHz PER collapses before the 40 MHz PER does, then returns to ≈1 when
+/// both are clean. We scan upward for the last grid point with σ ≥ 2 and
+/// bisect the falling edge. Returns `None` if σ never reaches 2 (a link/MCS
+/// combination for which bonding never hurts).
+pub fn sigma_crossover_snr(
+    modulation: Modulation,
+    code_rate: CodeRate,
+    packet_bytes: u32,
+) -> Option<f64> {
+    const LO: f64 = -25.0;
+    const HI: f64 = 45.0;
+    const STEP: f64 = 0.125;
+    let threshold = 2.0;
+    let s = |snr: f64| sigma_for(modulation, code_rate, snr, packet_bytes);
+
+    // Find the highest grid point where σ ≥ 2.
+    let mut last_above: Option<f64> = None;
+    let mut snr = LO;
+    while snr <= HI {
+        if s(snr) >= threshold {
+            last_above = Some(snr);
+        }
+        snr += STEP;
+    }
+    let lo = last_above?;
+    let mut lo = lo;
+    let mut hi = lo + STEP;
+    for _ in 0..50 {
+        let mid = 0.5 * (lo + hi);
+        if s(mid) >= threshold {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+/// Returns `(last σ≥2 SNR, first σ<2 SNR)` on a 1 dB measurement grid —
+/// the two-row format of the paper's Table 1, which reports e.g. −7 dB
+/// (σ≥2) and −4 dB (σ<2) for QPSK 3/4.
+pub fn sigma_transition_band(
+    modulation: Modulation,
+    code_rate: CodeRate,
+    packet_bytes: u32,
+) -> Option<(f64, f64)> {
+    let crossover = sigma_crossover_snr(modulation, code_rate, packet_bytes)?;
+    Some((crossover.floor(), crossover.ceil()))
+}
+
+/// Aggregates interference powers (dBm) from several transmitters into a
+/// single equivalent interference level.
+pub fn aggregate_interference_dbm<I: IntoIterator<Item = f64>>(sources: I) -> f64 {
+    let total: f64 = sources.into_iter().map(dbm_to_mw).sum();
+    if total == 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        mw_to_dbm(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budget(snr20_target: f64) -> LinkBudget {
+        // Build a budget that hits the requested HT20 SNR.
+        let nf = 5.0;
+        let floor = channel_noise_floor_dbm(ChannelWidth::Ht20, nf);
+        LinkBudget {
+            tx_power_dbm: 15.0,
+            antenna_gains_dbi: 10.0,
+            path_loss_db: 15.0 + 10.0 - (floor + snr20_target),
+            noise_figure_db: nf,
+        }
+    }
+
+    #[test]
+    fn bonding_costs_three_db_of_snr() {
+        let b = budget(20.0);
+        let d = b.snr_db(ChannelWidth::Ht20) - b.snr_db(ChannelWidth::Ht40);
+        assert!((d - 3.0103).abs() < 1e-6, "d = {d}");
+        assert!((cb_snr_shift_db() + 3.0103).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sinr_reduces_to_snr_without_interference() {
+        let b = budget(12.0);
+        assert!((b.sinr_db(ChannelWidth::Ht20, f64::NEG_INFINITY) - b.snr_db(ChannelWidth::Ht20)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interference_lowers_sinr() {
+        let b = budget(12.0);
+        let clean = b.sinr_db(ChannelWidth::Ht20, f64::NEG_INFINITY);
+        let noisy = b.sinr_db(ChannelWidth::Ht20, -80.0);
+        assert!(noisy < clean);
+    }
+
+    #[test]
+    fn equal_noise_interference_costs_three_db() {
+        let b = budget(12.0);
+        let floor = channel_noise_floor_dbm(ChannelWidth::Ht20, b.noise_figure_db);
+        let sinr = b.sinr_db(ChannelWidth::Ht20, floor);
+        assert!((b.snr_db(ChannelWidth::Ht20) - sinr - 3.0103).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigma_edge_cases() {
+        assert_eq!(sigma(1.0, 1.0), 1.0);
+        assert_eq!(sigma(0.0, 1.0), f64::INFINITY);
+        assert!((sigma(0.0, 0.0) - 1.0).abs() < 1e-12);
+        assert!((sigma(0.5, 0.75) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigma_is_about_one_at_snr_extremes() {
+        for (m, r) in [
+            (Modulation::Qpsk, CodeRate::R34),
+            (Modulation::Qam64, CodeRate::R56),
+        ] {
+            let low = sigma_for(m, r, -24.0, 1500);
+            let high = sigma_for(m, r, 40.0, 1500);
+            assert!((low - 1.0).abs() < 0.2, "{m:?}/{r:?} low σ = {low}");
+            assert!((high - 1.0).abs() < 1e-6, "{m:?}/{r:?} high σ = {high}");
+        }
+    }
+
+    #[test]
+    fn sigma_peaks_above_two_for_all_table1_modcods() {
+        // Fig. 5 shows every modcod has a Tx band where σ ≥ 2 (CB hurts).
+        for (m, r) in [
+            (Modulation::Qpsk, CodeRate::R34),
+            (Modulation::Qam16, CodeRate::R34),
+            (Modulation::Qam64, CodeRate::R34),
+            (Modulation::Qam64, CodeRate::R56),
+        ] {
+            let peak = (-200..400)
+                .map(|i| sigma_for(m, r, i as f64 * 0.1, 1500))
+                .filter(|v| v.is_finite())
+                .fold(0.0f64, f64::max);
+            assert!(peak >= 2.0, "{m:?}/{r:?} peak σ = {peak}");
+        }
+    }
+
+    #[test]
+    fn crossover_rises_with_modulation_aggressiveness() {
+        // Table 1's trend: γ grows as the modcod gets more aggressive.
+        let t = |m, r| sigma_crossover_snr(m, r, 1500).expect("crossover exists");
+        let qpsk34 = t(Modulation::Qpsk, CodeRate::R34);
+        let qam16_34 = t(Modulation::Qam16, CodeRate::R34);
+        let qam64_34 = t(Modulation::Qam64, CodeRate::R34);
+        let qam64_56 = t(Modulation::Qam64, CodeRate::R56);
+        assert!(qpsk34 < qam16_34, "{qpsk34} !< {qam16_34}");
+        assert!(qam16_34 < qam64_34, "{qam16_34} !< {qam64_34}");
+        assert!(qam64_34 < qam64_56, "{qam64_34} !< {qam64_56}");
+    }
+
+    #[test]
+    fn above_crossover_cb_helps_below_it_cb_hurts() {
+        let m = Modulation::Qam16;
+        let r = CodeRate::R34;
+        let x = sigma_crossover_snr(m, r, 1500).unwrap();
+        assert!(sigma_for(m, r, x + 1.0, 1500) < 2.0);
+        assert!(sigma_for(m, r, x - 0.5, 1500) >= 2.0);
+    }
+
+    #[test]
+    fn transition_band_brackets_crossover() {
+        let (lo, hi) = sigma_transition_band(Modulation::Qam64, CodeRate::R34, 1500).unwrap();
+        let x = sigma_crossover_snr(Modulation::Qam64, CodeRate::R34, 1500).unwrap();
+        assert!(lo <= x && x <= hi);
+        assert!(hi - lo <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn rate_ratio_slightly_exceeds_two() {
+        let r = rate_ratio_40_over_20();
+        assert!(r > 2.0 && r < 2.1);
+    }
+
+    #[test]
+    fn aggregate_interference_sums_in_linear_domain() {
+        let agg = aggregate_interference_dbm([-90.0, -90.0]);
+        assert!((agg - (-86.9897)).abs() < 1e-3);
+        assert_eq!(aggregate_interference_dbm(std::iter::empty()), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn cb_hurts_in_the_transition_band_only() {
+        let m = Modulation::Qam64;
+        let r = CodeRate::R56;
+        let x = sigma_crossover_snr(m, r, 1500).unwrap();
+        assert!(cb_hurts(m, r, x - 0.5, 1500));
+        assert!(!cb_hurts(m, r, x + 3.0, 1500));
+        assert!(!cb_hurts(m, r, 45.0, 1500));
+    }
+}

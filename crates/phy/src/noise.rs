@@ -1,0 +1,72 @@
+//! Thermal-noise modelling.
+//!
+//! §3.1 of the paper ("Impact of CB on thermal noise") uses the standard
+//! Wi-Fi noise-floor expression `N = −174 + 10·log10(B)` dBm, observing that
+//! doubling the bandwidth from 20 MHz to 40 MHz raises the total in-band
+//! noise by ~3 dB while leaving the *per-subcarrier* noise almost unchanged
+//! (a ~4 % reduction, since 2·52 < 108 < 2·56). Both facts are encoded and
+//! tested here.
+
+use crate::ofdm::ChannelWidth;
+use crate::units::linear_to_db;
+
+/// Thermal noise power density at T ≈ 290 K: −174 dBm/Hz.
+pub const THERMAL_NOISE_DENSITY_DBM_PER_HZ: f64 = -174.0;
+
+/// Noise floor (dBm) of an ideal receiver over bandwidth `bandwidth_hz`.
+///
+/// `N = −174 + 10·log10(B)` — Eq. 1 in the paper.
+pub fn noise_floor_dbm(bandwidth_hz: f64) -> f64 {
+    THERMAL_NOISE_DENSITY_DBM_PER_HZ + linear_to_db(bandwidth_hz)
+}
+
+/// Noise floor (dBm) of a receiver with noise figure `nf_db` over a whole
+/// 802.11n channel of the given width.
+pub fn channel_noise_floor_dbm(width: ChannelWidth, nf_db: f64) -> f64 {
+    noise_floor_dbm(width.bandwidth_hz()) + nf_db
+}
+
+/// Per-data-subcarrier noise power (dBm), assuming noise is uniformly
+/// distributed over the populated subcarriers of the channel.
+///
+/// The paper notes this is nearly identical for 20 and 40 MHz channels
+/// ("in theory there is just a 4% reduction").
+pub fn per_subcarrier_noise_dbm(width: ChannelWidth, nf_db: f64) -> f64 {
+    channel_noise_floor_dbm(width, nf_db) - linear_to_db(width.data_subcarriers() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_mhz_noise_floor_is_about_minus_101_dbm() {
+        let n = noise_floor_dbm(20e6);
+        assert!((n - (-100.99)).abs() < 0.05, "n = {n}");
+    }
+
+    #[test]
+    fn bonding_raises_total_noise_by_three_db() {
+        let n20 = noise_floor_dbm(ChannelWidth::Ht20.bandwidth_hz());
+        let n40 = noise_floor_dbm(ChannelWidth::Ht40.bandwidth_hz());
+        assert!((n40 - n20 - 3.0103).abs() < 1e-3);
+    }
+
+    #[test]
+    fn per_subcarrier_noise_nearly_unchanged_by_bonding() {
+        // The paper: "the noise per subcarrier can be expected to remain
+        // almost the same ... in theory there is just a 4% reduction".
+        let p20 = per_subcarrier_noise_dbm(ChannelWidth::Ht20, 0.0);
+        let p40 = per_subcarrier_noise_dbm(ChannelWidth::Ht40, 0.0);
+        let ratio = 10f64.powf((p40 - p20) / 10.0);
+        assert!((ratio - 2.0 * 52.0 / 108.0).abs() < 1e-6);
+        assert!(ratio > 0.94 && ratio < 0.98, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn noise_figure_shifts_floor_linearly() {
+        let ideal = channel_noise_floor_dbm(ChannelWidth::Ht20, 0.0);
+        let real = channel_noise_floor_dbm(ChannelWidth::Ht20, 6.0);
+        assert!((real - ideal - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,113 @@
+//! Decibel / milliwatt unit conversions used throughout the PHY stack.
+//!
+//! All link-budget arithmetic in the crate is done in dB/dBm because that is
+//! how the paper reasons about channel bonding ("a 3 dB reduction in the
+//! power per sub-carrier"). These helpers are the single source of truth for
+//! converting to and from linear units.
+
+/// Converts a power ratio expressed in decibels to a linear ratio.
+///
+/// `db_to_linear(3.0)` ≈ 2.0, `db_to_linear(-3.0)` ≈ 0.5.
+#[inline]
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a linear power ratio to decibels.
+///
+/// Returns `f64::NEG_INFINITY` for a zero ratio (silence), and NaN for
+/// negative input (powers are non-negative; a negative argument is a caller
+/// bug that we surface rather than mask).
+#[inline]
+pub fn linear_to_db(ratio: f64) -> f64 {
+    10.0 * ratio.log10()
+}
+
+/// Converts an absolute power in dBm to milliwatts.
+#[inline]
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// Converts an absolute power in milliwatts to dBm.
+#[inline]
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    10.0 * mw.log10()
+}
+
+/// Adds two powers expressed in dBm (i.e. sums them in the linear domain).
+///
+/// Useful for aggregating interference from several transmitters.
+#[inline]
+pub fn dbm_add(a_dbm: f64, b_dbm: f64) -> f64 {
+    mw_to_dbm(dbm_to_mw(a_dbm) + dbm_to_mw(b_dbm))
+}
+
+/// Sums an iterator of powers in dBm in the linear domain.
+///
+/// Returns `f64::NEG_INFINITY` (no power) for an empty iterator.
+pub fn dbm_sum<I: IntoIterator<Item = f64>>(powers_dbm: I) -> f64 {
+    let total_mw: f64 = powers_dbm.into_iter().map(dbm_to_mw).sum();
+    if total_mw == 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        mw_to_dbm(total_mw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn db_roundtrip() {
+        for db in [-30.0, -3.0, 0.0, 3.0, 10.0, 23.5] {
+            assert!(close(linear_to_db(db_to_linear(db)), db, 1e-9));
+        }
+    }
+
+    #[test]
+    fn dbm_roundtrip() {
+        for dbm in [-95.0, -60.0, 0.0, 15.0, 23.0] {
+            assert!(close(mw_to_dbm(dbm_to_mw(dbm)), dbm, 1e-9));
+        }
+    }
+
+    #[test]
+    fn three_db_is_a_factor_of_two() {
+        assert!(close(db_to_linear(3.0103), 2.0, 1e-3));
+        assert!(close(db_to_linear(-3.0103), 0.5, 1e-4));
+    }
+
+    #[test]
+    fn zero_dbm_is_one_milliwatt() {
+        assert!(close(dbm_to_mw(0.0), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn dbm_add_doubles_equal_powers() {
+        // Two equal interferers add up to +3 dB.
+        assert!(close(dbm_add(-60.0, -60.0), -56.9897, 1e-3));
+    }
+
+    #[test]
+    fn dbm_sum_empty_is_silence() {
+        assert_eq!(dbm_sum(std::iter::empty()), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn dbm_sum_matches_pairwise_add() {
+        let s = dbm_sum([-70.0, -70.0, -70.0]);
+        let p = dbm_add(dbm_add(-70.0, -70.0), -70.0);
+        assert!(close(s, p, 1e-9));
+    }
+
+    #[test]
+    fn linear_to_db_of_zero_is_neg_infinity() {
+        assert_eq!(linear_to_db(0.0), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,278 @@
+//! Closed-loop churn simulation: session arrivals/departures driving
+//! Algorithm 1, with periodic Algorithm 2 re-allocation every `T` seconds
+//! — the operating regime the paper designs for ("we run our channel
+//! allocation algorithm every 30 minutes", §4.2).
+
+use acorn_core::{AcornController, NetworkState};
+use acorn_topology::{ClientId, Wlan};
+use acorn_traces::Session;
+
+/// Configuration of a churn run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// Simulated horizon (s).
+    pub horizon_s: f64,
+    /// Re-allocation period `T` (s); the paper's value is 1800.
+    pub reallocation_period_s: f64,
+    /// Random restarts per re-allocation.
+    pub restarts: usize,
+    /// Run the opportunistic width adaptation after every event.
+    pub adapt_widths: bool,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            horizon_s: 4.0 * 3600.0,
+            reallocation_period_s: acorn_traces::REALLOCATION_PERIOD_S,
+            restarts: 4,
+            adapt_widths: false,
+        }
+    }
+}
+
+/// One re-allocation snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Snapshot {
+    /// Simulation time (s).
+    pub t_s: f64,
+    /// Clients associated at this instant.
+    pub active_clients: usize,
+    /// Predicted network throughput before re-allocation (bits/s).
+    pub before_bps: f64,
+    /// Predicted network throughput after re-allocation (bits/s).
+    pub after_bps: f64,
+    /// Channel switches the re-allocation performed.
+    pub switches: usize,
+}
+
+/// Result of a churn run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnReport {
+    /// One entry per re-allocation epoch.
+    pub snapshots: Vec<Snapshot>,
+    /// The final network state.
+    pub final_state: NetworkState,
+}
+
+impl ChurnReport {
+    /// Time-averaged post-re-allocation throughput (bits/s).
+    pub fn mean_after_bps(&self) -> f64 {
+        if self.snapshots.is_empty() {
+            0.0
+        } else {
+            self.snapshots.iter().map(|s| s.after_bps).sum::<f64>() / self.snapshots.len() as f64
+        }
+    }
+
+    /// Total channel switches across the run.
+    pub fn total_switches(&self) -> usize {
+        self.snapshots.iter().map(|s| s.switches).sum()
+    }
+}
+
+/// Runs the closed loop. `wlan` must have at least one client slot per
+/// session (`sessions[i].client` indexes `wlan.clients`).
+pub fn run_churn(
+    wlan: &Wlan,
+    ctl: &AcornController,
+    sessions: &[Session],
+    config: &ChurnConfig,
+    seed: u64,
+) -> ChurnReport {
+    for s in sessions {
+        assert!(
+            s.client < wlan.clients.len(),
+            "session client {} has no position in the deployment",
+            s.client
+        );
+    }
+    enum Ev {
+        Arrive(usize),
+        Depart(usize),
+        Reallocate,
+    }
+    let mut events: Vec<(f64, Ev)> = Vec::new();
+    for s in sessions {
+        if s.start_s < config.horizon_s {
+            events.push((s.start_s, Ev::Arrive(s.client)));
+            events.push((s.end_s().min(config.horizon_s), Ev::Depart(s.client)));
+        }
+    }
+    let mut t = config.reallocation_period_s;
+    while t < config.horizon_s {
+        events.push((t, Ev::Reallocate));
+        t += config.reallocation_period_s;
+    }
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+    let mut state = ctl.new_state(wlan, seed);
+    let mut snapshots = Vec::new();
+    let mut realloc_seed = seed.wrapping_add(1);
+    for (time, ev) in events {
+        match ev {
+            Ev::Arrive(c) => {
+                ctl.associate(wlan, &mut state, ClientId(c));
+                if config.adapt_widths {
+                    ctl.adapt_widths(wlan, &mut state);
+                }
+            }
+            Ev::Depart(c) => {
+                ctl.deassociate(&mut state, ClientId(c));
+                if config.adapt_widths {
+                    ctl.adapt_widths(wlan, &mut state);
+                }
+            }
+            Ev::Reallocate => {
+                let before = ctl.total_throughput_bps(wlan, &state);
+                let active = state.assoc.iter().filter(|a| a.is_some()).count();
+                let r = ctl.reallocate_with_restarts(wlan, &mut state, config.restarts, realloc_seed);
+                realloc_seed = realloc_seed.wrapping_add(1);
+                if config.adapt_widths {
+                    ctl.adapt_widths(wlan, &mut state);
+                }
+                snapshots.push(Snapshot {
+                    t_s: time,
+                    active_clients: active,
+                    before_bps: before,
+                    after_bps: r.total_bps,
+                    switches: r.switches,
+                });
+            }
+        }
+    }
+    ChurnReport {
+        snapshots,
+        final_state: state,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::enterprise_grid;
+    use acorn_core::AcornConfig;
+    use acorn_traces::SessionGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(horizon_s: f64) -> (Wlan, AcornController, Vec<Session>) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sessions = SessionGenerator::enterprise_default().generate(&mut rng, horizon_s);
+        let wlan = enterprise_grid(2, 2, 50.0, sessions.len().max(1), 2);
+        (wlan, AcornController::new(AcornConfig::default()), sessions)
+    }
+
+    #[test]
+    fn snapshot_cadence_matches_the_period() {
+        let (wlan, ctl, sessions) = setup(7200.0);
+        let cfg = ChurnConfig {
+            horizon_s: 7200.0,
+            reallocation_period_s: 1800.0,
+            restarts: 2,
+            adapt_widths: false,
+        };
+        let report = run_churn(&wlan, &ctl, &sessions, &cfg, 3);
+        assert_eq!(report.snapshots.len(), 3); // t = 1800, 3600, 5400
+        for (i, s) in report.snapshots.iter().enumerate() {
+            assert!((s.t_s - 1800.0 * (i + 1) as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reallocation_never_reduces_predicted_throughput() {
+        let (wlan, ctl, sessions) = setup(7200.0);
+        let report = run_churn(
+            &wlan,
+            &ctl,
+            &sessions,
+            &ChurnConfig {
+                horizon_s: 7200.0,
+                ..ChurnConfig::default()
+            },
+            5,
+        );
+        for s in &report.snapshots {
+            assert!(
+                s.after_bps + 1.0 >= s.before_bps,
+                "t={}: {} -> {}",
+                s.t_s,
+                s.before_bps,
+                s.after_bps
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let (wlan, ctl, sessions) = setup(3600.0);
+        let cfg = ChurnConfig {
+            horizon_s: 3600.0,
+            restarts: 2,
+            ..ChurnConfig::default()
+        };
+        let a = run_churn(&wlan, &ctl, &sessions, &cfg, 9);
+        let b = run_churn(&wlan, &ctl, &sessions, &cfg, 9);
+        assert_eq!(a.snapshots, b.snapshots);
+        assert_eq!(a.final_state, b.final_state);
+    }
+
+    #[test]
+    fn all_sessions_eventually_depart() {
+        let (wlan, ctl, sessions) = setup(3600.0);
+        let report = run_churn(
+            &wlan,
+            &ctl,
+            &sessions,
+            &ChurnConfig {
+                horizon_s: 1e9, // long enough for every session to end
+                reallocation_period_s: 1e8,
+                restarts: 1,
+                adapt_widths: false,
+            },
+            11,
+        );
+        assert!(report.final_state.assoc.iter().all(|a| a.is_none()));
+    }
+
+    #[test]
+    fn adaptation_keeps_operating_widths_legal() {
+        let (wlan, ctl, sessions) = setup(3600.0);
+        let report = run_churn(
+            &wlan,
+            &ctl,
+            &sessions,
+            &ChurnConfig {
+                horizon_s: 3600.0,
+                adapt_widths: true,
+                restarts: 2,
+                ..ChurnConfig::default()
+            },
+            13,
+        );
+        for (a, w) in report
+            .final_state
+            .assignments
+            .iter()
+            .zip(&report.final_state.operating_width)
+        {
+            // Operating width never exceeds the assigned width.
+            assert!(
+                *w == a.width() || *w == acorn_phy::ChannelWidth::Ht20,
+                "{a:?} operating at {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no position")]
+    fn oversized_session_index_panics() {
+        let (wlan, ctl, _) = setup(100.0);
+        let bogus = vec![Session {
+            client: wlan.clients.len() + 5,
+            start_s: 0.0,
+            duration_s: 10.0,
+        }];
+        run_churn(&wlan, &ctl, &bogus, &ChurnConfig::default(), 1);
+    }
+}

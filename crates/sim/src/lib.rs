@@ -1,0 +1,36 @@
+//! # acorn-sim — the evaluation harness
+//!
+//! Everything §5.2's testbed experiments need, in software:
+//!
+//! * [`stats`] — means, confidence intervals, linear fits, and the R²
+//!   check the paper uses to validate BER curves against theory.
+//! * [`traffic`] — saturated UDP and loss-sensitive TCP (Mathis-capped on
+//!   residual loss) traffic models.
+//! * [`scenario`] — the paper's scripted topologies (Figs. 10–11), the
+//!   mobility corridor, and randomized enterprise-floor deployments.
+//! * [`runner`] — scores (channels, association) configurations per-AP
+//!   and network-wide, analytically or via the slot-level DCF simulator.
+//! * [`mobility`] — the Fig. 12/13 pedestrian walks with fixed-width vs
+//!   ACORN-adaptive policies.
+//! * [`churn`] — the closed loop: session arrivals/departures driving
+//!   Algorithm 1 with periodic Algorithm 2 re-allocation every T.
+//! * [`interference`] — SINR-aware evaluation with far-field (hidden)
+//!   co-spectrum interferers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod interference;
+pub mod mobility;
+pub mod runner;
+pub mod scenario;
+pub mod stats;
+pub mod traffic;
+
+pub use churn::{run_churn, ChurnConfig, ChurnReport, Snapshot};
+pub use interference::evaluate_analytic_sinr;
+pub use mobility::{paper_walk, MobilityExperiment, MobilitySample, Trajectory, WidthPolicy};
+pub use runner::{evaluate_analytic, evaluate_dcf, Evaluation};
+pub use scenario::{enterprise_grid, fig11, topology1, topology2};
+pub use traffic::Traffic;

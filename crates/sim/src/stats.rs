@@ -1,0 +1,142 @@
+//! Experiment statistics: summary measures, confidence intervals, linear
+//! regression and the coefficient of determination.
+//!
+//! The paper validates its measured BER curves against theory with "the
+//! coefficient of determination \[23\] ... 0.8 and 0.89 for 20 and 40 MHz"
+//! — [`r_squared`] reproduces that check for our Monte-Carlo curves.
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (n−1 denominator). Returns 0 for fewer than
+/// two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Half-width of the ~95 % confidence interval on the mean
+/// (1.96·σ/√n; normal approximation).
+pub fn ci95_half_width(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    1.96 * std_dev(xs) / (xs.len() as f64).sqrt()
+}
+
+/// Coefficient of determination of `predicted` against `observed`:
+/// `R² = 1 − SS_res / SS_tot`. 1.0 is a perfect fit; values can go
+/// negative for fits worse than the observed mean.
+pub fn r_squared(observed: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(observed.len(), predicted.len(), "length mismatch");
+    assert!(!observed.is_empty(), "empty sample");
+    let m = mean(observed);
+    let ss_tot: f64 = observed.iter().map(|y| (y - m).powi(2)).sum();
+    let ss_res: f64 = observed
+        .iter()
+        .zip(predicted)
+        .map(|(y, f)| (y - f).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Ordinary least-squares line fit: returns `(slope, intercept)`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    assert!(xs.len() >= 2, "need at least two points");
+    let mx = mean(xs);
+    let my = mean(ys);
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    assert!(sxx > 0.0, "degenerate x values");
+    let slope = sxy / sxx;
+    (slope, my - slope * mx)
+}
+
+/// Geometric mean of strictly positive values (useful for summarizing
+/// throughput ratios/gains).
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "empty sample");
+    assert!(xs.iter().all(|x| *x > 0.0), "values must be positive");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((std_dev(&xs) - 2.138).abs() < 0.001);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn ci_narrows_with_samples() {
+        let small: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let large: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        assert!(ci95_half_width(&large) < ci95_half_width(&small));
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean_fits() {
+        let obs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(r_squared(&obs, &obs), 1.0);
+        let mean_fit = [2.5; 4];
+        assert!((r_squared(&obs, &mean_fit) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_detects_good_fit() {
+        let obs = [1.0, 2.1, 2.9, 4.2];
+        let pred = [1.0, 2.0, 3.0, 4.0];
+        assert!(r_squared(&obs, &pred) > 0.98);
+    }
+
+    #[test]
+    fn linear_fit_recovers_a_line() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 7.0).collect();
+        let (m, b) = linear_fit(&xs, &ys);
+        assert!((m - 3.0).abs() < 1e-9);
+        assert!((b + 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_mean_of_ratios() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn r_squared_length_mismatch_panics() {
+        r_squared(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_nonpositive() {
+        geometric_mean(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Traffic models: saturated UDP and loss-sensitive TCP.
+//!
+//! The paper evaluates both: saturated downlink UDP (the regime its
+//! analysis assumes) and TCP, noting that "TCP is more sensitive to packet
+//! losses and as a result even small PER increments can significantly
+//! degrade performance" (≈30 % of TCP trials prefer 20 MHz vs ≈10 % for
+//! UDP in Fig. 6a).
+//!
+//! * **UDP**: the per-client goodput is the MAC share computed by the
+//!   anomaly airtime model — no transport effects.
+//! * **TCP**: per client, the goodput is capped both by its MAC share
+//!   (scaled by an ACK/congestion efficiency factor) and by the Mathis
+//!   throughput law `MSS/(RTT·√(2p/3))` evaluated at the *residual* loss
+//!   probability — the loss TCP actually sees after the MAC's limited
+//!   retransmissions.
+
+use acorn_mac::airtime::{CellAirtime, ClientLink};
+
+/// Traffic type for an evaluation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Traffic {
+    /// Saturated downlink UDP.
+    Udp,
+    /// Long-lived downlink TCP flows.
+    Tcp {
+        /// End-to-end round-trip time (s); enterprise WLAN + wired
+        /// backhaul sits around 10 ms under load.
+        rtt_s: f64,
+    },
+}
+
+impl Traffic {
+    /// Default TCP parameters.
+    pub fn tcp_default() -> Traffic {
+        Traffic::Tcp { rtt_s: 0.010 }
+    }
+}
+
+/// TCP efficiency relative to UDP on a loss-free link (TCP ACK airtime in
+/// the reverse direction plus congestion-control headroom).
+pub const TCP_EFFICIENCY: f64 = 0.75;
+
+/// MAC retransmissions TCP segments effectively get before the loss
+/// becomes visible end-to-end (per-MPDU attempts = this + 1).
+pub const MAC_RETX_FOR_TCP: u32 = 2;
+
+/// Residual end-to-end loss probability of a link with MAC-layer PER
+/// `per`: every attempt fails independently.
+pub fn residual_loss(per: f64) -> f64 {
+    per.clamp(0.0, 1.0).powi(MAC_RETX_FOR_TCP as i32 + 1)
+}
+
+/// Mathis et al. TCP throughput cap (bits/s) for segment size
+/// `mss_bytes`, round-trip `rtt_s` and loss probability `p`.
+pub fn mathis_cap_bps(mss_bytes: u32, rtt_s: f64, p: f64) -> f64 {
+    if p <= 0.0 {
+        return f64::INFINITY;
+    }
+    8.0 * mss_bytes as f64 / (rtt_s * (2.0 * p / 3.0).sqrt())
+}
+
+/// Per-client goodputs of one cell under a traffic model, given the
+/// cell's airtime accounting, its clients' MAC operating points, and the
+/// AP's channel-access share `m`.
+pub fn per_client_goodputs_bps(
+    airtime: &CellAirtime,
+    clients: &[ClientLink],
+    m: f64,
+    traffic: Traffic,
+) -> Vec<f64> {
+    assert_eq!(airtime.delays_s.len(), clients.len(), "accounting mismatch");
+    let udp_share = airtime.per_client_throughput_bps(m);
+    match traffic {
+        Traffic::Udp => vec![udp_share; clients.len()],
+        Traffic::Tcp { rtt_s } => clients
+            .iter()
+            .map(|c| {
+                let p = residual_loss(c.per);
+                let cap = mathis_cap_bps(airtime.payload_bytes, rtt_s, p);
+                (TCP_EFFICIENCY * udp_share).min(cap)
+            })
+            .collect(),
+    }
+}
+
+/// Aggregate cell throughput under a traffic model.
+pub fn cell_goodput_bps(
+    airtime: &CellAirtime,
+    clients: &[ClientLink],
+    m: f64,
+    traffic: Traffic,
+) -> f64 {
+    per_client_goodputs_bps(airtime, clients, m, traffic)
+        .iter()
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(rate_mbps: f64, per: f64) -> ClientLink {
+        ClientLink {
+            rate_bps: rate_mbps * 1e6,
+            per,
+        }
+    }
+
+    fn cell(clients: &[ClientLink]) -> CellAirtime {
+        CellAirtime::new(clients, 1500)
+    }
+
+    #[test]
+    fn udp_equals_the_anomaly_share() {
+        let clients = [link(65.0, 0.0), link(13.0, 0.1)];
+        let a = cell(&clients);
+        let g = per_client_goodputs_bps(&a, &clients, 1.0, Traffic::Udp);
+        let expect = a.per_client_throughput_bps(1.0);
+        assert!(g.iter().all(|x| (*x - expect).abs() < 1e-9));
+    }
+
+    #[test]
+    fn tcp_is_below_udp() {
+        let clients = [link(65.0, 0.02)];
+        let a = cell(&clients);
+        let udp = cell_goodput_bps(&a, &clients, 1.0, Traffic::Udp);
+        let tcp = cell_goodput_bps(&a, &clients, 1.0, Traffic::tcp_default());
+        assert!(tcp < udp);
+        assert!(tcp > 0.5 * udp, "clean-ish link shouldn't collapse: {tcp:.3e} vs {udp:.3e}");
+    }
+
+    #[test]
+    fn tcp_punishes_lossy_links_disproportionately() {
+        // The Fig. 6a asymmetry: raising PER hurts TCP more than UDP.
+        let clean = [link(65.0, 0.0)];
+        let lossy = [link(65.0, 0.5)];
+        let udp_drop = cell_goodput_bps(&cell(&lossy), &lossy, 1.0, Traffic::Udp)
+            / cell_goodput_bps(&cell(&clean), &clean, 1.0, Traffic::Udp);
+        let tcp_drop = cell_goodput_bps(&cell(&lossy), &lossy, 1.0, Traffic::tcp_default())
+            / cell_goodput_bps(&cell(&clean), &clean, 1.0, Traffic::tcp_default());
+        assert!(tcp_drop < udp_drop, "tcp {tcp_drop} !< udp {udp_drop}");
+    }
+
+    #[test]
+    fn residual_loss_is_cubed_per() {
+        assert!((residual_loss(0.1) - 1e-3).abs() < 1e-12);
+        assert_eq!(residual_loss(0.0), 0.0);
+        assert_eq!(residual_loss(1.0), 1.0);
+    }
+
+    #[test]
+    fn mathis_cap_behaviour() {
+        assert_eq!(mathis_cap_bps(1500, 0.01, 0.0), f64::INFINITY);
+        let high_loss = mathis_cap_bps(1500, 0.01, 0.1);
+        let low_loss = mathis_cap_bps(1500, 0.01, 0.001);
+        assert!(low_loss > high_loss);
+        // 100× lower loss → √100 = 10× higher cap.
+        assert!((low_loss / high_loss - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tcp_on_a_clean_link_is_just_the_efficiency_factor() {
+        let clients = [link(130.0, 0.0)];
+        let a = cell(&clients);
+        let udp = cell_goodput_bps(&a, &clients, 1.0, Traffic::Udp);
+        let tcp = cell_goodput_bps(&a, &clients, 1.0, Traffic::tcp_default());
+        assert!((tcp / udp - TCP_EFFICIENCY).abs() < 1e-9);
+    }
+
+    #[test]
+    fn access_share_scales_both_models() {
+        let clients = [link(65.0, 0.05)];
+        let a = cell(&clients);
+        for traffic in [Traffic::Udp, Traffic::tcp_default()] {
+            let full = cell_goodput_bps(&a, &clients, 1.0, traffic);
+            let half = cell_goodput_bps(&a, &clients, 0.5, traffic);
+            assert!(half <= 0.5 * full + 1e-9, "{traffic:?}");
+        }
+    }
+}

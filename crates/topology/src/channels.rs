@@ -1,0 +1,257 @@
+//! The 5 GHz channel plan: 20 MHz channels, legal 40 MHz bonded pairs, and
+//! the spectral-conflict rules behind the paper's graph-colouring
+//! formulation.
+//!
+//! §4.2 casts channel allocation as colouring with *basic* colours (20 MHz
+//! channels) and *composite* colours (a 40 MHz channel formed from two
+//! adjacent 20 MHz channels): "the basic colors ci and cj do not conflict;
+//! however, each of them conflicts with the composite color {ci, cj}".
+//! [`ChannelAssignment::conflicts`] implements exactly that relation via
+//! spectral overlap.
+//!
+//! The paper "employ\[s\] all the twelve 20 MHz channels available in the
+//! 5 GHz band"; [`ChannelPlan`] models a plan with any number of
+//! consecutive-index channels so the Fig. 14 experiments can restrict to
+//! 2, 4 or 6.
+
+use acorn_phy::ChannelWidth;
+
+/// IEEE channel numbers of the twelve 20 MHz channels the paper uses.
+pub const IEEE_5GHZ_CHANNELS: [u16; 12] = [36, 40, 44, 48, 52, 56, 60, 64, 100, 104, 108, 112];
+
+/// A 20 MHz channel, identified by its index `0..plan.n_channels` into the
+/// plan (not the IEEE number — use [`Channel20::ieee_number`] for that).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Channel20(pub u8);
+
+impl Channel20 {
+    /// The IEEE channel number, when the index falls inside the standard
+    /// 12-channel plan.
+    pub fn ieee_number(self) -> Option<u16> {
+        IEEE_5GHZ_CHANNELS.get(self.0 as usize).copied()
+    }
+
+    /// Whether `self` and `other` form a legal 40 MHz bond: adjacent
+    /// indices with the even index first (802.11n bonds 36+40, 44+48, … —
+    /// never 40+44, which straddles a bonding boundary).
+    pub fn bonds_with(self, other: Channel20) -> bool {
+        self.0 % 2 == 0 && other.0 == self.0 + 1
+    }
+}
+
+/// A channel assignment for one AP: a basic colour (single 20 MHz channel)
+/// or a composite colour (a bonded 40 MHz channel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelAssignment {
+    /// Single 20 MHz channel.
+    Single(Channel20),
+    /// Bonded 40 MHz channel built from a legal adjacent pair; the lower,
+    /// even-indexed channel is stored (the bond is `(c, c+1)`).
+    Bonded(Channel20),
+}
+
+impl ChannelAssignment {
+    /// Creates a bonded assignment from the lower channel of a legal pair.
+    /// Returns `None` if `lower` has an odd index (illegal bond).
+    pub fn bonded(lower: Channel20) -> Option<ChannelAssignment> {
+        (lower.0 % 2 == 0).then_some(ChannelAssignment::Bonded(lower))
+    }
+
+    /// The operating width of this assignment.
+    pub fn width(self) -> ChannelWidth {
+        match self {
+            ChannelAssignment::Single(_) => ChannelWidth::Ht20,
+            ChannelAssignment::Bonded(_) => ChannelWidth::Ht40,
+        }
+    }
+
+    /// The set of 20 MHz channel indices this assignment occupies.
+    pub fn occupied(self) -> impl Iterator<Item = Channel20> {
+        let (first, second) = match self {
+            ChannelAssignment::Single(c) => (c, None),
+            ChannelAssignment::Bonded(c) => (c, Some(Channel20(c.0 + 1))),
+        };
+        std::iter::once(first).chain(second)
+    }
+
+    /// Spectral conflict: two assignments conflict iff they share at least
+    /// one 20 MHz channel. This realizes the paper's colour rules:
+    /// * basic `ci` vs basic `cj`, i≠j → no conflict;
+    /// * basic `ci` vs composite `{ci, cj}` → conflict;
+    /// * composite vs composite sharing a member → conflict.
+    pub fn conflicts(self, other: ChannelAssignment) -> bool {
+        self.occupied().any(|a| other.occupied().any(|b| a == b))
+    }
+
+    /// The primary 20 MHz channel (the stored one). For bonded channels
+    /// this is the channel an AP falls back to when it "opts out from
+    /// using CB and only employ\[s\] the 20 MHz channel (one of the two
+    /// assigned)" — the mobility mode of §5.2.
+    pub fn primary(self) -> Channel20 {
+        match self {
+            ChannelAssignment::Single(c) | ChannelAssignment::Bonded(c) => c,
+        }
+    }
+
+    /// The 20 MHz fallback assignment of a bonded channel (itself for a
+    /// single channel).
+    pub fn fallback_20(self) -> ChannelAssignment {
+        ChannelAssignment::Single(self.primary())
+    }
+}
+
+/// A plan of `n_channels` orthogonal 20 MHz channels (indices
+/// `0..n_channels`), with bonding allowed on even/odd adjacent pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelPlan {
+    /// Number of available 20 MHz channels.
+    pub n_channels: u8,
+}
+
+impl ChannelPlan {
+    /// The full 12-channel 5 GHz plan the paper's testbed uses.
+    pub fn full_5ghz() -> ChannelPlan {
+        ChannelPlan { n_channels: 12 }
+    }
+
+    /// A restricted plan with the first `n` channels (Fig. 14 uses 2, 4, 6;
+    /// Fig. 11 uses 4).
+    pub fn restricted(n: u8) -> ChannelPlan {
+        assert!(n >= 1 && n <= 12, "plan must have 1..=12 channels");
+        ChannelPlan { n_channels: n }
+    }
+
+    /// All single-channel assignments in the plan.
+    pub fn singles(&self) -> impl Iterator<Item = ChannelAssignment> + '_ {
+        (0..self.n_channels).map(|i| ChannelAssignment::Single(Channel20(i)))
+    }
+
+    /// All legal bonded assignments in the plan.
+    pub fn bonds(&self) -> impl Iterator<Item = ChannelAssignment> + '_ {
+        (0..self.n_channels.saturating_sub(1))
+            .step_by(2)
+            .map(|i| ChannelAssignment::Bonded(Channel20(i)))
+    }
+
+    /// Every assignment (the full colour set `Ch` of Algorithm 2: basic
+    /// and composite colours).
+    pub fn all_assignments(&self) -> Vec<ChannelAssignment> {
+        self.singles().chain(self.bonds()).collect()
+    }
+
+    /// Whether an assignment is legal under this plan.
+    pub fn contains(&self, a: ChannelAssignment) -> bool {
+        a.occupied().all(|c| c.0 < self.n_channels)
+            && match a {
+                ChannelAssignment::Single(_) => true,
+                ChannelAssignment::Bonded(c) => c.0 % 2 == 0,
+            }
+    }
+
+    /// Number of APs that can simultaneously run 40 MHz without conflicts.
+    pub fn max_simultaneous_bonds(&self) -> usize {
+        (self.n_channels / 2) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_plan_has_twelve_singles_and_six_bonds() {
+        let plan = ChannelPlan::full_5ghz();
+        assert_eq!(plan.singles().count(), 12);
+        assert_eq!(plan.bonds().count(), 6);
+        assert_eq!(plan.all_assignments().len(), 18);
+        assert_eq!(plan.max_simultaneous_bonds(), 6);
+    }
+
+    #[test]
+    fn ieee_numbers() {
+        assert_eq!(Channel20(0).ieee_number(), Some(36));
+        assert_eq!(Channel20(11).ieee_number(), Some(112));
+        assert_eq!(Channel20(12).ieee_number(), None);
+    }
+
+    #[test]
+    fn bonding_legality() {
+        assert!(Channel20(0).bonds_with(Channel20(1)));
+        assert!(!Channel20(1).bonds_with(Channel20(2)), "straddles bond boundary");
+        assert!(!Channel20(0).bonds_with(Channel20(2)));
+        assert!(ChannelAssignment::bonded(Channel20(4)).is_some());
+        assert!(ChannelAssignment::bonded(Channel20(3)).is_none());
+    }
+
+    #[test]
+    fn paper_conflict_rules() {
+        let c0 = ChannelAssignment::Single(Channel20(0));
+        let c1 = ChannelAssignment::Single(Channel20(1));
+        let b01 = ChannelAssignment::bonded(Channel20(0)).unwrap();
+        let b23 = ChannelAssignment::bonded(Channel20(2)).unwrap();
+        // Basic vs basic: no conflict.
+        assert!(!c0.conflicts(c1));
+        // Basic vs the composite containing it: conflict (both members).
+        assert!(c0.conflicts(b01));
+        assert!(c1.conflicts(b01));
+        // Composite vs disjoint composite: no conflict.
+        assert!(!b01.conflicts(b23));
+        // Same colour conflicts with itself.
+        assert!(c0.conflicts(c0));
+        assert!(b01.conflicts(b01));
+    }
+
+    #[test]
+    fn conflict_is_symmetric() {
+        let plan = ChannelPlan::full_5ghz();
+        let all = plan.all_assignments();
+        for a in &all {
+            for b in &all {
+                assert_eq!(a.conflicts(*b), b.conflicts(*a), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn widths_and_fallback() {
+        let b = ChannelAssignment::bonded(Channel20(2)).unwrap();
+        assert_eq!(b.width(), ChannelWidth::Ht40);
+        assert_eq!(b.fallback_20(), ChannelAssignment::Single(Channel20(2)));
+        assert_eq!(b.fallback_20().width(), ChannelWidth::Ht20);
+        // Falling back keeps occupancy inside the original bond, so
+        // neighbours' decisions stay valid (§5.2 mobility argument).
+        assert!(b.fallback_20().occupied().all(|c| b.occupied().any(|x| x == c)));
+    }
+
+    #[test]
+    fn restricted_plans() {
+        let plan = ChannelPlan::restricted(4);
+        assert_eq!(plan.singles().count(), 4);
+        assert_eq!(plan.bonds().count(), 2);
+        assert!(plan.contains(ChannelAssignment::Single(Channel20(3))));
+        assert!(!plan.contains(ChannelAssignment::Single(Channel20(4))));
+        assert!(!plan.contains(ChannelAssignment::Bonded(Channel20(4))));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=12")]
+    fn oversized_plan_panics() {
+        ChannelPlan::restricted(13);
+    }
+
+    #[test]
+    fn six_channels_allow_three_bonds() {
+        // The Fig. 14 setting: "6 orthogonal channels are enough for all
+        // of the [3] APs to simultaneously activate CB".
+        let plan = ChannelPlan::restricted(6);
+        let bonds: Vec<_> = plan.bonds().collect();
+        assert_eq!(bonds.len(), 3);
+        for (i, a) in bonds.iter().enumerate() {
+            for (j, b) in bonds.iter().enumerate() {
+                if i != j {
+                    assert!(!a.conflicts(*b));
+                }
+            }
+        }
+    }
+}

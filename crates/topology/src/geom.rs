@@ -1,0 +1,59 @@
+//! Plane geometry for node placement.
+
+/// A point in the deployment plane, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// x coordinate (m).
+    pub x: f64,
+    /// y coordinate (m).
+    pub y: f64,
+}
+
+impl Point {
+    /// Constructs a point.
+    pub fn new(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Linear interpolation `self + t·(other − self)` — used by the
+    /// mobility model to walk a client along a trajectory.
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point {
+            x: self.x + t * (other.x - self.x),
+            y: self.y + t * (other.y - self.y),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_345() {
+        assert_eq!(Point::new(0.0, 0.0).distance(&Point::new(3.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn distance_symmetric_and_zero_on_self() {
+        let a = Point::new(1.5, -2.0);
+        let b = Point::new(-0.5, 7.0);
+        assert_eq!(a.distance(&b), b.distance(&a));
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -4.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        let mid = a.lerp(&b, 0.5);
+        assert_eq!(mid, Point::new(5.0, -2.0));
+    }
+}

@@ -1,0 +1,174 @@
+//! The interference graph (IG) over access points.
+//!
+//! §4.2: "The set V of vertices of the interference graph G(V,E) are the
+//! APs. An edge e_ij ∈ E, if APs i and j interfere with each other." And
+//! footnote 5: "Two APs interfere with each other either if they directly
+//! compete for the medium or if either competes with at least one of the
+//! other AP's clients."
+//!
+//! The graph is small (one vertex per AP), so a dense adjacency matrix is
+//! the simplest robust representation.
+
+/// Identifier of an access point (index into the deployment's AP list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ApId(pub usize);
+
+/// An undirected interference graph over `n` APs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterferenceGraph {
+    n: usize,
+    adj: Vec<bool>, // row-major n×n
+}
+
+impl InterferenceGraph {
+    /// Creates an edgeless graph over `n` APs.
+    pub fn new(n: usize) -> InterferenceGraph {
+        InterferenceGraph {
+            n,
+            adj: vec![false; n * n],
+        }
+    }
+
+    /// Number of vertices (APs).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds an undirected edge. Self-loops are ignored (an AP always
+    /// contends with itself; the MAC model accounts for that separately).
+    pub fn add_edge(&mut self, a: ApId, b: ApId) {
+        assert!(a.0 < self.n && b.0 < self.n, "AP id out of range");
+        if a == b {
+            return;
+        }
+        self.adj[a.0 * self.n + b.0] = true;
+        self.adj[b.0 * self.n + a.0] = true;
+    }
+
+    /// Whether two APs interfere.
+    pub fn interferes(&self, a: ApId, b: ApId) -> bool {
+        a != b && self.adj[a.0 * self.n + b.0]
+    }
+
+    /// Iterator over the neighbours of `a`.
+    pub fn neighbors(&self, a: ApId) -> impl Iterator<Item = ApId> + '_ {
+        let n = self.n;
+        (0..n)
+            .filter(move |j| self.adj[a.0 * n + j])
+            .map(ApId)
+    }
+
+    /// Degree of vertex `a`.
+    pub fn degree(&self, a: ApId) -> usize {
+        self.neighbors(a).count()
+    }
+
+    /// Δ — the maximum node degree, which bounds the worst-case
+    /// approximation ratio O(1/(Δ+1)) of Algorithm 2.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|i| self.degree(ApId(i))).max().unwrap_or(0)
+    }
+
+    /// Total number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().filter(|b| **b).count() / 2
+    }
+
+    /// Builds a complete graph (every AP contends with every other) — the
+    /// worst case used in the approximation-ratio analysis.
+    pub fn complete(n: usize) -> InterferenceGraph {
+        let mut g = InterferenceGraph::new(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                g.add_edge(ApId(i), ApId(j));
+            }
+        }
+        g
+    }
+
+    /// Builds a graph from an explicit undirected edge list.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> InterferenceGraph {
+        let mut g = InterferenceGraph::new(n);
+        for &(a, b) in edges {
+            g.add_edge(ApId(a), ApId(b));
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = InterferenceGraph::new(0);
+        assert!(g.is_empty());
+        assert_eq!(g.max_degree(), 0);
+        let g3 = InterferenceGraph::new(3);
+        assert_eq!(g3.edge_count(), 0);
+        assert_eq!(g3.max_degree(), 0);
+    }
+
+    #[test]
+    fn edges_are_undirected() {
+        let g = InterferenceGraph::from_edges(3, &[(0, 1)]);
+        assert!(g.interferes(ApId(0), ApId(1)));
+        assert!(g.interferes(ApId(1), ApId(0)));
+        assert!(!g.interferes(ApId(0), ApId(2)));
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = InterferenceGraph::new(2);
+        g.add_edge(ApId(0), ApId(0));
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.interferes(ApId(0), ApId(0)));
+    }
+
+    #[test]
+    fn degrees_and_max_degree() {
+        // Star graph: center has degree 3, leaves degree 1, Δ = 3.
+        let g = InterferenceGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.degree(ApId(0)), 3);
+        assert_eq!(g.degree(ApId(1)), 1);
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn complete_graph_properties() {
+        let g = InterferenceGraph::complete(5);
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(g.max_degree(), 4);
+        for i in 0..5 {
+            assert_eq!(g.degree(ApId(i)), 4);
+        }
+    }
+
+    #[test]
+    fn neighbors_iteration() {
+        let g = InterferenceGraph::from_edges(4, &[(1, 2), (1, 3)]);
+        let n: Vec<usize> = g.neighbors(ApId(1)).map(|a| a.0).collect();
+        assert_eq!(n, vec![2, 3]);
+        assert_eq!(g.neighbors(ApId(0)).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = InterferenceGraph::new(2);
+        g.add_edge(ApId(0), ApId(5));
+    }
+
+    #[test]
+    fn duplicate_edges_counted_once() {
+        let g = InterferenceGraph::from_edges(3, &[(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(g.edge_count(), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! # acorn-topology — deployment geometry, propagation, channels and the
+//! interference graph
+//!
+//! The substrate the ACORN paper's testbed provides: where nodes are, how
+//! signals attenuate, which 5 GHz channels exist (and which pairs can be
+//! bonded into 40 MHz channels), and which APs interfere.
+//!
+//! * [`geom`] — plane geometry.
+//! * [`pathloss`] — free-space and log-distance models with *deterministic
+//!   per-link shadowing* (link qualities must be stable across channels of
+//!   the same width, the paper's Fig. 8 assumption).
+//! * [`channels`] — the 12-channel 5 GHz plan, legal 40 MHz bonds, and the
+//!   basic/composite colour-conflict rules of §4.2.
+//! * [`graph`] — the AP-level interference graph and its Δ (max degree).
+//! * [`wlan`] — a full deployment: APs, clients, radio parameters, link
+//!   budgets, interference-graph construction per the paper's footnote 5.
+//! * [`corpus`] — the synthetic 24-link testbed corpus and Fig. 5's four
+//!   representative links.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channels;
+pub mod corpus;
+pub mod geom;
+pub mod graph;
+pub mod pathloss;
+pub mod wlan;
+
+pub use channels::{Channel20, ChannelAssignment, ChannelPlan};
+pub use geom::Point;
+pub use graph::{ApId, InterferenceGraph};
+pub use pathloss::LogDistance;
+pub use wlan::{Ap, Client, ClientId, RadioParams, Wlan};

@@ -1,0 +1,179 @@
+//! Propagation models: free space and log-distance with lognormal
+//! shadowing.
+//!
+//! The paper's testbed spans indoor and outdoor links at 5 GHz with a wide
+//! range of link qualities; we regenerate an equivalent SNR spread with the
+//! standard log-distance model
+//!
+//! ```text
+//! PL(d) = PL(d0) + 10·n·log10(d/d0) + X_σ
+//! ```
+//!
+//! where the shadowing term `X_σ` is **deterministic per link** (hashed
+//! from a seed and the link endpoints): the paper measures that "the
+//! quality of a link does not exhibit significant variations in terms of
+//! PER on different channels of the same width" (Fig. 8), and ACORN's
+//! estimator relies on stable per-link qualities. A random-per-call
+//! shadowing draw would violate that invariant.
+
+/// Free-space path loss at distance `d_m` metres and frequency `freq_hz`:
+/// `PL = 20·log10(d) + 20·log10(f) − 147.55` dB.
+pub fn free_space_db(d_m: f64, freq_hz: f64) -> f64 {
+    let d = d_m.max(0.1);
+    20.0 * d.log10() + 20.0 * freq_hz.log10() - 147.55
+}
+
+/// Log-distance path-loss model with deterministic lognormal shadowing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogDistance {
+    /// Reference path loss at `d0 = 1 m`, in dB. At 5.2 GHz free space
+    /// gives ≈ 46.8 dB.
+    pub pl0_db: f64,
+    /// Path-loss exponent (2 = free space; 3–4 indoors).
+    pub exponent: f64,
+    /// Shadowing standard deviation in dB (0 disables shadowing).
+    pub shadowing_sigma_db: f64,
+    /// Seed mixed into the per-link shadowing hash.
+    pub seed: u64,
+}
+
+impl LogDistance {
+    /// An indoor-enterprise default at 5.2 GHz: PL(1 m) = 46.8 dB,
+    /// exponent 3.3, 4 dB shadowing.
+    pub fn indoor_5ghz(seed: u64) -> LogDistance {
+        LogDistance {
+            pl0_db: 46.8,
+            exponent: 3.3,
+            shadowing_sigma_db: 4.0,
+            seed,
+        }
+    }
+
+    /// Free-space-like variant (no shadowing, exponent 2).
+    pub fn free_space_5ghz() -> LogDistance {
+        LogDistance {
+            pl0_db: 46.8,
+            exponent: 2.0,
+            shadowing_sigma_db: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Median path loss at distance `d_m` (no shadowing term).
+    pub fn median_db(&self, d_m: f64) -> f64 {
+        self.pl0_db + 10.0 * self.exponent * (d_m.max(0.1)).log10()
+    }
+
+    /// Path loss for the link identified by `link_key`, including that
+    /// link's frozen shadowing realization. The same `(seed, link_key)`
+    /// always produces the same loss — the Fig. 8 stability property.
+    pub fn loss_db(&self, d_m: f64, link_key: u64) -> f64 {
+        self.median_db(d_m) + self.shadowing_db(link_key)
+    }
+
+    /// The frozen shadowing realization (dB) of a link.
+    pub fn shadowing_db(&self, link_key: u64) -> f64 {
+        if self.shadowing_sigma_db == 0.0 {
+            return 0.0;
+        }
+        // SplitMix64 over (seed, link_key) → two uniforms → Box–Muller.
+        let mut x = self.seed ^ link_key.wrapping_mul(0x9E3779B97F4A7C15);
+        let mut next = || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let u1 = (next() >> 11) as f64 / (1u64 << 53) as f64;
+        let u2 = (next() >> 11) as f64 / (1u64 << 53) as f64;
+        let g = (-2.0 * u1.max(1e-18).ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        g * self.shadowing_sigma_db
+    }
+}
+
+/// Builds a stable link key from two node identifiers (direction-less:
+/// `(a, b)` and `(b, a)` map to the same key, since path loss is
+/// reciprocal).
+pub fn link_key(a: u64, b: u64) -> u64 {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    lo.wrapping_mul(0x1000193) ^ hi.wrapping_mul(0x100000001B3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_space_known_value() {
+        // 5.2 GHz at 1 m: 20·log10(5.2e9) − 147.55 ≈ 46.77 dB.
+        let pl = free_space_db(1.0, 5.2e9);
+        assert!((pl - 46.77).abs() < 0.05, "pl = {pl}");
+    }
+
+    #[test]
+    fn free_space_slope_is_20db_per_decade() {
+        let f = 5.2e9;
+        assert!((free_space_db(100.0, f) - free_space_db(10.0, f) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_distance_slope_matches_exponent() {
+        let m = LogDistance::indoor_5ghz(1);
+        let d1 = m.median_db(10.0);
+        let d2 = m.median_db(100.0);
+        assert!((d2 - d1 - 33.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shadowing_is_deterministic_per_link() {
+        let m = LogDistance::indoor_5ghz(42);
+        let k = link_key(3, 7);
+        assert_eq!(m.loss_db(20.0, k), m.loss_db(20.0, k));
+        assert_eq!(m.shadowing_db(k), m.shadowing_db(k));
+    }
+
+    #[test]
+    fn shadowing_differs_across_links_and_seeds() {
+        let m = LogDistance::indoor_5ghz(42);
+        let a = m.shadowing_db(link_key(1, 2));
+        let b = m.shadowing_db(link_key(1, 3));
+        assert_ne!(a, b);
+        let m2 = LogDistance::indoor_5ghz(43);
+        assert_ne!(a, m2.shadowing_db(link_key(1, 2)));
+    }
+
+    #[test]
+    fn shadowing_statistics() {
+        let m = LogDistance {
+            shadowing_sigma_db: 6.0,
+            ..LogDistance::indoor_5ghz(7)
+        };
+        let n = 20_000u64;
+        let samples: Vec<f64> = (0..n).map(|i| m.shadowing_db(i)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.15, "mean {mean}");
+        assert!((var.sqrt() - 6.0).abs() < 0.2, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_sigma_means_no_shadowing() {
+        let m = LogDistance::free_space_5ghz();
+        assert_eq!(m.shadowing_db(link_key(5, 9)), 0.0);
+        assert_eq!(m.loss_db(10.0, link_key(5, 9)), m.median_db(10.0));
+    }
+
+    #[test]
+    fn link_key_is_symmetric() {
+        assert_eq!(link_key(12, 90), link_key(90, 12));
+        assert_ne!(link_key(12, 90), link_key(12, 91));
+    }
+
+    #[test]
+    fn tiny_distances_are_clamped() {
+        let m = LogDistance::indoor_5ghz(1);
+        assert!(m.median_db(0.0).is_finite());
+        assert!(free_space_db(0.0, 5.2e9).is_finite());
+    }
+}

@@ -1,0 +1,264 @@
+//! The enterprise WLAN deployment: APs, clients, radio parameters, link
+//! budgets and interference-graph construction.
+//!
+//! This is the substrate the paper's testbed provides: 18 two-antenna
+//! 802.11n nodes with 5 dBi omnis on the 5 GHz band. A [`Wlan`] value owns
+//! the geometry and the propagation model and answers the two questions
+//! every higher layer asks: *what is the SNR of link (AP, client)?* and
+//! *which APs interfere?*
+
+use crate::geom::Point;
+use crate::graph::{ApId, InterferenceGraph};
+use crate::pathloss::{link_key, LogDistance};
+use acorn_phy::{ChannelWidth, LinkBudget};
+
+/// Identifier of a client (index into the deployment's client list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClientId(pub usize);
+
+/// An access point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ap {
+    /// Position in the plane.
+    pub pos: Point,
+}
+
+/// A (possibly mobile) client station.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Client {
+    /// Position in the plane.
+    pub pos: Point,
+}
+
+/// Radio parameters shared by all nodes (the testbed is homogeneous).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioParams {
+    /// Transmit power in dBm. The paper's experiments mostly run at the
+    /// maximum power; 20 dBm is a typical 5 GHz cap.
+    pub tx_power_dbm: f64,
+    /// Combined Tx+Rx antenna gain in dBi (two 5 dBi omnis → 10 dBi).
+    pub antenna_gains_dbi: f64,
+    /// Receiver noise figure in dB.
+    pub noise_figure_db: f64,
+    /// Carrier-sense range in metres: nodes within this range compete for
+    /// the medium (footnote 5's "directly compete" relation).
+    pub carrier_sense_range_m: f64,
+}
+
+impl Default for RadioParams {
+    fn default() -> Self {
+        RadioParams {
+            tx_power_dbm: 20.0,
+            antenna_gains_dbi: 10.0,
+            noise_figure_db: 5.0,
+            carrier_sense_range_m: 80.0,
+        }
+    }
+}
+
+/// A full deployment: node positions, radio parameters and propagation.
+#[derive(Debug, Clone)]
+pub struct Wlan {
+    /// Access points.
+    pub aps: Vec<Ap>,
+    /// Client stations.
+    pub clients: Vec<Client>,
+    /// Shared radio parameters.
+    pub radio: RadioParams,
+    /// Propagation model (deterministic shadowing per link).
+    pub pathloss: LogDistance,
+}
+
+impl Wlan {
+    /// Creates a deployment from AP and client positions with default
+    /// radio parameters and the indoor 5 GHz propagation model.
+    pub fn new(ap_pos: Vec<Point>, client_pos: Vec<Point>, seed: u64) -> Wlan {
+        Wlan {
+            aps: ap_pos.into_iter().map(|pos| Ap { pos }).collect(),
+            clients: client_pos.into_iter().map(|pos| Client { pos }).collect(),
+            radio: RadioParams::default(),
+            pathloss: LogDistance::indoor_5ghz(seed),
+        }
+    }
+
+    /// Stable hash key for the (AP, client) link, offset so AP–AP and
+    /// AP–client keys never collide.
+    fn ap_client_key(&self, ap: ApId, client: ClientId) -> u64 {
+        link_key(ap.0 as u64, (client.0 + self.aps.len()) as u64 + 1_000_000)
+    }
+
+    /// Link budget of the downlink AP → client at the configured power.
+    pub fn link_budget(&self, ap: ApId, client: ClientId) -> LinkBudget {
+        self.link_budget_at_power(ap, client, self.radio.tx_power_dbm)
+    }
+
+    /// Link budget at an explicit transmit power (for power sweeps).
+    pub fn link_budget_at_power(&self, ap: ApId, client: ClientId, tx_dbm: f64) -> LinkBudget {
+        let d = self.aps[ap.0].pos.distance(&self.clients[client.0].pos);
+        LinkBudget {
+            tx_power_dbm: tx_dbm,
+            antenna_gains_dbi: self.radio.antenna_gains_dbi,
+            path_loss_db: self.pathloss.loss_db(d, self.ap_client_key(ap, client)),
+            noise_figure_db: self.radio.noise_figure_db,
+        }
+    }
+
+    /// Per-subcarrier SNR of the (AP, client) link at a width.
+    pub fn snr_db(&self, ap: ApId, client: ClientId, width: ChannelWidth) -> f64 {
+        self.link_budget(ap, client).snr_db(width)
+    }
+
+    /// Received power (dBm) of AP `from`'s signal at AP `to` — used for
+    /// interference accounting between cells.
+    pub fn ap_to_ap_rx_dbm(&self, from: ApId, to: ApId) -> f64 {
+        let d = self.aps[from.0].pos.distance(&self.aps[to.0].pos);
+        self.radio.tx_power_dbm + self.radio.antenna_gains_dbi
+            - self.pathloss.loss_db(d, link_key(from.0 as u64, to.0 as u64))
+    }
+
+    /// Whether two positions are within carrier-sense range.
+    fn in_cs_range(&self, a: &Point, b: &Point) -> bool {
+        a.distance(b) <= self.radio.carrier_sense_range_m
+    }
+
+    /// Builds the interference graph per the paper's footnote 5, given the
+    /// current client→AP association (`assoc[c] = Some(ap)`): APs `i` and
+    /// `j` are adjacent if they are within carrier-sense range of each
+    /// other, or if either is within range of one of the other's
+    /// associated clients.
+    pub fn interference_graph(&self, assoc: &[Option<ApId>]) -> InterferenceGraph {
+        assert_eq!(assoc.len(), self.clients.len(), "one entry per client");
+        let n = self.aps.len();
+        let mut g = InterferenceGraph::new(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                let direct = self.in_cs_range(&self.aps[i].pos, &self.aps[j].pos);
+                let via_clients = assoc.iter().enumerate().any(|(c, owner)| match owner {
+                    Some(ap) if ap.0 == i => self.in_cs_range(&self.aps[j].pos, &self.clients[c].pos),
+                    Some(ap) if ap.0 == j => self.in_cs_range(&self.aps[i].pos, &self.clients[c].pos),
+                    _ => false,
+                });
+                if direct || via_clients {
+                    g.add_edge(ApId(i), ApId(j));
+                }
+            }
+        }
+        g
+    }
+
+    /// Interference graph ignoring clients (direct AP contention only) —
+    /// useful before any association exists.
+    pub fn ap_only_interference_graph(&self) -> InterferenceGraph {
+        self.interference_graph(&vec![None; self.clients.len()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_wlan() -> Wlan {
+        // Two APs 50 m apart, a client near each.
+        Wlan::new(
+            vec![Point::new(0.0, 0.0), Point::new(50.0, 0.0)],
+            vec![Point::new(5.0, 0.0), Point::new(55.0, 0.0)],
+            7,
+        )
+    }
+
+    #[test]
+    fn snr_decreases_with_distance() {
+        let w = square_wlan();
+        let near = w.snr_db(ApId(0), ClientId(0), ChannelWidth::Ht20);
+        let far = w.snr_db(ApId(0), ClientId(1), ChannelWidth::Ht20);
+        assert!(near > far, "near {near}, far {far}");
+    }
+
+    #[test]
+    fn snr_drops_three_db_with_bonding() {
+        let w = square_wlan();
+        let s20 = w.snr_db(ApId(0), ClientId(0), ChannelWidth::Ht20);
+        let s40 = w.snr_db(ApId(0), ClientId(0), ChannelWidth::Ht40);
+        assert!((s20 - s40 - 3.0103).abs() < 1e-6);
+    }
+
+    #[test]
+    fn link_budget_is_stable_across_calls() {
+        let w = square_wlan();
+        assert_eq!(
+            w.link_budget(ApId(0), ClientId(1)),
+            w.link_budget(ApId(0), ClientId(1))
+        );
+    }
+
+    #[test]
+    fn power_sweep_shifts_snr_linearly() {
+        let w = square_wlan();
+        let lo = w
+            .link_budget_at_power(ApId(0), ClientId(0), 5.0)
+            .snr_db(ChannelWidth::Ht20);
+        let hi = w
+            .link_budget_at_power(ApId(0), ClientId(0), 15.0)
+            .snr_db(ChannelWidth::Ht20);
+        assert!((hi - lo - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nearby_aps_interfere_directly() {
+        let w = square_wlan(); // 50 m < default 80 m CS range
+        let g = w.ap_only_interference_graph();
+        assert!(g.interferes(ApId(0), ApId(1)));
+    }
+
+    #[test]
+    fn distant_aps_do_not_interfere_directly() {
+        let mut w = square_wlan();
+        w.aps[1].pos = Point::new(500.0, 0.0);
+        w.clients[1].pos = Point::new(505.0, 0.0);
+        let g = w.ap_only_interference_graph();
+        assert!(!g.interferes(ApId(0), ApId(1)));
+    }
+
+    #[test]
+    fn client_in_the_middle_creates_an_edge() {
+        // APs out of mutual CS range, but AP 1's client sits close to AP 0
+        // → footnote 5's "competes with at least one of the other AP's
+        // clients" rule creates the edge.
+        let mut w = Wlan::new(
+            vec![Point::new(0.0, 0.0), Point::new(150.0, 0.0)],
+            vec![Point::new(70.0, 0.0)],
+            3,
+        );
+        w.radio.carrier_sense_range_m = 80.0;
+        assert!(!w.ap_only_interference_graph().interferes(ApId(0), ApId(1)));
+        let g = w.interference_graph(&[Some(ApId(1))]);
+        assert!(g.interferes(ApId(0), ApId(1)));
+    }
+
+    #[test]
+    fn unassociated_clients_create_no_edges() {
+        let w = Wlan::new(
+            vec![Point::new(0.0, 0.0), Point::new(150.0, 0.0)],
+            vec![Point::new(70.0, 0.0)],
+            3,
+        );
+        let g = w.interference_graph(&[None]);
+        assert!(!g.interferes(ApId(0), ApId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per client")]
+    fn wrong_assoc_len_panics() {
+        let w = square_wlan();
+        w.interference_graph(&[None]);
+    }
+
+    #[test]
+    fn ap_to_ap_power_is_reciprocal() {
+        let w = square_wlan();
+        assert_eq!(
+            w.ap_to_ap_rx_dbm(ApId(0), ApId(1)),
+            w.ap_to_ap_rx_dbm(ApId(1), ApId(0))
+        );
+    }
+}

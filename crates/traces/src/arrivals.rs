@@ -1,0 +1,162 @@
+//! Client arrival / session workload generation.
+//!
+//! The paper's evaluation activates clients "randomly ... one by one"
+//! (§5.2) and sizes the re-allocation period from association-session
+//! statistics. This module provides the session workload: Poisson arrivals
+//! with durations drawn from [`crate::durations::AssociationDurations`].
+
+use crate::durations::AssociationDurations;
+use rand::Rng;
+
+/// One client session: a client appears, stays associated for `duration_s`
+/// and leaves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Session {
+    /// Client identifier (dense, starting at 0).
+    pub client: usize,
+    /// Arrival time, seconds from trace start.
+    pub start_s: f64,
+    /// Association duration, seconds.
+    pub duration_s: f64,
+}
+
+impl Session {
+    /// Departure time.
+    pub fn end_s(&self) -> f64 {
+        self.start_s + self.duration_s
+    }
+
+    /// Whether the session is active at time `t`.
+    pub fn active_at(&self, t: f64) -> bool {
+        t >= self.start_s && t < self.end_s()
+    }
+}
+
+/// Poisson session generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionGenerator {
+    /// Mean arrival rate, clients per second.
+    pub arrival_rate_per_s: f64,
+    /// Duration model.
+    pub durations: AssociationDurations,
+}
+
+impl SessionGenerator {
+    /// A generator with one arrival per 5 minutes and the default
+    /// (CRAWDAD-fit) duration model.
+    pub fn enterprise_default() -> SessionGenerator {
+        SessionGenerator {
+            arrival_rate_per_s: 1.0 / 300.0,
+            durations: AssociationDurations::default(),
+        }
+    }
+
+    /// Generates all sessions starting inside `[0, horizon_s)`.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, horizon_s: f64) -> Vec<Session> {
+        assert!(self.arrival_rate_per_s > 0.0, "arrival rate must be positive");
+        let mut sessions = Vec::new();
+        let mut t = 0.0;
+        let mut id = 0usize;
+        loop {
+            // Exponential inter-arrival.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / self.arrival_rate_per_s;
+            if t >= horizon_s {
+                break;
+            }
+            sessions.push(Session {
+                client: id,
+                start_s: t,
+                duration_s: self.durations.sample(rng),
+            });
+            id += 1;
+        }
+        sessions
+    }
+
+    /// Number of sessions active at time `t` in a generated trace.
+    pub fn active_count(sessions: &[Session], t: f64) -> usize {
+        sessions.iter().filter(|s| s.active_at(t)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arrival_count_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = SessionGenerator {
+            arrival_rate_per_s: 0.1,
+            durations: AssociationDurations::default(),
+        };
+        let horizon = 100_000.0;
+        let sessions = g.generate(&mut rng, horizon);
+        let expected = 0.1 * horizon;
+        let got = sessions.len() as f64;
+        assert!((got - expected).abs() / expected < 0.05, "got {got}");
+    }
+
+    #[test]
+    fn sessions_are_time_ordered_with_dense_ids() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = SessionGenerator::enterprise_default();
+        let sessions = g.generate(&mut rng, 50_000.0);
+        for (i, w) in sessions.windows(2).enumerate() {
+            assert!(w[1].start_s >= w[0].start_s, "order at {i}");
+        }
+        for (i, s) in sessions.iter().enumerate() {
+            assert_eq!(s.client, i);
+        }
+    }
+
+    #[test]
+    fn active_at_boundaries() {
+        let s = Session {
+            client: 0,
+            start_s: 100.0,
+            duration_s: 50.0,
+        };
+        assert!(!s.active_at(99.9));
+        assert!(s.active_at(100.0));
+        assert!(s.active_at(149.9));
+        assert!(!s.active_at(150.0));
+        assert_eq!(s.end_s(), 150.0);
+    }
+
+    #[test]
+    fn steady_state_occupancy_is_littles_law() {
+        // E[active] = λ·E[duration]. With λ = 1/300 s⁻¹ and mean duration
+        // ≈ 1900–2100 s (lognormal mean > median), expect ≈ 6–7 actives.
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = SessionGenerator::enterprise_default();
+        let sessions = g.generate(&mut rng, 400_000.0);
+        let mut acc = 0.0;
+        let mut n = 0;
+        let mut t = 50_000.0;
+        while t < 350_000.0 {
+            acc += SessionGenerator::active_count(&sessions, t) as f64;
+            n += 1;
+            t += 1000.0;
+        }
+        let mean_active = acc / n as f64;
+        assert!(
+            mean_active > 4.0 && mean_active < 10.0,
+            "mean active {mean_active}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        SessionGenerator {
+            arrival_rate_per_s: 0.0,
+            durations: AssociationDurations::default(),
+        }
+        .generate(&mut rng, 10.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Fig. 9 of the paper is an ECDF of association durations; this module
+//! provides the ECDF machinery used to regenerate it (and to summarize any
+//! other experimental sample).
+
+/// An empirical CDF over a sorted sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF. NaNs are rejected.
+    pub fn new(mut samples: Vec<f64>) -> Ecdf {
+        assert!(!samples.is_empty(), "ECDF needs at least one sample");
+        assert!(samples.iter().all(|s| !s.is_nan()), "NaN sample");
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Ecdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false (construction rejects empty samples).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `F(x)` — the fraction of samples ≤ x.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point: first index with sample > x.
+        let idx = self.sorted.partition_point(|s| *s <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`), by the nearest-rank method.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.sorted.len() as f64 * q).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[idx - 1]
+    }
+
+    /// Median (0.5 quantile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Smallest and largest samples.
+    pub fn range(&self) -> (f64, f64) {
+        (self.sorted[0], *self.sorted.last().unwrap())
+    }
+
+    /// Evaluates the ECDF on a grid of `n` evenly spaced points spanning
+    /// the sample range — the series a CDF plot (like Fig. 9) draws.
+    pub fn curve(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "need at least two grid points");
+        let (lo, hi) = self.range();
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_known_points() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(e.median(), 30.0);
+        assert_eq!(e.quantile(0.0), 10.0);
+        assert_eq!(e.quantile(1.0), 50.0);
+        assert_eq!(e.quantile(0.2), 10.0);
+        assert_eq!(e.quantile(0.21), 20.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(e.range(), (1.0, 3.0));
+        assert!((e.eval(1.5) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_spans_01() {
+        let e = Ecdf::new((1..=100).map(|i| i as f64).collect());
+        let curve = e.curve(50);
+        assert_eq!(curve.len(), 50);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_panics() {
+        Ecdf::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_panics() {
+        Ecdf::new(vec![1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,19 @@
+//! # acorn-traces — workload traces: association durations, ECDFs and
+//! client arrivals
+//!
+//! The CRAWDAD ile-sans-fil trace the paper uses to size its
+//! re-allocation period (Fig. 9) is proprietary-ish and large; this crate
+//! substitutes a distribution fit to the paper's reported statistics
+//! (median ≈ 31 min, > 90 % below 40 min, tail to 25 000 s) plus the
+//! supporting machinery: ECDF computation and Poisson session workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod durations;
+pub mod ecdf;
+
+pub use arrivals::{Session, SessionGenerator};
+pub use durations::{AssociationDurations, REALLOCATION_PERIOD_S};
+pub use ecdf::Ecdf;

@@ -1,0 +1,61 @@
+//! Quickstart: auto-configure a small enterprise WLAN with ACORN.
+//!
+//! Builds a 2×2 AP grid with 8 clients, runs Algorithm 1 (association)
+//! for each arriving client, then Algorithm 2 (channel-bonding-aware
+//! allocation), and prints the resulting configuration and per-cell
+//! throughputs.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use acorn::core::{AcornConfig, AcornController};
+use acorn::sim::runner::evaluate_analytic;
+use acorn::sim::Traffic;
+use acorn::topology::{ApId, ClientId};
+
+fn main() {
+    // A 2×2 floor, 55 m AP spacing, 8 clients scattered with shadowing.
+    let wlan = acorn::sim::enterprise_grid(2, 2, 55.0, 8, 42);
+    let ctl = AcornController::new(AcornConfig::default());
+
+    // Clients arrive one by one and associate per Algorithm 1.
+    let mut state = ctl.new_state(&wlan, 42);
+    for c in 0..wlan.clients.len() {
+        match ctl.associate(&wlan, &mut state, ClientId(c)) {
+            Some(ap) => println!("client {c} -> AP {}", ap.0),
+            None => println!("client {c} is out of range"),
+        }
+    }
+
+    // Channel allocation per Algorithm 2 (with random restarts).
+    let result = ctl.reallocate_with_restarts(&wlan, &mut state, 8, 7);
+    println!();
+    println!(
+        "allocation converged after {} iterations, {} switches",
+        result.iterations, result.switches
+    );
+    for (i, a) in state.assignments.iter().enumerate() {
+        println!(
+            "AP {i}: {:?} ({:?}), serving {} clients",
+            a,
+            a.width(),
+            state.cell_clients(ApId(i)).len()
+        );
+    }
+
+    // Score the final configuration.
+    let eval = evaluate_analytic(
+        &wlan,
+        &state.assignments,
+        &state.assoc,
+        &ctl.config.estimator,
+        1500,
+        Traffic::Udp,
+    );
+    println!();
+    for (i, bps) in eval.per_ap_bps.iter().enumerate() {
+        println!("AP {i}: {:.1} Mb/s", bps / 1e6);
+    }
+    println!("network total: {:.1} Mb/s", eval.total_bps / 1e6);
+}

@@ -1,0 +1,150 @@
+//! Cross-validation: the Monte-Carlo baseband (acorn-baseband) against
+//! the closed-form PHY models (acorn-phy) that ACORN's estimator uses.
+//! This is the §3.1 "experimental curves fit well with the theoretical
+//! plots" check, run in CI.
+
+use acorn::baseband::frame::{run_trial, Equalization, FrameConfig, SyncMode};
+use acorn::baseband::ChannelModel;
+use acorn::phy::coding::per_from_ber_bytes;
+use acorn::phy::{ChannelWidth, CodeRate, Modulation};
+use acorn::sim::stats::r_squared;
+
+fn genie(width: ChannelWidth) -> FrameConfig {
+    FrameConfig {
+        packet_bytes: 1000,
+        equalization: Equalization::Genie,
+        ..FrameConfig::baseline(width)
+    }
+}
+
+#[test]
+fn uncoded_qpsk_ber_fits_theory_with_high_r2() {
+    // The Fig. 3a validation: measured log-BER vs theory across an SNR
+    // sweep, both widths, R² near 1 (the paper reports 0.8 / 0.89 over
+    // the air; our channel is exactly AWGN, so the fit is tighter).
+    for width in [ChannelWidth::Ht20, ChannelWidth::Ht40] {
+        let mut measured = Vec::new();
+        let mut theory = Vec::new();
+        for snr_i in 2..=10 {
+            let snr = snr_i as f64;
+            let cfg = genie(width).with_target_snr(snr);
+            let ber = run_trial(&cfg, 40, 9000 + snr_i as u64).ber();
+            if ber > 0.0 {
+                measured.push(ber.log10());
+                theory.push(Modulation::Qpsk.ber_awgn(snr).log10());
+            }
+        }
+        let r2 = r_squared(&measured, &theory);
+        assert!(r2 > 0.98, "{width:?}: R² = {r2}");
+    }
+}
+
+#[test]
+fn width_does_not_matter_at_equal_snr() {
+    // "for a fixed SNR, the BER does not depend on the channel width."
+    let snr = 7.0;
+    let b20 = run_trial(&genie(ChannelWidth::Ht20).with_target_snr(snr), 40, 11).ber();
+    let b40 = run_trial(&genie(ChannelWidth::Ht40).with_target_snr(snr), 40, 12).ber();
+    assert!(
+        (b20 / b40 - 1.0).abs() < 0.2,
+        "BER20 {b20:.3e} vs BER40 {b40:.3e}"
+    );
+}
+
+#[test]
+fn uncoded_per_matches_eq6() {
+    // PER = 1 − (1 − BER)^L, the paper's Eq. 6 assumption, holds for the
+    // simulated frames (independent AWGN bit errors).
+    let snr = 9.0;
+    let cfg = genie(ChannelWidth::Ht20).with_target_snr(snr);
+    let r = run_trial(&cfg, 200, 13);
+    let predicted = per_from_ber_bytes(Modulation::Qpsk.ber_awgn(snr), 1000);
+    assert!(
+        (r.per() - predicted).abs() < 0.07,
+        "measured PER {:.3} vs Eq.6 {:.3}",
+        r.per(),
+        predicted
+    );
+}
+
+#[test]
+fn coded_per_is_bounded_by_the_union_bound() {
+    // The analytic coded BER is an upper bound; Monte-Carlo coded PER
+    // must not exceed the PER implied by it (within noise).
+    for snr in [5.0, 6.0, 7.0] {
+        let cfg = FrameConfig {
+            code_rate: Some(CodeRate::R12),
+            ..genie(ChannelWidth::Ht20)
+        }
+        .with_target_snr(snr);
+        let r = run_trial(&cfg, 60, 17 + snr as u64);
+        let channel_ber = Modulation::Qpsk.ber_awgn(snr);
+        let bound_ber = acorn::phy::coding::coded_ber(CodeRate::R12, channel_ber);
+        let bound_per = per_from_ber_bytes(bound_ber, 1000);
+        assert!(
+            r.per() <= bound_per + 0.08,
+            "snr {snr}: measured {:.3} above bound {:.3}",
+            r.per(),
+            bound_per
+        );
+    }
+}
+
+#[test]
+fn stbc_monte_carlo_beats_siso_under_fading() {
+    // The MimoMode::STBC_GAIN_DB modelling choice, validated end-to-end:
+    // Alamouti 2×2 over flat Rayleigh outperforms SISO at equal SNR.
+    let mk = |stbc| {
+        FrameConfig {
+            stbc,
+            channel: ChannelModel::FlatRayleigh,
+            packet_bytes: 400,
+            equalization: Equalization::Training { symbols: 4 },
+            ..FrameConfig::baseline(ChannelWidth::Ht20)
+        }
+        .with_target_snr(13.0)
+    };
+    let siso = run_trial(&mk(false), 80, 23);
+    let stbc = run_trial(&mk(true), 80, 23);
+    assert!(
+        stbc.ber() < 0.5 * siso.ber(),
+        "STBC {:.3e} vs SISO {:.3e}",
+        stbc.ber(),
+        siso.ber()
+    );
+}
+
+#[test]
+fn preamble_sync_only_fails_at_very_low_snr() {
+    let mk = |snr: f64| {
+        FrameConfig {
+            sync: SyncMode::Preamble { threshold: 0.55 },
+            packet_bytes: 200,
+            ..genie(ChannelWidth::Ht20)
+        }
+        .with_target_snr(snr)
+    };
+    let good = run_trial(&mk(12.0), 25, 31);
+    assert_eq!(good.sync_failures, 0);
+    let terrible = run_trial(&mk(-12.0), 25, 37);
+    assert!(terrible.sync_failures > 0, "sync should fail sometimes at −12 dB");
+}
+
+#[test]
+fn fixed_power_cb_penalty_shows_up_in_monte_carlo() {
+    // The crate-crossing version of the headline: same Tx power, the
+    // 40 MHz frames see ~3 dB less per-subcarrier SNR and more errors.
+    let mk = |w| FrameConfig {
+        tx_power: 1.0,
+        noise_density: 0.15,
+        packet_bytes: 500,
+        equalization: Equalization::Genie,
+        ..FrameConfig::baseline(w)
+    };
+    let c20 = mk(ChannelWidth::Ht20);
+    let c40 = mk(ChannelWidth::Ht40);
+    assert!((c20.snr_per_subcarrier_db() - c40.snr_per_subcarrier_db() - 3.17).abs() < 0.05);
+    let r20 = run_trial(&c20, 30, 41);
+    let r40 = run_trial(&c40, 30, 42);
+    assert!(r40.ber() > 1.5 * r20.ber());
+}

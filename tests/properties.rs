@@ -1,0 +1,276 @@
+//! Property-based tests (proptest) over the workspace's core invariants.
+
+use acorn::baseband::convcode::Codec;
+use acorn::baseband::modem::{demodulate, modulate};
+use acorn::core::allocation::{allocate, random_initial, AllocationConfig};
+use acorn::core::model::{ClientSnr, NetworkModel, ThroughputModel};
+use acorn::phy::coding::{coded_ber, per_from_ber};
+use acorn::phy::estimator::LinkQualityEstimator;
+use acorn::phy::link::sigma_for;
+use acorn::phy::{ChannelWidth, CodeRate, Modulation};
+use acorn::topology::{Channel20, ChannelAssignment, ChannelPlan, InterferenceGraph};
+use acorn::traces::Ecdf;
+use proptest::prelude::*;
+
+fn any_modulation() -> impl Strategy<Value = Modulation> {
+    prop_oneof![
+        Just(Modulation::Bpsk),
+        Just(Modulation::Qpsk),
+        Just(Modulation::Qam16),
+        Just(Modulation::Qam64),
+    ]
+}
+
+fn any_code_rate() -> impl Strategy<Value = CodeRate> {
+    prop_oneof![
+        Just(CodeRate::R12),
+        Just(CodeRate::R23),
+        Just(CodeRate::R34),
+        Just(CodeRate::R56),
+    ]
+}
+
+fn any_assignment() -> impl Strategy<Value = ChannelAssignment> {
+    prop_oneof![
+        (0u8..12).prop_map(|c| ChannelAssignment::Single(Channel20(c))),
+        (0u8..6).prop_map(|c| ChannelAssignment::Bonded(Channel20(2 * c))),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn ber_stays_in_range_and_decreases_with_snr(
+        m in any_modulation(),
+        snr in -30.0f64..50.0,
+        delta in 0.1f64..10.0,
+    ) {
+        let lo = m.ber_awgn(snr);
+        let hi = m.ber_awgn(snr + delta);
+        prop_assert!((0.0..=0.5).contains(&lo));
+        prop_assert!(hi <= lo + 1e-12);
+    }
+
+    #[test]
+    fn coded_ber_never_exceeds_half_and_is_monotone(
+        r in any_code_rate(),
+        p in 0.0f64..0.5,
+        dp in 0.0f64..0.1,
+    ) {
+        let a = coded_ber(r, p);
+        let b = coded_ber(r, (p + dp).min(0.5));
+        prop_assert!((0.0..=0.5).contains(&a));
+        prop_assert!(b + 1e-12 >= a);
+    }
+
+    #[test]
+    fn per_is_a_probability_and_monotone_in_length(
+        ber in 0.0f64..0.2,
+        bits in 1u32..100_000,
+    ) {
+        let p = per_from_ber(ber, bits);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(per_from_ber(ber, bits + 1000) + 1e-12 >= p);
+    }
+
+    #[test]
+    fn sigma_is_positive_and_one_when_clean(snr in 25.0f64..60.0) {
+        // At very high SNR both widths are clean and σ → 1.
+        let s = sigma_for(Modulation::Qpsk, CodeRate::R12, snr, 1500);
+        prop_assert!(s > 0.0);
+        prop_assert!((s - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn conflicts_are_symmetric_and_reflexive(
+        a in any_assignment(),
+        b in any_assignment(),
+    ) {
+        prop_assert_eq!(a.conflicts(b), b.conflicts(a));
+        prop_assert!(a.conflicts(a));
+    }
+
+    #[test]
+    fn estimator_never_predicts_more_than_the_nominal_rate(
+        snr in -10.0f64..45.0,
+    ) {
+        let est = LinkQualityEstimator::default();
+        for width in [ChannelWidth::Ht20, ChannelWidth::Ht40] {
+            let p = est.best_rate_point(snr, width);
+            let nominal = p.mcs.mcs().rate_bps(width, est.gi);
+            prop_assert!(p.goodput_bps <= nominal + 1e-6);
+            prop_assert!((0.0..=1.0).contains(&p.per));
+        }
+    }
+
+    #[test]
+    fn calibration_roundtrips(snr in -20.0f64..50.0) {
+        let est = LinkQualityEstimator::default();
+        let there = est.calibrate_snr(snr, ChannelWidth::Ht20, ChannelWidth::Ht40);
+        let back = est.calibrate_snr(there, ChannelWidth::Ht40, ChannelWidth::Ht20);
+        prop_assert!((back - snr).abs() < 1e-9);
+    }
+
+    #[test]
+    fn modem_roundtrips_any_bits(
+        m in any_modulation(),
+        bits in proptest::collection::vec(any::<bool>(), 1..256),
+    ) {
+        let rx = demodulate(m, &modulate(m, &bits));
+        prop_assert_eq!(&rx[..bits.len()], &bits[..]);
+    }
+
+    #[test]
+    fn codec_roundtrips_any_payload(
+        r in any_code_rate(),
+        bits in proptest::collection::vec(any::<bool>(), 30..400),
+    ) {
+        let codec = Codec::new(r);
+        let tx = codec.encode(&bits);
+        prop_assert_eq!(tx.len(), codec.coded_len(bits.len()));
+        prop_assert_eq!(codec.decode(&tx, bits.len()), bits);
+    }
+
+    #[test]
+    fn allocation_never_decreases_throughput(
+        seed in 0u64..500,
+        n_aps in 1usize..5,
+        n_channels in 2u8..=12,
+    ) {
+        let cells = (0..n_aps)
+            .map(|a| {
+                vec![ClientSnr {
+                    client: a,
+                    snr20_db: 2.0 + (seed as f64 * 7.3 + a as f64 * 11.1) % 30.0,
+                }]
+            })
+            .collect();
+        let model = NetworkModel::new(InterferenceGraph::complete(n_aps), cells);
+        let plan = ChannelPlan::restricted(n_channels);
+        let initial = random_initial(&plan, n_aps, seed);
+        let y0 = model.total_bps(&initial);
+        let r = allocate(&model, &plan, initial, &AllocationConfig::default());
+        prop_assert!(r.total_bps + 1e-6 >= y0);
+        // And the outcome is legal.
+        prop_assert!(r.assignments.iter().all(|a| plan.contains(*a)));
+    }
+
+    #[test]
+    fn ecdf_is_a_distribution_function(
+        mut xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        probe in -1e6f64..1e6,
+    ) {
+        let e = Ecdf::new(xs.clone());
+        let f = e.eval(probe);
+        prop_assert!((0.0..=1.0).contains(&f));
+        // F is monotone.
+        prop_assert!(e.eval(probe + 1.0) + 1e-12 >= f);
+        // Quantile inverts within the sample range.
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(e.quantile(0.0), xs[0]);
+        prop_assert_eq!(e.quantile(1.0), *xs.last().unwrap());
+    }
+
+    #[test]
+    fn access_shares_partition_sensibly(
+        n_aps in 1usize..6,
+        same_channel in any::<bool>(),
+    ) {
+        let g = InterferenceGraph::complete(n_aps);
+        let assignments: Vec<ChannelAssignment> = (0..n_aps)
+            .map(|i| {
+                let c = if same_channel { 0 } else { (i % 12) as u8 };
+                ChannelAssignment::Single(Channel20(c))
+            })
+            .collect();
+        for i in 0..n_aps {
+            let m = acorn::mac::access_share(&g, &assignments, acorn::topology::ApId(i));
+            prop_assert!(m > 0.0 && m <= 1.0);
+            if same_channel {
+                prop_assert!((m - 1.0 / n_aps as f64).abs() < 1e-12);
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn beacon_wire_roundtrip(
+        ap in 0usize..1000,
+        channel in 0u8..12,
+        bond in any::<bool>(),
+        share in 0.05f64..1.0,
+        delays in proptest::collection::vec(1e-6f64..10.0, 0..20),
+    ) {
+        use acorn::core::wire::{parse_beacon, serialize_beacon};
+        use acorn::core::Beacon;
+        use acorn::topology::{ApId, Channel20, ChannelAssignment};
+        let assignment = if bond {
+            ChannelAssignment::Bonded(Channel20(2 * (channel / 2)))
+        } else {
+            ChannelAssignment::Single(Channel20(channel))
+        };
+        let b = Beacon {
+            ap: ApId(ap),
+            assignment,
+            n_clients: delays.len(),
+            atd_s: delays.iter().sum(),
+            client_delays_s: delays,
+            access_share: share,
+        };
+        let frame = serialize_beacon(&b, [7; 6], 42).unwrap();
+        let parsed = parse_beacon(&frame).unwrap();
+        prop_assert_eq!(parsed.ap, b.ap);
+        prop_assert_eq!(parsed.assignment, b.assignment);
+        prop_assert_eq!(parsed.n_clients, b.n_clients);
+        prop_assert!((parsed.access_share - b.access_share).abs() < 1e-4);
+        for (x, y) in parsed.client_delays_s.iter().zip(&b.client_delays_s) {
+            prop_assert!((x - y).abs() < 2e-6);
+        }
+    }
+
+    #[test]
+    fn beacon_parser_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let _ = acorn::core::wire::parse_beacon(&bytes);
+    }
+
+    #[test]
+    fn beacon_parser_never_panics_on_corrupted_valid_frames(
+        flip_at in 0usize..120,
+        flip_to in any::<u8>(),
+    ) {
+        use acorn::core::wire::{parse_beacon, serialize_beacon};
+        use acorn::core::Beacon;
+        use acorn::topology::{ApId, Channel20, ChannelAssignment};
+        let b = Beacon {
+            ap: ApId(3),
+            assignment: ChannelAssignment::Single(Channel20(4)),
+            n_clients: 2,
+            client_delays_s: vec![0.001, 0.002],
+            atd_s: 0.003,
+            access_share: 0.5,
+        };
+        let mut frame = serialize_beacon(&b, [1; 6], 7).unwrap();
+        if flip_at < frame.len() {
+            frame[flip_at] = flip_to;
+        }
+        let _ = parse_beacon(&frame);
+    }
+
+    #[test]
+    fn tracker_estimate_stays_within_sample_range(
+        samples in proptest::collection::vec(-5.0f64..40.0, 1..50),
+    ) {
+        use acorn::core::tracker::{ClientTracker, TrackerConfig};
+        let mut t = ClientTracker::new(TrackerConfig::default(), 0.0);
+        for (i, s) in samples.iter().enumerate() {
+            t.observe_snr(*s, i as f64);
+        }
+        if let Some(est) = t.snr_db() {
+            let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9);
+        }
+    }
+}
