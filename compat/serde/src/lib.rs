@@ -1,0 +1,227 @@
+//! Vendored std-only subset of the `serde` serialization API.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the slice the workspace uses: a [`Serialize`] trait (JSON-writing, not
+//! format-generic — `serde_json` is the only consumer) and the
+//! `#[derive(Serialize)]` macro re-exported from the vendored
+//! `serde_derive`. Deserialization is out of scope.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::Serialize;
+
+/// Serialization into JSON text. `indent` is the nesting depth the value
+/// starts at; implementations writing multi-line output indent their
+/// closing delimiter by `indent` and their children by `indent + 1`.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String, indent: usize);
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes a JSON object from (name, value) pairs — the derive macro's
+/// runtime half.
+pub fn write_object(out: &mut String, indent: usize, fields: &[(&str, &dyn Serialize)]) {
+    if fields.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push_str("{\n");
+    for (i, (name, value)) in fields.iter().enumerate() {
+        push_indent(out, indent + 1);
+        push_json_string(out, name);
+        out.push_str(": ");
+        value.serialize_json(out, indent + 1);
+        if i + 1 < fields.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    push_indent(out, indent);
+    out.push('}');
+}
+
+fn write_seq<'a, I>(out: &mut String, indent: usize, items: I)
+where
+    I: ExactSizeIterator<Item = &'a dyn Serialize>,
+{
+    let n = items.len();
+    if n == 0 {
+        out.push_str("[]");
+        return;
+    }
+    out.push_str("[\n");
+    for (i, item) in items.enumerate() {
+        push_indent(out, indent + 1);
+        item.serialize_json(out, indent + 1);
+        if i + 1 < n {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    push_indent(out, indent);
+    out.push(']');
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String, _indent: usize) {
+        if self.is_finite() {
+            // `{}` on f64 round-trips and never prints exponent-free
+            // garbage; integral values get a trailing `.0` so the JSON
+            // stays unambiguously a float.
+            let s = format!("{self}");
+            out.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String, indent: usize) {
+        (*self as f64).serialize_json(out, indent);
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String, _indent: usize) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String, _indent: usize) {
+        push_json_string(out, &self.to_string());
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String, _indent: usize) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String, _indent: usize) {
+        push_json_string(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String, _indent: usize) {
+        push_json_string(out, self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String, indent: usize) {
+        (**self).serialize_json(out, indent);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String, indent: usize) {
+        write_seq(out, indent, self.iter().map(|x| x as &dyn Serialize));
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String, indent: usize) {
+        self.as_slice().serialize_json(out, indent);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String, indent: usize) {
+        match self {
+            Some(v) => v.serialize_json(out, indent),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut String, indent: usize) {
+                let items: Vec<&dyn Serialize> = vec![$(&self.$idx),+];
+                write_seq(out, indent, items.iter().map(|x| *x as &dyn Serialize));
+            }
+        }
+    )*};
+}
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json<T: Serialize + ?Sized>(v: &T) -> String {
+        let mut s = String::new();
+        v.serialize_json(&mut s, 0);
+        s
+    }
+
+    #[test]
+    fn scalars_encode() {
+        assert_eq!(json(&1.5f64), "1.5");
+        assert_eq!(json(&2.0f64), "2.0");
+        assert_eq!(json(&f64::NAN), "null");
+        assert_eq!(json(&true), "true");
+        assert_eq!(json(&42u32), "42");
+        assert_eq!(json("a\"b\n"), "\"a\\\"b\\n\"");
+        assert_eq!(json(&'x'), "\"x\"");
+        assert_eq!(json(&None::<f64>), "null");
+        assert_eq!(json(&Some(3.0f64)), "3.0");
+    }
+
+    #[test]
+    fn sequences_and_tuples_nest() {
+        assert_eq!(json(&Vec::<f64>::new()), "[]");
+        let v = vec![(1.0f64, 2.0f64)];
+        let s = json(&v);
+        assert!(s.starts_with("[\n") && s.ends_with(']'), "{s}");
+        assert!(s.contains("1.0") && s.contains("2.0"));
+    }
+
+    #[test]
+    fn objects_are_pretty() {
+        let mut s = String::new();
+        write_object(&mut s, 0, &[("a", &1u8), ("b", &"x")]);
+        assert_eq!(s, "{\n  \"a\": 1,\n  \"b\": \"x\"\n}");
+    }
+}

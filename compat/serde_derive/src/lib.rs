@@ -1,0 +1,136 @@
+//! Vendored `#[derive(Serialize)]` for the std-only serde subset.
+//!
+//! No `syn`/`quote` (the build environment has no crates.io access):
+//! the macro scans the raw token stream for `struct <Name> { ... }` and
+//! emits a `serde::Serialize` impl calling `serde::write_object` with the
+//! field names. Supports plain structs with named fields — exactly the
+//! shapes the workspace derives on. Enums, tuple structs, generics, and
+//! `#[serde(...)]` attributes are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(out) => out,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // Locate `struct <Name>`; anything before it (attributes, visibility,
+    // doc comments) is irrelevant.
+    let mut name: Option<String> = None;
+    let mut body: Option<&TokenTree> = None;
+    let mut iter = tokens.iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                return Err("derive(Serialize): enums are not supported by the vendored serde; serialize a struct or a primitive".into());
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    _ => return Err("derive(Serialize): expected a struct name".into()),
+                }
+                // The next top-level brace group is the field list.
+                for rest in iter.by_ref() {
+                    match rest {
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                            body = Some(rest);
+                            break;
+                        }
+                        TokenTree::Punct(p) if p.as_char() == '<' => {
+                            return Err("derive(Serialize): generic structs are not supported by the vendored serde".into());
+                        }
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                            return Err("derive(Serialize): tuple structs are not supported by the vendored serde".into());
+                        }
+                        _ => {}
+                    }
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+
+    let name = name.ok_or("derive(Serialize): no struct found")?;
+    let body = match body {
+        Some(TokenTree::Group(g)) => g.stream(),
+        _ => return Err(format!("derive(Serialize): struct {name} has no named fields")),
+    };
+
+    let fields = field_names(body)?;
+    let mut pairs = String::new();
+    for f in &fields {
+        pairs.push_str(&format!(
+            "({f:?}, &self.{f} as &dyn ::serde::Serialize),"
+        ));
+    }
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \x20   fn serialize_json(&self, out: &mut ::std::string::String, indent: usize) {{\n\
+         \x20       ::serde::write_object(out, indent, &[{pairs}]);\n\
+         \x20   }}\n\
+         }}"
+    );
+    out.parse()
+        .map_err(|e| format!("derive(Serialize): generated code failed to parse: {e:?}"))
+}
+
+/// Extracts field names from the brace-group token stream of a struct.
+///
+/// Walks `attrs* vis? name ':' type ','` items. Inside a type, commas may
+/// appear between `<`/`>` (generic arguments) — parenthesized and
+/// bracketed subtrees arrive as single `Group` tokens, so only angle
+/// brackets need explicit depth tracking.
+fn field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut last_ident: Option<String> = None;
+    let mut in_type = false;
+    let mut angle_depth = 0i32;
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if in_type {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        in_type = false;
+                        last_ident = None;
+                    }
+                    _ => {}
+                }
+            }
+            continue;
+        }
+        match tt {
+            // Skip attributes (`#[...]`): the `#` then its bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(_)) = iter.peek() {
+                    iter.next();
+                }
+            }
+            TokenTree::Ident(id) => last_ident = Some(id.to_string()),
+            // Visibility scope `pub(crate)` arrives as a paren group.
+            TokenTree::Group(_) => {}
+            TokenTree::Punct(p) if p.as_char() == ':' => {
+                let f = last_ident
+                    .take()
+                    .ok_or("derive(Serialize): field colon without a name")?;
+                // `pub` alone can't precede ':', so last_ident is the
+                // field name (keywords like `pub` are overwritten by it).
+                fields.push(f);
+                in_type = true;
+                angle_depth = 0;
+            }
+            _ => {}
+        }
+    }
+    Ok(fields)
+}

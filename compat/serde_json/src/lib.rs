@@ -1,0 +1,69 @@
+//! Vendored std-only subset of `serde_json`.
+//!
+//! The vendored `serde::Serialize` writes JSON text directly, so this
+//! crate is a thin entry point: [`to_string_pretty`] (and
+//! [`to_string`], which currently produces the same pretty output — every
+//! consumer in the workspace writes human-inspected result files).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Serialization error. The vendored writer is infallible; the type
+/// exists so call sites keep upstream's `Result` shape.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as JSON. Alias of [`to_string_pretty`] here.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string_pretty(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Record {
+        name: String,
+        value: f64,
+        tags: Vec<(String, f64)>,
+        count: usize,
+        flag: bool,
+        missing: Option<f64>,
+    }
+
+    #[test]
+    fn derived_struct_round_trips_to_expected_json() {
+        let r = Record {
+            name: "x".into(),
+            value: 2.5,
+            tags: vec![("a".into(), 1.0)],
+            count: 3,
+            flag: true,
+            missing: None,
+        };
+        let s = super::to_string_pretty(&r).unwrap();
+        assert!(s.contains("\"name\": \"x\""), "{s}");
+        assert!(s.contains("\"value\": 2.5"), "{s}");
+        assert!(s.contains("\"count\": 3"), "{s}");
+        assert!(s.contains("\"flag\": true"), "{s}");
+        assert!(s.contains("\"missing\": null"), "{s}");
+        assert!(s.starts_with("{\n") && s.ends_with('}'), "{s}");
+    }
+}

@@ -36,6 +36,32 @@ fn step(state: u32, input: bool) -> (bool, bool, u32) {
     (parity(window & G0), parity(window & G1), window >> 1)
 }
 
+/// Coded output of every (state, input) branch, packed as `A | B<<1` and
+/// tabulated at compile time — the decoder's inner loop does one byte load
+/// where [`step`] computes two parities.
+const BRANCH_OUT: [u8; 2 * STATES] = {
+    let mut t = [0u8; 2 * STATES];
+    let mut s = 0;
+    while s < STATES {
+        let mut input = 0;
+        while input < 2 {
+            let window = ((input as u32) << 6) | s as u32;
+            let a = (window & G0).count_ones() & 1;
+            let b = (window & G1).count_ones() & 1;
+            t[2 * s + input] = (a | (b << 1)) as u8;
+            input += 1;
+        }
+        s += 1;
+    }
+    t
+};
+
+/// Successor state of a branch: the input bit shifts into the window MSB.
+#[inline]
+fn next_state(state: usize, input: usize) -> usize {
+    (state >> 1) | (input << 5)
+}
+
 /// Rate-1/2 convolutional encoding with trellis termination: encodes
 /// `bits` followed by six zero tail bits, producing `2·(len+6)` coded bits
 /// as interleaved (A, B) pairs.
@@ -115,54 +141,60 @@ pub fn viterbi_decode(pairs: &[(Option<bool>, Option<bool>)], info_len: usize) -
     const INF: u32 = u32::MAX / 2;
     let n = pairs.len();
 
-    // survivors[t][s] = input bit chosen entering state s at step t+1 plus
-    // the predecessor, packed for traceback.
-    let mut metric = vec![INF; STATES];
+    // Path metrics live in two fixed stack arrays swapped per step; the
+    // survivor memory is one flat preallocated byte per (step, state),
+    // packing the chosen input bit (bit 6) over the predecessor state
+    // (bits 0–5).
+    let mut metric = [INF; STATES];
+    let mut next_metric = [INF; STATES];
     metric[0] = 0;
-    let mut survivor: Vec<[u8; STATES]> = Vec::with_capacity(n); // predecessor state + bit
-    let mut survivor_bit: Vec<[bool; STATES]> = Vec::with_capacity(n);
+    let mut survivor = vec![0u8; n * STATES];
 
-    for &(ra, rb) in pairs {
-        let mut next_metric = vec![INF; STATES];
-        let mut pred = [0u8; STATES];
-        let mut bit = [false; STATES];
-        for state in 0..STATES as u32 {
-            let m = metric[state as usize];
+    for (t, &(ra, rb)) in pairs.iter().enumerate() {
+        // Branch metric of each possible coded pair `A | B<<1` under this
+        // received (possibly erased) pair — 4 entries instead of a
+        // per-branch recomputation.
+        let mut bm = [0u32; 4];
+        for (out, slot) in bm.iter_mut().enumerate() {
+            let mut m = 0;
+            if let Some(r) = ra {
+                if r != (out & 1 == 1) {
+                    m += 1;
+                }
+            }
+            if let Some(r) = rb {
+                if r != (out & 2 == 2) {
+                    m += 1;
+                }
+            }
+            *slot = m;
+        }
+        next_metric.fill(INF);
+        let row = &mut survivor[t * STATES..(t + 1) * STATES];
+        for state in 0..STATES {
+            let m = metric[state];
             if m >= INF {
                 continue;
             }
-            for input in [false, true] {
-                let (a, b, next) = step(state, input);
-                let mut bm = 0;
-                if let Some(r) = ra {
-                    if r != a {
-                        bm += 1;
-                    }
-                }
-                if let Some(r) = rb {
-                    if r != b {
-                        bm += 1;
-                    }
-                }
-                let cand = m + bm;
-                if cand < next_metric[next as usize] {
-                    next_metric[next as usize] = cand;
-                    pred[next as usize] = state as u8;
-                    bit[next as usize] = input;
+            for input in 0..2usize {
+                let next = next_state(state, input);
+                let cand = m + bm[BRANCH_OUT[2 * state + input] as usize];
+                if cand < next_metric[next] {
+                    next_metric[next] = cand;
+                    row[next] = (state as u8) | ((input as u8) << 6);
                 }
             }
         }
-        metric = next_metric;
-        survivor.push(pred);
-        survivor_bit.push(bit);
+        std::mem::swap(&mut metric, &mut next_metric);
     }
 
     // Traceback from the terminated state 0.
     let mut state = 0usize;
     let mut decoded = vec![false; n];
     for t in (0..n).rev() {
-        decoded[t] = survivor_bit[t][state];
-        state = survivor[t][state] as usize;
+        let packed = survivor[t * STATES + state];
+        decoded[t] = packed & 0x40 != 0;
+        state = (packed & 0x3F) as usize;
     }
     decoded.truncate(info_len);
     decoded
@@ -218,6 +250,19 @@ mod tests {
     fn random_bits(n: usize, seed: u64) -> Vec<bool> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn branch_lut_matches_the_step_function() {
+        for state in 0..STATES {
+            for (input, bit) in [(0usize, false), (1, true)] {
+                let (a, b, next) = step(state as u32, bit);
+                let out = BRANCH_OUT[2 * state + input];
+                assert_eq!(out & 1 == 1, a, "state {state} input {input}: A");
+                assert_eq!(out & 2 == 2, b, "state {state} input {input}: B");
+                assert_eq!(next_state(state, input), next as usize);
+            }
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Iterative radix-2 FFT/IFFT.
+//! Iterative radix-2 FFT/IFFT with precomputed plans.
 //!
 //! The WARP reference design the paper builds on uses a 64-point FFT for
 //! 20 MHz channels and a 128-point FFT when channel bonding is enabled
@@ -7,65 +7,125 @@
 //! of two, so a plain iterative Cooley–Tukey radix-2 transform is all the
 //! baseband needs — no external FFT dependency.
 //!
+//! The Monte-Carlo pipeline transforms the same two lengths millions of
+//! times, so the per-transform trigonometry is hoisted into an [`FftPlan`]:
+//! the bit-reversal permutation and the twiddle factors `e^{−j2πk/N}` are
+//! tabulated once per length and reused for every transform. The
+//! module-level [`fft`]/[`ifft`] entry points fetch plans from a
+//! thread-local cache keyed by length, so existing callers get the
+//! precomputation for free; hot loops can hold a [`plan`] directly and
+//! skip even the cache lookup.
+//!
 //! Conventions: [`fft`] is unnormalized (`X_k = Σ x_n e^{−j2πkn/N}`);
 //! [`ifft`] carries the full `1/N` factor, so `ifft(fft(x)) == x`.
 
 use crate::cplx::Cplx;
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::f64::consts::PI;
+use std::rc::Rc;
 
-/// In-place bit-reversal permutation. `len` must be a power of two.
-fn bit_reverse_permute(buf: &mut [Cplx]) {
-    let n = buf.len();
-    let mut j = 0usize;
-    for i in 0..n {
-        if i < j {
-            buf.swap(i, j);
+/// A precomputed radix-2 transform for one length: bit-reversal table plus
+/// forward twiddle factors. Build once (or fetch via [`plan`]), run many.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// `bit_rev[i]` = the index `i` maps to in the input permutation.
+    bit_rev: Vec<u32>,
+    /// `twiddles[j] = e^{−j2πj/n}` for `j < n/2` — the forward factors;
+    /// the inverse transform conjugates on lookup.
+    twiddles: Vec<Cplx>,
+}
+
+impl FftPlan {
+    /// Builds the tables for an `n`-point transform. `n` must be a power
+    /// of two.
+    pub fn new(n: usize) -> FftPlan {
+        assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+        let bits = n.trailing_zeros();
+        let bit_rev = (0..n as u32)
+            .map(|i| if bits == 0 { 0 } else { i.reverse_bits() >> (32 - bits) })
+            .collect();
+        let twiddles = (0..n / 2)
+            .map(|j| Cplx::cis(-2.0 * PI * j as f64 / n as f64))
+            .collect();
+        FftPlan { n, bit_rev, twiddles }
+    }
+
+    /// The transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True only for the degenerate 0-point plan.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Forward DFT, in place and unnormalized.
+    pub fn forward(&self, buf: &mut [Cplx]) {
+        self.run(buf, false);
+    }
+
+    /// Inverse DFT, in place, normalized by `1/N`.
+    pub fn inverse(&self, buf: &mut [Cplx]) {
+        self.run(buf, true);
+        let s = 1.0 / self.n as f64;
+        for x in buf.iter_mut() {
+            *x = x.scale(s);
         }
-        let mut mask = n >> 1;
-        while mask > 0 && j & mask != 0 {
-            j &= !mask;
-            mask >>= 1;
+    }
+
+    fn run(&self, buf: &mut [Cplx], inverse: bool) {
+        assert_eq!(buf.len(), self.n, "buffer length must match the plan length");
+        let n = self.n;
+        for i in 0..n {
+            let j = self.bit_rev[i] as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
         }
-        j |= mask;
+        let mut len = 2;
+        while len <= n {
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..len / 2 {
+                    let tw = self.twiddles[k * stride];
+                    let w = if inverse { tw.conj() } else { tw };
+                    let u = buf[start + k];
+                    let v = buf[start + k + len / 2] * w;
+                    buf[start + k] = u + v;
+                    buf[start + k + len / 2] = u - v;
+                }
+            }
+            len <<= 1;
+        }
     }
 }
 
-/// Core iterative butterfly pass. `sign` is −1 for the forward transform
-/// and +1 for the inverse.
-fn transform(buf: &mut [Cplx], sign: f64) {
-    let n = buf.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
-    bit_reverse_permute(buf);
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * 2.0 * PI / len as f64;
-        let wlen = Cplx::cis(ang);
-        for start in (0..n).step_by(len) {
-            let mut w = Cplx::ONE;
-            for k in 0..len / 2 {
-                let u = buf[start + k];
-                let v = buf[start + k + len / 2] * w;
-                buf[start + k] = u + v;
-                buf[start + k + len / 2] = u - v;
-                w = w * wlen;
-            }
-        }
-        len <<= 1;
-    }
+thread_local! {
+    static PLAN_CACHE: RefCell<HashMap<usize, Rc<FftPlan>>> = RefCell::new(HashMap::new());
+}
+
+/// The cached plan for length `n`, built on first use per thread. `n` must
+/// be a power of two.
+pub fn plan(n: usize) -> Rc<FftPlan> {
+    PLAN_CACHE.with(|c| {
+        c.borrow_mut()
+            .entry(n)
+            .or_insert_with(|| Rc::new(FftPlan::new(n)))
+            .clone()
+    })
 }
 
 /// Forward DFT, in place and unnormalized.
 pub fn fft(buf: &mut [Cplx]) {
-    transform(buf, -1.0);
+    plan(buf.len()).forward(buf);
 }
 
 /// Inverse DFT, in place, normalized by `1/N` so that `ifft(fft(x)) == x`.
 pub fn ifft(buf: &mut [Cplx]) {
-    transform(buf, 1.0);
-    let n = buf.len() as f64;
-    for s in buf.iter_mut() {
-        *s = s.scale(1.0 / n);
-    }
+    plan(buf.len()).inverse(buf);
 }
 
 /// Convenience: out-of-place forward DFT.
@@ -133,6 +193,49 @@ mod tests {
     }
 
     #[test]
+    fn matches_direct_dft() {
+        // The plan's tabulated butterflies against the O(N²) definition.
+        for n in [4usize, 16, 64, 128] {
+            let input: Vec<Cplx> = (0..n)
+                .map(|i| Cplx::new((i as f64 * 0.61).cos(), (i as f64 * 0.29).sin()))
+                .collect();
+            let fast = fft_vec(&input);
+            for k in 0..n {
+                let direct = (0..n).fold(Cplx::ZERO, |acc, t| {
+                    acc + input[t] * Cplx::cis(-2.0 * PI * (k * t) as f64 / n as f64)
+                });
+                assert!(
+                    (fast[k] - direct).abs() < 1e-7 * (n as f64),
+                    "n={n} bin {k}: {fast:?} vs direct"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_cache_reuses_plans_per_length() {
+        let a = plan(64);
+        let b = plan(64);
+        assert!(Rc::ptr_eq(&a, &b), "same length must hit the cache");
+        assert_eq!(plan(128).len(), 128);
+    }
+
+    #[test]
+    fn explicit_plan_matches_module_entry_points() {
+        let p = FftPlan::new(64);
+        let input: Vec<Cplx> = (0..64)
+            .map(|i| Cplx::new((i as f64).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let mut a = input.clone();
+        p.forward(&mut a);
+        let b = fft_vec(&input);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits(), "plan and cache paths must agree exactly");
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+
+    #[test]
     fn parseval_energy_conservation() {
         let n = 128;
         let input: Vec<Cplx> = (0..n)
@@ -163,5 +266,13 @@ mod tests {
     fn non_power_of_two_panics() {
         let mut buf = vec![Cplx::ZERO; 48];
         fft(&mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the plan length")]
+    fn wrong_buffer_length_panics() {
+        let p = FftPlan::new(64);
+        let mut buf = vec![Cplx::ZERO; 32];
+        p.forward(&mut buf);
     }
 }

@@ -16,7 +16,7 @@
 
 use crate::channel::{add_awgn, convolve, frequency_response, ChannelModel};
 use crate::cplx::{mean_power, Cplx};
-use crate::fft::{fft, ifft};
+use crate::fft::{plan, FftPlan};
 use crate::modem::{demodulate, modulate};
 use crate::preamble::{build_preamble, detect_preamble, preamble_len};
 use crate::prefix::{add_cp, cp_len_for, strip_cp};
@@ -213,10 +213,11 @@ pub fn data_subcarrier_bins(width: ChannelWidth) -> Vec<usize> {
     bins
 }
 
-/// Builds the time-domain OFDM symbol for one grid of subcarrier values.
-fn ofdm_symbol(grid: &[Cplx], cp_len: usize) -> Vec<Cplx> {
+/// Builds the time-domain OFDM symbol for one grid of subcarrier values,
+/// reusing the caller's transform plan.
+fn ofdm_symbol(plan: &FftPlan, grid: &[Cplx], cp_len: usize) -> Vec<Cplx> {
     let mut time = grid.to_vec();
-    ifft(&mut time);
+    plan.inverse(&mut time);
     add_cp(&time, cp_len)
 }
 
@@ -432,12 +433,13 @@ fn build_siso_stream(
     tx_symbols: &[Cplx],
     cp: usize,
 ) -> (Vec<Vec<Cplx>>, Vec<Vec<Cplx>>) {
+    let fft_plan = plan(config.width.fft_size());
     let train = training_grid(config.width, amplitude);
     let mut grids = vec![train; config.n_train()];
     grids.extend(fill_grids(config.width, amplitude, tx_symbols));
     let mut stream = Vec::new();
     for g in &grids {
-        stream.extend(ofdm_symbol(g, cp));
+        stream.extend(ofdm_symbol(&fft_plan, g, cp));
     }
     (vec![stream], grids)
 }
@@ -496,10 +498,11 @@ fn build_stbc_streams(
         ant2_grids.push(a2_t2);
     }
 
+    let fft_plan = plan(n);
     let to_stream = |grids: &[Vec<Cplx>]| {
         let mut stream = Vec::new();
         for g in grids {
-            stream.extend(ofdm_symbol(g, cp));
+            stream.extend(ofdm_symbol(&fft_plan, g, cp));
         }
         stream
     };
@@ -527,13 +530,14 @@ fn receive_siso(
     let train_ref = training_grid(width, amplitude);
     let n_train = config.n_train();
 
+    let fft_plan = plan(n);
     let fft_block = |start: usize| -> Vec<Cplx> {
         let mut buf = rx
             .get(start..start + block)
             .map(|b| strip_cp(b, cp).to_vec())
             .unwrap_or_else(|| vec![Cplx::ZERO; n]);
         buf.resize(n, Cplx::ZERO);
-        fft(&mut buf);
+        fft_plan.forward(&mut buf);
         buf
     };
 
@@ -589,13 +593,14 @@ fn receive_stbc(
     let train_ref = training_grid(width, amplitude);
     let n_train = config.n_train();
 
+    let fft_plan = plan(n);
     let fft_block = |stream: &[Cplx], start: usize| -> Vec<Cplx> {
         let mut buf = stream
             .get(start..start + block)
             .map(|b| strip_cp(b, cp).to_vec())
             .unwrap_or_else(|| vec![Cplx::ZERO; n]);
         buf.resize(n, Cplx::ZERO);
-        fft(&mut buf);
+        fft_plan.forward(&mut buf);
         buf
     };
 

@@ -136,20 +136,21 @@ impl ThroughputModel for Uncalibrated<'_> {
 
     fn ap_throughput_bps(&self, ap: ApId, assignments: &[ChannelAssignment]) -> f64 {
         let width = assignments[ap.0].width();
-        let links: Vec<ClientLink> = self.0.cells[ap.0]
+        let est = self.0.estimator();
+        let links: Vec<ClientLink> = self.0.cells()[ap.0]
             .iter()
             .map(|c| {
                 // No calibration: evaluate the 40 MHz rate table at the
                 // *20 MHz* SNR (overestimating bonded quality by 3 dB).
-                let p = self.0.estimator.best_rate_point(c.snr20_db, width);
+                let p = est.best_rate_point(c.snr20_db, width);
                 ClientLink {
-                    rate_bps: p.mcs.mcs().rate_bps(width, self.0.estimator.gi),
+                    rate_bps: p.mcs.mcs().rate_bps(width, est.gi),
                     per: p.per,
                 }
             })
             .collect();
         let m = access_share(&self.0.graph, assignments, ap);
-        CellAirtime::new(&links, self.0.payload_bytes).cell_throughput_bps(m)
+        CellAirtime::new(&links, self.0.payload_bytes()).cell_throughput_bps(m)
     }
 }
 

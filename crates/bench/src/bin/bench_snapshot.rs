@@ -1,0 +1,194 @@
+//! Wall-clock snapshot of the evaluation engine on a 25-AP deployment:
+//! the pre-engine sequential full-recompute allocator (reimplemented here
+//! as the reference) vs the O(Δ)-delta path at 1 thread and at full
+//! parallelism. Writes `BENCH_allocation.json` in the current directory
+//! (the repo root when launched via `scripts/bench_snapshot.sh`).
+
+use acorn_bench::header;
+use acorn_core::allocation::{
+    allocate_with_restarts, random_initial, AllocationConfig,
+};
+use acorn_core::model::{NetworkModel, ThroughputModel};
+use acorn_core::{AcornConfig, AcornController};
+use acorn_sim::scenario::enterprise_grid;
+use acorn_topology::{ChannelAssignment, ChannelPlan, ClientId};
+use serde::Serialize;
+use std::time::Instant;
+
+const N_AP_SIDE: usize = 5; // 5×5 grid = 25 APs
+const RESTARTS: usize = 8;
+const REPS: usize = 5;
+
+#[derive(Serialize)]
+struct BenchAllocation {
+    n_aps: usize,
+    n_clients: usize,
+    restarts: usize,
+    reps: usize,
+    threads_parallel: usize,
+    /// Best-of-reps wall-clock (s): sequential full-recompute reference.
+    baseline_full_recompute_s: f64,
+    /// Best-of-reps wall-clock (s): delta engine, ACORN_THREADS=1.
+    delta_sequential_s: f64,
+    /// Best-of-reps wall-clock (s): delta engine, all threads.
+    delta_parallel_s: f64,
+    speedup_parallel_vs_baseline: f64,
+    speedup_sequential_vs_baseline: f64,
+    speedup_parallel_vs_sequential: f64,
+    baseline_total_bps: f64,
+    delta_total_bps: f64,
+    /// Sequential and parallel delta runs are bit-identical.
+    delta_bit_identical: bool,
+}
+
+/// The pre-engine allocator: every candidate colour is scored by a full
+/// `total_bps` recompute of the patched assignment, sequentially — the
+/// seed's Algorithm 2 evaluation path, kept as the timing reference.
+fn allocate_full_recompute(
+    model: &NetworkModel,
+    plan: &ChannelPlan,
+    initial: Vec<ChannelAssignment>,
+    config: &AllocationConfig,
+) -> (Vec<ChannelAssignment>, f64) {
+    let n = model.n_aps();
+    let colours = plan.all_assignments();
+    let mut assignments = initial;
+    let mut y = model.total_bps(&assignments);
+    for _round in 0..config.max_rounds {
+        let y_round_start = y;
+        let mut eligible = vec![true; n];
+        loop {
+            let mut best: Option<(usize, ChannelAssignment, f64)> = None;
+            for i in (0..n).filter(|&i| eligible[i]) {
+                let mut ap_best: Option<(ChannelAssignment, f64)> = None;
+                for &c in &colours {
+                    let mut patched = assignments.clone();
+                    patched[i] = c;
+                    let gain = model.total_bps(&patched) - y;
+                    match ap_best {
+                        Some((_, g)) if g >= gain => {}
+                        _ => ap_best = Some((c, gain)),
+                    }
+                }
+                let (c, rank) = ap_best.expect("plan has colours");
+                match best {
+                    Some((_, _, r)) if r >= rank => {}
+                    _ => best = Some((i, c, rank)),
+                }
+            }
+            match best {
+                Some((winner, c_star, rank)) if rank > 0.0 => {
+                    assignments[winner] = c_star;
+                    eligible[winner] = false;
+                    y += rank;
+                }
+                _ => break,
+            }
+        }
+        if y <= config.epsilon * y_round_start {
+            break;
+        }
+    }
+    let total = model.total_bps(&assignments);
+    (assignments, total)
+}
+
+fn allocate_full_recompute_with_restarts(
+    model: &NetworkModel,
+    plan: &ChannelPlan,
+    config: &AllocationConfig,
+    restarts: usize,
+    seed: u64,
+) -> (Vec<ChannelAssignment>, f64) {
+    (0..restarts)
+        .map(|i| {
+            let initial = random_initial(plan, model.n_aps(), seed.wrapping_add(i as u64));
+            allocate_full_recompute(model, plan, initial, config)
+        })
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .expect("restarts >= 1")
+}
+
+/// Best-of-`REPS` wall-clock seconds for `f`.
+fn time_best<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("REPS >= 1"))
+}
+
+fn main() {
+    header("Evaluation-engine snapshot: 25-AP allocate_with_restarts");
+    let n_clients = 60;
+    let wlan = enterprise_grid(N_AP_SIDE, N_AP_SIDE, 45.0, n_clients, 77);
+    let plan = ChannelPlan::full_5ghz();
+    let ctl = AcornController::new(AcornConfig {
+        plan,
+        ..AcornConfig::default()
+    });
+    let mut state = ctl.new_state(&wlan, 1);
+    for c in 0..wlan.clients.len() {
+        ctl.associate(&wlan, &mut state, ClientId(c));
+    }
+    let model = ctl.build_model(&wlan, &state);
+    assert_eq!(model.n_aps(), N_AP_SIDE * N_AP_SIDE);
+    let cfg = AllocationConfig::default();
+    let seed = 2010u64;
+
+    let (t_base, (_, base_total)) =
+        time_best(|| allocate_full_recompute_with_restarts(&model, &plan, &cfg, RESTARTS, seed));
+    println!("baseline full-recompute (sequential): {t_base:.3} s  (Y = {:.1} Mb/s)", base_total / 1e6);
+
+    std::env::set_var("ACORN_THREADS", "1");
+    let (t_seq, r_seq) =
+        time_best(|| allocate_with_restarts(&model, &plan, &cfg, RESTARTS, seed));
+    println!("delta engine, 1 thread:               {t_seq:.3} s  (Y = {:.1} Mb/s)", r_seq.total_bps / 1e6);
+
+    // Measure the parallel path at ≥4 workers even on small machines
+    // (bit-identity guarantees the answer is the same either way).
+    std::env::remove_var("ACORN_THREADS");
+    let threads = acorn_core::par::max_threads().max(4);
+    std::env::set_var("ACORN_THREADS", threads.to_string());
+    let (t_par, r_par) =
+        time_best(|| allocate_with_restarts(&model, &plan, &cfg, RESTARTS, seed));
+    std::env::remove_var("ACORN_THREADS");
+    println!("delta engine, {threads} threads:              {t_par:.3} s  (Y = {:.1} Mb/s)", r_par.total_bps / 1e6);
+
+    let identical = r_seq.assignments == r_par.assignments
+        && r_seq.total_bps.to_bits() == r_par.total_bps.to_bits();
+    assert!(identical, "sequential and parallel runs must be bit-identical");
+
+    let record = BenchAllocation {
+        n_aps: model.n_aps(),
+        n_clients,
+        restarts: RESTARTS,
+        reps: REPS,
+        threads_parallel: threads,
+        baseline_full_recompute_s: t_base,
+        delta_sequential_s: t_seq,
+        delta_parallel_s: t_par,
+        speedup_parallel_vs_baseline: t_base / t_par,
+        speedup_sequential_vs_baseline: t_base / t_seq,
+        speedup_parallel_vs_sequential: t_seq / t_par,
+        baseline_total_bps: base_total,
+        delta_total_bps: r_par.total_bps,
+        delta_bit_identical: identical,
+    };
+    println!();
+    println!(
+        "speedups vs baseline: {:.2}x sequential, {:.2}x parallel ({} threads)",
+        record.speedup_sequential_vs_baseline, record.speedup_parallel_vs_baseline, threads
+    );
+    match serde_json::to_string_pretty(&record) {
+        Ok(s) => {
+            std::fs::write("BENCH_allocation.json", s).expect("write BENCH_allocation.json");
+            println!("[saved BENCH_allocation.json]");
+        }
+        Err(e) => eprintln!("warning: serialization failed: {e}"),
+    }
+}

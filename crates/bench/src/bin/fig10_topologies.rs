@@ -92,34 +92,14 @@ fn run_kauffmann(wlan: &Wlan, plan: ChannelPlan) -> (Vec<f64>, f64) {
     (eval.per_ap_bps, eval.total_bps)
 }
 
-fn show(name: &str, wlan: &Wlan, plan: ChannelPlan) -> TopologyResult {
-    header(&format!("Figure 10 — {name}"));
+fn compute(name: &str, wlan: &Wlan, plan: ChannelPlan) -> TopologyResult {
     let (acorn, acorn_total, widths) = run_acorn(wlan, plan);
     let (base, base_total) = run_kauffmann(wlan, plan);
-    let mut rows = Vec::new();
     let mut gains = Vec::new();
     for i in 0..wlan.aps.len() {
         let gain = if base[i] > 0.0 { acorn[i] / base[i] } else { f64::INFINITY };
         gains.push(gain);
-        rows.push(vec![
-            format!("AP {i}"),
-            mbps(acorn[i]),
-            widths[i].clone(),
-            mbps(base[i]),
-            format!("{gain:.2}x"),
-        ]);
     }
-    rows.push(vec![
-        "TOTAL".into(),
-        mbps(acorn_total),
-        "".into(),
-        mbps(base_total),
-        format!("{:.2}x", acorn_total / base_total),
-    ]);
-    print_table(
-        &["cell", "ACORN (Mb/s)", "width", "[17] (Mb/s)", "gain"],
-        &rows,
-    );
     TopologyResult {
         name: name.to_string(),
         acorn_per_ap_bps: acorn,
@@ -131,10 +111,45 @@ fn show(name: &str, wlan: &Wlan, plan: ChannelPlan) -> TopologyResult {
     }
 }
 
+fn show(r: &TopologyResult) {
+    header(&format!("Figure 10 — {}", r.name));
+    let mut rows = Vec::new();
+    for i in 0..r.acorn_per_ap_bps.len() {
+        rows.push(vec![
+            format!("AP {i}"),
+            mbps(r.acorn_per_ap_bps[i]),
+            r.acorn_widths[i].clone(),
+            mbps(r.baseline_per_ap_bps[i]),
+            format!("{:.2}x", r.per_ap_gain[i]),
+        ]);
+    }
+    rows.push(vec![
+        "TOTAL".into(),
+        mbps(r.acorn_total_bps),
+        "".into(),
+        mbps(r.baseline_total_bps),
+        format!("{:.2}x", r.acorn_total_bps / r.baseline_total_bps),
+    ]);
+    print_table(
+        &["cell", "ACORN (Mb/s)", "width", "[17] (Mb/s)", "gain"],
+        &rows,
+    );
+}
+
 fn main() {
     let plan = ChannelPlan::full_5ghz();
-    let t1 = show("Topology 1 (2 APs, poor cell + good cell)", &topology1(), plan);
-    let t2 = show("Topology 2 (5 APs, shared clients + poor cells)", &topology2(), plan);
+    // The two topologies are independent end-to-end runs; compute both in
+    // parallel, then print in order.
+    let topologies: Vec<(&str, Wlan)> = vec![
+        ("Topology 1 (2 APs, poor cell + good cell)", topology1()),
+        ("Topology 2 (5 APs, shared clients + poor cells)", topology2()),
+    ];
+    let results = acorn_core::par::par_map(&topologies, |(name, wlan)| compute(name, wlan, plan));
+    for r in &results {
+        show(r);
+    }
+    let mut it = results.into_iter();
+    let (t1, t2) = (it.next().expect("topology 1"), it.next().expect("topology 2"));
     println!();
     println!("paper: gains of ~4x on Topology 1's poor cell; up to 6x on");
     println!("Topology 2's poorest cell; good cells essentially unchanged.");

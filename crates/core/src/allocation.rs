@@ -21,9 +21,20 @@
 //! This mimics gradient descent on the throughput landscape; its
 //! worst-case approximation ratio is O(1/(Δ+1)) ([`crate::theory`]), but
 //! §5.2 shows it does far better in practice.
+//!
+//! ## Evaluation engine
+//!
+//! Candidate scoring uses [`ThroughputModel::best_switch`] — on
+//! [`NetworkModel`](crate::model::NetworkModel) the whole colour scan
+//! costs O(Δ) because a switch only perturbs the AP and its neighbours,
+//! not a full-network recompute per colour — and fans the per-AP ranking
+//! out over [`crate::par::par_map`]. Restarts parallelize across seeds
+//! the same way. Both reductions are order-stable, so results are
+//! bit-identical for every thread count (`ACORN_THREADS=1` included).
 
 use crate::model::ThroughputModel;
-use acorn_topology::{ChannelAssignment, ChannelPlan};
+use crate::par;
+use acorn_topology::{ApId, ChannelAssignment, ChannelPlan};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -72,7 +83,7 @@ pub fn random_initial(plan: &ChannelPlan, n_aps: usize, seed: u64) -> Vec<Channe
 }
 
 /// Runs Algorithm 2 from a given initial assignment.
-pub fn allocate<M: ThroughputModel>(
+pub fn allocate<M: ThroughputModel + Sync>(
     model: &M,
     plan: &ChannelPlan,
     initial: Vec<ChannelAssignment>,
@@ -95,29 +106,24 @@ pub fn allocate<M: ThroughputModel>(
         let mut eligible: Vec<bool> = vec![true; n];
         // Inner loop: repeatedly let the max-rank eligible AP switch.
         loop {
+            let candidates: Vec<usize> = (0..n).filter(|&i| eligible[i]).collect();
+            if candidates.is_empty() {
+                break;
+            }
+            iterations += candidates.len();
+            // Rank every eligible AP: the gain of its best colour with
+            // everyone else frozen (line 10). Each AP's scan is
+            // independent given the frozen assignment, so the scans fan
+            // out; the fold below runs in candidate order, keeping the
+            // winner identical to the sequential pass.
+            let ranked: Vec<(ChannelAssignment, f64)> = par::par_map(&candidates, |&i| {
+                model.best_switch(ApId(i), &colours, &assignments)
+            });
             let mut best: Option<(usize, ChannelAssignment, f64)> = None;
-            for i in 0..n {
-                if !eligible[i] {
-                    continue;
-                }
-                iterations += 1;
-                // Best colour for AP i with everyone else frozen (line 10).
-                let current = assignments[i];
-                let mut ap_best: Option<(ChannelAssignment, f64)> = None;
-                for &c in &colours {
-                    assignments[i] = c;
-                    let total = model.total_bps(&assignments);
-                    match ap_best {
-                        Some((_, t)) if t >= total => {}
-                        _ => ap_best = Some((c, total)),
-                    }
-                }
-                assignments[i] = current;
-                let (c_star, t_star) = ap_best.expect("plan has colours");
-                let rank = t_star - y;
+            for (&i, &(c, rank)) in candidates.iter().zip(&ranked) {
                 match best {
                     Some((_, _, r)) if r >= rank => {}
-                    _ => best = Some((i, c_star, rank)),
+                    _ => best = Some((i, c, rank)),
                 }
             }
             match best {
@@ -133,9 +139,6 @@ pub fn allocate<M: ThroughputModel>(
                 }
                 _ => break, // no eligible AP can improve
             }
-            if !eligible.iter().any(|e| *e) {
-                break;
-            }
         }
         // ε stopping rule across rounds.
         if y <= config.epsilon * y_round_start {
@@ -143,8 +146,12 @@ pub fn allocate<M: ThroughputModel>(
         }
     }
 
+    // Re-anchor the headline number with one full evaluation so that
+    // accumulated delta rounding cannot drift it; `history_bps` keeps the
+    // exact per-switch gains.
+    let total_bps = model.total_bps(&assignments);
     AllocationResult {
-        total_bps: y,
+        total_bps,
         assignments,
         iterations,
         switches,
@@ -153,7 +160,7 @@ pub fn allocate<M: ThroughputModel>(
 }
 
 /// Convenience: random initialization + allocation.
-pub fn allocate_from_random<M: ThroughputModel>(
+pub fn allocate_from_random<M: ThroughputModel + Sync>(
     model: &M,
     plan: &ChannelPlan,
     config: &AllocationConfig,
@@ -168,7 +175,7 @@ pub fn allocate_from_random<M: ThroughputModel>(
 /// gradient-style local search — the greedy has an O(1/(Δ+1)) worst case
 /// precisely because single runs can stall in local optima (e.g. a bond
 /// parked on the wrong AP with no improving unilateral move).
-pub fn allocate_with_restarts<M: ThroughputModel>(
+pub fn allocate_with_restarts<M: ThroughputModel + Sync>(
     model: &M,
     plan: &ChannelPlan,
     config: &AllocationConfig,
@@ -176,10 +183,15 @@ pub fn allocate_with_restarts<M: ThroughputModel>(
     seed: u64,
 ) -> AllocationResult {
     assert!(restarts >= 1, "need at least one restart");
-    (0..restarts)
-        .map(|i| allocate_from_random(model, plan, config, seed.wrapping_add(i as u64)))
-        .max_by(|a, b| a.total_bps.partial_cmp(&b.total_bps).unwrap())
-        .expect("restarts >= 1")
+    // Restarts are fully independent (each derives its own seed from its
+    // index), so they fan out; the max-fold runs in seed order, matching
+    // the sequential `max_by` (last max wins on exact ties).
+    par::par_map_n(restarts, |i| {
+        allocate_from_random(model, plan, config, seed.wrapping_add(i as u64))
+    })
+    .into_iter()
+    .max_by(|a, b| a.total_bps.partial_cmp(&b.total_bps).unwrap())
+    .expect("restarts >= 1")
 }
 
 #[cfg(test)]

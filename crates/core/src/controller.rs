@@ -143,10 +143,7 @@ impl AcornController {
                     .collect()
             })
             .collect();
-        let mut model = NetworkModel::new(graph, cells);
-        model.estimator = self.config.estimator;
-        model.payload_bytes = self.config.payload_bytes;
-        model
+        NetworkModel::with_config(graph, cells, self.config.estimator, self.config.payload_bytes)
     }
 
     /// Current beacons of all APs.

@@ -39,6 +39,7 @@ pub mod controller;
 pub mod csa;
 pub mod iapp;
 pub mod model;
+pub mod par;
 pub mod scanning;
 pub mod theory;
 pub mod tracker;

@@ -16,7 +16,7 @@
 //! baselines) stay independent of how throughputs are predicted.
 
 use acorn_mac::airtime::{CellAirtime, ClientLink};
-use acorn_mac::contention::access_share;
+use acorn_mac::contention::{access_share, access_share_with};
 use acorn_phy::estimator::LinkQualityEstimator;
 use acorn_phy::ChannelWidth;
 use acorn_topology::{ApId, ChannelAssignment, InterferenceGraph};
@@ -37,6 +37,49 @@ pub trait ThroughputModel {
             .map(|i| self.ap_throughput_bps(ApId(i), assignments))
             .sum()
     }
+
+    /// Change in `total_bps` if `ap` switched from its current colour in
+    /// `assignments` to `colour`, everyone else frozen — the quantity
+    /// Algorithm 2's candidate ranking actually needs. The default
+    /// implementation recomputes both totals; models that know which
+    /// cells a switch can affect should override it (see
+    /// [`NetworkModel`]'s O(Δ) version).
+    fn delta_bps(
+        &self,
+        ap: ApId,
+        colour: ChannelAssignment,
+        assignments: &[ChannelAssignment],
+    ) -> f64 {
+        if assignments[ap.0] == colour {
+            return 0.0;
+        }
+        let mut alt = assignments.to_vec();
+        alt[ap.0] = colour;
+        self.total_bps(&alt) - self.total_bps(assignments)
+    }
+
+    /// The best colour for `ap` with everyone else frozen, and its gain —
+    /// one candidate ranking of Algorithm 2's inner loop. Ties keep the
+    /// first colour in `colours` (matching the sequential scan). The
+    /// default scans via [`delta_bps`](ThroughputModel::delta_bps);
+    /// models that can share work across the colour scan should override
+    /// it (see [`NetworkModel`]'s hoisted version).
+    fn best_switch(
+        &self,
+        ap: ApId,
+        colours: &[ChannelAssignment],
+        assignments: &[ChannelAssignment],
+    ) -> (ChannelAssignment, f64) {
+        let mut best: Option<(ChannelAssignment, f64)> = None;
+        for &c in colours {
+            let gain = self.delta_bps(ap, c, assignments);
+            match best {
+                Some((_, g)) if g >= gain => {}
+                _ => best = Some((c, gain)),
+            }
+        }
+        best.expect("non-empty colour set")
+    }
 }
 
 /// One client as the model sees it: its 20 MHz-referenced SNR.
@@ -53,43 +96,109 @@ pub struct ClientSnr {
 ///
 /// A cell's throughput at a width is independent of the rest of the
 /// assignment and *linear* in the access share `M` (`X = M·K·L/ATD`), so
-/// the model memoizes the `M = 1` value per (AP, width) — Algorithm 2
-/// evaluates `total_bps` thousands of times per run and would otherwise
-/// re-derive every client's MCS/PER pipeline each time. The cache is
-/// invalidated implicitly by construction: configure `estimator` /
-/// `payload_bytes` *before* the first throughput query (the controller
-/// does).
+/// the model precomputes the `M = 1` value for every (AP, width) pair
+/// into a dense table at construction — Algorithm 2 evaluates candidates
+/// thousands of times per run and would otherwise re-derive every
+/// client's MCS/PER pipeline each time. The table is rebuilt
+/// automatically whenever [`set_estimator`](NetworkModel::set_estimator),
+/// [`set_payload_bytes`](NetworkModel::set_payload_bytes) or
+/// [`set_cells`](NetworkModel::set_cells) mutate its inputs, so the model
+/// is always consistent, holds no interior mutability, and is `Sync` —
+/// the parallel evaluation engine shares it across threads.
 #[derive(Debug, Clone)]
 pub struct NetworkModel {
     /// AP-level interference graph (footnote 5 semantics).
     pub graph: InterferenceGraph,
-    /// Clients associated with each AP.
-    pub cells: Vec<Vec<ClientSnr>>,
-    /// The §4.2 link-quality estimator.
-    pub estimator: LinkQualityEstimator,
-    /// Payload size for airtime accounting (bytes).
-    pub payload_bytes: u32,
-    /// Memoized `M = 1` cell throughput per (AP, width).
-    cell_cache: std::cell::RefCell<std::collections::HashMap<(usize, ChannelWidth), f64>>,
+    cells: Vec<Vec<ClientSnr>>,
+    estimator: LinkQualityEstimator,
+    payload_bytes: u32,
+    /// Dense `M = 1` cell throughput, indexed `[ap * 2 + width_index]`.
+    cell_base: Vec<f64>,
+}
+
+fn width_index(width: ChannelWidth) -> usize {
+    match width {
+        ChannelWidth::Ht20 => 0,
+        ChannelWidth::Ht40 => 1,
+    }
 }
 
 impl NetworkModel {
     /// Creates a model; `cells[i]` lists AP i's associated clients.
     pub fn new(graph: InterferenceGraph, cells: Vec<Vec<ClientSnr>>) -> NetworkModel {
-        assert_eq!(graph.len(), cells.len(), "one cell per AP");
-        NetworkModel {
-            graph,
-            cells,
-            estimator: LinkQualityEstimator::default(),
-            payload_bytes: 1500,
-            cell_cache: std::cell::RefCell::new(std::collections::HashMap::new()),
-        }
+        NetworkModel::with_config(graph, cells, LinkQualityEstimator::default(), 1500)
     }
 
-    /// Drops the memoized cell throughputs. Call after mutating
-    /// `estimator`, `payload_bytes` or `cells` post-first-use.
-    pub fn invalidate_cache(&mut self) {
-        self.cell_cache.borrow_mut().clear();
+    /// Creates a fully configured model in one step (one cache build —
+    /// prefer this over `new` + setters when the estimator or payload
+    /// differ from the defaults).
+    pub fn with_config(
+        graph: InterferenceGraph,
+        cells: Vec<Vec<ClientSnr>>,
+        estimator: LinkQualityEstimator,
+        payload_bytes: u32,
+    ) -> NetworkModel {
+        assert_eq!(graph.len(), cells.len(), "one cell per AP");
+        let mut model = NetworkModel {
+            graph,
+            cells,
+            estimator,
+            payload_bytes,
+            cell_base: Vec::new(),
+        };
+        model.rebuild_cell_base();
+        model
+    }
+
+    /// Clients associated with each AP.
+    pub fn cells(&self) -> &[Vec<ClientSnr>] {
+        &self.cells
+    }
+
+    /// The §4.2 link-quality estimator.
+    pub fn estimator(&self) -> &LinkQualityEstimator {
+        &self.estimator
+    }
+
+    /// Payload size for airtime accounting (bytes).
+    pub fn payload_bytes(&self) -> u32 {
+        self.payload_bytes
+    }
+
+    /// Replaces the estimator and rebuilds the throughput table.
+    pub fn set_estimator(&mut self, estimator: LinkQualityEstimator) {
+        self.estimator = estimator;
+        self.rebuild_cell_base();
+    }
+
+    /// Replaces the airtime payload size and rebuilds the table.
+    pub fn set_payload_bytes(&mut self, payload_bytes: u32) {
+        self.payload_bytes = payload_bytes;
+        self.rebuild_cell_base();
+    }
+
+    /// Replaces the per-AP client lists and rebuilds the table.
+    pub fn set_cells(&mut self, cells: Vec<Vec<ClientSnr>>) {
+        assert_eq!(self.graph.len(), cells.len(), "one cell per AP");
+        self.cells = cells;
+        self.rebuild_cell_base();
+    }
+
+    fn rebuild_cell_base(&mut self) {
+        let n = self.cells.len();
+        let mut table = vec![0.0; n * 2];
+        for ap in 0..n {
+            for width in [ChannelWidth::Ht20, ChannelWidth::Ht40] {
+                table[ap * 2 + width_index(width)] =
+                    self.cell_airtime(ApId(ap), width).cell_throughput_bps(1.0);
+            }
+        }
+        self.cell_base = table;
+    }
+
+    /// The precomputed contention-free (`M = 1`) cell throughput.
+    pub fn cell_base_bps(&self, ap: ApId, width: ChannelWidth) -> f64 {
+        self.cell_base[ap.0 * 2 + width_index(width)]
     }
 
     /// Predicts the MAC-layer operating point of a client at a width.
@@ -115,7 +224,7 @@ impl NetworkModel {
     /// `X_i^{isol-20/40}` of the NP-completeness argument and Fig. 14's
     /// `Y*` calibration.
     pub fn isolated_throughput_bps(&self, ap: ApId, width: ChannelWidth) -> f64 {
-        self.cell_airtime(ap, width).cell_throughput_bps(1.0)
+        self.cell_base_bps(ap, width)
     }
 
     /// `X_i^{isol} = max(X_i^{isol-20}, X_i^{isol-40})`.
@@ -132,20 +241,97 @@ impl ThroughputModel for NetworkModel {
 
     fn ap_throughput_bps(&self, ap: ApId, assignments: &[ChannelAssignment]) -> f64 {
         let m = access_share(&self.graph, assignments, ap);
-        let width = assignments[ap.0].width();
-        let base = {
-            let cache = self.cell_cache.borrow();
-            cache.get(&(ap.0, width)).copied()
-        };
-        let base = match base {
-            Some(v) => v,
-            None => {
-                let v = self.cell_airtime(ap, width).cell_throughput_bps(1.0);
-                self.cell_cache.borrow_mut().insert((ap.0, width), v);
-                v
+        m.clamp(0.0, 1.0) * self.cell_base_bps(ap, assignments[ap.0].width())
+    }
+
+    /// O(Δ) evaluation: switching `ap` can only change the access shares
+    /// of `ap` itself and its interference-graph neighbours (everyone
+    /// else's contender set is untouched), and cell throughput is linear
+    /// in the share, so the delta is a sum over that neighbourhood of
+    /// `M_new·base − M_old·base` — each term exactly the difference of
+    /// the corresponding [`ap_throughput_bps`] values.
+    fn delta_bps(
+        &self,
+        ap: ApId,
+        colour: ChannelAssignment,
+        assignments: &[ChannelAssignment],
+    ) -> f64 {
+        let current = assignments[ap.0];
+        if current == colour {
+            return 0.0;
+        }
+        let patch = (ap, colour);
+        let m_new = access_share_with(&self.graph, assignments, ap, patch);
+        let m_old = access_share(&self.graph, assignments, ap);
+        let mut delta = m_new.clamp(0.0, 1.0) * self.cell_base_bps(ap, colour.width())
+            - m_old.clamp(0.0, 1.0) * self.cell_base_bps(ap, current.width());
+        for j in self.graph.neighbors(ap) {
+            let m_new = access_share_with(&self.graph, assignments, j, patch);
+            let m_old = access_share(&self.graph, assignments, j);
+            if m_new != m_old {
+                let base = self.cell_base_bps(j, assignments[j.0].width());
+                delta += m_new.clamp(0.0, 1.0) * base - m_old.clamp(0.0, 1.0) * base;
             }
+        }
+        delta
+    }
+
+    /// O(Δ) over the *whole* colour scan: the frozen-assignment state —
+    /// the AP's own conflict count and every neighbour's conflict count
+    /// and cell base — is computed once, and each colour then costs one
+    /// O(Δ) rescan of the AP's own conflicts plus O(1) per neighbour
+    /// (only the `ap`–`j` edge can change, so the neighbour's new count
+    /// is its old count ±1). Term order matches
+    /// [`delta_bps`](ThroughputModel::delta_bps), so gains are
+    /// bit-identical to the per-colour scan.
+    fn best_switch(
+        &self,
+        ap: ApId,
+        colours: &[ChannelAssignment],
+        assignments: &[ChannelAssignment],
+    ) -> (ChannelAssignment, f64) {
+        let current = assignments[ap.0];
+        let conflicts_of = |j: ApId, colour: ChannelAssignment| {
+            self.graph
+                .neighbors(j)
+                .filter(|&nb| colour.conflicts(assignments[nb.0]))
+                .count()
         };
-        m.clamp(0.0, 1.0) * base
+        let share = |c: usize| (1.0 / (c as f64 + 1.0)).clamp(0.0, 1.0);
+        let x_i_old = share(conflicts_of(ap, current)) * self.cell_base_bps(ap, current.width());
+        // Per neighbour: (its current conflict count, its cell base).
+        let neigh: Vec<(ChannelAssignment, usize, f64)> = self
+            .graph
+            .neighbors(ap)
+            .map(|j| {
+                let a_j = assignments[j.0];
+                (a_j, conflicts_of(j, a_j), self.cell_base_bps(j, a_j.width()))
+            })
+            .collect();
+
+        let mut best: Option<(ChannelAssignment, f64)> = None;
+        for &c in colours {
+            let gain = if c == current {
+                0.0
+            } else {
+                let x_i_new = share(conflicts_of(ap, c)) * self.cell_base_bps(ap, c.width());
+                let mut delta = x_i_new - x_i_old;
+                for &(a_j, c_old, base) in &neigh {
+                    let edge_old = a_j.conflicts(current);
+                    let edge_new = a_j.conflicts(c);
+                    if edge_old != edge_new {
+                        let c_new = if edge_new { c_old + 1 } else { c_old - 1 };
+                        delta += share(c_new) * base - share(c_old) * base;
+                    }
+                }
+                delta
+            };
+            match best {
+                Some((_, g)) if g >= gain => {}
+                _ => best = Some((c, gain)),
+            }
+        }
+        best.expect("non-empty colour set")
     }
 }
 
@@ -260,5 +446,124 @@ mod tests {
     #[should_panic(expected = "one cell per AP")]
     fn mismatched_cells_panic() {
         NetworkModel::new(InterferenceGraph::new(2), vec![vec![]]);
+    }
+
+    #[test]
+    fn setters_rebuild_the_table() {
+        // The stale-cache footgun this refactor removes: mutating the
+        // payload after first use must change subsequent predictions.
+        let mut m = two_ap_model(&[25.0], &[20.0], false);
+        let a = vec![single(0), single(1)];
+        let before = m.total_bps(&a);
+        m.set_payload_bytes(256);
+        let after = m.total_bps(&a);
+        assert_ne!(before, after, "smaller frames pay more per-frame overhead");
+        m.set_payload_bytes(1500);
+        assert_eq!(m.total_bps(&a), before, "rebuild is deterministic");
+
+        let mut est = *m.estimator();
+        est.fading_sigma_db += 4.0;
+        m.set_estimator(est);
+        assert_ne!(m.total_bps(&a), before);
+
+        m.set_cells(vec![vec![], vec![]]);
+        assert_eq!(m.total_bps(&a), 0.0);
+    }
+
+    #[test]
+    fn delta_matches_full_recompute() {
+        // The O(Δ) specialization must agree with the trait's
+        // full-recompute default on every (AP, colour) candidate,
+        // including bonded/overlap transitions, to float-sum accuracy.
+        let graph = InterferenceGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let cells = [
+            &[28.0, 22.0][..],
+            &[15.0][..],
+            &[8.0, 6.0, 31.0][..],
+            &[2.0][..],
+        ];
+        let cells = cells
+            .iter()
+            .map(|snrs| {
+                snrs.iter()
+                    .enumerate()
+                    .map(|(i, &s)| ClientSnr {
+                        client: i,
+                        snr20_db: s,
+                    })
+                    .collect()
+            })
+            .collect();
+        let m = NetworkModel::new(graph, cells);
+        let assignments = vec![single(0), bonded(0), single(1), single(3)];
+        let colours = [single(0), single(1), single(2), single(3), bonded(0), bonded(2)];
+        for ap in 0..4 {
+            for &c in &colours {
+                let fast = m.delta_bps(ApId(ap), c, &assignments);
+                let mut alt = assignments.clone();
+                alt[ap] = c;
+                let slow = m.total_bps(&alt) - m.total_bps(&assignments);
+                assert!(
+                    (fast - slow).abs() <= 1e-6 * slow.abs().max(1.0),
+                    "ap {ap} -> {c:?}: fast {fast} slow {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn best_switch_matches_the_per_colour_scan_exactly() {
+        // The hoisted colour scan must pick the same colour as a
+        // first-max fold over `delta_bps`, with the gain bit-identical.
+        let graph = InterferenceGraph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)]);
+        let cells = [
+            &[28.0, 22.0][..],
+            &[15.0][..],
+            &[8.0, 6.0, 31.0][..],
+            &[2.0][..],
+            &[19.0][..],
+        ];
+        let cells = cells
+            .iter()
+            .map(|snrs| {
+                snrs.iter()
+                    .enumerate()
+                    .map(|(i, &s)| ClientSnr {
+                        client: i,
+                        snr20_db: s,
+                    })
+                    .collect()
+            })
+            .collect();
+        let m = NetworkModel::new(graph, cells);
+        let assignments = vec![single(0), bonded(0), single(1), single(3), bonded(2)];
+        let colours = [single(0), single(1), single(2), single(3), bonded(0), bonded(2)];
+        for ap in 0..5 {
+            let (c_fast, g_fast) = m.best_switch(ApId(ap), &colours, &assignments);
+            let mut ref_best: Option<(ChannelAssignment, f64)> = None;
+            for &c in &colours {
+                let gain = m.delta_bps(ApId(ap), c, &assignments);
+                match ref_best {
+                    Some((_, g)) if g >= gain => {}
+                    _ => ref_best = Some((c, gain)),
+                }
+            }
+            let (c_ref, g_ref) = ref_best.unwrap();
+            assert_eq!(c_fast, c_ref, "ap {ap}: colour");
+            assert_eq!(g_fast.to_bits(), g_ref.to_bits(), "ap {ap}: {g_fast} vs {g_ref}");
+        }
+    }
+
+    #[test]
+    fn delta_of_current_colour_is_exactly_zero() {
+        let m = two_ap_model(&[25.0], &[20.0], true);
+        let a = vec![single(0), single(1)];
+        assert_eq!(m.delta_bps(ApId(0), single(0), &a), 0.0);
+    }
+
+    #[test]
+    fn model_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<NetworkModel>();
     }
 }

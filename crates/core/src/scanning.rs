@@ -78,14 +78,17 @@ impl ChannelSounding for HashSounding {
 ///
 /// Like [`NetworkModel`], memoizes the `M = 1` cell throughput — here per
 /// (AP, concrete assignment), since with scanning the quality depends on
-/// *which* channels are occupied, not just the width.
-#[derive(Debug, Clone)]
+/// *which* channels are occupied, not just the width. The cache can't be
+/// precomputed densely (the key space is every concrete assignment), so
+/// it stays lazy behind a `Mutex` — keeping the model `Sync` for the
+/// parallel evaluation engine.
+#[derive(Debug)]
 pub struct ScanningModel<S: ChannelSounding> {
     /// The base (wideband) model: graph, cells, estimator.
     pub base: NetworkModel,
     /// The scan measurements.
     pub sounding: S,
-    cell_cache: std::cell::RefCell<std::collections::HashMap<(usize, ChannelAssignment), f64>>,
+    cell_cache: std::sync::Mutex<std::collections::HashMap<(usize, ChannelAssignment), f64>>,
 }
 
 impl<S: ChannelSounding> ScanningModel<S> {
@@ -94,7 +97,7 @@ impl<S: ChannelSounding> ScanningModel<S> {
         ScanningModel {
             base,
             sounding,
-            cell_cache: std::cell::RefCell::new(std::collections::HashMap::new()),
+            cell_cache: std::sync::Mutex::new(std::collections::HashMap::new()),
         }
     }
 }
@@ -120,12 +123,12 @@ impl<S: ChannelSounding> ThroughputModel for ScanningModel<S> {
     fn ap_throughput_bps(&self, ap: ApId, assignments: &[ChannelAssignment]) -> f64 {
         let a = assignments[ap.0];
         let m = access_share(&self.base.graph, assignments, ap);
-        if let Some(v) = self.cell_cache.borrow().get(&(ap.0, a)) {
+        if let Some(v) = self.cell_cache.lock().unwrap().get(&(ap.0, a)) {
             return m * v;
         }
         let width = a.width();
-        let est = &self.base.estimator;
-        let links: Vec<ClientLink> = self.base.cells[ap.0]
+        let est = self.base.estimator();
+        let links: Vec<ClientLink> = self.base.cells()[ap.0]
             .iter()
             .map(|c| {
                 let snr = c.snr20_db + self.assignment_offset_db(ap.0, c.client, a);
@@ -137,8 +140,8 @@ impl<S: ChannelSounding> ThroughputModel for ScanningModel<S> {
                 }
             })
             .collect();
-        let base = CellAirtime::new(&links, self.base.payload_bytes).cell_throughput_bps(1.0);
-        self.cell_cache.borrow_mut().insert((ap.0, a), base);
+        let base = CellAirtime::new(&links, self.base.payload_bytes()).cell_throughput_bps(1.0);
+        self.cell_cache.lock().unwrap().insert((ap.0, a), base);
         m * base
     }
 }

@@ -32,7 +32,33 @@ pub fn access_share(
     assignments: &[ChannelAssignment],
     ap: ApId,
 ) -> f64 {
-    1.0 / (contenders(graph, assignments, ap).len() as f64 + 1.0)
+    assert_eq!(graph.len(), assignments.len(), "one assignment per AP");
+    let n = graph
+        .neighbors(ap)
+        .filter(|nb| assignments[ap.0].conflicts(assignments[nb.0]))
+        .count();
+    1.0 / (n as f64 + 1.0)
+}
+
+/// [`access_share`] under a hypothetical single-AP change: the share `ap`
+/// would have if `assignments[patch.0]` were `patch.1`, computed without
+/// materializing the patched assignment vector. This is the
+/// delta-evaluation hot path of Algorithm 2 — switching one AP only
+/// perturbs the shares of that AP and its graph neighbours.
+pub fn access_share_with(
+    graph: &InterferenceGraph,
+    assignments: &[ChannelAssignment],
+    ap: ApId,
+    patch: (ApId, ChannelAssignment),
+) -> f64 {
+    assert_eq!(graph.len(), assignments.len(), "one assignment per AP");
+    let assignment_of = |i: ApId| if i == patch.0 { patch.1 } else { assignments[i.0] };
+    let own = assignment_of(ap);
+    let n = graph
+        .neighbors(ap)
+        .filter(|&nb| own.conflicts(assignment_of(nb)))
+        .count();
+    1.0 / (n as f64 + 1.0)
 }
 
 /// Access shares for all APs at once.
@@ -126,5 +152,28 @@ mod tests {
     fn mismatched_lengths_panic() {
         let g = InterferenceGraph::new(2);
         access_share(&g, &[single(0)], ApId(0));
+    }
+
+    #[test]
+    fn patched_share_matches_materialized_patch() {
+        // For every AP and every hypothetical single-AP change, the
+        // allocation-free override must agree exactly with rebuilding the
+        // assignment vector and calling `access_share`.
+        let g = InterferenceGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 2)]);
+        let a = vec![bonded(0), single(1), single(0), bonded(2)];
+        let colours = [single(0), single(1), single(2), bonded(0), bonded(2)];
+        for target in 0..4 {
+            for &c in &colours {
+                let mut patched = a.clone();
+                patched[target] = c;
+                for i in 0..4 {
+                    assert_eq!(
+                        access_share_with(&g, &a, ApId(i), (ApId(target), c)),
+                        access_share(&g, &patched, ApId(i)),
+                        "ap {i}, patch {target} -> {c:?}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -147,6 +147,21 @@ pub fn run_churn(
     }
 }
 
+/// Monte-Carlo over churn seeds: one independent [`run_churn`] per seed,
+/// fanned out over the evaluation engine's thread pool. Each repetition
+/// derives everything from its own seed, and results come back in seed
+/// order — the batch is bit-identical to calling [`run_churn`] in a loop,
+/// for any `ACORN_THREADS`.
+pub fn run_churn_batch(
+    wlan: &Wlan,
+    ctl: &AcornController,
+    sessions: &[Session],
+    config: &ChurnConfig,
+    seeds: &[u64],
+) -> Vec<ChurnReport> {
+    acorn_core::par::par_map(seeds, |&seed| run_churn(wlan, ctl, sessions, config, seed))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -71,18 +71,19 @@ pub fn evaluate_analytic(
 ) -> Evaluation {
     assert_eq!(assignments.len(), wlan.aps.len(), "one assignment per AP");
     let graph = wlan.interference_graph(assoc);
-    let per_ap = (0..wlan.aps.len())
-        .map(|i| {
-            let ap = ApId(i);
-            let links = cell_links(wlan, assoc, estimator, ap, assignments[i].width());
-            if links.is_empty() {
-                return 0.0;
-            }
-            let airtime = CellAirtime::new(&links, payload_bytes);
-            let m = access_share(&graph, assignments, ap);
-            cell_goodput_bps(&airtime, &links, m, traffic)
-        })
-        .collect();
+    // Per-AP scoring is independent given the frozen assignment; fan it
+    // out. Results come back in AP order, so the total is the same float
+    // sum as the sequential loop.
+    let per_ap = acorn_core::par::par_map_n(wlan.aps.len(), |i| {
+        let ap = ApId(i);
+        let links = cell_links(wlan, assoc, estimator, ap, assignments[i].width());
+        if links.is_empty() {
+            return 0.0;
+        }
+        let airtime = CellAirtime::new(&links, payload_bytes);
+        let m = access_share(&graph, assignments, ap);
+        cell_goodput_bps(&airtime, &links, m, traffic)
+    });
     Evaluation::from_cells(per_ap)
 }
 
@@ -131,8 +132,12 @@ pub fn evaluate_dcf(
 ) -> Evaluation {
     assert_eq!(assignments.len(), wlan.aps.len(), "one assignment per AP");
     let graph = wlan.interference_graph(assoc);
-    let mut per_ap = vec![0.0f64; wlan.aps.len()];
-    for (ci, comp) in contention_components(&graph, assignments).iter().enumerate() {
+    let components = contention_components(&graph, assignments);
+    // Collision domains are independent simulations, each seeded by its
+    // component index (stable: components are discovered in AP order), so
+    // they fan out without changing any sample stream.
+    let results: Vec<Vec<f64>> = acorn_core::par::par_map_n(components.len(), |ci| {
+        let comp = &components[ci];
         let stations: Vec<StationConfig> = comp
             .iter()
             .map(|&i| {
@@ -145,8 +150,15 @@ pub fn evaluate_dcf(
             })
             .collect();
         let stats = simulate_dcf(&stations, duration_s, seed.wrapping_add(ci as u64));
-        for (slot, &i) in comp.iter().enumerate() {
-            per_ap[i] = stats[slot].throughput_bps(duration_s);
+        stats
+            .iter()
+            .map(|s| s.throughput_bps(duration_s))
+            .collect()
+    });
+    let mut per_ap = vec![0.0f64; wlan.aps.len()];
+    for (comp, bps) in components.iter().zip(&results) {
+        for (&i, &x) in comp.iter().zip(bps) {
+            per_ap[i] = x;
         }
     }
     Evaluation::from_cells(per_ap)

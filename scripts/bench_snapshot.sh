@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Performance snapshot of the evaluation engine:
+#   1. criterion microbenches for allocation and baseband, and
+#   2. the 25-AP end-to-end allocate_with_restarts timing, which writes
+#      BENCH_allocation.json at the repo root.
+#
+# Usage: scripts/bench_snapshot.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== criterion: bench_allocation =="
+cargo bench --offline -p acorn-bench --bench bench_allocation
+
+echo
+echo "== criterion: bench_baseband =="
+cargo bench --offline -p acorn-bench --bench bench_baseband
+
+echo
+echo "== end-to-end: 25-AP allocate_with_restarts =="
+cargo run --offline --release -p acorn-bench --bin bench_snapshot
+
+echo
+echo "snapshot written to BENCH_allocation.json"

@@ -1,0 +1,115 @@
+//! Regression guard for the parallel evaluation engine: the thread count
+//! must never change an answer. Every fan-out point (candidate ranking,
+//! restarts, the churn loop) is exercised at `ACORN_THREADS` = 1, 2 and 8
+//! on several seeded topologies, and the results — including the f64 bit
+//! patterns — must be identical.
+//!
+//! Kept as a single `#[test]` because the env var is process-global and
+//! the three thread counts must run sequentially.
+
+use acorn_core::allocation::{allocate_with_restarts, AllocationConfig};
+use acorn_core::model::{ClientSnr, NetworkModel};
+use acorn_core::{AcornConfig, AcornController, NetworkState};
+use acorn_sim::churn::{run_churn, ChurnConfig, ChurnReport};
+use acorn_sim::scenario::enterprise_grid;
+use acorn_topology::{ChannelPlan, ClientId, InterferenceGraph, Wlan};
+use acorn_traces::{Session, SessionGenerator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded deployments of varying size, each with its own session trace.
+fn topology(i: usize) -> (Wlan, AcornController, Vec<Session>) {
+    let seeds = [41u64, 42, 43];
+    let dims = [(2usize, 2usize), (3, 2), (3, 3)];
+    let mut rng = StdRng::seed_from_u64(seeds[i]);
+    let sessions = SessionGenerator::enterprise_default().generate(&mut rng, 3600.0);
+    let (rows, cols) = dims[i];
+    let wlan = enterprise_grid(rows, cols, 50.0, sessions.len().max(4), seeds[i]);
+    let ctl = AcornController::new(AcornConfig::default());
+    (wlan, ctl, sessions)
+}
+
+/// A random abstract model for the direct `allocate_with_restarts` path.
+fn abstract_model(i: usize) -> NetworkModel {
+    let mut rng = StdRng::seed_from_u64(90 + i as u64);
+    let n_aps = 4 + i;
+    let cells: Vec<Vec<ClientSnr>> = (0..n_aps)
+        .map(|_| {
+            (0..rng.gen_range(1..4usize))
+                .map(|c| ClientSnr {
+                    client: c,
+                    snr20_db: rng.gen_range(1.5..32.0),
+                })
+                .collect()
+        })
+        .collect();
+    NetworkModel::new(InterferenceGraph::complete(n_aps), cells)
+}
+
+fn run_controller_alloc(wlan: &Wlan, ctl: &AcornController, seed: u64) -> (NetworkState, u64) {
+    let mut state = ctl.new_state(wlan, seed);
+    for c in 0..wlan.clients.len() {
+        ctl.associate(wlan, &mut state, ClientId(c));
+    }
+    let r = ctl.reallocate_with_restarts(wlan, &mut state, 8, seed.wrapping_add(10));
+    (state, r.total_bps.to_bits())
+}
+
+fn run_churn_once(
+    wlan: &Wlan,
+    ctl: &AcornController,
+    sessions: &[Session],
+    seed: u64,
+) -> ChurnReport {
+    let cfg = ChurnConfig {
+        horizon_s: 3600.0,
+        reallocation_period_s: 1200.0,
+        restarts: 4,
+        adapt_widths: true,
+    };
+    run_churn(wlan, ctl, sessions, &cfg, seed)
+}
+
+#[test]
+fn results_are_identical_across_thread_counts() {
+    let thread_counts = ["1", "2", "8"];
+    let alloc_cfg = AllocationConfig::default();
+    let plan = ChannelPlan::restricted(6);
+
+    for topo in 0..3 {
+        let (wlan, ctl, sessions) = topology(topo);
+        let model = abstract_model(topo);
+
+        let mut controller_runs: Vec<(NetworkState, u64)> = Vec::new();
+        let mut direct_runs: Vec<(Vec<_>, u64)> = Vec::new();
+        let mut churn_runs: Vec<ChurnReport> = Vec::new();
+        for threads in thread_counts {
+            std::env::set_var("ACORN_THREADS", threads);
+            controller_runs.push(run_controller_alloc(&wlan, &ctl, 7 + topo as u64));
+            let r = allocate_with_restarts(&model, &plan, &alloc_cfg, 8, 500 + topo as u64);
+            direct_runs.push((r.assignments, r.total_bps.to_bits()));
+            churn_runs.push(run_churn_once(&wlan, &ctl, &sessions, 21 + topo as u64));
+        }
+        std::env::remove_var("ACORN_THREADS");
+
+        for (t, threads) in thread_counts.iter().enumerate().skip(1) {
+            assert_eq!(
+                controller_runs[0], controller_runs[t],
+                "topology {topo}: controller allocation differs at {threads} threads"
+            );
+            assert_eq!(
+                direct_runs[0], direct_runs[t],
+                "topology {topo}: allocate_with_restarts differs at {threads} threads"
+            );
+            assert_eq!(
+                churn_runs[0], churn_runs[t],
+                "topology {topo}: churn run differs at {threads} threads"
+            );
+            assert_eq!(
+                churn_runs[0].mean_after_bps().to_bits(),
+                churn_runs[t].mean_after_bps().to_bits(),
+                "topology {topo}: churn throughput bits differ at {threads} threads"
+            );
+        }
+    }
+}
