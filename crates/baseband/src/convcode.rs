@@ -58,6 +58,7 @@ const BRANCH_OUT: [u8; 2 * STATES] = {
 
 /// Successor state of a branch: the input bit shifts into the window MSB.
 #[inline]
+#[cfg_attr(not(test), allow(dead_code))]
 fn next_state(state: usize, input: usize) -> usize {
     (state >> 1) | (input << 5)
 }
@@ -66,7 +67,15 @@ fn next_state(state: usize, input: usize) -> usize {
 /// `bits` followed by six zero tail bits, producing `2·(len+6)` coded bits
 /// as interleaved (A, B) pairs.
 pub fn encode(bits: &[bool]) -> Vec<bool> {
-    let mut out = Vec::with_capacity(2 * (bits.len() + TAIL_BITS));
+    let mut out = Vec::new();
+    encode_into(bits, &mut out);
+    out
+}
+
+/// Allocation-free [`encode`]: clears and refills `out`.
+pub fn encode_into(bits: &[bool], out: &mut Vec<bool>) {
+    out.clear();
+    out.reserve(2 * (bits.len() + TAIL_BITS));
     let mut state = 0u32;
     for &b in bits.iter().chain(std::iter::repeat(&false).take(TAIL_BITS)) {
         let (a, bb, next) = step(state, b);
@@ -75,7 +84,6 @@ pub fn encode(bits: &[bool]) -> Vec<bool> {
         state = next;
     }
     debug_assert_eq!(state, 0, "tail bits must return the encoder to state 0");
-    out
 }
 
 /// The puncturing matrix of a code rate: `(keep_a, keep_b)` per position of
@@ -115,9 +123,22 @@ pub fn puncture(coded: &[bool], rate: CodeRate) -> Vec<bool> {
 /// `None` marking erased (punctured) positions that contribute no branch
 /// metric. `n_pairs` is the original pair count, `info_len + TAIL_BITS`.
 pub fn depuncture(rx: &[bool], rate: CodeRate, n_pairs: usize) -> Vec<(Option<bool>, Option<bool>)> {
+    let mut out = Vec::new();
+    depuncture_into(rx, rate, n_pairs, &mut out);
+    out
+}
+
+/// Allocation-free [`depuncture`]: clears and refills `out`.
+pub fn depuncture_into(
+    rx: &[bool],
+    rate: CodeRate,
+    n_pairs: usize,
+    out: &mut Vec<(Option<bool>, Option<bool>)>,
+) {
     let (pa, pb) = puncture_pattern(rate);
     let period = pa.len();
-    let mut out = Vec::with_capacity(n_pairs);
+    out.clear();
+    out.reserve(n_pairs);
     let mut it = rx.iter();
     for i in 0..n_pairs {
         let slot = i % period;
@@ -125,7 +146,6 @@ pub fn depuncture(rx: &[bool], rate: CodeRate, n_pairs: usize) -> Vec<(Option<bo
         let b = if pb[slot] { it.next().copied() } else { None };
         out.push((a, b));
     }
-    out
 }
 
 /// Hard-decision Viterbi decoding of `pairs` (with erasures), returning
@@ -133,71 +153,110 @@ pub fn depuncture(rx: &[bool], rate: CodeRate, n_pairs: usize) -> Vec<(Option<bo
 /// state 0 and was terminated with [`TAIL_BITS`] zero bits; the traceback
 /// therefore starts from state 0 at the end of the trellis.
 pub fn viterbi_decode(pairs: &[(Option<bool>, Option<bool>)], info_len: usize) -> Vec<bool> {
+    let mut survivor = Vec::new();
+    let mut decoded = Vec::new();
+    viterbi_decode_into(pairs, info_len, &mut survivor, &mut decoded);
+    decoded
+}
+
+/// Allocation-free core of [`viterbi_decode`]: the survivor memory and the
+/// output vector are caller-provided scratch, resized (never shrunk) so a
+/// reused buffer costs no allocation in steady state.
+///
+/// The trellis is walked successor-first (add-compare-select): predecessor
+/// pair `(2j, 2j+1)` feeds exactly the two successors `j` (input 0) and
+/// `j + 32` (input 1), so one pass over `j = 0..32` loads each path metric
+/// once and writes every successor metric and survivor cell — stale bytes
+/// from a previous packet are never read. Metrics fit `u16` (≤ 2 per step,
+/// trellises far below 2¹⁵ steps), and the four branch metrics are
+/// expanded into a sequentially-indexed per-step cost table so the inner
+/// loop is branchless, gather-free and auto-vectorizable. Tie-breaking
+/// (lower predecessor wins) matches the classic state-major formulation
+/// exactly.
+pub fn viterbi_decode_into(
+    pairs: &[(Option<bool>, Option<bool>)],
+    info_len: usize,
+    survivor: &mut Vec<u8>,
+    decoded: &mut Vec<bool>,
+) {
     assert_eq!(
         pairs.len(),
         info_len + TAIL_BITS,
         "trellis length must be info_len + tail"
     );
-    const INF: u32 = u32::MAX / 2;
+    // Large enough to never be chosen over a genuine path, small enough
+    // that INF + (a few branch metrics) cannot wrap a u16.
+    const INF: u16 = 0x7000;
     let n = pairs.len();
+    assert!(n < (INF as usize - 16) / 2, "trellis too long for u16 metrics");
 
-    // Path metrics live in two fixed stack arrays swapped per step; the
-    // survivor memory is one flat preallocated byte per (step, state),
-    // packing the chosen input bit (bit 6) over the predecessor state
-    // (bits 0–5).
+    // One byte per (step, state) holding the winning predecessor choice
+    // (0 or 1); `resize` only zeroes freshly grown memory, and every cell
+    // is overwritten before the traceback reads it.
+    survivor.resize(n * STATES, 0);
+
     let mut metric = [INF; STATES];
     let mut next_metric = [INF; STATES];
     metric[0] = 0;
-    let mut survivor = vec![0u8; n * STATES];
 
-    for (t, &(ra, rb)) in pairs.iter().enumerate() {
-        // Branch metric of each possible coded pair `A | B<<1` under this
-        // received (possibly erased) pair — 4 entries instead of a
-        // per-branch recomputation.
-        let mut bm = [0u32; 4];
+    // A received (possibly erased) pair takes one of 3 × 3 values; for
+    // each, cost[4j + i] is the branch metric of predecessor 2j (i ∈
+    // {0,1}: input bit) and predecessor 2j+1 (i ∈ {2,3}). Expanding all
+    // nine tables once per call turns the per-step bm gather into
+    // sequential loads in the hot loop.
+    let sym = |r: Option<bool>| match r {
+        None => 0usize,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    let mut cost_tables = [[0u16; 2 * STATES]; 9];
+    for (v, table) in cost_tables.iter_mut().enumerate() {
+        let (va, vb) = (v / 3, v % 3);
+        let mut bm = [0u16; 4];
         for (out, slot) in bm.iter_mut().enumerate() {
             let mut m = 0;
-            if let Some(r) = ra {
-                if r != (out & 1 == 1) {
-                    m += 1;
-                }
+            if va != 0 && (va == 2) != (out & 1 == 1) {
+                m += 1;
             }
-            if let Some(r) = rb {
-                if r != (out & 2 == 2) {
-                    m += 1;
-                }
+            if vb != 0 && (vb == 2) != (out & 2 == 2) {
+                m += 1;
             }
             *slot = m;
         }
-        next_metric.fill(INF);
-        let row = &mut survivor[t * STATES..(t + 1) * STATES];
-        for state in 0..STATES {
-            let m = metric[state];
-            if m >= INF {
-                continue;
-            }
-            for input in 0..2usize {
-                let next = next_state(state, input);
-                let cand = m + bm[BRANCH_OUT[2 * state + input] as usize];
-                if cand < next_metric[next] {
-                    next_metric[next] = cand;
-                    row[next] = (state as u8) | ((input as u8) << 6);
-                }
-            }
+        for (c, &o) in table.iter_mut().zip(BRANCH_OUT.iter()) {
+            *c = bm[o as usize];
+        }
+    }
+
+    for (t, &(ra, rb)) in pairs.iter().enumerate() {
+        let cost = &cost_tables[3 * sym(ra) + sym(rb)];
+        let (row_lo, row_hi) = survivor[t * STATES..(t + 1) * STATES].split_at_mut(STATES / 2);
+        for j in 0..STATES / 2 {
+            let a = metric[2 * j];
+            let b = metric[2 * j + 1];
+            // Successor j (input 0) and successor j+32 (input 1).
+            let (a0, b0) = (a + cost[4 * j], b + cost[4 * j + 2]);
+            let (a1, b1) = (a + cost[4 * j + 1], b + cost[4 * j + 3]);
+            let take0 = b0 < a0;
+            let take1 = b1 < a1;
+            next_metric[j] = if take0 { b0 } else { a0 };
+            next_metric[j + 32] = if take1 { b1 } else { a1 };
+            row_lo[j] = take0 as u8;
+            row_hi[j] = take1 as u8;
         }
         std::mem::swap(&mut metric, &mut next_metric);
     }
 
-    // Traceback from the terminated state 0.
+    // Traceback from the terminated state 0: the input bit that *entered*
+    // state `s` is its top window bit, the predecessor is `2·(s & 31)`
+    // plus the recorded choice.
     let mut state = 0usize;
-    let mut decoded = vec![false; n];
+    decoded.resize(n, false);
     for t in (0..n).rev() {
-        let packed = survivor[t * STATES + state];
-        decoded[t] = packed & 0x40 != 0;
-        state = (packed & 0x3F) as usize;
+        decoded[t] = state >> 5 != 0;
+        state = ((state & 31) << 1) | survivor[t * STATES + state] as usize;
     }
     decoded.truncate(info_len);
-    decoded
 }
 
 /// Convenience codec wrapping encode → puncture and depuncture → decode for
@@ -219,6 +278,30 @@ impl Codec {
         puncture(&encode(info), self.rate)
     }
 
+    /// Allocation-free [`Codec::encode`]: the mother-coded stream lands in
+    /// `mother` scratch (bypassed entirely at rate 1/2, where puncturing is
+    /// the identity) and the punctured output in `out`.
+    pub fn encode_into(&self, info: &[bool], mother: &mut Vec<bool>, out: &mut Vec<bool>) {
+        if self.rate == CodeRate::R12 {
+            encode_into(info, out);
+            return;
+        }
+        encode_into(info, mother);
+        let (pa, pb) = puncture_pattern(self.rate);
+        let period = pa.len();
+        out.clear();
+        out.reserve(mother.len());
+        for (i, pair) in mother.chunks(2).enumerate() {
+            let slot = i % period;
+            if pa[slot] {
+                out.push(pair[0]);
+            }
+            if pb[slot] {
+                out.push(pair[1]);
+            }
+        }
+    }
+
     /// Number of coded (post-puncturing) bits produced for `info_len`
     /// information bits.
     pub fn coded_len(&self, info_len: usize) -> usize {
@@ -238,6 +321,20 @@ impl Codec {
     pub fn decode(&self, rx: &[bool], info_len: usize) -> Vec<bool> {
         let pairs = depuncture(rx, self.rate, info_len + TAIL_BITS);
         viterbi_decode(&pairs, info_len)
+    }
+
+    /// Allocation-free [`Codec::decode`]: depuncture pairs, survivor memory
+    /// and the decoded output all live in caller scratch.
+    pub fn decode_into(
+        &self,
+        rx: &[bool],
+        info_len: usize,
+        pairs: &mut Vec<(Option<bool>, Option<bool>)>,
+        survivor: &mut Vec<u8>,
+        out: &mut Vec<bool>,
+    ) {
+        depuncture_into(rx, self.rate, info_len + TAIL_BITS, pairs);
+        viterbi_decode_into(pairs, info_len, survivor, out);
     }
 }
 

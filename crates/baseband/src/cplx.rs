@@ -24,7 +24,7 @@ impl Cplx {
     pub const J: Cplx = Cplx { re: 0.0, im: 1.0 };
 
     /// Constructs a complex number from rectangular coordinates.
-    pub fn new(re: f64, im: f64) -> Cplx {
+    pub const fn new(re: f64, im: f64) -> Cplx {
         Cplx { re, im }
     }
 

@@ -76,6 +76,14 @@ impl FftPlan {
         }
     }
 
+    /// Inverse DFT butterflies *without* the `1/N` normalization pass.
+    /// The OFDM transmitter folds the factor into the subcarrier
+    /// amplitude at grid-fill time (52 or 108 occupied bins instead of a
+    /// 64/128-point scaling loop per symbol).
+    pub fn inverse_raw(&self, buf: &mut [Cplx]) {
+        self.run(buf, true);
+    }
+
     fn run(&self, buf: &mut [Cplx], inverse: bool) {
         assert_eq!(buf.len(), self.n, "buffer length must match the plan length");
         let n = self.n;
@@ -87,15 +95,22 @@ impl FftPlan {
         }
         let mut len = 2;
         while len <= n {
+            let half = len / 2;
             let stride = n / len;
             for start in (0..n).step_by(len) {
-                for k in 0..len / 2 {
+                // k == 0 carries a unit twiddle — a pure add/sub pair
+                // (one third of all butterflies at n = 64).
+                let u = buf[start];
+                let v = buf[start + half];
+                buf[start] = u + v;
+                buf[start + half] = u - v;
+                for k in 1..half {
                     let tw = self.twiddles[k * stride];
                     let w = if inverse { tw.conj() } else { tw };
                     let u = buf[start + k];
-                    let v = buf[start + k + len / 2] * w;
+                    let v = buf[start + k + half] * w;
                     buf[start + k] = u + v;
-                    buf[start + k + len / 2] = u - v;
+                    buf[start + k + half] = u - v;
                 }
             }
             len <<= 1;

@@ -13,24 +13,63 @@
 //! same total transmit power spreads over 108 instead of 52 data
 //! subcarriers while the per-sample noise variance doubles with the
 //! sampling bandwidth, so the per-subcarrier SNR drops by ~3 dB.
+//!
+//! # Engine architecture
+//!
+//! The Monte-Carlo loop is built around three ideas (see DESIGN.md,
+//! "Baseband engine"):
+//!
+//! * **[`FrameWorkspace`]** owns every buffer a packet needs — grids,
+//!   sample streams, coded-bit scratch, Viterbi survivor memory, FFT
+//!   blocks — so the steady-state per-packet path performs *zero* heap
+//!   allocations once warm.
+//! * **Per-packet seeds.** Packet `i` of a trial runs on its own
+//!   `StdRng` seeded with [`mix_seed`]`(seed, i)` (a splitmix64
+//!   finalizer), making packets statistically independent *and*
+//!   order-free: any packet can run on any worker and the result is the
+//!   same.
+//! * **Associative merging.** Workers return per-packet
+//!   [`PacketOutcome`]s; the trial folds them in packet-index order, so
+//!   floating-point accumulation order — and therefore every output bit —
+//!   is identical to the sequential loop at any thread count.
 
-use crate::channel::{add_awgn, convolve, frequency_response, ChannelModel};
+use crate::channel::{add_awgn, convolve_acc, frequency_response_into, ChannelModel};
+use crate::convcode::Codec;
 use crate::cplx::{mean_power, Cplx};
 use crate::fft::{plan, FftPlan};
-use crate::modem::{demodulate, modulate};
-use crate::preamble::{build_preamble, detect_preamble, preamble_len};
-use crate::prefix::{add_cp, cp_len_for, strip_cp};
+use crate::modem::{demodulate_into, modulate_into};
+use crate::preamble::{build_preamble_into, detect_preamble, preamble_len};
+use crate::prefix::{cp_len_for, extend_with_cp};
 use crate::stbc::{alamouti_combine, Mimo2x2};
+use acorn_core::par::par_map_n;
 use acorn_phy::{ChannelWidth, CodeRate, Modulation};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::OnceLock;
+
+/// Equalized symbols kept per packet for EVM statistics and the
+/// constellation sample.
+const CONSTELLATION_PER_PACKET: usize = 512;
+/// Only the first packets of a trial contribute constellation points, so
+/// the pre-subsampling sample stays bounded for arbitrarily long sweeps
+/// (EVM still accumulates over *every* packet).
+const CONSTELLATION_PACKETS: usize = 64;
+/// Hard upper bound on the constellation sample a report retains.
+const CONSTELLATION_CAP: usize = 4096;
+/// Packets per parallel work item. Chunking is by fixed packet index
+/// ranges, so the partition — and hence the result — is independent of the
+/// worker count.
+const PACKET_CHUNK: usize = 8;
 
 /// How the receiver finds the frame start.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SyncMode {
     /// The receiver is told the exact frame offset (the paper's BERMAC
     /// effectively has this: both boards are loaded with the same known
-    /// payload, so raw-BER measurement is sync-independent).
+    /// payload, so raw-BER measurement is sync-independent). No preamble
+    /// is transmitted.
     Genie,
     /// Barker correlation detection with the given normalized threshold;
     /// a missed detection makes the whole frame a packet error.
@@ -57,6 +96,34 @@ pub enum Equalization {
         symbols: usize,
     },
 }
+
+/// A structurally invalid [`FrameConfig`] — the typed alternative to
+/// aborting an experiment binary mid-sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The channel's delay spread does not fit inside the cyclic prefix,
+    /// so inter-symbol interference would leak between OFDM symbols and
+    /// per-subcarrier equalization would be invalid.
+    ChannelMemoryExceedsCp {
+        /// Channel memory in samples (taps − 1).
+        memory: usize,
+        /// Cyclic-prefix length in samples for the configured width/GI.
+        cp: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::ChannelMemoryExceedsCp { memory, cp } => write!(
+                f,
+                "channel memory ({memory}) exceeds the cyclic prefix ({cp})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
 
 /// Full configuration of one Monte-Carlo link experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,6 +174,17 @@ impl FrameConfig {
         }
     }
 
+    /// Checks structural validity: the channel's delay spread must fit
+    /// inside the cyclic prefix of this width/GI combination.
+    pub fn validate(&self) -> Result<(), FrameError> {
+        let cp = cp_len_for(self.width.fft_size(), self.gi);
+        let memory = self.channel.memory();
+        if memory > cp {
+            return Err(FrameError::ChannelMemoryExceedsCp { memory, cp });
+        }
+        Ok(())
+    }
+
     /// Number of training OFDM symbols sent per transmit antenna.
     fn n_train(&self) -> usize {
         match self.equalization {
@@ -153,7 +231,7 @@ impl FrameConfig {
 }
 
 /// Aggregated results of a Monte-Carlo run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FrameReport {
     /// Total payload bits compared.
     pub bits: usize,
@@ -166,9 +244,11 @@ pub struct FrameReport {
     /// Frames whose preamble was not detected (only in `Preamble` sync).
     pub sync_failures: usize,
     /// Sample of equalized data-subcarrier symbols (unit-energy scale),
-    /// for constellation plots (Fig. 2).
+    /// for constellation plots (Fig. 2). Drawn from the first packets of
+    /// the trial and decimated to ≤ 4096 points by an exact stride.
     pub constellation: Vec<Cplx>,
-    /// RMS error-vector magnitude of the sampled constellation.
+    /// RMS error-vector magnitude over the sampled symbols of *every*
+    /// packet.
     pub evm_rms: f64,
     /// The configured per-subcarrier SNR (dB) for convenience.
     pub snr_per_subcarrier_db: f64,
@@ -197,490 +277,785 @@ impl FrameReport {
     }
 }
 
+/// Everything one packet contributes to a [`FrameReport`]. `Copy`, so
+/// parallel workers can ship per-packet values back to the fold, which
+/// re-accumulates them in packet-index order — the floating-point sums
+/// come out bit-identical to the sequential loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketOutcome {
+    /// Payload bits compared.
+    pub bits: usize,
+    /// Payload bits in error (all of them on a sync failure).
+    pub bit_errors: usize,
+    /// The preamble correlator missed the frame.
+    pub sync_failed: bool,
+    /// Measured mean transmit power of this packet's frame.
+    pub tx_power: f64,
+    /// Σ|rx − tx|² over the sampled equalized symbols.
+    pub evm_sum: f64,
+    /// Number of symbols in `evm_sum`.
+    pub evm_n: usize,
+}
+
+/// Mixes a trial seed with a packet (or config) index into an independent
+/// RNG seed — a splitmix64 finalizer, so consecutive indices land far
+/// apart in seed space. This is the determinism contract's anchor: packet
+/// `i` always sees `StdRng::seed_from_u64(mix_seed(seed, i))` no matter
+/// which worker runs it.
+pub fn mix_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Indices of the data subcarriers on the FFT grid, DC (bin 0) excluded,
 /// split symmetrically over positive and negative frequencies — the
-/// "subcarrier mapping" the paper changes to implement CB.
-pub fn data_subcarrier_bins(width: ChannelWidth) -> Vec<usize> {
-    let n = width.fft_size();
-    let nd = width.data_subcarriers();
-    let half = nd / 2;
-    let mut bins = Vec::with_capacity(nd);
-    // Positive frequencies: bins 1..=half.
-    bins.extend(1..=half);
-    // Negative frequencies: bins n-half..n-1 … plus one extra positive bin
-    // if nd is odd (it never is for 52/108, but stay correct).
-    bins.extend(n - (nd - half)..n);
-    bins
-}
-
-/// Builds the time-domain OFDM symbol for one grid of subcarrier values,
-/// reusing the caller's transform plan.
-fn ofdm_symbol(plan: &FftPlan, grid: &[Cplx], cp_len: usize) -> Vec<Cplx> {
-    let mut time = grid.to_vec();
-    plan.inverse(&mut time);
-    add_cp(&time, cp_len)
-}
-
-/// Internal: maps `symbols` onto consecutive OFDM symbol grids.
-fn fill_grids(width: ChannelWidth, amplitude: f64, symbols: &[Cplx]) -> Vec<Vec<Cplx>> {
-    let bins = data_subcarrier_bins(width);
-    let n = width.fft_size();
-    let mut grids = Vec::new();
-    for chunk in symbols.chunks(bins.len()) {
-        let mut grid = vec![Cplx::ZERO; n];
-        for (slot, sym) in chunk.iter().enumerate() {
-            grid[bins[slot]] = sym.scale(amplitude);
-        }
-        grids.push(grid);
-    }
-    grids
+/// "subcarrier mapping" the paper changes to implement CB. Computed once
+/// per width and returned as a shared slice.
+pub fn data_subcarrier_bins(width: ChannelWidth) -> &'static [usize] {
+    static BINS_20: OnceLock<Vec<usize>> = OnceLock::new();
+    static BINS_40: OnceLock<Vec<usize>> = OnceLock::new();
+    let cell = match width {
+        ChannelWidth::Ht20 => &BINS_20,
+        ChannelWidth::Ht40 => &BINS_40,
+    };
+    cell.get_or_init(|| {
+        let n = width.fft_size();
+        let nd = width.data_subcarriers();
+        let half = nd / 2;
+        let mut bins = Vec::with_capacity(nd);
+        // Positive frequencies: bins 1..=half.
+        bins.extend(1..=half);
+        // Negative frequencies: bins n-half..n-1 … plus one extra positive
+        // bin if nd is odd (it never is for 52/108, but stay correct).
+        bins.extend(n - (nd - half)..n);
+        bins
+    })
 }
 
 /// The known training grid: unit-energy QPSK-like pilots on every data
 /// subcarrier with a deterministic phase pattern (good PAPR is not a goal
-/// here, channel identifiability is).
-fn training_grid(width: ChannelWidth, amplitude: f64) -> Vec<Cplx> {
+/// here, channel identifiability is). Values carry the subcarrier
+/// amplitude — the scale the *receiver* references for LS estimation.
+fn training_grid_into(width: ChannelWidth, amplitude: f64, out: &mut Vec<Cplx>) {
     let bins = data_subcarrier_bins(width);
-    let n = width.fft_size();
-    let mut grid = vec![Cplx::ZERO; n];
+    out.clear();
+    out.resize(width.fft_size(), Cplx::ZERO);
     for (i, &b) in bins.iter().enumerate() {
-        grid[b] = Cplx::cis(std::f64::consts::PI * ((i * i) % 7) as f64 / 3.5).scale(amplitude);
+        out[b] = Cplx::cis(std::f64::consts::PI * ((i * i) % 7) as f64 / 3.5).scale(amplitude);
     }
-    grid
 }
 
-/// Runs `n_packets` independent packets through the pipeline and
-/// aggregates a [`FrameReport`]. Deterministic for a given `seed`.
-pub fn run_trial(config: &FrameConfig, n_packets: usize, seed: u64) -> FrameReport {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut report = FrameReport {
-        bits: 0,
-        bit_errors: 0,
-        packets: 0,
-        packet_errors: 0,
-        sync_failures: 0,
-        constellation: Vec::new(),
-        evm_rms: 0.0,
-        snr_per_subcarrier_db: config.snr_per_subcarrier_db(),
-        measured_tx_power: 0.0,
-    };
-    let mut evm_acc = 0.0;
-    let mut evm_n = 0usize;
-    let mut tx_power_acc = 0.0;
+/// Preallocated scratch for the whole per-packet pipeline. Build one (or
+/// let [`run_trial`] keep one per worker thread), feed it packets forever:
+/// after the first packet of a given [`FrameConfig`] shape, the hot path
+/// touches the allocator zero times.
+///
+/// Holds an `Rc` to the cached FFT plan, so a workspace is intentionally
+/// *not* `Send` — each worker thread owns its own.
+#[derive(Debug, Default)]
+pub struct FrameWorkspace {
+    /// Config the precomputed members (plan, training grid, preamble)
+    /// were derived for.
+    last: Option<FrameConfig>,
+    fft: Option<Rc<FftPlan>>,
+    /// Receiver-scale training grid (subcarrier amplitude applied).
+    train: Vec<Cplx>,
+    /// Time-domain preamble at the configured power (Preamble sync only).
+    preamble: Vec<Cplx>,
 
-    for _ in 0..n_packets {
-        let outcome = run_packet(config, &mut rng, &mut report.constellation, &mut evm_acc, &mut evm_n);
-        report.packets += 1;
-        report.bits += outcome.bits;
-        report.bit_errors += outcome.bit_errors;
-        if outcome.sync_failed {
-            report.sync_failures += 1;
+    // Transmit side.
+    info: Vec<bool>,
+    /// Rate-1/2 mother-code scratch (punctured rates only).
+    mother: Vec<bool>,
+    /// Transmitted coded bits (coded configs only; uncoded maps `info`).
+    coded: Vec<bool>,
+    tx_symbols: Vec<Cplx>,
+    /// Grid / IFFT scratch, antenna 1.
+    grid: Vec<Cplx>,
+    /// Grid / IFFT scratch, antenna 2 (STBC).
+    grid2: Vec<Cplx>,
+    streams: [Vec<Cplx>; 2],
+
+    // Channel.
+    taps: [[Vec<Cplx>; 2]; 2],
+    /// Preamble ++ stream concatenation scratch (Preamble sync only).
+    full: Vec<Cplx>,
+    rx: [Vec<Cplx>; 2],
+
+    // Receive side.
+    fft_buf: [Vec<Cplx>; 4],
+    h: Vec<Cplx>,
+    /// Per-bin `1/(H·A)` — equalization is one complex multiply per
+    /// symbol instead of a divide plus a scale.
+    inv_h: Vec<Cplx>,
+    h_mimo: Vec<Mimo2x2>,
+    /// Second Alamouti output row scratch.
+    row: Vec<Cplx>,
+    rx_symbols: Vec<Cplx>,
+    rx_bits: Vec<bool>,
+    rx_info: Vec<bool>,
+    pairs: Vec<(Option<bool>, Option<bool>)>,
+    survivor: Vec<u8>,
+}
+
+impl FrameWorkspace {
+    /// An empty workspace; buffers grow to their steady-state sizes on the
+    /// first packet.
+    pub fn new() -> FrameWorkspace {
+        FrameWorkspace::default()
+    }
+
+    /// Re-derives the config-dependent precomputations (FFT plan, training
+    /// grid, preamble) when the config changes; no-op otherwise.
+    fn ensure(&mut self, config: &FrameConfig) {
+        if self.last.as_ref() == Some(config) {
+            return;
         }
-        if outcome.bit_errors > 0 || outcome.sync_failed {
-            report.packet_errors += 1;
+        let n = config.width.fft_size();
+        if self.fft.as_ref().map_or(true, |p| p.len() != n) {
+            self.fft = Some(plan(n));
         }
-        tx_power_acc += outcome.tx_power;
+        training_grid_into(config.width, config.subcarrier_amplitude(), &mut self.train);
+        if matches!(config.sync, SyncMode::Preamble { .. }) {
+            build_preamble_into(config.tx_power.sqrt(), &mut self.preamble);
+        }
+        self.last = Some(*config);
     }
-    report.evm_rms = if evm_n > 0 { (evm_acc / evm_n as f64).sqrt() } else { 0.0 };
-    report.measured_tx_power = tx_power_acc / n_packets.max(1) as f64;
-    // Keep the constellation sample bounded.
-    if report.constellation.len() > 4096 {
-        let step = report.constellation.len() / 4096;
-        report.constellation = report
-            .constellation
-            .iter()
-            .step_by(step.max(1))
-            .copied()
-            .collect();
+
+    /// Runs one packet with its own RNG stream (see [`mix_seed`]) through
+    /// the full pipeline. Zero allocations once the workspace is warm for
+    /// this config shape.
+    ///
+    /// The equalized symbols stay in the workspace; read the
+    /// constellation sample via
+    /// [`constellation_sample`](FrameWorkspace::constellation_sample)
+    /// before the next packet overwrites it.
+    pub fn run_packet(
+        &mut self,
+        config: &FrameConfig,
+        packet_seed: u64,
+    ) -> Result<PacketOutcome, FrameError> {
+        config.validate()?;
+        self.ensure(config);
+        let mut rng = StdRng::seed_from_u64(packet_seed);
+        Ok(run_packet_inner(config, self, &mut rng))
     }
-    report
+
+    /// The equalized data symbols of the last packet, capped at the
+    /// per-packet constellation budget.
+    pub fn constellation_sample(&self) -> &[Cplx] {
+        let n = self.rx_symbols.len().min(CONSTELLATION_PER_PACKET);
+        &self.rx_symbols[..n]
+    }
 }
 
-struct PacketOutcome {
-    bits: usize,
-    bit_errors: usize,
-    sync_failed: bool,
-    tx_power: f64,
-}
-
-fn run_packet(
-    config: &FrameConfig,
-    rng: &mut StdRng,
-    constellation: &mut Vec<Cplx>,
-    evm_acc: &mut f64,
-    evm_n: &mut usize,
-) -> PacketOutcome {
-    let n = config.width.fft_size();
-    let cp = cp_len_for(n, config.gi);
-    assert!(
-        config.channel.memory() <= cp,
-        "channel memory ({}) exceeds the cyclic prefix ({cp})",
-        config.channel.memory()
-    );
+/// One packet through the pipeline; every buffer comes from `ws`.
+fn run_packet_inner(config: &FrameConfig, ws: &mut FrameWorkspace, rng: &mut StdRng) -> PacketOutcome {
+    let cp = cp_len_for(config.width.fft_size(), config.gi);
     let amplitude = config.subcarrier_amplitude();
+    let info_len = config.packet_bytes * 8;
 
-    // 1. Payload and (optional) FEC.
-    let info: Vec<bool> = (0..config.packet_bytes * 8).map(|_| rng.gen()).collect();
-    let coded: Vec<bool> = match config.code_rate {
-        Some(rate) => crate::convcode::Codec::new(rate).encode(&info),
-        None => info.clone(),
-    };
-
-    // 2. Constellation mapping.
-    let tx_symbols = modulate(config.modulation, &coded);
+    // 1. Payload and (optional) FEC; the uncoded path modulates `info`
+    //    directly (no copy).
+    ws.info.clear();
+    ws.info.extend((0..info_len).map(|_| rng.gen::<bool>()));
+    let codec = config.code_rate.map(Codec::new);
+    match codec {
+        Some(c) => {
+            c.encode_into(&ws.info, &mut ws.mother, &mut ws.coded);
+            // 2. Constellation mapping.
+            modulate_into(config.modulation, &ws.coded, &mut ws.tx_symbols);
+        }
+        None => modulate_into(config.modulation, &ws.info, &mut ws.tx_symbols),
+    }
 
     // 3-4. Subcarrier mapping + IFFT + CP, per antenna.
-    let preamble_amp = config.tx_power.sqrt();
-
-    let (time_streams, tx_grids): (Vec<Vec<Cplx>>, Vec<Vec<Cplx>>) = if config.stbc {
-        build_stbc_streams(config, amplitude, &tx_symbols, cp)
+    if config.stbc {
+        build_stbc_streams(config, amplitude, cp, ws);
     } else {
-        build_siso_stream(config, amplitude, &tx_symbols, cp)
-    };
-    let _ = &tx_grids;
+        build_siso_stream(config, amplitude, cp, ws);
+    }
 
-    // 5. Channel + noise per receive antenna.
-    let n_rx = if config.stbc { 2 } else { 1 };
-    let n_tx = time_streams.len();
-    // One tap realization per (tx, rx) path.
-    let taps: Vec<Vec<Vec<Cplx>>> = (0..n_tx)
-        .map(|_| (0..n_rx).map(|_| config.channel.draw_taps(rng)).collect())
-        .collect();
-
-    // Prepend preamble (sent identically from antenna 1 only, which is
-    // enough for detection) and measure transmit power.
-    let preamble = build_preamble(preamble_amp);
+    // 5. Channel + noise per receive antenna. Under Genie sync no
+    //    preamble is transmitted, so the frame starts at offset 0.
+    let n_ant = if config.stbc { 2 } else { 1 };
+    for i in 0..n_ant {
+        for j in 0..n_ant {
+            config.channel.draw_taps_into(rng, &mut ws.taps[i][j]);
+        }
+    }
     let mut tx_power_meas = 0.0;
-    for s in &time_streams {
+    for s in ws.streams.iter().take(n_ant) {
         tx_power_meas += mean_power(s);
     }
 
-    let frame_offset = preamble.len();
-    let frame_len = time_streams[0].len();
-    let mut rx_streams: Vec<Vec<Cplx>> = Vec::with_capacity(n_rx);
-    for j in 0..n_rx {
-        let mut rx = vec![Cplx::ZERO; frame_offset + frame_len];
-        for (i, stream) in time_streams.iter().enumerate() {
-            // Antenna 1 carries the preamble.
-            let mut full = Vec::with_capacity(frame_offset + frame_len);
-            if i == 0 {
-                full.extend_from_slice(&preamble);
+    let frame_offset = match config.sync {
+        SyncMode::Genie => 0,
+        SyncMode::Preamble { .. } => preamble_len(),
+    };
+    let frame_len = ws.streams[0].len();
+    for j in 0..n_ant {
+        let (rx_all, streams, taps, full, preamble) =
+            (&mut ws.rx, &ws.streams, &ws.taps, &mut ws.full, &ws.preamble);
+        let rx = &mut rx_all[j];
+        rx.clear();
+        rx.resize(frame_offset + frame_len, Cplx::ZERO);
+        for (i, stream) in streams.iter().take(n_ant).enumerate() {
+            if frame_offset == 0 {
+                convolve_acc(stream, &taps[i][j], rx);
             } else {
-                full.extend(std::iter::repeat(Cplx::ZERO).take(frame_offset));
-            }
-            full.extend_from_slice(stream);
-            let faded = convolve(&full, &taps[i][j]);
-            for (acc, s) in rx.iter_mut().zip(faded.iter()) {
-                *acc += *s;
+                // Antenna 1 carries the preamble; other antennas are
+                // silent while it airs.
+                full.clear();
+                if i == 0 {
+                    full.extend_from_slice(preamble);
+                } else {
+                    full.resize(frame_offset, Cplx::ZERO);
+                }
+                full.extend_from_slice(stream);
+                convolve_acc(full, &taps[i][j], rx);
             }
         }
-        add_awgn(&mut rx, config.sample_noise(), rng);
-        rx_streams.push(rx);
+        add_awgn(rx, config.sample_noise(), rng);
     }
 
     // 6. Synchronization.
     let data_start = match config.sync {
         SyncMode::Genie => frame_offset,
         SyncMode::Preamble { threshold } => {
-            match detect_preamble(&rx_streams[0], 4, threshold) {
+            match detect_preamble(&ws.rx[0], 4, threshold) {
                 Some(off) => off,
                 None => {
+                    ws.rx_symbols.clear();
                     return PacketOutcome {
-                        bits: info.len(),
-                        bit_errors: info.len(),
+                        bits: info_len,
+                        bit_errors: info_len,
                         sync_failed: true,
                         tx_power: tx_power_meas,
-                    }
+                        evm_sum: 0.0,
+                        evm_n: 0,
+                    };
                 }
             }
         }
     };
-    debug_assert!(data_start >= preamble_len() || matches!(config.sync, SyncMode::Genie));
 
-    // 7. FFT + equalize/combine + demap.
-    let rx_symbols = if config.stbc {
-        receive_stbc(config, amplitude, &rx_streams, data_start, tx_symbols.len(), cp, &taps)
+    // 7. FFT + equalize/combine.
+    if config.stbc {
+        receive_stbc(config, amplitude, data_start, cp, ws);
     } else {
-        receive_siso(config, amplitude, &rx_streams[0], data_start, tx_symbols.len(), cp, &taps)
-    };
+        receive_siso(config, amplitude, data_start, cp, ws);
+    }
 
-    // Constellation / EVM bookkeeping (on up to 512 symbols per packet).
-    for (txs, rxs) in tx_symbols.iter().zip(rx_symbols.iter()).take(512) {
-        constellation.push(*rxs);
-        *evm_acc += (*rxs - *txs).norm_sqr();
-        *evm_n += 1;
+    // Constellation / EVM bookkeeping (up to 512 symbols per packet).
+    let mut evm_sum = 0.0;
+    let mut evm_n = 0usize;
+    for (txs, rxs) in ws
+        .tx_symbols
+        .iter()
+        .zip(ws.rx_symbols.iter())
+        .take(CONSTELLATION_PER_PACKET)
+    {
+        evm_sum += (*rxs - *txs).norm_sqr();
+        evm_n += 1;
     }
 
     // 8. Demap + decode + count.
-    let rx_bits_full = demodulate(config.modulation, &rx_symbols);
-    let rx_info: Vec<bool> = match config.code_rate {
-        Some(rate) => crate::convcode::Codec::new(rate).decode(&rx_bits_full[..coded.len()], info.len()),
-        None => rx_bits_full[..info.len()].to_vec(),
+    demodulate_into(config.modulation, &ws.rx_symbols, &mut ws.rx_bits);
+    let bit_errors = match codec {
+        Some(c) => {
+            c.decode_into(
+                &ws.rx_bits[..ws.coded.len()],
+                info_len,
+                &mut ws.pairs,
+                &mut ws.survivor,
+                &mut ws.rx_info,
+            );
+            ws.rx_info.iter().zip(&ws.info).filter(|(a, b)| a != b).count()
+        }
+        None => ws.rx_bits.iter().zip(&ws.info).filter(|(a, b)| a != b).count(),
     };
-    let bit_errors = rx_info.iter().zip(&info).filter(|(a, b)| a != b).count();
     PacketOutcome {
-        bits: info.len(),
+        bits: info_len,
         bit_errors,
         sync_failed: false,
         tx_power: tx_power_meas,
+        evm_sum,
+        evm_n,
     }
 }
 
 /// SISO transmit: `n_train` training symbols followed by data symbols.
-fn build_siso_stream(
-    config: &FrameConfig,
-    amplitude: f64,
-    tx_symbols: &[Cplx],
-    cp: usize,
-) -> (Vec<Vec<Cplx>>, Vec<Vec<Cplx>>) {
-    let fft_plan = plan(config.width.fft_size());
-    let train = training_grid(config.width, amplitude);
-    let mut grids = vec![train; config.n_train()];
-    grids.extend(fill_grids(config.width, amplitude, tx_symbols));
-    let mut stream = Vec::new();
-    for g in &grids {
-        stream.extend(ofdm_symbol(&fft_plan, g, cp));
+/// The IFFT's `1/N` is folded into the per-bin scale, so the transform
+/// runs unnormalized.
+fn build_siso_stream(config: &FrameConfig, amplitude: f64, cp: usize, ws: &mut FrameWorkspace) {
+    let n = config.width.fft_size();
+    let bins = data_subcarrier_bins(config.width);
+    let fft = ws.fft.as_ref().expect("ensure() ran").clone();
+    let inv_n = 1.0 / n as f64;
+    let amp = amplitude * inv_n;
+    let n_train = config.n_train();
+
+    let (stream, grid, train) = (&mut ws.streams[0], &mut ws.grid, &ws.train);
+    stream.clear();
+    let n_data_ofdm = ws.tx_symbols.len().div_ceil(bins.len());
+    stream.reserve((n_train + n_data_ofdm) * (n + cp));
+    for _ in 0..n_train {
+        grid.clear();
+        grid.extend(train.iter().map(|t| t.scale(inv_n)));
+        fft.inverse_raw(grid);
+        extend_with_cp(stream, grid, cp);
     }
-    (vec![stream], grids)
+    for chunk in ws.tx_symbols.chunks(bins.len()) {
+        grid.clear();
+        grid.resize(n, Cplx::ZERO);
+        for (slot, sym) in chunk.iter().enumerate() {
+            grid[bins[slot]] = sym.scale(amp);
+        }
+        fft.inverse_raw(grid);
+        extend_with_cp(stream, grid, cp);
+    }
 }
 
 /// STBC transmit: two training slots (antenna 1 alone, then antenna 2
-/// alone) followed by Alamouti-encoded data symbol pairs.
-fn build_stbc_streams(
-    config: &FrameConfig,
-    amplitude: f64,
-    tx_symbols: &[Cplx],
-    cp: usize,
-) -> (Vec<Vec<Cplx>>, Vec<Vec<Cplx>>) {
-    let width = config.width;
-    let n = width.fft_size();
-    let bins = data_subcarrier_bins(width);
-    let nd = bins.len();
-    let train = training_grid(width, amplitude);
-    let silent = vec![Cplx::ZERO; n];
-
-    // Group data symbols into OFDM symbols, padded to an even count.
-    let mut grids_data = fill_grids(width, 1.0, tx_symbols); // unit scale; amplitude applied below
-    if grids_data.len() % 2 == 1 {
-        grids_data.push(vec![Cplx::ZERO; n]);
-    }
-
-    let k = std::f64::consts::SQRT_2.recip();
+/// alone) followed by Alamouti-encoded data symbol pairs. Data OFDM
+/// symbols are implicitly padded to an even count.
+fn build_stbc_streams(config: &FrameConfig, amplitude: f64, cp: usize, ws: &mut FrameWorkspace) {
+    let n = config.width.fft_size();
+    let bins = data_subcarrier_bins(config.width);
+    let fft = ws.fft.as_ref().expect("ensure() ran").clone();
+    let inv_n = 1.0 / n as f64;
+    // Each antenna radiates half the power (the 1/√2 Alamouti factor).
+    let ka = amplitude * inv_n * std::f64::consts::SQRT_2.recip();
     let n_train = config.n_train();
-    let mut ant1_grids: Vec<Vec<Cplx>> = Vec::new();
-    let mut ant2_grids: Vec<Vec<Cplx>> = Vec::new();
-    // Antenna 1 trains alone, then antenna 2.
-    for _ in 0..n_train {
-        ant1_grids.push(train.clone());
-        ant2_grids.push(silent.clone());
-    }
-    for _ in 0..n_train {
-        ant1_grids.push(silent.clone());
-        ant2_grids.push(train.clone());
-    }
-    for pair in grids_data.chunks(2) {
-        let (g1, g2) = (&pair[0], &pair[1]);
-        let mut a1_t1 = vec![Cplx::ZERO; n];
-        let mut a2_t1 = vec![Cplx::ZERO; n];
-        let mut a1_t2 = vec![Cplx::ZERO; n];
-        let mut a2_t2 = vec![Cplx::ZERO; n];
-        for &b in bins.iter().take(nd) {
-            let s1 = g1[b].scale(amplitude);
-            let s2 = g2[b].scale(amplitude);
-            a1_t1[b] = s1.scale(k);
-            a2_t1[b] = s2.scale(k);
-            a1_t2[b] = -s2.conj().scale(k);
-            a2_t2[b] = s1.conj().scale(k);
+    let nd = bins.len();
+    let n_sym = ws.tx_symbols.len();
+    let n_ofdm = n_sym.div_ceil(nd);
+    let n_pairs = n_ofdm.div_ceil(2).max(0);
+
+    let [s1, s2] = &mut ws.streams;
+    let (grid, grid2, train, tx_symbols) = (&mut ws.grid, &mut ws.grid2, &ws.train, &ws.tx_symbols);
+    s1.clear();
+    s2.clear();
+    let total_ofdm = 2 * n_train + 2 * n_pairs;
+    s1.reserve(total_ofdm * (n + cp));
+    s2.reserve(total_ofdm * (n + cp));
+
+    // Training: antenna 1 alone, then antenna 2 alone.
+    for phase in 0..2usize {
+        for _ in 0..n_train {
+            grid.clear();
+            grid2.clear();
+            if phase == 0 {
+                grid.extend(train.iter().map(|t| t.scale(inv_n)));
+                grid2.resize(n, Cplx::ZERO);
+            } else {
+                grid.resize(n, Cplx::ZERO);
+                grid2.extend(train.iter().map(|t| t.scale(inv_n)));
+            }
+            fft.inverse_raw(grid);
+            fft.inverse_raw(grid2);
+            extend_with_cp(s1, grid, cp);
+            extend_with_cp(s2, grid2, cp);
         }
-        ant1_grids.push(a1_t1);
-        ant1_grids.push(a1_t2);
-        ant2_grids.push(a2_t1);
-        ant2_grids.push(a2_t2);
     }
 
-    let fft_plan = plan(n);
-    let to_stream = |grids: &[Vec<Cplx>]| {
-        let mut stream = Vec::new();
-        for g in grids {
-            stream.extend(ofdm_symbol(&fft_plan, g, cp));
+    // Alamouti data pairs: slot t1 sends (s1, s2), slot t2 (−s2*, s1*).
+    for p in 0..n_pairs {
+        let c1 = &tx_symbols[(2 * p * nd).min(n_sym)..((2 * p + 1) * nd).min(n_sym)];
+        let c2 = &tx_symbols[((2 * p + 1) * nd).min(n_sym)..((2 * p + 2) * nd).min(n_sym)];
+        for time in 0..2usize {
+            grid.clear();
+            grid.resize(n, Cplx::ZERO);
+            grid2.clear();
+            grid2.resize(n, Cplx::ZERO);
+            for slot in 0..c1.len().max(c2.len()) {
+                let x1 = c1.get(slot).copied().unwrap_or(Cplx::ZERO);
+                let x2 = c2.get(slot).copied().unwrap_or(Cplx::ZERO);
+                let b = bins[slot];
+                if time == 0 {
+                    grid[b] = x1.scale(ka);
+                    grid2[b] = x2.scale(ka);
+                } else {
+                    grid[b] = -x2.conj().scale(ka);
+                    grid2[b] = x1.conj().scale(ka);
+                }
+            }
+            fft.inverse_raw(grid);
+            fft.inverse_raw(grid2);
+            extend_with_cp(s1, grid, cp);
+            extend_with_cp(s2, grid2, cp);
         }
-        stream
-    };
-    let s1 = to_stream(&ant1_grids);
-    let s2 = to_stream(&ant2_grids);
-    let mut all = ant1_grids;
-    all.extend(ant2_grids);
-    (vec![s1, s2], all)
+    }
 }
 
-/// SISO receive: obtain H (genie or averaged training), equalize, demap.
-fn receive_siso(
-    config: &FrameConfig,
-    amplitude: f64,
-    rx: &[Cplx],
-    data_start: usize,
-    n_symbols: usize,
-    cp: usize,
-    taps: &[Vec<Vec<Cplx>>],
-) -> Vec<Cplx> {
-    let width = config.width;
-    let n = width.fft_size();
-    let bins = data_subcarrier_bins(width);
-    let block = n + cp;
-    let train_ref = training_grid(width, amplitude);
-    let n_train = config.n_train();
+/// Copies the CP-stripped OFDM block starting at `start` into `buf` and
+/// transforms it (all-zeros if the block runs off the end of `stream`, as
+/// a bad sync offset can make it).
+fn fft_block_into(stream: &[Cplx], start: usize, cp: usize, fft: &FftPlan, buf: &mut Vec<Cplx>) {
+    let n = fft.len();
+    buf.clear();
+    match stream.get(start..start + cp + n) {
+        Some(block) => buf.extend_from_slice(&block[cp..]),
+        None => buf.resize(n, Cplx::ZERO),
+    }
+    fft.forward(buf);
+}
 
-    let fft_plan = plan(n);
-    let fft_block = |start: usize| -> Vec<Cplx> {
-        let mut buf = rx
-            .get(start..start + block)
-            .map(|b| strip_cp(b, cp).to_vec())
-            .unwrap_or_else(|| vec![Cplx::ZERO; n]);
-        buf.resize(n, Cplx::ZERO);
-        fft_plan.forward(&mut buf);
-        buf
-    };
+/// SISO receive: obtain H (genie or averaged training), fold `1/(H·A)`
+/// into one per-bin multiplier, equalize.
+fn receive_siso(config: &FrameConfig, amplitude: f64, data_start: usize, cp: usize, ws: &mut FrameWorkspace) {
+    let n = config.width.fft_size();
+    let bins = data_subcarrier_bins(config.width);
+    let block = n + cp;
+    let n_train = config.n_train();
+    let fft = ws.fft.as_ref().expect("ensure() ran").clone();
 
     // Channel estimate: genie frequency response or LS over the training
     // symbols, averaged.
-    let h = match config.equalization {
-        Equalization::Genie => frequency_response(&taps[0][0], n),
+    match config.equalization {
+        Equalization::Genie => frequency_response_into(&ws.taps[0][0], &fft, &mut ws.h),
         Equalization::Training { .. } => {
-            let mut h = vec![Cplx::ZERO; n];
+            let (h, fb, rx, train) = (&mut ws.h, &mut ws.fft_buf[0], &ws.rx[0], &ws.train);
+            h.clear();
+            h.resize(n, Cplx::ZERO);
+            let k = 1.0 / n_train as f64;
             for t in 0..n_train {
-                let y = fft_block(data_start + t * block);
-                for &b in &bins {
-                    h[b] += (y[b] / train_ref[b]).scale(1.0 / n_train as f64);
+                fft_block_into(rx, data_start + t * block, cp, &fft, fb);
+                for &b in bins {
+                    h[b] += (fb[b] / train[b]).scale(k);
                 }
             }
-            h
         }
-    };
+    }
+    let inv_amp = 1.0 / amplitude;
+    ws.inv_h.clear();
+    ws.inv_h.resize(n, Cplx::ZERO);
+    for &b in bins {
+        ws.inv_h[b] = (Cplx::ONE / ws.h[b]).scale(inv_amp);
+    }
 
-    let mut out = Vec::with_capacity(n_symbols);
-    let mut sym_idx = 0usize;
+    let (out, fb, rx, inv_h) = (&mut ws.rx_symbols, &mut ws.fft_buf[0], &ws.rx[0], &ws.inv_h);
+    let n_symbols = ws.tx_symbols.len();
+    out.clear();
+    out.reserve(n_symbols);
     let mut ofdm_idx = n_train;
-    while sym_idx < n_symbols {
-        let y = fft_block(data_start + ofdm_idx * block);
-        for &b in &bins {
-            if sym_idx >= n_symbols {
+    while out.len() < n_symbols {
+        fft_block_into(rx, data_start + ofdm_idx * block, cp, &fft, fb);
+        for &b in bins {
+            if out.len() >= n_symbols {
                 break;
             }
-            let eq = (y[b] / h[b]).scale(1.0 / amplitude);
-            out.push(eq);
-            sym_idx += 1;
+            out.push(fb[b] * inv_h[b]);
         }
         ofdm_idx += 1;
     }
-    out
 }
 
 /// STBC receive: estimate the four per-subcarrier paths from the two
 /// training slots, then Alamouti-combine each data pair.
-fn receive_stbc(
-    config: &FrameConfig,
-    amplitude: f64,
-    rx_streams: &[Vec<Cplx>],
-    data_start: usize,
-    n_symbols: usize,
-    cp: usize,
-    taps: &[Vec<Vec<Cplx>>],
-) -> Vec<Cplx> {
-    let width = config.width;
-    let n = width.fft_size();
-    let bins = data_subcarrier_bins(width);
+fn receive_stbc(config: &FrameConfig, amplitude: f64, data_start: usize, cp: usize, ws: &mut FrameWorkspace) {
+    let n = config.width.fft_size();
+    let bins = data_subcarrier_bins(config.width);
     let block = n + cp;
-    let train_ref = training_grid(width, amplitude);
     let n_train = config.n_train();
-
-    let fft_plan = plan(n);
-    let fft_block = |stream: &[Cplx], start: usize| -> Vec<Cplx> {
-        let mut buf = stream
-            .get(start..start + block)
-            .map(|b| strip_cp(b, cp).to_vec())
-            .unwrap_or_else(|| vec![Cplx::ZERO; n]);
-        buf.resize(n, Cplx::ZERO);
-        fft_plan.forward(&mut buf);
-        buf
-    };
+    let fft = ws.fft.as_ref().expect("ensure() ran").clone();
 
     // h[tx][rx] per subcarrier: genie responses or LS estimates averaged
     // over the per-antenna training slots (antenna 1 trains in slots
     // 0..n_train, antenna 2 in n_train..2·n_train).
-    let mut h: Vec<Mimo2x2> = vec![
+    ws.h_mimo.clear();
+    ws.h_mimo.resize(
+        n,
         Mimo2x2 {
-            h: [[Cplx::ONE; 2]; 2]
-        };
-        n
-    ];
+            h: [[Cplx::ZERO; 2]; 2],
+        },
+    );
     match config.equalization {
         Equalization::Genie => {
-            let resp: Vec<Vec<Vec<Cplx>>> = taps
-                .iter()
-                .map(|per_rx| per_rx.iter().map(|t| frequency_response(t, n)).collect())
-                .collect();
-            for &b in &bins {
-                h[b] = Mimo2x2 {
+            for i in 0..2 {
+                for j in 0..2 {
+                    frequency_response_into(&ws.taps[i][j], &fft, &mut ws.fft_buf[2 * i + j]);
+                }
+            }
+            for &b in bins {
+                ws.h_mimo[b] = Mimo2x2 {
                     h: [
-                        [resp[0][0][b], resp[0][1][b]],
-                        [resp[1][0][b], resp[1][1][b]],
+                        [ws.fft_buf[0][b], ws.fft_buf[1][b]],
+                        [ws.fft_buf[2][b], ws.fft_buf[3][b]],
                     ],
                 };
             }
         }
         Equalization::Training { .. } => {
+            let k = 1.0 / n_train as f64;
             for t in 0..n_train {
-                let y1_a = fft_block(&rx_streams[0], data_start + t * block);
-                let y2_a = fft_block(&rx_streams[1], data_start + t * block);
-                let y1_b = fft_block(&rx_streams[0], data_start + (n_train + t) * block);
-                let y2_b = fft_block(&rx_streams[1], data_start + (n_train + t) * block);
-                for &b in &bins {
-                    let tr = train_ref[b];
-                    if t == 0 {
-                        h[b] = Mimo2x2 {
-                            h: [[Cplx::ZERO; 2]; 2],
-                        };
-                    }
-                    let k = 1.0 / n_train as f64;
-                    h[b].h[0][0] += (y1_a[b] / tr).scale(k);
-                    h[b].h[0][1] += (y2_a[b] / tr).scale(k);
-                    h[b].h[1][0] += (y1_b[b] / tr).scale(k);
-                    h[b].h[1][1] += (y2_b[b] / tr).scale(k);
+                {
+                    let [fb0, fb1, fb2, fb3] = &mut ws.fft_buf;
+                    fft_block_into(&ws.rx[0], data_start + t * block, cp, &fft, fb0);
+                    fft_block_into(&ws.rx[1], data_start + t * block, cp, &fft, fb1);
+                    fft_block_into(&ws.rx[0], data_start + (n_train + t) * block, cp, &fft, fb2);
+                    fft_block_into(&ws.rx[1], data_start + (n_train + t) * block, cp, &fft, fb3);
+                }
+                for &b in bins {
+                    let tr = ws.train[b];
+                    let h = &mut ws.h_mimo[b].h;
+                    h[0][0] += (ws.fft_buf[0][b] / tr).scale(k);
+                    h[0][1] += (ws.fft_buf[1][b] / tr).scale(k);
+                    h[1][0] += (ws.fft_buf[2][b] / tr).scale(k);
+                    h[1][1] += (ws.fft_buf[3][b] / tr).scale(k);
                 }
             }
         }
     }
 
-    let mut out = Vec::with_capacity(n_symbols);
+    let inv_amp = 1.0 / amplitude;
+    let n_symbols = ws.tx_symbols.len();
+    ws.rx_symbols.clear();
+    ws.rx_symbols.reserve(n_symbols);
     let mut pair_idx = 0usize;
-    while out.len() < n_symbols {
+    while ws.rx_symbols.len() < n_symbols {
         let base = data_start + (2 * n_train + 2 * pair_idx) * block;
-        let y1_a = fft_block(&rx_streams[0], base);
-        let y1_b = fft_block(&rx_streams[0], base + block);
-        let y2_a = fft_block(&rx_streams[1], base);
-        let y2_b = fft_block(&rx_streams[1], base + block);
+        {
+            let [fb0, fb1, fb2, fb3] = &mut ws.fft_buf;
+            fft_block_into(&ws.rx[0], base, cp, &fft, fb0);
+            fft_block_into(&ws.rx[0], base + block, cp, &fft, fb1);
+            fft_block_into(&ws.rx[1], base, cp, &fft, fb2);
+            fft_block_into(&ws.rx[1], base + block, cp, &fft, fb3);
+        }
         // First OFDM symbol of the pair yields s1 on each subcarrier, the
         // second yields s2; reconstruct in transmit order.
-        let mut s1_row = Vec::with_capacity(bins.len());
-        let mut s2_row = Vec::with_capacity(bins.len());
-        for &b in &bins {
-            let (s1, s2) = alamouti_combine(&h[b], [y1_a[b], y1_b[b]], [y2_a[b], y2_b[b]]);
-            s1_row.push(s1.scale(1.0 / amplitude));
-            s2_row.push(s2.scale(1.0 / amplitude));
-        }
-        for s in s1_row {
-            if out.len() < n_symbols {
-                out.push(s);
+        ws.row.clear();
+        for &b in bins {
+            let (sy1, sy2) = alamouti_combine(
+                &ws.h_mimo[b],
+                [ws.fft_buf[0][b], ws.fft_buf[1][b]],
+                [ws.fft_buf[2][b], ws.fft_buf[3][b]],
+            );
+            if ws.rx_symbols.len() < n_symbols {
+                ws.rx_symbols.push(sy1.scale(inv_amp));
             }
+            ws.row.push(sy2.scale(inv_amp));
         }
-        for s in s2_row {
-            if out.len() < n_symbols {
-                out.push(s);
+        for i in 0..ws.row.len() {
+            if ws.rx_symbols.len() >= n_symbols {
+                break;
             }
+            ws.rx_symbols.push(ws.row[i]);
         }
         pair_idx += 1;
     }
-    out
+}
+
+/// Accumulator for folding [`PacketOutcome`]s in packet-index order.
+struct ReportFold {
+    report: FrameReport,
+    evm_sum: f64,
+    evm_n: usize,
+    tx_power_acc: f64,
+}
+
+impl ReportFold {
+    fn new(config: &FrameConfig) -> ReportFold {
+        ReportFold {
+            report: FrameReport {
+                bits: 0,
+                bit_errors: 0,
+                packets: 0,
+                packet_errors: 0,
+                sync_failures: 0,
+                constellation: Vec::new(),
+                evm_rms: 0.0,
+                snr_per_subcarrier_db: config.snr_per_subcarrier_db(),
+                measured_tx_power: 0.0,
+            },
+            evm_sum: 0.0,
+            evm_n: 0,
+            tx_power_acc: 0.0,
+        }
+    }
+
+    fn push(&mut self, o: &PacketOutcome) {
+        self.report.packets += 1;
+        self.report.bits += o.bits;
+        self.report.bit_errors += o.bit_errors;
+        if o.sync_failed {
+            self.report.sync_failures += 1;
+        }
+        if o.bit_errors > 0 || o.sync_failed {
+            self.report.packet_errors += 1;
+        }
+        self.evm_sum += o.evm_sum;
+        self.evm_n += o.evm_n;
+        self.tx_power_acc += o.tx_power;
+    }
+
+    fn finish(mut self) -> FrameReport {
+        self.report.evm_rms = if self.evm_n > 0 {
+            (self.evm_sum / self.evm_n as f64).sqrt()
+        } else {
+            0.0
+        };
+        self.report.measured_tx_power = self.tx_power_acc / self.report.packets.max(1) as f64;
+        subsample_constellation(&mut self.report.constellation);
+        self.report
+    }
+}
+
+/// Exact deterministic decimation to ≤ [`CONSTELLATION_CAP`] points: keep
+/// index `⌊i·len/cap⌋` for `i < cap` — strictly increasing when
+/// `len > cap`, so the bound always holds and the retained points are
+/// stable for a given input length.
+fn subsample_constellation(v: &mut Vec<Cplx>) {
+    let len = v.len();
+    if len <= CONSTELLATION_CAP {
+        return;
+    }
+    for i in 0..CONSTELLATION_CAP {
+        v[i] = v[i * len / CONSTELLATION_CAP];
+    }
+    v.truncate(CONSTELLATION_CAP);
+}
+
+/// One chunk of packets `[lo, hi)` on the caller's workspace; returns the
+/// per-packet outcomes plus this chunk's constellation contribution.
+fn run_chunk(
+    config: &FrameConfig,
+    seed: u64,
+    lo: usize,
+    hi: usize,
+    ws: &mut FrameWorkspace,
+) -> (Vec<PacketOutcome>, Vec<Cplx>) {
+    let mut outcomes = Vec::with_capacity(hi - lo);
+    let mut constellation = Vec::new();
+    for i in lo..hi {
+        let o = ws
+            .run_packet(config, mix_seed(seed, i as u64))
+            .expect("config validated before fan-out");
+        if i < CONSTELLATION_PACKETS {
+            constellation.extend_from_slice(ws.constellation_sample());
+        }
+        outcomes.push(o);
+    }
+    (outcomes, constellation)
+}
+
+thread_local! {
+    /// One workspace per worker thread, reused across chunks, trials and
+    /// whole sweeps (the sequential path runs on the caller's thread and
+    /// so reuses the caller's workspace across every call).
+    static TRIAL_WS: RefCell<FrameWorkspace> = RefCell::new(FrameWorkspace::new());
+}
+
+/// Sequential reference: runs `n_packets` packets on the caller-provided
+/// workspace. Produces exactly the same [`FrameReport`] as
+/// [`try_run_trial`] — the parallel fan-out is defined as equal to this
+/// fold.
+pub fn run_trial_with(
+    config: &FrameConfig,
+    n_packets: usize,
+    seed: u64,
+    ws: &mut FrameWorkspace,
+) -> Result<FrameReport, FrameError> {
+    config.validate()?;
+    let mut fold = ReportFold::new(config);
+    for i in 0..n_packets {
+        let o = ws.run_packet(config, mix_seed(seed, i as u64))?;
+        if i < CONSTELLATION_PACKETS {
+            fold.report
+                .constellation
+                .extend_from_slice(ws.constellation_sample());
+        }
+        fold.push(&o);
+    }
+    Ok(fold.finish())
+}
+
+/// Runs `n_packets` independent packets through the pipeline in parallel
+/// and aggregates a [`FrameReport`]. Deterministic for a given `seed`:
+/// per-packet RNG streams ([`mix_seed`]) plus an index-ordered fold make
+/// the result bit-identical at any `ACORN_THREADS` setting, including the
+/// sequential path of [`run_trial_with`].
+pub fn try_run_trial(
+    config: &FrameConfig,
+    n_packets: usize,
+    seed: u64,
+) -> Result<FrameReport, FrameError> {
+    config.validate()?;
+    let n_chunks = n_packets.div_ceil(PACKET_CHUNK);
+    let chunks = par_map_n(n_chunks, |c| {
+        let lo = c * PACKET_CHUNK;
+        let hi = (lo + PACKET_CHUNK).min(n_packets);
+        TRIAL_WS.with(|cell| run_chunk(config, seed, lo, hi, &mut cell.borrow_mut()))
+    });
+    let mut fold = ReportFold::new(config);
+    for (outcomes, constellation) in &chunks {
+        for o in outcomes {
+            fold.push(o);
+        }
+        fold.report.constellation.extend_from_slice(constellation);
+    }
+    Ok(fold.finish())
+}
+
+/// [`try_run_trial`] for callers that treat a bad config as a bug: panics
+/// with the [`FrameError`] message (e.g. when the channel memory exceeds
+/// the cyclic prefix).
+pub fn run_trial(config: &FrameConfig, n_packets: usize, seed: u64) -> FrameReport {
+    match try_run_trial(config, n_packets, seed) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Batched sweep API: runs `n_packets` packets for *every* config of a
+/// grid through one parallel fan-out, so worker workspaces warm up once
+/// and stay hot across the whole sweep (an SNR grid reuses each worker's
+/// buffers across all its points).
+///
+/// Config `i` runs on the derived seed `mix_seed(seed, i)`; its report is
+/// bit-identical to `try_run_trial(&configs[i], n_packets,
+/// mix_seed(seed, i as u64))` at any thread count. Invalid configs yield
+/// their `Err` without disturbing the rest of the sweep.
+pub fn run_trials(
+    configs: &[FrameConfig],
+    n_packets: usize,
+    seed: u64,
+) -> Vec<Result<FrameReport, FrameError>> {
+    let n_chunks = n_packets.div_ceil(PACKET_CHUNK);
+    // Flatten (config, chunk) into one work list over the valid configs.
+    let mut items: Vec<(usize, usize)> = Vec::new();
+    for (ci, config) in configs.iter().enumerate() {
+        if config.validate().is_ok() {
+            items.extend((0..n_chunks).map(|c| (ci, c)));
+        }
+    }
+    let chunk_results = par_map_n(items.len(), |k| {
+        let (ci, c) = items[k];
+        let config = &configs[ci];
+        let config_seed = mix_seed(seed, ci as u64);
+        let lo = c * PACKET_CHUNK;
+        let hi = (lo + PACKET_CHUNK).min(n_packets);
+        TRIAL_WS.with(|cell| run_chunk(config, config_seed, lo, hi, &mut cell.borrow_mut()))
+    });
+
+    let mut folds: Vec<Result<ReportFold, FrameError>> = configs
+        .iter()
+        .map(|c| c.validate().map(|()| ReportFold::new(c)))
+        .collect();
+    for (&(ci, _), (outcomes, constellation)) in items.iter().zip(chunk_results.iter()) {
+        let fold = folds[ci].as_mut().expect("only valid configs were fanned out");
+        for o in outcomes {
+            fold.push(o);
+        }
+        fold.report.constellation.extend_from_slice(constellation);
+    }
+    folds
+        .into_iter()
+        .map(|f| f.map(ReportFold::finish))
+        .collect()
 }
 
 #[cfg(test)]
@@ -694,10 +1069,12 @@ mod tests {
             assert_eq!(bins.len(), w.data_subcarriers());
             assert!(!bins.contains(&0), "DC must stay empty");
             assert!(bins.iter().all(|&b| b < w.fft_size()));
-            let mut uniq = bins.clone();
+            let mut uniq = bins.to_vec();
             uniq.sort_unstable();
             uniq.dedup();
             assert_eq!(uniq.len(), bins.len(), "bins must be unique");
+            // The cached slice is stable across calls.
+            assert_eq!(bins.as_ptr(), data_subcarrier_bins(w).as_ptr());
         }
     }
 
@@ -882,6 +1259,162 @@ mod tests {
             r_stbc.ber(),
             r_siso.ber()
         );
+    }
+
+    #[test]
+    fn constellation_sample_respects_the_exact_cap() {
+        // 200-byte uncoded QPSK → 800 symbols/packet, sampled at 512 per
+        // packet: 10 packets produce 5120 pre-decimation points, which
+        // must come back as exactly 4096.
+        let cfg = FrameConfig {
+            packet_bytes: 200,
+            ..FrameConfig::baseline(ChannelWidth::Ht20)
+        };
+        let r = run_trial(&cfg, 10, 77);
+        assert_eq!(r.constellation.len(), CONSTELLATION_CAP);
+        // Under the cap nothing is dropped: 4 packets → 2048 points.
+        let r = run_trial(&cfg, 4, 77);
+        assert_eq!(r.constellation.len(), 4 * 512);
+    }
+
+    #[test]
+    fn exact_stride_is_deterministic_and_ordered() {
+        let mk = |len: usize| -> Vec<Cplx> {
+            (0..len).map(|i| Cplx::new(i as f64, 0.0)).collect()
+        };
+        for len in [4097usize, 5120, 8191, 12288, 100_000] {
+            let mut v = mk(len);
+            subsample_constellation(&mut v);
+            assert_eq!(v.len(), CONSTELLATION_CAP, "len {len}");
+            // Strictly increasing source indices → strictly increasing values.
+            for w in v.windows(2) {
+                assert!(w[1].re > w[0].re, "len {len}");
+            }
+            let mut v2 = mk(len);
+            subsample_constellation(&mut v2);
+            assert_eq!(v, v2);
+        }
+        let mut small = mk(4096);
+        subsample_constellation(&mut small);
+        assert_eq!(small.len(), 4096, "at or below the cap is untouched");
+    }
+
+    #[test]
+    fn invalid_config_yields_typed_error() {
+        let cfg = FrameConfig {
+            gi: acorn_phy::GuardInterval::Short,
+            channel: ChannelModel::SelectiveRayleigh {
+                taps: 12,
+                delay_spread_taps: 2.0,
+            },
+            ..FrameConfig::baseline(ChannelWidth::Ht20)
+        };
+        let err = cfg.validate().unwrap_err();
+        assert_eq!(err, FrameError::ChannelMemoryExceedsCp { memory: 11, cp: 8 });
+        assert_eq!(
+            err.to_string(),
+            "channel memory (11) exceeds the cyclic prefix (8)"
+        );
+        assert!(try_run_trial(&cfg, 1, 1).is_err());
+        // A sweep degrades gracefully: the bad config errors, the rest run.
+        let good = FrameConfig::baseline(ChannelWidth::Ht20);
+        let results = run_trials(&[good, cfg, good], 2, 3);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn parallel_trial_matches_sequential_fold() {
+        let mut ws = FrameWorkspace::new();
+        for cfg in [
+            FrameConfig {
+                packet_bytes: 120,
+                ..FrameConfig::baseline(ChannelWidth::Ht20)
+            },
+            FrameConfig {
+                packet_bytes: 100,
+                code_rate: Some(CodeRate::R34),
+                ..FrameConfig::baseline(ChannelWidth::Ht40)
+            },
+            FrameConfig {
+                packet_bytes: 100,
+                stbc: true,
+                channel: ChannelModel::FlatRayleigh,
+                ..FrameConfig::baseline(ChannelWidth::Ht20)
+            },
+        ] {
+            // Chunk-boundary counts: 0, <1 chunk, exact, ragged.
+            for n in [0usize, 3, 8, 19] {
+                let seq = run_trial_with(&cfg, n, 42, &mut ws).unwrap();
+                let par = try_run_trial(&cfg, n, 42).unwrap();
+                assert_eq!(seq, par);
+                assert_eq!(seq.evm_rms.to_bits(), par.evm_rms.to_bits());
+                assert_eq!(
+                    seq.measured_tx_power.to_bits(),
+                    par.measured_tx_power.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_reports_match_individual_trials() {
+        let c20 = FrameConfig {
+            packet_bytes: 100,
+            ..FrameConfig::baseline(ChannelWidth::Ht20)
+        };
+        let c40 = FrameConfig {
+            packet_bytes: 100,
+            ..FrameConfig::baseline(ChannelWidth::Ht40)
+        };
+        let sweep = run_trials(&[c20, c40], 10, 9);
+        for (i, cfg) in [c20, c40].iter().enumerate() {
+            let solo = try_run_trial(cfg, 10, mix_seed(9, i as u64)).unwrap();
+            assert_eq!(*sweep[i].as_ref().unwrap(), solo, "config {i}");
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_across_configs_is_transparent() {
+        // Alternating 20/40 MHz, coded/uncoded, SISO/STBC on one workspace
+        // must give the same reports as fresh workspaces.
+        let configs = [
+            FrameConfig {
+                packet_bytes: 90,
+                ..FrameConfig::baseline(ChannelWidth::Ht20)
+            },
+            FrameConfig {
+                packet_bytes: 90,
+                code_rate: Some(CodeRate::R12),
+                ..FrameConfig::baseline(ChannelWidth::Ht40)
+            },
+            FrameConfig {
+                packet_bytes: 90,
+                stbc: true,
+                ..FrameConfig::baseline(ChannelWidth::Ht20)
+            },
+        ];
+        let mut shared = FrameWorkspace::new();
+        for round in 0..2 {
+            for cfg in &configs {
+                let reused = run_trial_with(cfg, 4, 5, &mut shared).unwrap();
+                let fresh = run_trial_with(cfg, 4, 5, &mut FrameWorkspace::new()).unwrap();
+                assert_eq!(reused, fresh, "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn mix_seed_separates_indices_and_seeds() {
+        // Not a PRNG-quality test — just that nearby inputs scatter.
+        let a = mix_seed(1, 0);
+        let b = mix_seed(1, 1);
+        let c = mix_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        assert_eq!(mix_seed(1, 0), a, "pure function");
     }
 }
 

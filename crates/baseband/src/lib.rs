@@ -43,4 +43,7 @@ pub mod stbc;
 
 pub use channel::ChannelModel;
 pub use cplx::Cplx;
-pub use frame::{run_trial, Equalization, FrameConfig, FrameReport, SyncMode};
+pub use frame::{
+    mix_seed, run_trial, run_trial_with, run_trials, try_run_trial, Equalization, FrameConfig,
+    FrameError, FrameReport, FrameWorkspace, PacketOutcome, SyncMode,
+};

@@ -135,27 +135,102 @@ pub fn slice_symbol(modulation: Modulation, point: Cplx, out: &mut Vec<bool>) {
 /// Maps a bitstream to a symbol stream. The tail is zero-padded to a whole
 /// symbol if needed.
 pub fn modulate(modulation: Modulation, bits: &[bool]) -> Vec<Cplx> {
-    let bps = modulation.bits_per_symbol() as usize;
-    let mut symbols = Vec::with_capacity(bits.len().div_ceil(bps));
-    let mut chunk = vec![false; bps];
-    for group in bits.chunks(bps) {
-        chunk[..group.len()].copy_from_slice(group);
-        for b in chunk[group.len()..].iter_mut() {
-            *b = false;
-        }
-        symbols.push(map_symbol(modulation, &chunk));
-    }
+    let mut symbols = Vec::new();
+    modulate_into(modulation, bits, &mut symbols);
     symbols
+}
+
+/// Allocation-free [`modulate`]: clears and refills `symbols`. The
+/// modulation is matched once outside the symbol loop, so each arm is a
+/// tight specialized mapper producing bit-identical points to
+/// [`map_symbol`].
+pub fn modulate_into(modulation: Modulation, bits: &[bool], symbols: &mut Vec<Cplx>) {
+    let bps = modulation.bits_per_symbol() as usize;
+    symbols.clear();
+    symbols.reserve(bits.len().div_ceil(bps));
+    let k = norm(modulation);
+    let bit = |g: &[bool], j: usize| *g.get(j).unwrap_or(&false) as u8;
+    match modulation {
+        Modulation::Bpsk => {
+            for &b in bits {
+                symbols.push(Cplx::new(if b { 1.0 } else { -1.0 }, 0.0));
+            }
+        }
+        Modulation::Qpsk => {
+            for g in bits.chunks(2) {
+                symbols.push(Cplx::new(
+                    if g[0] { k } else { -k },
+                    if bit(g, 1) != 0 { k } else { -k },
+                ));
+            }
+        }
+        Modulation::Qam16 => {
+            for g in bits.chunks(4) {
+                let i = bit(g, 0) << 1 | bit(g, 1);
+                let q = bit(g, 2) << 1 | bit(g, 3);
+                symbols.push(Cplx::new(pam4_level(i) * k, pam4_level(q) * k));
+            }
+        }
+        Modulation::Qam64 => {
+            for g in bits.chunks(6) {
+                let i = bit(g, 0) << 2 | bit(g, 1) << 1 | bit(g, 2);
+                let q = bit(g, 3) << 2 | bit(g, 4) << 1 | bit(g, 5);
+                symbols.push(Cplx::new(pam8_level(i) * k, pam8_level(q) * k));
+            }
+        }
+    }
 }
 
 /// Hard-demodulates a symbol stream back to bits (length `symbols.len() ×
 /// bits_per_symbol`; the caller truncates any pad).
 pub fn demodulate(modulation: Modulation, symbols: &[Cplx]) -> Vec<bool> {
-    let mut bits = Vec::with_capacity(symbols.len() * modulation.bits_per_symbol() as usize);
-    for s in symbols {
-        slice_symbol(modulation, *s, &mut bits);
-    }
+    let mut bits = Vec::new();
+    demodulate_into(modulation, symbols, &mut bits);
     bits
+}
+
+/// Allocation-free [`demodulate`]: clears and refills `bits` with the same
+/// hard decisions as [`slice_symbol`], the modulation matched once outside
+/// the loop.
+pub fn demodulate_into(modulation: Modulation, symbols: &[Cplx], bits: &mut Vec<bool>) {
+    bits.clear();
+    bits.reserve(symbols.len() * modulation.bits_per_symbol() as usize);
+    let inv = 1.0 / norm(modulation);
+    match modulation {
+        Modulation::Bpsk => {
+            for s in symbols {
+                bits.push(s.re * inv >= 0.0);
+            }
+        }
+        Modulation::Qpsk => {
+            for s in symbols {
+                bits.push(s.re * inv >= 0.0);
+                bits.push(s.im * inv >= 0.0);
+            }
+        }
+        Modulation::Qam16 => {
+            for s in symbols {
+                let i = pam4_slice(s.re * inv);
+                let q = pam4_slice(s.im * inv);
+                bits.push(i & 0b10 != 0);
+                bits.push(i & 0b01 != 0);
+                bits.push(q & 0b10 != 0);
+                bits.push(q & 0b01 != 0);
+            }
+        }
+        Modulation::Qam64 => {
+            for s in symbols {
+                let i = pam8_slice(s.re * inv);
+                let q = pam8_slice(s.im * inv);
+                bits.push(i & 0b100 != 0);
+                bits.push(i & 0b010 != 0);
+                bits.push(i & 0b001 != 0);
+                bits.push(q & 0b100 != 0);
+                bits.push(q & 0b010 != 0);
+                bits.push(q & 0b001 != 0);
+            }
+        }
+    }
 }
 
 /// Differentially encodes QPSK symbols: each output symbol is the previous

@@ -19,13 +19,32 @@ pub const BARKER13: [f64; 13] = [
 /// Number of Barker repetitions in the preamble.
 pub const PREAMBLE_REPEATS: usize = 4;
 
+/// The unit-amplitude reference preamble, tabulated once for the
+/// correlator (±1 chips, so the table is exact).
+const REFERENCE: [Cplx; BARKER13.len() * PREAMBLE_REPEATS] = {
+    let mut out = [Cplx::ZERO; BARKER13.len() * PREAMBLE_REPEATS];
+    let mut i = 0;
+    while i < out.len() {
+        out[i] = Cplx::new(BARKER13[i % BARKER13.len()], 0.0);
+        i += 1;
+    }
+    out
+};
+
 /// Builds the preamble sample block at a given amplitude.
 pub fn build_preamble(amplitude: f64) -> Vec<Cplx> {
-    let mut out = Vec::with_capacity(BARKER13.len() * PREAMBLE_REPEATS);
+    let mut out = Vec::new();
+    build_preamble_into(amplitude, &mut out);
+    out
+}
+
+/// Allocation-free [`build_preamble`]: clears and refills `out`.
+pub fn build_preamble_into(amplitude: f64, out: &mut Vec<Cplx>) {
+    out.clear();
+    out.reserve(REFERENCE.len());
     for _ in 0..PREAMBLE_REPEATS {
         out.extend(BARKER13.iter().map(|c| Cplx::new(c * amplitude, 0.0)));
     }
-    out
 }
 
 /// Length of the preamble in samples.
@@ -44,8 +63,8 @@ pub fn detect_preamble(rx: &[Cplx], search_window: usize, threshold: f64) -> Opt
     if rx.len() < plen {
         return None;
     }
-    let reference = build_preamble(1.0);
-    let ref_energy: f64 = reference.iter().map(|s| s.norm_sqr()).sum();
+    let reference = &REFERENCE;
+    let ref_energy = plen as f64; // ±1 chips: Σ|p|² = len
     let limit = search_window.min(rx.len() - plen);
 
     let mut best: Option<(usize, f64)> = None;

@@ -27,6 +27,19 @@ pub fn add_cp(symbol: &[Cplx], cp_len: usize) -> Vec<Cplx> {
     out
 }
 
+/// Appends one OFDM symbol with its cyclic prefix to a running sample
+/// stream — the allocation-free companion of [`add_cp`] used by the frame
+/// builder's workspace path.
+pub fn extend_with_cp(stream: &mut Vec<Cplx>, symbol: &[Cplx], cp_len: usize) {
+    assert!(
+        cp_len <= symbol.len(),
+        "cyclic prefix ({cp_len}) longer than symbol ({})",
+        symbol.len()
+    );
+    stream.extend_from_slice(&symbol[symbol.len() - cp_len..]);
+    stream.extend_from_slice(symbol);
+}
+
 /// Strips the cyclic prefix from a received block of `fft_size + cp_len`
 /// samples, returning the `fft_size` useful samples.
 pub fn strip_cp(block: &[Cplx], cp_len: usize) -> &[Cplx] {

@@ -1,11 +1,15 @@
 //! Criterion benches for the software baseband — the Monte-Carlo engine
-//! behind Figs. 1–4 (FFT, Viterbi, the end-to-end frame pipeline).
+//! behind Figs. 1–4 (FFT, Viterbi, the end-to-end frame pipeline), plus
+//! the workspace hot path the zero-allocation engine runs on.
 
 use acorn_baseband::convcode::Codec;
 use acorn_baseband::cplx::Cplx;
 use acorn_baseband::fft::fft;
-use acorn_baseband::frame::{run_trial, Equalization, FrameConfig};
+use acorn_baseband::frame::{
+    mix_seed, run_trial, run_trial_with, Equalization, FrameConfig, FrameWorkspace,
+};
 use acorn_baseband::psd::welch_psd;
+use acorn_bench::baseline_frame::run_trial_baseline;
 use acorn_phy::{ChannelWidth, CodeRate};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -47,6 +51,48 @@ fn bench_frame_pipeline(c: &mut Criterion) {
     }
 }
 
+/// The steady-state hot path: one packet through a warm [`FrameWorkspace`]
+/// — no allocation, no plan rebuild, exactly what each parallel worker
+/// does per packet inside `try_run_trial`.
+fn bench_workspace_packet(c: &mut Criterion) {
+    let cfg = FrameConfig {
+        packet_bytes: 1500,
+        code_rate: Some(CodeRate::R12),
+        equalization: Equalization::Genie,
+        ..FrameConfig::baseline(ChannelWidth::Ht20)
+    }
+    .with_target_snr(7.0);
+    let mut ws = FrameWorkspace::new();
+    ws.run_packet(&cfg, mix_seed(7, 0)).unwrap();
+    let mut i = 0u64;
+    c.bench_function("baseband/workspace_packet_1500B_qpsk_r12", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            ws.run_packet(black_box(&cfg), mix_seed(7, i)).unwrap()
+        })
+    });
+}
+
+/// Workspace engine vs the pre-workspace baseline pipeline, same config —
+/// the criterion view of the BENCH_baseband.json speedup.
+fn bench_engine_vs_baseline(c: &mut Criterion) {
+    let cfg = FrameConfig {
+        packet_bytes: 1500,
+        code_rate: Some(CodeRate::R12),
+        equalization: Equalization::Genie,
+        ..FrameConfig::baseline(ChannelWidth::Ht20)
+    }
+    .with_target_snr(7.0);
+    const PACKETS: usize = 4;
+    let mut ws = FrameWorkspace::new();
+    c.bench_function("baseband/engine_4pkt_1500B_qpsk_r12", |b| {
+        b.iter(|| run_trial_with(black_box(&cfg), PACKETS, 7, &mut ws).unwrap())
+    });
+    c.bench_function("baseband/baseline_4pkt_1500B_qpsk_r12", |b| {
+        b.iter(|| run_trial_baseline(black_box(&cfg), PACKETS, 7))
+    });
+}
+
 fn bench_psd(c: &mut Criterion) {
     let signal: Vec<Cplx> = (0..16384)
         .map(|i| Cplx::cis(0.1 * i as f64))
@@ -56,5 +102,13 @@ fn bench_psd(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fft, bench_viterbi, bench_frame_pipeline, bench_psd);
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_viterbi,
+    bench_frame_pipeline,
+    bench_workspace_packet,
+    bench_engine_vs_baseline,
+    bench_psd
+);
 criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! A counting global allocator for the bench binaries.
+//!
+//! Wraps the system allocator with one relaxed atomic increment per
+//! `alloc`/`realloc`, so `BENCH_baseband.json` can report *measured*
+//! allocations per packet (the zero-allocation steady-state claim is
+//! checked, not asserted on faith). The counter costs nanoseconds per
+//! event and nothing when no allocation happens — which is the point.
+//!
+//! The allocator is process-global: linking `acorn-bench` installs it in
+//! every bench binary. Library consumers elsewhere in the workspace are
+//! unaffected (they don't link this crate).
+
+// The one spot in the workspace that needs `unsafe`: a GlobalAlloc impl
+// is an unsafe trait by definition. Everything else stays forbidden.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator plus a relaxed allocation counter.
+pub struct CountingAllocator;
+
+// SAFETY: defers every operation verbatim to `System`, which upholds the
+// GlobalAlloc contract; the counter has no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Heap allocation events (alloc + realloc) since process start.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Allocation events that happen while `f` runs on this thread. Only
+/// meaningful when no other thread allocates concurrently — run the
+/// workload single-threaded for exact counts.
+pub fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = allocation_count();
+    let out = f();
+    (allocation_count() - before, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_observes_heap_activity() {
+        let (n, v) = allocations_during(|| vec![1u8; 4096]);
+        assert!(n >= 1, "a fresh Vec must allocate (counted {n})");
+        drop(v);
+        let (n, _) = allocations_during(|| 1 + 1);
+        assert_eq!(n, 0, "pure arithmetic must not allocate");
+    }
+}

@@ -1,0 +1,349 @@
+//! The seed's baseband Monte-Carlo loop, preserved as a timing reference.
+//!
+//! Before the workspace engine landed, `run_trial` ran one packet at a
+//! time on a single RNG stream and allocated every intermediate buffer
+//! per packet: payload, coded bits, one grid + IFFT output + CP copy per
+//! OFDM symbol, channel taps, the concatenated frame, one FFT block per
+//! received symbol, per-step Viterbi survivor rows — plus Box–Muller
+//! noise (two uniforms, `ln`/`sqrt`/`cos`/`sin` per complex sample) and a
+//! textbook per-step Viterbi that recomputes branch parities inside the
+//! hot loop. `BENCH_baseband.json` quotes the engine's packets/sec
+//! against this implementation, so the reference is kept compilable here
+//! rather than in git history. SISO only — the snapshot configs don't
+//! exercise STBC.
+//!
+//! Faithfulness notes: identical algorithms and trellis/termination
+//! conventions as `acorn_baseband::convcode`, identical subcarrier maps
+//! and equalization math; the preamble is always transmitted (the seed
+//! did so even under genie sync), the IFFT normalizes by 1/N in a
+//! separate pass, and equalization divides per symbol. Only the noise
+//! *sampling method* differs from today's engine (Box–Muller vs
+//! ziggurat), exactly as the seed differed.
+
+use acorn_baseband::channel::convolve;
+use acorn_baseband::convcode::{depuncture, encode, puncture, TAIL_BITS};
+use acorn_baseband::cplx::{mean_power, Cplx};
+use acorn_baseband::fft::{fft_vec, ifft_vec};
+use acorn_baseband::frame::{
+    data_subcarrier_bins, Equalization, FrameConfig, FrameReport, SyncMode,
+};
+use acorn_baseband::modem::{demodulate, modulate};
+use acorn_baseband::preamble::{build_preamble, detect_preamble, preamble_len};
+use acorn_baseband::prefix::{add_cp, cp_len_for};
+use acorn_phy::CodeRate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Box–Muller standard complex Gaussian — the seed's noise sampler.
+fn complex_gaussian(rng: &mut StdRng, variance: f64) -> Cplx {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt() * (variance / 2.0).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    Cplx::new(r * theta.cos(), r * theta.sin())
+}
+
+fn add_awgn(samples: &mut [Cplx], variance: f64, rng: &mut StdRng) {
+    if variance <= 0.0 {
+        return;
+    }
+    for s in samples.iter_mut() {
+        *s += complex_gaussian(rng, variance);
+    }
+}
+
+const G0: u32 = 0o133;
+const G1: u32 = 0o171;
+const STATES: usize = 64;
+
+/// Textbook per-step Viterbi, as the seed ran it: branch parities
+/// recomputed in the inner loop, `u64` path metrics, one freshly
+/// allocated survivor row per trellis step.
+fn viterbi_decode_baseline(pairs: &[(Option<bool>, Option<bool>)], info_len: usize) -> Vec<bool> {
+    const INF: u64 = u64::MAX / 4;
+    let parity = |x: u32| (x.count_ones() & 1) == 1;
+    let mut metric = vec![INF; STATES];
+    metric[0] = 0;
+    let mut survivors: Vec<Vec<u8>> = Vec::with_capacity(pairs.len());
+    for &(ra, rb) in pairs {
+        let mut next_metric = vec![INF; STATES];
+        let mut row = vec![0u8; STATES];
+        for s in 0..STATES {
+            if metric[s] >= INF {
+                continue;
+            }
+            for input in 0..2usize {
+                let window = ((input as u32) << 6) | s as u32;
+                let a = parity(window & G0);
+                let b = parity(window & G1);
+                let mut cost = 0u64;
+                if let Some(r) = ra {
+                    cost += (r != a) as u64;
+                }
+                if let Some(r) = rb {
+                    cost += (r != b) as u64;
+                }
+                let ns = (s >> 1) | (input << 5);
+                let cand = metric[s] + cost;
+                if cand < next_metric[ns] {
+                    next_metric[ns] = cand;
+                    row[ns] = (s & 1) as u8;
+                }
+            }
+        }
+        metric = next_metric;
+        survivors.push(row);
+    }
+    // Terminated trellis: traceback from state 0.
+    let mut state = 0usize;
+    let mut decoded = vec![false; pairs.len()];
+    for t in (0..pairs.len()).rev() {
+        decoded[t] = state >> 5 != 0;
+        state = ((state & 31) << 1) | survivors[t][state] as usize;
+    }
+    decoded.truncate(info_len);
+    decoded
+}
+
+fn encode_baseline(info: &[bool], rate: CodeRate) -> Vec<bool> {
+    let mother = encode(info);
+    if rate == CodeRate::R12 {
+        mother
+    } else {
+        puncture(&mother, rate)
+    }
+}
+
+fn decode_baseline(rx: &[bool], rate: CodeRate, info_len: usize) -> Vec<bool> {
+    let pairs = depuncture(rx, rate, info_len + TAIL_BITS);
+    viterbi_decode_baseline(&pairs, info_len)
+}
+
+fn training_grid(cfg: &FrameConfig) -> Vec<Cplx> {
+    let bins = data_subcarrier_bins(cfg.width);
+    let amplitude = cfg.subcarrier_amplitude();
+    let mut grid = vec![Cplx::ZERO; cfg.width.fft_size()];
+    for (i, &b) in bins.iter().enumerate() {
+        grid[b] = Cplx::cis(std::f64::consts::PI * ((i * i) % 7) as f64 / 3.5).scale(amplitude);
+    }
+    grid
+}
+
+fn n_train(cfg: &FrameConfig) -> usize {
+    match cfg.equalization {
+        Equalization::Genie => 0,
+        Equalization::Training { symbols } => symbols.max(1),
+    }
+}
+
+/// One OFDM symbol: grid → normalized IFFT → fresh CP copy.
+fn ofdm_symbol(grid: &[Cplx], cp: usize) -> Vec<Cplx> {
+    let time = ifft_vec(grid);
+    add_cp(&time, cp)
+}
+
+fn build_stream(cfg: &FrameConfig, symbols: &[Cplx]) -> Vec<Cplx> {
+    let n = cfg.width.fft_size();
+    let cp = cp_len_for(n, cfg.gi);
+    let bins = data_subcarrier_bins(cfg.width);
+    let amplitude = cfg.subcarrier_amplitude();
+    let train = training_grid(cfg);
+    let mut stream = Vec::new();
+    for _ in 0..n_train(cfg) {
+        stream.extend(ofdm_symbol(&train, cp));
+    }
+    for chunk in symbols.chunks(bins.len()) {
+        let mut grid = vec![Cplx::ZERO; n];
+        for (slot, sym) in chunk.iter().enumerate() {
+            grid[bins[slot]] = sym.scale(amplitude);
+        }
+        stream.extend(ofdm_symbol(&grid, cp));
+    }
+    stream
+}
+
+fn fft_block(stream: &[Cplx], start: usize, cp: usize, n: usize) -> Vec<Cplx> {
+    match stream.get(start..start + cp + n) {
+        Some(block) => fft_vec(&block[cp..]),
+        None => vec![Cplx::ZERO; n],
+    }
+}
+
+fn frequency_response(taps: &[Cplx], n: usize) -> Vec<Cplx> {
+    if taps.len() == 1 {
+        return vec![taps[0]; n];
+    }
+    let mut padded = taps.to_vec();
+    padded.resize(n, Cplx::ZERO);
+    fft_vec(&padded)
+}
+
+/// One packet through the seed pipeline; every buffer freshly allocated.
+#[allow(clippy::too_many_lines)]
+fn run_packet(cfg: &FrameConfig, rng: &mut StdRng) -> (usize, usize, bool, f64) {
+    let n = cfg.width.fft_size();
+    let cp = cp_len_for(n, cfg.gi);
+    let bins = data_subcarrier_bins(cfg.width);
+    let amplitude = cfg.subcarrier_amplitude();
+    let info_len = cfg.packet_bytes * 8;
+    let info: Vec<bool> = (0..info_len).map(|_| rng.gen()).collect();
+    let tx_bits = match cfg.code_rate {
+        Some(rate) => encode_baseline(&info, rate),
+        // The seed cloned the payload for the uncoded path.
+        None => info.clone(),
+    };
+    let tx_symbols = modulate(cfg.modulation, &tx_bits);
+    let stream = build_stream(cfg, &tx_symbols);
+    let tx_power = mean_power(&stream);
+
+    // The seed always prepended the preamble, genie sync included.
+    let preamble = build_preamble(cfg.tx_power.sqrt());
+    let mut full = preamble.clone();
+    full.extend_from_slice(&stream);
+
+    let taps = cfg.channel.draw_taps(rng);
+    let mut rx = convolve(&full, &taps);
+    add_awgn(&mut rx, cfg.sample_noise(), rng);
+
+    let data_start = match cfg.sync {
+        SyncMode::Genie => preamble_len(),
+        SyncMode::Preamble { threshold } => match detect_preamble(&rx, 4, threshold) {
+            Some(off) => off,
+            None => return (info_len, info_len, true, tx_power),
+        },
+    };
+
+    let nt = n_train(cfg);
+    let block = n + cp;
+    let h = match cfg.equalization {
+        Equalization::Genie => frequency_response(&taps, n),
+        Equalization::Training { .. } => {
+            let train = training_grid(cfg);
+            let mut h = vec![Cplx::ZERO; n];
+            for t in 0..nt {
+                let fb = fft_block(&rx, data_start + t * block, cp, n);
+                for &b in bins {
+                    h[b] += (fb[b] / train[b]).scale(1.0 / nt as f64);
+                }
+            }
+            h
+        }
+    };
+
+    let mut rx_symbols = Vec::with_capacity(tx_symbols.len());
+    let mut ofdm_idx = nt;
+    while rx_symbols.len() < tx_symbols.len() {
+        let fb = fft_block(&rx, data_start + ofdm_idx * block, cp, n);
+        for &b in bins {
+            if rx_symbols.len() >= tx_symbols.len() {
+                break;
+            }
+            rx_symbols.push((fb[b] / h[b]).scale(1.0 / amplitude));
+        }
+        ofdm_idx += 1;
+    }
+
+    let rx_bits = demodulate(cfg.modulation, &rx_symbols);
+    let errors = match cfg.code_rate {
+        Some(rate) => {
+            let decoded = decode_baseline(&rx_bits[..tx_bits.len()], rate, info_len);
+            decoded.iter().zip(&info).filter(|(a, b)| a != b).count()
+        }
+        None => rx_bits.iter().zip(&info).filter(|(a, b)| a != b).count(),
+    };
+    (info_len, errors, false, tx_power)
+}
+
+/// The seed's sequential `run_trial`: one RNG stream for the whole trial,
+/// per-packet allocation throughout. Only the counting fields of the
+/// report are populated (the snapshot compares throughput, not
+/// constellations).
+pub fn run_trial_baseline(cfg: &FrameConfig, n_packets: usize, seed: u64) -> FrameReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut report = FrameReport {
+        bits: 0,
+        bit_errors: 0,
+        packets: 0,
+        packet_errors: 0,
+        sync_failures: 0,
+        constellation: Vec::new(),
+        evm_rms: 0.0,
+        snr_per_subcarrier_db: cfg.snr_per_subcarrier_db(),
+        measured_tx_power: 0.0,
+    };
+    let mut power_acc = 0.0;
+    for _ in 0..n_packets {
+        let (bits, errors, sync_failed, tx_power) = run_packet(cfg, &mut rng);
+        report.packets += 1;
+        report.bits += bits;
+        report.bit_errors += errors;
+        if sync_failed {
+            report.sync_failures += 1;
+        }
+        if errors > 0 || sync_failed {
+            report.packet_errors += 1;
+        }
+        power_acc += tx_power;
+    }
+    report.measured_tx_power = power_acc / report.packets.max(1) as f64;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acorn_phy::{ChannelWidth, Modulation};
+
+    #[test]
+    fn baseline_roundtrips_noiselessly() {
+        for code_rate in [None, Some(CodeRate::R12), Some(CodeRate::R34)] {
+            let cfg = FrameConfig {
+                code_rate,
+                noise_density: 0.0,
+                packet_bytes: 150,
+                ..FrameConfig::baseline(ChannelWidth::Ht20)
+            };
+            let r = run_trial_baseline(&cfg, 2, 3);
+            assert_eq!(r.bit_errors, 0, "{code_rate:?}");
+            assert_eq!(r.packet_errors, 0);
+        }
+    }
+
+    #[test]
+    fn baseline_viterbi_matches_library_decoder() {
+        use acorn_baseband::convcode::viterbi_decode;
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let info: Vec<bool> = (0..120).map(|_| rng.gen()).collect();
+            let mut coded = encode(&info);
+            // Flip a few bits to exercise error correction.
+            for _ in 0..6 {
+                let i = rng.gen_range(0..coded.len());
+                coded[i] = !coded[i];
+            }
+            let pairs: Vec<(Option<bool>, Option<bool>)> = coded
+                .chunks(2)
+                .map(|p| (Some(p[0]), Some(p[1])))
+                .collect();
+            assert_eq!(
+                viterbi_decode_baseline(&pairs, info.len()),
+                viterbi_decode(&pairs, info.len())
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_ber_is_statistically_sane() {
+        // Uncoded QPSK at 8 dB should land near theory, same as the engine.
+        let cfg = FrameConfig {
+            packet_bytes: 500,
+            equalization: Equalization::Genie,
+            ..FrameConfig::baseline(ChannelWidth::Ht20)
+        }
+        .with_target_snr(8.0);
+        let r = run_trial_baseline(&cfg, 30, 5);
+        let theory = Modulation::Qpsk.ber_awgn(8.0);
+        let ratio = r.ber() / theory;
+        assert!(ratio > 0.6 && ratio < 1.5, "ratio {ratio}");
+    }
+}

@@ -1,15 +1,30 @@
-//! Wall-clock snapshot of the evaluation engine on a 25-AP deployment:
-//! the pre-engine sequential full-recompute allocator (reimplemented here
-//! as the reference) vs the O(Δ)-delta path at 1 thread and at full
-//! parallelism. Writes `BENCH_allocation.json` in the current directory
-//! (the repo root when launched via `scripts/bench_snapshot.sh`).
+//! Wall-clock snapshots of the two engines, written to the current
+//! directory (the repo root when launched via `scripts/bench_snapshot.sh`):
+//!
+//! * `BENCH_allocation.json` — the evaluation engine on a 25-AP
+//!   deployment: the pre-engine sequential full-recompute allocator
+//!   (reimplemented here as the reference) vs the O(Δ)-delta path at
+//!   1 thread and at full parallelism.
+//! * `BENCH_baseband.json` — the baseband Monte-Carlo engine on the
+//!   Fig. 3 configs (1500-byte QPSK frames, 20 MHz, coded and uncoded):
+//!   the seed's allocating sequential pipeline
+//!   (`acorn_bench::baseline_frame`) vs the workspace engine, plus the
+//!   1/2/8-thread bit-identity check and the measured steady-state
+//!   allocations per packet.
 
+use acorn_baseband::frame::{
+    mix_seed, run_trial_with, try_run_trial, Equalization, FrameConfig, FrameWorkspace, SyncMode,
+};
+use acorn_baseband::ChannelModel;
+use acorn_bench::alloc_counter::allocations_during;
+use acorn_bench::baseline_frame::run_trial_baseline;
 use acorn_bench::header;
 use acorn_core::allocation::{
     allocate_with_restarts, random_initial, AllocationConfig,
 };
 use acorn_core::model::{NetworkModel, ThroughputModel};
 use acorn_core::{AcornConfig, AcornController};
+use acorn_phy::{ChannelWidth, CodeRate, Modulation};
 use acorn_sim::scenario::enterprise_grid;
 use acorn_topology::{ChannelAssignment, ChannelPlan, ClientId};
 use serde::Serialize;
@@ -122,7 +137,130 @@ fn time_best<R>(mut f: impl FnMut() -> R) -> (f64, R) {
     (best, out.expect("REPS >= 1"))
 }
 
+#[derive(Serialize)]
+struct BasebandConfigBench {
+    label: String,
+    packets: usize,
+    /// Seed pipeline (sequential, allocating): packets/sec.
+    baseline_pkt_per_s: f64,
+    /// Workspace engine at ACORN_THREADS=1: packets/sec.
+    engine_pkt_per_s: f64,
+    speedup: f64,
+    /// Heap allocation events per packet in the engine's steady state
+    /// (workspace warm, single-threaded — exact count, not an estimate).
+    engine_allocs_per_packet: f64,
+    baseline_allocs_per_packet: f64,
+    /// try_run_trial reports are bit-identical at 1, 2 and 8 threads.
+    parallel_bit_identical: bool,
+}
+
+#[derive(Serialize)]
+struct BenchBaseband {
+    reps: usize,
+    configs: Vec<BasebandConfigBench>,
+}
+
+/// The Fig. 3 operating point: 1500-byte QPSK at 7 dB per-subcarrier SNR
+/// on a 20 MHz AWGN channel — coded (the acceptance config) and uncoded.
+fn fig03_config(code_rate: Option<CodeRate>) -> FrameConfig {
+    FrameConfig {
+        width: ChannelWidth::Ht20,
+        modulation: Modulation::Qpsk,
+        code_rate,
+        stbc: false,
+        tx_power: 1.0,
+        noise_density: 1.0,
+        channel: ChannelModel::Awgn,
+        packet_bytes: 1500,
+        sync: SyncMode::Genie,
+        equalization: Equalization::Training { symbols: 4 },
+        gi: acorn_phy::GuardInterval::Long,
+    }
+    .with_target_snr(7.0)
+}
+
+fn bench_baseband_config(label: &str, cfg: &FrameConfig, packets: usize) -> BasebandConfigBench {
+    let seed = 2010u64;
+    std::env::set_var("ACORN_THREADS", "1");
+
+    // Warm-up, then exact steady-state allocation counts for the packet
+    // hot path (single-threaded, so the counter sees only this pipeline).
+    // Measured over bare run_packet calls: trial-level bookkeeping (the
+    // report's constellation sample) is amortized per trial, not per
+    // packet, and is excluded here.
+    let mut ws = FrameWorkspace::new();
+    run_trial_with(cfg, 3, seed, &mut ws).expect("valid config");
+    let (engine_allocs, _) = allocations_during(|| {
+        for i in 0..packets {
+            ws.run_packet(cfg, mix_seed(seed, i as u64)).expect("valid config");
+        }
+    });
+    let (baseline_allocs, _) = allocations_during(|| run_trial_baseline(cfg, 2, seed));
+
+    let (t_base, r_base) = time_best(|| run_trial_baseline(cfg, packets, seed));
+    let (t_engine, r_engine) =
+        time_best(|| run_trial_with(cfg, packets, seed, &mut ws).expect("valid config"));
+    // Same physics on both paths: the BERs must land in the same regime
+    // (different RNG schemes, so not bit-equal).
+    assert_eq!(r_base.bits, r_engine.bits);
+
+    // Determinism across thread counts, on the exact snapshot config.
+    let mut reports = Vec::new();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("ACORN_THREADS", threads);
+        reports.push(try_run_trial(cfg, packets.min(40), seed).expect("valid config"));
+    }
+    std::env::remove_var("ACORN_THREADS");
+    let identical = reports.windows(2).all(|w| w[0] == w[1]);
+    assert!(identical, "{label}: thread count changed the report");
+
+    BasebandConfigBench {
+        label: label.to_string(),
+        packets,
+        baseline_pkt_per_s: packets as f64 / t_base,
+        engine_pkt_per_s: packets as f64 / t_engine,
+        speedup: t_base / t_engine,
+        engine_allocs_per_packet: engine_allocs as f64 / packets as f64,
+        baseline_allocs_per_packet: baseline_allocs as f64 / 2.0,
+        parallel_bit_identical: identical,
+    }
+}
+
+fn bench_baseband() -> BenchBaseband {
+    header("Baseband-engine snapshot: Fig. 3 QPSK frames, seed pipeline vs workspace engine");
+    let configs = vec![
+        bench_baseband_config("qpsk-r12-20mhz-1500B", &fig03_config(Some(CodeRate::R12)), 60),
+        bench_baseband_config("qpsk-uncoded-20mhz-1500B", &fig03_config(None), 150),
+    ];
+    for c in &configs {
+        println!(
+            "{}: baseline {:.0} pkt/s -> engine {:.0} pkt/s ({:.2}x), \
+             {:.2} allocs/pkt steady state (baseline {:.0}), parallel identical: {}",
+            c.label,
+            c.baseline_pkt_per_s,
+            c.engine_pkt_per_s,
+            c.speedup,
+            c.engine_allocs_per_packet,
+            c.baseline_allocs_per_packet,
+            c.parallel_bit_identical,
+        );
+    }
+    BenchBaseband {
+        reps: REPS,
+        configs,
+    }
+}
+
 fn main() {
+    let baseband = bench_baseband();
+    match serde_json::to_string_pretty(&baseband) {
+        Ok(s) => {
+            std::fs::write("BENCH_baseband.json", s).expect("write BENCH_baseband.json");
+            println!("[saved BENCH_baseband.json]");
+        }
+        Err(e) => eprintln!("warning: serialization failed: {e}"),
+    }
+
     header("Evaluation-engine snapshot: 25-AP allocate_with_restarts");
     let n_clients = 60;
     let wlan = enterprise_grid(N_AP_SIDE, N_AP_SIDE, 45.0, n_clients, 77);

@@ -8,7 +8,7 @@
 //! Same transmit power, same noise density, 2×2 STBC (the paper's WARP
 //! mode): the 40 MHz constellation must show visibly higher EVM.
 
-use acorn_baseband::frame::{run_trial, Equalization, FrameConfig};
+use acorn_baseband::frame::{run_trials, Equalization, FrameConfig};
 use acorn_bench::{header, print_table, save_json};
 use acorn_phy::ChannelWidth;
 use serde::Serialize;
@@ -24,22 +24,24 @@ struct Fig02 {
     constellation_40: Vec<(f64, f64)>,
 }
 
-fn run(width: ChannelWidth) -> acorn_baseband::frame::FrameReport {
-    let cfg = FrameConfig {
+fn config(width: ChannelWidth) -> FrameConfig {
+    FrameConfig {
         stbc: true,
         tx_power: 1.0,
         noise_density: 0.04, // ≈ 14 dB per-subcarrier SNR at 20 MHz
         packet_bytes: 500,
         equalization: Equalization::Training { symbols: 4 },
         ..FrameConfig::baseline(width)
-    };
-    run_trial(&cfg, 4, 42)
+    }
 }
 
 fn main() {
     header("Figure 2: received constellations, 52 vs 108 subcarriers");
-    let r20 = run(ChannelWidth::Ht20);
-    let r40 = run(ChannelWidth::Ht40);
+    // One batched sweep: both widths fan out over the same worker pool.
+    let configs = [config(ChannelWidth::Ht20), config(ChannelWidth::Ht40)];
+    let mut reports = run_trials(&configs, 4, 42).into_iter();
+    let r20 = reports.next().unwrap().expect("valid config");
+    let r40 = reports.next().unwrap().expect("valid config");
 
     print_table(
         &["width", "per-subcarrier SNR (dB)", "EVM (rms)", "BER"],

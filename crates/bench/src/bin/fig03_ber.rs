@@ -11,7 +11,7 @@
 //! noise density calibrated so 25 dBm lands at ≈ 12.5 dB per-subcarrier
 //! SNR on 20 MHz — the same operating band as the paper's WARP bench.
 
-use acorn_baseband::frame::{run_trial, Equalization, FrameConfig};
+use acorn_baseband::frame::{run_trials, Equalization, FrameConfig};
 use acorn_bench::{header, print_table, save_json};
 use acorn_phy::{ChannelWidth, Modulation};
 use acorn_sim::stats::r_squared;
@@ -36,29 +36,43 @@ struct Fig03 {
 
 const PACKETS: usize = 120;
 
-fn ber_at(cfg: &FrameConfig, seed: u64) -> f64 {
-    run_trial(cfg, PACKETS, seed).ber()
+/// Runs a whole config grid through one parallel fan-out and returns the
+/// per-config BERs (panics on invalid configs — these sweeps are static).
+fn ber_sweep(configs: &[FrameConfig], seed: u64) -> Vec<f64> {
+    run_trials(configs, PACKETS, seed)
+        .into_iter()
+        .map(|r| r.expect("valid config").ber())
+        .collect()
 }
 
 fn main() {
     header("Figure 3(a): uncoded QPSK BER vs per-subcarrier SNR");
+    // Build the whole (SNR × width) grid, then run it as one batch: worker
+    // workspaces warm once and stay hot across every point.
+    let snrs: Vec<f64> = (0..=12).map(|s| s as f64).collect();
+    let mk = |w, snr| {
+        FrameConfig {
+            packet_bytes: 1500,
+            equalization: Equalization::Genie,
+            ..FrameConfig::baseline(w)
+        }
+        .with_target_snr(snr)
+    };
+    let mut grid = Vec::new();
+    for &snr in &snrs {
+        grid.push(mk(ChannelWidth::Ht20, snr));
+        grid.push(mk(ChannelWidth::Ht40, snr));
+    }
+    let bers = ber_sweep(&grid, 100);
+
     let mut vs_snr = Vec::new();
     let mut rows = Vec::new();
     let mut obs20 = Vec::new();
     let mut obs40 = Vec::new();
     let mut th = Vec::new();
-    for snr_step in 0..=12 {
-        let snr = snr_step as f64;
-        let mk = |w| {
-            FrameConfig {
-                packet_bytes: 1500,
-                equalization: Equalization::Genie,
-                ..FrameConfig::baseline(w)
-            }
-            .with_target_snr(snr)
-        };
-        let b20 = ber_at(&mk(ChannelWidth::Ht20), 100 + snr_step);
-        let b40 = ber_at(&mk(ChannelWidth::Ht40), 200 + snr_step);
+    for (i, &snr) in snrs.iter().enumerate() {
+        let b20 = bers[2 * i];
+        let b40 = bers[2 * i + 1];
         let theory = Modulation::Qpsk.ber_awgn(snr);
         // Log-domain residuals weight the fit like the paper's log plot.
         if theory > 0.0 {
@@ -94,21 +108,27 @@ fn main() {
     let p25 = 10f64.powf(25.0 / 10.0);
     let gamma = 10f64.powf(12.5 / 10.0);
     let noise_density = 64.0 * p25 / (52.0 * gamma);
+    let tx_dbms: Vec<f64> = (0..=10).map(|s| 2.5 * s as f64).collect();
+    let mk = |w, tx_dbm: f64| FrameConfig {
+        tx_power: 10f64.powf(tx_dbm / 10.0),
+        noise_density,
+        packet_bytes: 1500,
+        equalization: Equalization::Genie,
+        ..FrameConfig::baseline(w)
+    };
+    let mut grid = Vec::new();
+    for &tx_dbm in &tx_dbms {
+        grid.push(mk(ChannelWidth::Ht20, tx_dbm));
+        grid.push(mk(ChannelWidth::Ht40, tx_dbm));
+    }
+    let bers = ber_sweep(&grid, 300);
+
     let mut vs_tx = Vec::new();
     let mut rows = Vec::new();
-    for step in 0..=10 {
-        let tx_dbm = 2.5 * step as f64;
-        let mk = |w| FrameConfig {
-            tx_power: 10f64.powf(tx_dbm / 10.0),
-            noise_density,
-            packet_bytes: 1500,
-            equalization: Equalization::Genie,
-            ..FrameConfig::baseline(w)
-        };
-        let c20 = mk(ChannelWidth::Ht20);
-        let c40 = mk(ChannelWidth::Ht40);
-        let b20 = ber_at(&c20, 300 + step);
-        let b40 = ber_at(&c40, 400 + step);
+    for (i, &tx_dbm) in tx_dbms.iter().enumerate() {
+        let (c20, c40) = (grid[2 * i], grid[2 * i + 1]);
+        let b20 = bers[2 * i];
+        let b40 = bers[2 * i + 1];
         let t20 = Modulation::Qpsk.ber_awgn(c20.snr_per_subcarrier_db());
         let t40 = Modulation::Qpsk.ber_awgn(c40.snr_per_subcarrier_db());
         vs_tx.push(BerPoint {

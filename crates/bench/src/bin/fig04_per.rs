@@ -5,7 +5,7 @@
 //! the same SNR. However, for the same Tx, the PER with CB is much higher
 //! as compared to that without the feature."
 
-use acorn_baseband::frame::{run_trial, Equalization, FrameConfig};
+use acorn_baseband::frame::{run_trials, Equalization, FrameConfig};
 use acorn_bench::{header, print_table, save_json};
 use acorn_phy::coding::per_from_ber_bytes;
 use acorn_phy::{ChannelWidth, Modulation};
@@ -29,8 +29,12 @@ struct Fig04 {
 const PACKETS: usize = 150;
 const BYTES: usize = 1500;
 
-fn per_at(cfg: &FrameConfig, seed: u64) -> f64 {
-    run_trial(cfg, PACKETS, seed).per()
+/// Runs a config grid as one batched fan-out and returns per-config PERs.
+fn per_sweep(configs: &[FrameConfig], seed: u64) -> Vec<f64> {
+    run_trials(configs, PACKETS, seed)
+        .into_iter()
+        .map(|r| r.expect("valid config").per())
+        .collect()
 }
 
 fn theory_per(snr_db: f64) -> f64 {
@@ -39,20 +43,27 @@ fn theory_per(snr_db: f64) -> f64 {
 
 fn main() {
     header("Figure 4(a): uncoded QPSK PER vs per-subcarrier SNR");
+    let snrs: Vec<f64> = (0..=12).map(|s| s as f64).collect();
+    let mk = |w, snr| {
+        FrameConfig {
+            packet_bytes: BYTES,
+            equalization: Equalization::Genie,
+            ..FrameConfig::baseline(w)
+        }
+        .with_target_snr(snr)
+    };
+    let mut grid = Vec::new();
+    for &snr in &snrs {
+        grid.push(mk(ChannelWidth::Ht20, snr));
+        grid.push(mk(ChannelWidth::Ht40, snr));
+    }
+    let pers = per_sweep(&grid, 500);
+
     let mut vs_snr = Vec::new();
     let mut rows = Vec::new();
-    for snr_step in 0..=12 {
-        let snr = snr_step as f64;
-        let mk = |w| {
-            FrameConfig {
-                packet_bytes: BYTES,
-                equalization: Equalization::Genie,
-                ..FrameConfig::baseline(w)
-            }
-            .with_target_snr(snr)
-        };
-        let p20 = per_at(&mk(ChannelWidth::Ht20), 500 + snr_step);
-        let p40 = per_at(&mk(ChannelWidth::Ht40), 600 + snr_step);
+    for (i, &snr) in snrs.iter().enumerate() {
+        let p20 = pers[2 * i];
+        let p40 = pers[2 * i + 1];
         let t = theory_per(snr);
         vs_snr.push(PerPoint {
             x: snr,
@@ -76,21 +87,27 @@ fn main() {
     let p25 = 10f64.powf(25.0 / 10.0);
     let gamma = 10f64.powf(14.0 / 10.0);
     let noise_density = 64.0 * p25 / (52.0 * gamma);
+    let tx_dbms: Vec<f64> = (0..=10).map(|s| 2.5 * s as f64).collect();
+    let mk = |w, tx_dbm: f64| FrameConfig {
+        tx_power: 10f64.powf(tx_dbm / 10.0),
+        noise_density,
+        packet_bytes: BYTES,
+        equalization: Equalization::Genie,
+        ..FrameConfig::baseline(w)
+    };
+    let mut grid = Vec::new();
+    for &tx_dbm in &tx_dbms {
+        grid.push(mk(ChannelWidth::Ht20, tx_dbm));
+        grid.push(mk(ChannelWidth::Ht40, tx_dbm));
+    }
+    let pers = per_sweep(&grid, 700);
+
     let mut vs_tx = Vec::new();
     let mut rows = Vec::new();
-    for step in 0..=10 {
-        let tx_dbm = 2.5 * step as f64;
-        let mk = |w| FrameConfig {
-            tx_power: 10f64.powf(tx_dbm / 10.0),
-            noise_density,
-            packet_bytes: BYTES,
-            equalization: Equalization::Genie,
-            ..FrameConfig::baseline(w)
-        };
-        let c20 = mk(ChannelWidth::Ht20);
-        let c40 = mk(ChannelWidth::Ht40);
-        let p20 = per_at(&c20, 700 + step);
-        let p40 = per_at(&c40, 800 + step);
+    for (i, &tx_dbm) in tx_dbms.iter().enumerate() {
+        let (c20, c40) = (grid[2 * i], grid[2 * i + 1]);
+        let p20 = pers[2 * i];
+        let p40 = pers[2 * i + 1];
         vs_tx.push(PerPoint {
             x: tx_dbm,
             per20: p20,

@@ -16,8 +16,11 @@
 //! done
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod alloc_counter;
+pub mod baseline_frame;
 
 use serde::Serialize;
 use std::fs;

@@ -194,6 +194,21 @@ impl LinkQualityEstimator {
             class,
         }
     }
+
+    /// Batched [`estimate`](LinkQualityEstimator::estimate) over a
+    /// measurement grid — the shape the AP-side width allocator and the
+    /// Monte-Carlo calibration harness consume: one call per cell (or per
+    /// sweep), not one per link. `estimates[i]` equals
+    /// `self.estimate(measurements[i].0, measurements[i].1)` exactly.
+    pub fn estimate_grid(
+        &self,
+        measurements: &[(f64, ChannelWidth)],
+    ) -> Vec<LinkQualityEstimate> {
+        measurements
+            .iter()
+            .map(|&(snr_db, at)| self.estimate(snr_db, at))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -300,6 +315,26 @@ mod tests {
     }
 
     use crate::link::cb_snr_shift_db;
+
+    #[test]
+    fn estimate_grid_matches_pointwise_estimates() {
+        let e = LinkQualityEstimator::default();
+        let grid: Vec<(f64, ChannelWidth)> = (-5..=35)
+            .step_by(5)
+            .flat_map(|s| {
+                [
+                    (s as f64, ChannelWidth::Ht20),
+                    (s as f64, ChannelWidth::Ht40),
+                ]
+            })
+            .collect();
+        let batched = e.estimate_grid(&grid);
+        assert_eq!(batched.len(), grid.len());
+        for (i, &(snr, at)) in grid.iter().enumerate() {
+            assert_eq!(batched[i], e.estimate(snr, at), "cell {i}");
+        }
+        assert!(e.estimate_grid(&[]).is_empty());
+    }
 
     #[test]
     fn rate_point_accessor_matches_fields() {

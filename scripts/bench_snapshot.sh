@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Performance snapshot of the evaluation engine:
 #   1. criterion microbenches for allocation and baseband, and
-#   2. the 25-AP end-to-end allocate_with_restarts timing, which writes
-#      BENCH_allocation.json at the repo root.
+#   2. the end-to-end snapshot binary, which times the 25-AP
+#      allocate_with_restarts path (BENCH_allocation.json) and the
+#      baseband Monte-Carlo engine against the pre-workspace baseline
+#      (BENCH_baseband.json), both at the repo root.
 #
 # Usage: scripts/bench_snapshot.sh
 set -euo pipefail
@@ -16,8 +18,8 @@ echo "== criterion: bench_baseband =="
 cargo bench --offline -p acorn-bench --bench bench_baseband
 
 echo
-echo "== end-to-end: 25-AP allocate_with_restarts =="
+echo "== end-to-end: baseband engine + 25-AP allocate_with_restarts =="
 cargo run --offline --release -p acorn-bench --bin bench_snapshot
 
 echo
-echo "snapshot written to BENCH_allocation.json"
+echo "snapshots written to BENCH_baseband.json and BENCH_allocation.json"

@@ -30,6 +30,8 @@
 //! assert!(result.total_bps > 0.0);
 //! ```
 
+pub mod calibration;
+
 pub use acorn_baselines as baselines;
 pub use acorn_baseband as baseband;
 pub use acorn_core as core;

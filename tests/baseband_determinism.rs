@@ -1,0 +1,119 @@
+//! Regression guard for the parallel baseband Monte-Carlo engine: the
+//! thread count, workspace reuse, and batching must never change an
+//! answer. Mirrors `tests/determinism.rs` (which covers the allocation
+//! engine) for the frame pipeline: several configs spanning SISO/STBC,
+//! AWGN/selective fading, and genie/preamble sync are run at
+//! `ACORN_THREADS` = 1, 2 and 8, and every report — including the f64
+//! bit patterns and the constellation sample — must be identical.
+//!
+//! Kept as a single `#[test]` because the env var is process-global and
+//! the thread counts must run sequentially.
+
+use acorn::baseband::channel::ChannelModel;
+use acorn::baseband::frame::{
+    mix_seed, run_trial_with, run_trials, try_run_trial, Equalization, FrameConfig,
+    FrameReport, FrameWorkspace, SyncMode,
+};
+use acorn::phy::ChannelWidth;
+
+/// A spread of operating points that together exercise every branch the
+/// per-packet pipeline can take: both widths, coded and uncoded, SISO and
+/// Alamouti, flat and frequency-selective channels, genie and correlation
+/// sync, genie and least-squares equalization.
+fn configs() -> Vec<FrameConfig> {
+    let base20 = FrameConfig::baseline(ChannelWidth::Ht20);
+    let base40 = FrameConfig::baseline(ChannelWidth::Ht40);
+    vec![
+        FrameConfig {
+            equalization: Equalization::Genie,
+            packet_bytes: 400,
+            ..base20
+        }
+        .with_target_snr(6.0),
+        FrameConfig {
+            code_rate: Some(acorn::phy::CodeRate::R34),
+            packet_bytes: 300,
+            ..base40
+        }
+        .with_target_snr(9.0),
+        FrameConfig {
+            stbc: true,
+            channel: ChannelModel::FlatRayleigh,
+            packet_bytes: 200,
+            ..base20
+        }
+        .with_target_snr(12.0),
+        FrameConfig {
+            channel: ChannelModel::SelectiveRayleigh {
+                taps: 6,
+                delay_spread_taps: 2.0,
+            },
+            sync: SyncMode::Preamble { threshold: 0.5 },
+            packet_bytes: 250,
+            ..base20
+        }
+        .with_target_snr(8.0),
+    ]
+}
+
+fn bitwise_eq(a: &FrameReport, b: &FrameReport) -> bool {
+    a == b
+        && a.evm_rms.to_bits() == b.evm_rms.to_bits()
+        && a.measured_tx_power.to_bits() == b.measured_tx_power.to_bits()
+        && a.constellation.len() == b.constellation.len()
+        && a.constellation
+            .iter()
+            .zip(&b.constellation)
+            .all(|(x, y)| x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits())
+}
+
+#[test]
+fn baseband_results_are_identical_across_thread_counts() {
+    const PACKETS: usize = 24;
+    const SEED: u64 = 20_260_806;
+    let configs = configs();
+
+    // Reference: the sequential fold through one long-lived workspace.
+    let mut ws = FrameWorkspace::new();
+    let reference: Vec<FrameReport> = configs
+        .iter()
+        .map(|c| run_trial_with(c, PACKETS, SEED, &mut ws).unwrap())
+        .collect();
+
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("ACORN_THREADS", threads);
+        for (c, want) in configs.iter().zip(&reference) {
+            let got = try_run_trial(c, PACKETS, SEED).unwrap();
+            assert!(
+                bitwise_eq(&got, want),
+                "parallel trial differs from sequential at {threads} threads \
+                 for {c:?}: {got:?} vs {want:?}"
+            );
+        }
+
+        // The batched sweep must honor its documented contract at every
+        // thread count: `run_trials(cs, n, seed)[i]` equals the standalone
+        // trial of `cs[i]` on the derived seed `mix_seed(seed, i)`.
+        let sweep = run_trials(&configs, PACKETS, SEED);
+        for (i, (c, got)) in configs.iter().zip(&sweep).enumerate() {
+            let want = try_run_trial(c, PACKETS, mix_seed(SEED, i as u64)).unwrap();
+            assert!(
+                bitwise_eq(got.as_ref().unwrap(), &want),
+                "sweep entry {i} differs from its standalone trial at {threads} threads"
+            );
+        }
+    }
+    std::env::remove_var("ACORN_THREADS");
+
+    // Workspace reuse is transparent: a fresh workspace per trial gives
+    // bit-identical reports to the long-lived one used for the reference,
+    // even though the reference workspace was retuned across configs.
+    for (c, want) in configs.iter().zip(&reference) {
+        let mut fresh = FrameWorkspace::new();
+        let got = run_trial_with(c, PACKETS, SEED, &mut fresh).unwrap();
+        assert!(
+            bitwise_eq(&got, want),
+            "fresh workspace differs from reused workspace for {c:?}"
+        );
+    }
+}

@@ -274,3 +274,37 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // The Monte-Carlo engine's core contract: the parallel chunked
+    // fan-out (whatever the ambient thread count) folds to exactly the
+    // report the sequential single-workspace loop produces, for any
+    // packet count — including the 0- and 1-packet edges and counts
+    // that don't divide evenly into chunks.
+    #[test]
+    fn parallel_frame_trials_match_the_sequential_fold(
+        packets in 0usize..=20,
+        seed in any::<u64>(),
+        coded in any::<bool>(),
+    ) {
+        use acorn::baseband::frame::{
+            run_trial_with, try_run_trial, Equalization, FrameConfig, FrameWorkspace,
+        };
+        let cfg = FrameConfig {
+            packet_bytes: 60,
+            code_rate: if coded { Some(CodeRate::R12) } else { None },
+            equalization: Equalization::Genie,
+            ..FrameConfig::baseline(ChannelWidth::Ht20)
+        }
+        .with_target_snr(7.0);
+        let mut ws = FrameWorkspace::new();
+        let sequential = run_trial_with(&cfg, packets, seed, &mut ws).unwrap();
+        let parallel = try_run_trial(&cfg, packets, seed).unwrap();
+        prop_assert_eq!(&parallel, &sequential);
+        prop_assert_eq!(
+            parallel.evm_rms.to_bits(),
+            sequential.evm_rms.to_bits(),
+            "EVM bit patterns diverge: the fold order must not depend on scheduling"
+        );
+    }
+}
