@@ -130,11 +130,7 @@ impl Criterion {
     }
 
     /// Benchmarks a single function.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
-        &mut self,
-        id: &str,
-        mut f: F,
-    ) -> &mut Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
         run_one(id, &mut f);
         self
     }

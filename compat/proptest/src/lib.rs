@@ -203,19 +203,28 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> SizeRange {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { start: r.start, end: r.end }
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
-            SizeRange { start: *r.start(), end: *r.end() + 1 }
+            SizeRange {
+                start: *r.start(),
+                end: *r.end() + 1,
+            }
         }
     }
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> SizeRange {
-            SizeRange { start: n, end: n + 1 }
+            SizeRange {
+                start: n,
+                end: n + 1,
+            }
         }
     }
 
@@ -227,7 +236,10 @@ pub mod collection {
 
     /// `Vec` of values from `element`, length within `len`.
     pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, len: len.into() }
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -241,9 +253,7 @@ pub mod collection {
 
 /// One-stop imports, mirroring `proptest::prelude`.
 pub mod prelude {
-    pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, Strategy,
-    };
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, Strategy};
 }
 
 /// Uniform choice among strategies yielding the same value type.

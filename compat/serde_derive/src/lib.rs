@@ -61,15 +61,17 @@ fn generate(input: TokenStream) -> Result<TokenStream, String> {
     let name = name.ok_or("derive(Serialize): no struct found")?;
     let body = match body {
         Some(TokenTree::Group(g)) => g.stream(),
-        _ => return Err(format!("derive(Serialize): struct {name} has no named fields")),
+        _ => {
+            return Err(format!(
+                "derive(Serialize): struct {name} has no named fields"
+            ))
+        }
     };
 
     let fields = field_names(body)?;
     let mut pairs = String::new();
     for f in &fields {
-        pairs.push_str(&format!(
-            "({f:?}, &self.{f} as &dyn ::serde::Serialize),"
-        ));
+        pairs.push_str(&format!("({f:?}, &self.{f} as &dyn ::serde::Serialize),"));
     }
     let out = format!(
         "impl ::serde::Serialize for {name} {{\n\

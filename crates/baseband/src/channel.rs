@@ -231,7 +231,8 @@ pub fn frequency_response(taps: &[Cplx], fft_size: usize) -> Vec<Cplx> {
     for (k, hk) in h.iter_mut().enumerate() {
         let mut acc = Cplx::ZERO;
         for (m, t) in taps.iter().enumerate() {
-            acc += *t * Cplx::cis(-2.0 * std::f64::consts::PI * k as f64 * m as f64 / fft_size as f64);
+            acc +=
+                *t * Cplx::cis(-2.0 * std::f64::consts::PI * k as f64 * m as f64 / fft_size as f64);
         }
         *hk = acc;
     }
@@ -301,12 +302,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         for n_taps in [1usize, 2, 5, 9] {
             let sig: Vec<Cplx> = (0..40).map(|_| complex_gaussian(&mut rng, 1.0)).collect();
-            let taps: Vec<Cplx> = (0..n_taps).map(|_| complex_gaussian(&mut rng, 1.0)).collect();
+            let taps: Vec<Cplx> = (0..n_taps)
+                .map(|_| complex_gaussian(&mut rng, 1.0))
+                .collect();
             let direct = convolve(&sig, &taps);
             let mut acc = vec![Cplx::new(1.0, -2.0); sig.len()];
             convolve_acc(&sig, &taps, &mut acc);
             for (a, d) in acc.iter().zip(direct.iter()) {
-                assert!((*a - (*d + Cplx::new(1.0, -2.0))).abs() < 1e-12, "{n_taps} taps");
+                assert!(
+                    (*a - (*d + Cplx::new(1.0, -2.0))).abs() < 1e-12,
+                    "{n_taps} taps"
+                );
             }
         }
     }
@@ -316,7 +322,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         let plan = crate::fft::FftPlan::new(64);
         for n_taps in [1usize, 3, 8] {
-            let taps: Vec<Cplx> = (0..n_taps).map(|_| complex_gaussian(&mut rng, 1.0)).collect();
+            let taps: Vec<Cplx> = (0..n_taps)
+                .map(|_| complex_gaussian(&mut rng, 1.0))
+                .collect();
             let direct = frequency_response(&taps, 64);
             let mut h = Vec::new();
             frequency_response_into(&taps, &plan, &mut h);
@@ -387,7 +395,10 @@ mod tests {
         let mags: Vec<f64> = h.iter().map(|x| x.abs()).collect();
         let min = mags.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = mags.iter().cloned().fold(0.0, f64::max);
-        assert!(max / min > 1.5, "selective channel should vary: {min}..{max}");
+        assert!(
+            max / min > 1.5,
+            "selective channel should vary: {min}..{max}"
+        );
     }
 
     #[test]

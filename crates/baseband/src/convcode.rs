@@ -103,7 +103,10 @@ fn puncture_pattern(rate: CodeRate) -> (&'static [bool], &'static [bool]) {
 /// Punctures a rate-1/2 coded stream (as produced by [`encode`]) down to
 /// the target rate by deleting bits per the standard matrices.
 pub fn puncture(coded: &[bool], rate: CodeRate) -> Vec<bool> {
-    assert!(coded.len() % 2 == 0, "coded stream must be whole (A,B) pairs");
+    assert!(
+        coded.len() % 2 == 0,
+        "coded stream must be whole (A,B) pairs"
+    );
     let (pa, pb) = puncture_pattern(rate);
     let period = pa.len();
     let mut out = Vec::with_capacity(coded.len());
@@ -122,7 +125,11 @@ pub fn puncture(coded: &[bool], rate: CodeRate) -> Vec<bool> {
 /// Re-inflates a punctured stream into `(Option<A>, Option<B>)` pairs, with
 /// `None` marking erased (punctured) positions that contribute no branch
 /// metric. `n_pairs` is the original pair count, `info_len + TAIL_BITS`.
-pub fn depuncture(rx: &[bool], rate: CodeRate, n_pairs: usize) -> Vec<(Option<bool>, Option<bool>)> {
+pub fn depuncture(
+    rx: &[bool],
+    rate: CodeRate,
+    n_pairs: usize,
+) -> Vec<(Option<bool>, Option<bool>)> {
     let mut out = Vec::new();
     depuncture_into(rx, rate, n_pairs, &mut out);
     out
@@ -188,7 +195,10 @@ pub fn viterbi_decode_into(
     // that INF + (a few branch metrics) cannot wrap a u16.
     const INF: u16 = 0x7000;
     let n = pairs.len();
-    assert!(n < (INF as usize - 16) / 2, "trellis too long for u16 metrics");
+    assert!(
+        n < (INF as usize - 16) / 2,
+        "trellis too long for u16 metrics"
+    );
 
     // One byte per (step, state) holding the winning predecessor choice
     // (0 or 1); `resize` only zeroes freshly grown memory, and every cell

@@ -41,15 +41,28 @@ impl FftPlan {
     /// Builds the tables for an `n`-point transform. `n` must be a power
     /// of two.
     pub fn new(n: usize) -> FftPlan {
-        assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+        assert!(
+            n.is_power_of_two(),
+            "FFT length must be a power of two, got {n}"
+        );
         let bits = n.trailing_zeros();
         let bit_rev = (0..n as u32)
-            .map(|i| if bits == 0 { 0 } else { i.reverse_bits() >> (32 - bits) })
+            .map(|i| {
+                if bits == 0 {
+                    0
+                } else {
+                    i.reverse_bits() >> (32 - bits)
+                }
+            })
             .collect();
         let twiddles = (0..n / 2)
             .map(|j| Cplx::cis(-2.0 * PI * j as f64 / n as f64))
             .collect();
-        FftPlan { n, bit_rev, twiddles }
+        FftPlan {
+            n,
+            bit_rev,
+            twiddles,
+        }
     }
 
     /// The transform length this plan was built for.
@@ -85,7 +98,11 @@ impl FftPlan {
     }
 
     fn run(&self, buf: &mut [Cplx], inverse: bool) {
-        assert_eq!(buf.len(), self.n, "buffer length must match the plan length");
+        assert_eq!(
+            buf.len(),
+            self.n,
+            "buffer length must match the plan length"
+        );
         let n = self.n;
         for i in 0..n {
             let j = self.bit_rev[i] as usize;
@@ -245,7 +262,11 @@ mod tests {
         p.forward(&mut a);
         let b = fft_vec(&input);
         for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.re.to_bits(), y.re.to_bits(), "plan and cache paths must agree exactly");
+            assert_eq!(
+                x.re.to_bits(),
+                y.re.to_bits(),
+                "plan and cache paths must agree exactly"
+            );
             assert_eq!(x.im.to_bits(), y.im.to_bits());
         }
     }

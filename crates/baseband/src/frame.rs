@@ -452,7 +452,11 @@ impl FrameWorkspace {
 }
 
 /// One packet through the pipeline; every buffer comes from `ws`.
-fn run_packet_inner(config: &FrameConfig, ws: &mut FrameWorkspace, rng: &mut StdRng) -> PacketOutcome {
+fn run_packet_inner(
+    config: &FrameConfig,
+    ws: &mut FrameWorkspace,
+    rng: &mut StdRng,
+) -> PacketOutcome {
     let cp = cp_len_for(config.width.fft_size(), config.gi);
     let amplitude = config.subcarrier_amplitude();
     let info_len = config.packet_bytes * 8;
@@ -497,8 +501,13 @@ fn run_packet_inner(config: &FrameConfig, ws: &mut FrameWorkspace, rng: &mut Std
     };
     let frame_len = ws.streams[0].len();
     for j in 0..n_ant {
-        let (rx_all, streams, taps, full, preamble) =
-            (&mut ws.rx, &ws.streams, &ws.taps, &mut ws.full, &ws.preamble);
+        let (rx_all, streams, taps, full, preamble) = (
+            &mut ws.rx,
+            &ws.streams,
+            &ws.taps,
+            &mut ws.full,
+            &ws.preamble,
+        );
         let rx = &mut rx_all[j];
         rx.clear();
         rx.resize(frame_offset + frame_len, Cplx::ZERO);
@@ -524,22 +533,20 @@ fn run_packet_inner(config: &FrameConfig, ws: &mut FrameWorkspace, rng: &mut Std
     // 6. Synchronization.
     let data_start = match config.sync {
         SyncMode::Genie => frame_offset,
-        SyncMode::Preamble { threshold } => {
-            match detect_preamble(&ws.rx[0], 4, threshold) {
-                Some(off) => off,
-                None => {
-                    ws.rx_symbols.clear();
-                    return PacketOutcome {
-                        bits: info_len,
-                        bit_errors: info_len,
-                        sync_failed: true,
-                        tx_power: tx_power_meas,
-                        evm_sum: 0.0,
-                        evm_n: 0,
-                    };
-                }
+        SyncMode::Preamble { threshold } => match detect_preamble(&ws.rx[0], 4, threshold) {
+            Some(off) => off,
+            None => {
+                ws.rx_symbols.clear();
+                return PacketOutcome {
+                    bits: info_len,
+                    bit_errors: info_len,
+                    sync_failed: true,
+                    tx_power: tx_power_meas,
+                    evm_sum: 0.0,
+                    evm_n: 0,
+                };
             }
-        }
+        },
     };
 
     // 7. FFT + equalize/combine.
@@ -573,9 +580,18 @@ fn run_packet_inner(config: &FrameConfig, ws: &mut FrameWorkspace, rng: &mut Std
                 &mut ws.survivor,
                 &mut ws.rx_info,
             );
-            ws.rx_info.iter().zip(&ws.info).filter(|(a, b)| a != b).count()
+            ws.rx_info
+                .iter()
+                .zip(&ws.info)
+                .filter(|(a, b)| a != b)
+                .count()
         }
-        None => ws.rx_bits.iter().zip(&ws.info).filter(|(a, b)| a != b).count(),
+        None => ws
+            .rx_bits
+            .iter()
+            .zip(&ws.info)
+            .filter(|(a, b)| a != b)
+            .count(),
     };
     PacketOutcome {
         bits: info_len,
@@ -706,7 +722,13 @@ fn fft_block_into(stream: &[Cplx], start: usize, cp: usize, fft: &FftPlan, buf: 
 
 /// SISO receive: obtain H (genie or averaged training), fold `1/(H·A)`
 /// into one per-bin multiplier, equalize.
-fn receive_siso(config: &FrameConfig, amplitude: f64, data_start: usize, cp: usize, ws: &mut FrameWorkspace) {
+fn receive_siso(
+    config: &FrameConfig,
+    amplitude: f64,
+    data_start: usize,
+    cp: usize,
+    ws: &mut FrameWorkspace,
+) {
     let n = config.width.fft_size();
     let bins = data_subcarrier_bins(config.width);
     let block = n + cp;
@@ -756,7 +778,13 @@ fn receive_siso(config: &FrameConfig, amplitude: f64, data_start: usize, cp: usi
 
 /// STBC receive: estimate the four per-subcarrier paths from the two
 /// training slots, then Alamouti-combine each data pair.
-fn receive_stbc(config: &FrameConfig, amplitude: f64, data_start: usize, cp: usize, ws: &mut FrameWorkspace) {
+fn receive_stbc(
+    config: &FrameConfig,
+    amplitude: f64,
+    data_start: usize,
+    cp: usize,
+    ws: &mut FrameWorkspace,
+) {
     let n = config.width.fft_size();
     let bins = data_subcarrier_bins(config.width);
     let block = n + cp;
@@ -1046,7 +1074,9 @@ pub fn run_trials(
         .map(|c| c.validate().map(|()| ReportFold::new(c)))
         .collect();
     for (&(ci, _), (outcomes, constellation)) in items.iter().zip(chunk_results.iter()) {
-        let fold = folds[ci].as_mut().expect("only valid configs were fanned out");
+        let fold = folds[ci]
+            .as_mut()
+            .expect("only valid configs were fanned out");
         for o in outcomes {
             fold.push(o);
         }
@@ -1115,7 +1145,10 @@ mod tests {
         };
         cfg.packet_bytes = 150;
         let r = run_trial(&cfg, 3, 3);
-        assert_eq!(r.bit_errors, 0, "per-subcarrier equalization must fix a static channel");
+        assert_eq!(
+            r.bit_errors, 0,
+            "per-subcarrier equalization must fix a static channel"
+        );
     }
 
     #[test]
@@ -1218,7 +1251,11 @@ mod tests {
         let ru = run_trial(&uncoded, 10, 8);
         let rc = run_trial(&coded, 10, 8);
         assert!(ru.bit_errors > 0, "uncoded should see errors");
-        assert_eq!(rc.bit_errors, 0, "coded should be clean (got {})", rc.bit_errors);
+        assert_eq!(
+            rc.bit_errors, 0,
+            "coded should be clean (got {})",
+            rc.bit_errors
+        );
     }
 
     #[test]
@@ -1279,9 +1316,7 @@ mod tests {
 
     #[test]
     fn exact_stride_is_deterministic_and_ordered() {
-        let mk = |len: usize| -> Vec<Cplx> {
-            (0..len).map(|i| Cplx::new(i as f64, 0.0)).collect()
-        };
+        let mk = |len: usize| -> Vec<Cplx> { (0..len).map(|i| Cplx::new(i as f64, 0.0)).collect() };
         for len in [4097usize, 5120, 8191, 12288, 100_000] {
             let mut v = mk(len);
             subsample_constellation(&mut v);
@@ -1310,7 +1345,10 @@ mod tests {
             ..FrameConfig::baseline(ChannelWidth::Ht20)
         };
         let err = cfg.validate().unwrap_err();
-        assert_eq!(err, FrameError::ChannelMemoryExceedsCp { memory: 11, cp: 8 });
+        assert_eq!(
+            err,
+            FrameError::ChannelMemoryExceedsCp { memory: 11, cp: 8 }
+        );
         assert_eq!(
             err.to_string(),
             "channel memory (11) exceeds the cyclic prefix (8)"

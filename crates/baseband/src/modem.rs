@@ -338,7 +338,10 @@ mod tests {
             let bits = random_bits(bps * 64, 3);
             let mut symbols = modulate(m, &bits);
             for (i, s) in symbols.iter_mut().enumerate() {
-                *s += Cplx::new(0.01 * ((i % 3) as f64 - 1.0), -0.01 * ((i % 5) as f64 - 2.0));
+                *s += Cplx::new(
+                    0.01 * ((i % 3) as f64 - 1.0),
+                    -0.01 * ((i % 5) as f64 - 2.0),
+                );
             }
             let rx = demodulate(m, &symbols);
             assert_eq!(bits, rx[..bits.len()], "{m:?}");

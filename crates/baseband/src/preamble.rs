@@ -103,7 +103,9 @@ mod tests {
     fn barker_has_ideal_autocorrelation() {
         // Off-peak aperiodic autocorrelation of a Barker code is ≤ 1.
         for shift in 1..13usize {
-            let acc: f64 = (0..13 - shift).map(|i| BARKER13[i] * BARKER13[i + shift]).sum();
+            let acc: f64 = (0..13 - shift)
+                .map(|i| BARKER13[i] * BARKER13[i + shift])
+                .sum();
             assert!(acc.abs() <= 1.0 + 1e-12, "shift {shift}: {acc}");
         }
         let peak: f64 = BARKER13.iter().map(|c| c * c).sum();
@@ -150,11 +152,7 @@ mod tests {
         // Correlation magnitude is phase-invariant.
         let offset = 5;
         let mut rx = vec![Cplx::ZERO; offset];
-        rx.extend(
-            build_preamble(1.0)
-                .into_iter()
-                .map(|s| s * Cplx::cis(0.9)),
-        );
+        rx.extend(build_preamble(1.0).into_iter().map(|s| s * Cplx::cis(0.9)));
         rx.extend(vec![Cplx::ZERO; 50]);
         let detected = detect_preamble(&rx, 32, 0.8).expect("detect rotated");
         assert_eq!(detected, offset + preamble_len());

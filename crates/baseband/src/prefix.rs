@@ -68,7 +68,9 @@ mod tests {
     use super::*;
 
     fn symbol(n: usize) -> Vec<Cplx> {
-        (0..n).map(|i| Cplx::new(i as f64, -(i as f64) * 0.5)).collect()
+        (0..n)
+            .map(|i| Cplx::new(i as f64, -(i as f64) * 0.5))
+            .collect()
     }
 
     #[test]
@@ -108,13 +110,15 @@ mod tests {
         use crate::fft::{fft_vec, ifft_vec};
 
         let n = 64;
-        let freq: Vec<Cplx> = (0..n)
-            .map(|i| Cplx::cis(0.7 * i as f64))
-            .collect();
+        let freq: Vec<Cplx> = (0..n).map(|i| Cplx::cis(0.7 * i as f64)).collect();
         let time = ifft_vec(&freq);
         let tx = add_cp(&time, 16);
 
-        let taps = [Cplx::new(0.8, 0.1), Cplx::new(0.0, -0.3), Cplx::new(0.2, 0.0)];
+        let taps = [
+            Cplx::new(0.8, 0.1),
+            Cplx::new(0.0, -0.3),
+            Cplx::new(0.2, 0.0),
+        ];
         let rx = convolve(&tx, &taps);
         let stripped = strip_cp(&rx, 16);
         let rx_freq = fft_vec(stripped);

@@ -28,13 +28,7 @@ impl PsdEstimate {
     pub fn power_db(&self) -> Vec<f64> {
         self.power
             .iter()
-            .map(|p| {
-                if *p > 0.0 {
-                    10.0 * p.log10()
-                } else {
-                    -300.0
-                }
-            })
+            .map(|p| if *p > 0.0 { 10.0 * p.log10() } else { -300.0 })
             .collect()
     }
 

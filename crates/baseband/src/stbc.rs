@@ -32,7 +32,11 @@ pub fn alamouti_encode(symbols: &[Cplx]) -> (Vec<Cplx>, Vec<Cplx>) {
     let mut i = 0;
     while i < symbols.len() {
         let s1 = symbols[i];
-        let s2 = if i + 1 < symbols.len() { symbols[i + 1] } else { Cplx::ZERO };
+        let s2 = if i + 1 < symbols.len() {
+            symbols[i + 1]
+        } else {
+            Cplx::ZERO
+        };
         ant1.push(s1.scale(k));
         ant2.push(s2.scale(k));
         ant1.push(-s2.conj().scale(k));
@@ -103,11 +107,7 @@ pub fn apply_mimo_channel(ch: &Mimo2x2, ant1: &[Cplx], ant2: &[Cplx]) -> (Vec<Cp
 /// channel with optional per-sample noise callback; returns the combined
 /// symbol estimates. This is the per-subcarrier primitive the OFDM frame
 /// layer invokes once per subcarrier.
-pub fn alamouti_transmit<F>(
-    symbols: &[Cplx],
-    ch: &Mimo2x2,
-    mut noise: F,
-) -> Vec<Cplx>
+pub fn alamouti_transmit<F>(symbols: &[Cplx], ch: &Mimo2x2, mut noise: F) -> Vec<Cplx>
 where
     F: FnMut() -> Cplx,
 {
@@ -149,8 +149,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
-                let re = if rand::Rng::gen::<bool>(&mut rng) { 1.0 } else { -1.0 };
-                let im = if rand::Rng::gen::<bool>(&mut rng) { 1.0 } else { -1.0 };
+                let re = if rand::Rng::gen::<bool>(&mut rng) {
+                    1.0
+                } else {
+                    -1.0
+                };
+                let im = if rand::Rng::gen::<bool>(&mut rng) {
+                    1.0
+                } else {
+                    -1.0
+                };
                 Cplx::new(re, im).scale(std::f64::consts::SQRT_2.recip())
             })
             .collect()
@@ -163,11 +171,18 @@ mod tests {
         // Total power per time slot, summed across both antennas, equals
         // the single-antenna symbol power (1.0): the 1/√2 split halves
         // each antenna's share.
-        let total: f64 =
-            a1.iter().chain(a2.iter()).map(|s| s.norm_sqr()).sum::<f64>() / a1.len() as f64;
+        let total: f64 = a1
+            .iter()
+            .chain(a2.iter())
+            .map(|s| s.norm_sqr())
+            .sum::<f64>()
+            / a1.len() as f64;
         assert!((total - 1.0).abs() < 1e-12, "per-slot total power {total}");
         let ant1_only: f64 = a1.iter().map(|s| s.norm_sqr()).sum::<f64>() / a1.len() as f64;
-        assert!((ant1_only - 0.5).abs() < 1e-12, "per-antenna power {ant1_only}");
+        assert!(
+            (ant1_only - 0.5).abs() < 1e-12,
+            "per-antenna power {ant1_only}"
+        );
     }
 
     #[test]
@@ -227,7 +242,10 @@ mod tests {
             .zip(out.iter())
             .filter(|(a, b)| (a.re >= 0.0) != (b.re >= 0.0) || (a.im >= 0.0) != (b.im >= 0.0))
             .count();
-        assert!(errors == 0, "STBC should survive one deep-faded path, got {errors} errors");
+        assert!(
+            errors == 0,
+            "STBC should survive one deep-faded path, got {errors} errors"
+        );
     }
 
     #[test]

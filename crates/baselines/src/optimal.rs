@@ -29,7 +29,10 @@ pub fn optimal_allocation<M: ThroughputModel>(
 ) -> OptimalResult {
     let colours = plan.all_assignments();
     let n = model.n_aps();
-    let space = colours.len().checked_pow(n as u32).expect("search space overflow");
+    let space = colours
+        .len()
+        .checked_pow(n as u32)
+        .expect("search space overflow");
     assert!(
         space <= limit,
         "search space {space} exceeds limit {limit}; use the greedy instead"
@@ -106,10 +109,7 @@ mod tests {
     fn greedy_with_restarts_matches_optimum_on_small_instances() {
         // The Fig. 14 sanity: on 3-AP instances the greedy (with
         // restarts) should land at or very near the brute-force optimum.
-        let m = model(
-            &[&[28.0], &[10.0], &[2.0]],
-            InterferenceGraph::complete(3),
-        );
+        let m = model(&[&[28.0], &[10.0], &[2.0]], InterferenceGraph::complete(3));
         for ch in [2u8, 4, 6] {
             let plan = ChannelPlan::restricted(ch);
             let opt = optimal_allocation(&m, &plan, 2000);
@@ -129,10 +129,7 @@ mod tests {
 
     #[test]
     fn optimum_bonds_the_good_ap_in_the_fig11_setting() {
-        let m = model(
-            &[&[28.0], &[0.0], &[0.0]],
-            InterferenceGraph::complete(3),
-        );
+        let m = model(&[&[28.0], &[0.0], &[0.0]], InterferenceGraph::complete(3));
         let plan = ChannelPlan::restricted(4);
         let r = optimal_allocation(&m, &plan, 2000);
         use acorn_phy::ChannelWidth::*;

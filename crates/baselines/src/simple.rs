@@ -44,7 +44,12 @@ pub struct RandomConfig {
 }
 
 /// Draws a random configuration.
-pub fn random_config(wlan: &Wlan, plan: &ChannelPlan, snr_floor_db: f64, seed: u64) -> RandomConfig {
+pub fn random_config(
+    wlan: &Wlan,
+    plan: &ChannelPlan,
+    snr_floor_db: f64,
+    seed: u64,
+) -> RandomConfig {
     let mut rng = StdRng::seed_from_u64(seed);
     let all = plan.all_assignments();
     let assignments = (0..wlan.aps.len())
@@ -63,20 +68,24 @@ pub fn random_config(wlan: &Wlan, plan: &ChannelPlan, snr_floor_db: f64, seed: u
             }
         })
         .collect();
-    RandomConfig {
-        assignments,
-        assoc,
-    }
+    RandomConfig { assignments, assoc }
 }
 
 /// Fixed-width plan: every AP at the given width, channels assigned
 /// round-robin over the plan's non-overlapping options of that width.
-pub fn fixed_width(plan: &ChannelPlan, n_aps: usize, width: ChannelWidth) -> Vec<ChannelAssignment> {
+pub fn fixed_width(
+    plan: &ChannelPlan,
+    n_aps: usize,
+    width: ChannelWidth,
+) -> Vec<ChannelAssignment> {
     let options: Vec<ChannelAssignment> = match width {
         ChannelWidth::Ht20 => plan.singles().collect(),
         ChannelWidth::Ht40 => plan.bonds().collect(),
     };
-    assert!(!options.is_empty(), "plan has no channel of width {width:?}");
+    assert!(
+        !options.is_empty(),
+        "plan has no channel of width {width:?}"
+    );
     (0..n_aps).map(|i| options[i % options.len()]).collect()
 }
 
@@ -88,7 +97,11 @@ mod tests {
     fn wlan() -> Wlan {
         let mut w = Wlan::new(
             vec![Point::new(0.0, 0.0), Point::new(60.0, 0.0)],
-            vec![Point::new(5.0, 0.0), Point::new(50.0, 0.0), Point::new(3000.0, 0.0)],
+            vec![
+                Point::new(5.0, 0.0),
+                Point::new(50.0, 0.0),
+                Point::new(3000.0, 0.0),
+            ],
             3,
         );
         w.pathloss.shadowing_sigma_db = 0.0;

@@ -27,9 +27,7 @@ fn bench_scaling_in_aps(c: &mut Criterion) {
         let m = model(n, 3);
         let plan = ChannelPlan::full_5ghz();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                allocate_from_random(black_box(&m), &plan, &AllocationConfig::default(), 1)
-            })
+            b.iter(|| allocate_from_random(black_box(&m), &plan, &AllocationConfig::default(), 1))
         });
     }
     group.finish();
@@ -41,9 +39,7 @@ fn bench_scaling_in_channels(c: &mut Criterion) {
     for ch in [2u8, 4, 6, 12] {
         let plan = ChannelPlan::restricted(ch);
         group.bench_with_input(BenchmarkId::from_parameter(ch), &ch, |b, _| {
-            b.iter(|| {
-                allocate_from_random(black_box(&m), &plan, &AllocationConfig::default(), 1)
-            })
+            b.iter(|| allocate_from_random(black_box(&m), &plan, &AllocationConfig::default(), 1))
         });
     }
     group.finish();

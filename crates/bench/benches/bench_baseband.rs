@@ -94,9 +94,7 @@ fn bench_engine_vs_baseline(c: &mut Criterion) {
 }
 
 fn bench_psd(c: &mut Criterion) {
-    let signal: Vec<Cplx> = (0..16384)
-        .map(|i| Cplx::cis(0.1 * i as f64))
-        .collect();
+    let signal: Vec<Cplx> = (0..16384).map(|i| Cplx::cis(0.1 * i as f64)).collect();
     c.bench_function("baseband/welch_psd_16k", |b| {
         b.iter(|| welch_psd(black_box(&signal), 256))
     });

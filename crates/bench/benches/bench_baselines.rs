@@ -46,10 +46,22 @@ fn bench_random_config_eval(c: &mut Criterion) {
     c.bench_function("baselines/table3_one_random_config", |b| {
         b.iter(|| {
             let cfg = random_config(&wlan, &plan, -3.0, black_box(7));
-            evaluate_analytic(&wlan, &cfg.assignments, &cfg.assoc, &est, 1500, Traffic::Udp)
+            evaluate_analytic(
+                &wlan,
+                &cfg.assignments,
+                &cfg.assoc,
+                &est,
+                1500,
+                Traffic::Udp,
+            )
         })
     });
 }
 
-criterion_group!(benches, bench_aggressive_scan, bench_optimal, bench_random_config_eval);
+criterion_group!(
+    benches,
+    bench_aggressive_scan,
+    bench_optimal,
+    bench_random_config_eval
+);
 criterion_main!(benches);

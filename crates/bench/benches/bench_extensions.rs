@@ -30,14 +30,11 @@ fn model(n_aps: usize) -> NetworkModel {
 fn bench_iapp_round(c: &mut Criterion) {
     let wlan = enterprise_grid(3, 3, 50.0, 0, 1);
     let plan = ChannelPlan::full_5ghz();
-    let assignments: Vec<_> = (0..9)
-        .map(|i| plan.all_assignments()[i % 18])
-        .collect();
+    let assignments: Vec<_> = (0..9).map(|i| plan.all_assignments()[i % 18]).collect();
     let counts = vec![2usize; 9];
     c.bench_function("extensions/iapp_round_9aps", |b| {
         b.iter(|| {
-            let mut agents: Vec<IappAgent> =
-                (0..9).map(|i| IappAgent::new(ApId(i))).collect();
+            let mut agents: Vec<IappAgent> = (0..9).map(|i| IappAgent::new(ApId(i))).collect();
             let bus = IappBus::new(&wlan);
             bus.round(&mut agents, black_box(&assignments), &counts, 0.0);
             agents
@@ -52,7 +49,13 @@ fn bench_scanning_allocation(c: &mut Criterion) {
         b.iter(|| {
             // Fresh model per iteration so the cache does not make the
             // bench trivially warm.
-            let truth = ScanningModel::new(base.clone(), HashSounding { sigma_db: 2.0, seed: 3 });
+            let truth = ScanningModel::new(
+                base.clone(),
+                HashSounding {
+                    sigma_db: 2.0,
+                    seed: 3,
+                },
+            );
             allocate_from_random(black_box(&truth), &plan, &AllocationConfig::default(), 1)
         })
     });

@@ -321,10 +321,8 @@ mod tests {
                 let i = rng.gen_range(0..coded.len());
                 coded[i] = !coded[i];
             }
-            let pairs: Vec<(Option<bool>, Option<bool>)> = coded
-                .chunks(2)
-                .map(|p| (Some(p[0]), Some(p[1])))
-                .collect();
+            let pairs: Vec<(Option<bool>, Option<bool>)> =
+                coded.chunks(2).map(|p| (Some(p[0]), Some(p[1]))).collect();
             assert_eq!(
                 viterbi_decode_baseline(&pairs, info.len()),
                 viterbi_decode(&pairs, info.len())

@@ -67,11 +67,7 @@ fn ablate_epsilon(out: &mut Ablations) {
             y += r.total_bps / trials as f64;
             iters += r.iterations as f64 / trials as f64;
         }
-        rows.push(vec![
-            format!("{eps:.2}"),
-            mbps(y),
-            format!("{iters:.1}"),
-        ]);
+        rows.push(vec![format!("{eps:.2}"), mbps(y), format!("{iters:.1}")]);
         out.epsilon.push((eps, y / 1e6, iters));
     }
     print_table(&["epsilon", "mean Y (Mb/s)", "mean iterations"], &rows);
@@ -173,9 +169,8 @@ fn ablate_calibration(out: &mut Ablations) {
         let y_true_uncal = m.total_bps(&r_uncal.assignments);
         y_cal += r_cal.total_bps / trials as f64;
         y_uncal += y_true_uncal / trials as f64;
-        let bonds = |a: &[ChannelAssignment]| {
-            a.iter().filter(|x| x.width() == ChannelWidth::Ht40).count()
-        };
+        let bonds =
+            |a: &[ChannelAssignment]| a.iter().filter(|x| x.width() == ChannelWidth::Ht40).count();
         if bonds(&r_uncal.assignments) > bonds(&r_cal.assignments) {
             overbond += 1;
         }
@@ -191,11 +186,7 @@ fn ablate_calibration(out: &mut Ablations) {
 
 /// Random-order greedy variant of Algorithm 2: in each round APs switch
 /// in shuffled order instead of max-rank-first.
-fn allocate_random_order(
-    model: &NetworkModel,
-    plan: &ChannelPlan,
-    seed: u64,
-) -> f64 {
+fn allocate_random_order(model: &NetworkModel, plan: &ChannelPlan, seed: u64) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
     let colours = plan.all_assignments();
     let mut assignments = random_initial(plan, model.n_aps(), seed);
@@ -239,8 +230,8 @@ fn ablate_rank_order(out: &mut Ablations) {
     let mut y_rand = 0.0;
     for seed in 200..200 + trials {
         let m = grid_model(seed);
-        y_rank += allocate(&m, &plan, random_initial(&plan, 6, seed), &cfg).total_bps
-            / trials as f64;
+        y_rank +=
+            allocate(&m, &plan, random_initial(&plan, 6, seed), &cfg).total_bps / trials as f64;
         y_rand += allocate_random_order(&m, &plan, seed) / trials as f64;
     }
     print_table(
@@ -263,7 +254,12 @@ fn ablate_fading() {
     use acorn_phy::fading::faded_per;
     use acorn_phy::link::{rate_ratio_40_over_20, sigma};
     use acorn_phy::McsIndex;
-    let cases = [(2u8, "QPSK 3/4"), (4, "16QAM 3/4"), (6, "64QAM 3/4"), (7, "64QAM 5/6")];
+    let cases = [
+        (2u8, "QPSK 3/4"),
+        (4, "16QAM 3/4"),
+        (6, "64QAM 3/4"),
+        (7, "64QAM 5/6"),
+    ];
     let mut rows = Vec::new();
     for (idx, label) in cases {
         let mcs = McsIndex::new(idx).unwrap().mcs();
@@ -297,7 +293,10 @@ fn ablate_fading() {
             format!("{:.1}", band(3.0)),
         ]);
     }
-    print_table(&["modcod", "AWGN region (dB)", "fading σ=3 region (dB)"], &rows);
+    print_table(
+        &["modcod", "AWGN region (dB)", "fading σ=3 region (dB)"],
+        &rows,
+    );
     println!("fading smears the CB-hurts region ~3-4x wider — links spend more of");
     println!("their power range in it, matching the broad Fig. 5 humps.");
 }

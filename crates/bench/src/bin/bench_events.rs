@@ -1,0 +1,170 @@
+//! Wall-clock snapshot of the event runtime, written to
+//! `BENCH_events.json` at the repo root (plus the 25-AP composite's
+//! telemetry snapshot under `results/`):
+//!
+//! * **Kernel micro-benchmark** — a self-scheduling no-op process
+//!   churning the queue: pure `(schedule, pop, dispatch)` overhead in
+//!   events/second.
+//! * **Composite scaling** — the full churn + mobility + drift scenario
+//!   on 25-AP and 400-AP enterprise grids: dispatched events, wall-clock,
+//!   and events/second, with model evaluation (association, periodic
+//!   re-allocation) dominating — the number that tells us how far the
+//!   scenario scale can grow before runtime becomes the bottleneck.
+
+use acorn_bench::{header, save_json};
+use acorn_core::{AcornConfig, AcornController};
+use acorn_events::{
+    CompositeScenario, Ctx, DriftSpec, MobilitySpec, Process, Simulation, TelemetrySnapshot,
+};
+use acorn_sim::scenario::enterprise_grid;
+use acorn_topology::{ClientId, Point, Trajectory};
+use acorn_traces::SessionGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+const MICRO_EVENTS: u64 = 500_000;
+
+#[derive(Serialize)]
+struct ScenarioBench {
+    n_aps: usize,
+    n_clients: usize,
+    sessions: usize,
+    events: u64,
+    wall_s: f64,
+    events_per_s: f64,
+    reallocations: u64,
+}
+
+#[derive(Serialize)]
+struct BenchEvents {
+    micro_events: u64,
+    micro_wall_s: f64,
+    micro_events_per_s: f64,
+    scenarios: Vec<ScenarioBench>,
+}
+
+/// A no-op self-scheduler: the cheapest possible process, so the measured
+/// rate is the kernel's own dispatch overhead.
+struct Spinner {
+    remaining: u64,
+}
+
+impl Process<u64, ()> for Spinner {
+    fn start(&mut self, ctx: &mut Ctx<'_, u64, ()>) {
+        ctx.schedule_after(1.0, ());
+    }
+    fn handle(&mut self, _e: &(), ctx: &mut Ctx<'_, u64, ()>) {
+        *ctx.world += 1;
+        self.remaining -= 1;
+        if self.remaining > 0 {
+            ctx.schedule_after(1.0, ());
+        }
+    }
+}
+
+fn micro() -> (u64, f64) {
+    let mut sim: Simulation<u64, ()> = Simulation::new(0);
+    sim.add_process(Box::new(Spinner {
+        remaining: MICRO_EVENTS,
+    }));
+    let t0 = Instant::now();
+    let stats = sim.run_to_completion();
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(stats.events, MICRO_EVENTS);
+    assert_eq!(sim.world, MICRO_EVENTS);
+    (stats.events, wall)
+}
+
+fn composite(side: usize, seed: u64) -> (ScenarioBench, TelemetrySnapshot) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sessions = SessionGenerator::enterprise_default().generate(&mut rng, 3600.0);
+    // One spare slot for the walking client.
+    let n_clients = sessions.len().max(1) + 1;
+    let wlan = enterprise_grid(side, side, 50.0, n_clients, seed);
+    let ctl = AcornController::new(AcornConfig::default());
+    let mobile = ClientId(n_clients - 1);
+    let from = wlan.clients[mobile.0].pos;
+    let n_aps = wlan.aps.len();
+    let scenario = CompositeScenario {
+        wlan,
+        sessions: sessions.clone(),
+        horizon_s: 3600.0,
+        reallocation_period_s: 1800.0,
+        restarts: 2,
+        adapt_widths: true,
+        mobility: Some(MobilitySpec {
+            client: mobile,
+            trajectory: Trajectory {
+                from,
+                to: Point::new(from.x + 50.0, from.y),
+                speed_mps: 0.02,
+            },
+            sample_period_s: 60.0,
+        }),
+        drift: Some(DriftSpec {
+            period_s: 600.0,
+            phase_step_rad: 0.02,
+        }),
+        seed,
+        record_log: false,
+    };
+    let t0 = Instant::now();
+    let report = scenario.run(&ctl);
+    let wall = t0.elapsed().as_secs_f64();
+    let reallocations = report.realloc.len() as u64;
+    (
+        ScenarioBench {
+            n_aps,
+            n_clients,
+            sessions: sessions.len(),
+            events: report.stats.events,
+            wall_s: wall,
+            events_per_s: report.stats.events as f64 / wall,
+            reallocations,
+        },
+        report.telemetry,
+    )
+}
+
+fn main() {
+    header("event runtime: kernel micro-benchmark");
+    let (events, wall) = micro();
+    let micro_rate = events as f64 / wall;
+    println!("{events} no-op events in {wall:.3} s -> {micro_rate:.0} events/s");
+
+    let mut scenarios = Vec::new();
+    for side in [5usize, 20] {
+        header(&format!(
+            "event runtime: composite churn+mobility+drift, {}x{} grid",
+            side, side
+        ));
+        let (b, telemetry) = composite(side, 42);
+        println!(
+            "{} APs, {} clients, {} sessions: {} events in {:.3} s -> {:.0} events/s ({} reallocations)",
+            b.n_aps, b.n_clients, b.sessions, b.events, b.wall_s, b.events_per_s, b.reallocations
+        );
+        if side == 5 {
+            save_json("events_composite", &telemetry);
+        }
+        scenarios.push(b);
+    }
+
+    let record = BenchEvents {
+        micro_events: events,
+        micro_wall_s: wall,
+        micro_events_per_s: micro_rate,
+        scenarios,
+    };
+    match serde_json::to_string_pretty(&record) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write("BENCH_events.json", s) {
+                eprintln!("warning: cannot write BENCH_events.json: {e}");
+            } else {
+                println!("\n[saved BENCH_events.json]");
+            }
+        }
+        Err(e) => eprintln!("warning: serialization failed: {e}"),
+    }
+}

@@ -19,9 +19,7 @@ use acorn_baseband::ChannelModel;
 use acorn_bench::alloc_counter::allocations_during;
 use acorn_bench::baseline_frame::run_trial_baseline;
 use acorn_bench::header;
-use acorn_core::allocation::{
-    allocate_with_restarts, random_initial, AllocationConfig,
-};
+use acorn_core::allocation::{allocate_with_restarts, random_initial, AllocationConfig};
 use acorn_core::model::{NetworkModel, ThroughputModel};
 use acorn_core::{AcornConfig, AcornController};
 use acorn_phy::{ChannelWidth, CodeRate, Modulation};
@@ -192,7 +190,8 @@ fn bench_baseband_config(label: &str, cfg: &FrameConfig, packets: usize) -> Base
     run_trial_with(cfg, 3, seed, &mut ws).expect("valid config");
     let (engine_allocs, _) = allocations_during(|| {
         for i in 0..packets {
-            ws.run_packet(cfg, mix_seed(seed, i as u64)).expect("valid config");
+            ws.run_packet(cfg, mix_seed(seed, i as u64))
+                .expect("valid config");
         }
     });
     let (baseline_allocs, _) = allocations_during(|| run_trial_baseline(cfg, 2, seed));
@@ -229,7 +228,11 @@ fn bench_baseband_config(label: &str, cfg: &FrameConfig, packets: usize) -> Base
 fn bench_baseband() -> BenchBaseband {
     header("Baseband-engine snapshot: Fig. 3 QPSK frames, seed pipeline vs workspace engine");
     let configs = vec![
-        bench_baseband_config("qpsk-r12-20mhz-1500B", &fig03_config(Some(CodeRate::R12)), 60),
+        bench_baseband_config(
+            "qpsk-r12-20mhz-1500B",
+            &fig03_config(Some(CodeRate::R12)),
+            60,
+        ),
         bench_baseband_config("qpsk-uncoded-20mhz-1500B", &fig03_config(None), 150),
     ];
     for c in &configs {
@@ -280,26 +283,36 @@ fn main() {
 
     let (t_base, (_, base_total)) =
         time_best(|| allocate_full_recompute_with_restarts(&model, &plan, &cfg, RESTARTS, seed));
-    println!("baseline full-recompute (sequential): {t_base:.3} s  (Y = {:.1} Mb/s)", base_total / 1e6);
+    println!(
+        "baseline full-recompute (sequential): {t_base:.3} s  (Y = {:.1} Mb/s)",
+        base_total / 1e6
+    );
 
     std::env::set_var("ACORN_THREADS", "1");
-    let (t_seq, r_seq) =
-        time_best(|| allocate_with_restarts(&model, &plan, &cfg, RESTARTS, seed));
-    println!("delta engine, 1 thread:               {t_seq:.3} s  (Y = {:.1} Mb/s)", r_seq.total_bps / 1e6);
+    let (t_seq, r_seq) = time_best(|| allocate_with_restarts(&model, &plan, &cfg, RESTARTS, seed));
+    println!(
+        "delta engine, 1 thread:               {t_seq:.3} s  (Y = {:.1} Mb/s)",
+        r_seq.total_bps / 1e6
+    );
 
     // Measure the parallel path at ≥4 workers even on small machines
     // (bit-identity guarantees the answer is the same either way).
     std::env::remove_var("ACORN_THREADS");
     let threads = acorn_core::par::max_threads().max(4);
     std::env::set_var("ACORN_THREADS", threads.to_string());
-    let (t_par, r_par) =
-        time_best(|| allocate_with_restarts(&model, &plan, &cfg, RESTARTS, seed));
+    let (t_par, r_par) = time_best(|| allocate_with_restarts(&model, &plan, &cfg, RESTARTS, seed));
     std::env::remove_var("ACORN_THREADS");
-    println!("delta engine, {threads} threads:              {t_par:.3} s  (Y = {:.1} Mb/s)", r_par.total_bps / 1e6);
+    println!(
+        "delta engine, {threads} threads:              {t_par:.3} s  (Y = {:.1} Mb/s)",
+        r_par.total_bps / 1e6
+    );
 
     let identical = r_seq.assignments == r_par.assignments
         && r_seq.total_bps.to_bits() == r_par.total_bps.to_bits();
-    assert!(identical, "sequential and parallel runs must be bit-identical");
+    assert!(
+        identical,
+        "sequential and parallel runs must be bit-identical"
+    );
 
     let record = BenchAllocation {
         n_aps: model.n_aps(),

@@ -38,8 +38,7 @@ fn main() {
         // throughput → aggregate equals one isolated cell.
         let m_share = cell_throughput_bps(&[link], 1500, 1.0);
         let bianchi = saturation_throughput_bps(n, 1500, 65e6, 0.0, BURST);
-        let stations: Vec<StationConfig> =
-            (0..n).map(|_| StationConfig::new(vec![link])).collect();
+        let stations: Vec<StationConfig> = (0..n).map(|_| StationConfig::new(vec![link])).collect();
         let stats = simulate_dcf(&stations, 5.0, 11);
         let sim: f64 = stats.iter().map(|s| s.throughput_bps(5.0)).sum();
         rows.push(vec![
@@ -60,7 +59,14 @@ fn main() {
         });
     }
     print_table(
-        &["n", "tau", "P(coll)", "M-model (Mb/s)", "Bianchi (Mb/s)", "DCF sim (Mb/s)"],
+        &[
+            "n",
+            "tau",
+            "P(coll)",
+            "M-model (Mb/s)",
+            "Bianchi (Mb/s)",
+            "DCF sim (Mb/s)",
+        ],
         &rows,
     );
     println!();

@@ -67,7 +67,13 @@ fn main() {
         });
     }
     print_table(
-        &["interferer (m)", "20MHz (Mb/s)", "loss", "40MHz (Mb/s)", "loss"],
+        &[
+            "interferer (m)",
+            "20MHz (Mb/s)",
+            "loss",
+            "40MHz (Mb/s)",
+            "loss",
+        ],
         &rows,
     );
     println!();

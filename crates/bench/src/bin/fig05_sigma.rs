@@ -9,9 +9,9 @@
 use acorn_baseband::frame::{run_trials, Equalization, FrameConfig};
 use acorn_bench::{header, print_table, save_json};
 use acorn_phy::link::{sigma, sigma_for};
+use acorn_phy::ChannelWidth;
 use acorn_phy::{CodeRate, Modulation};
 use acorn_topology::corpus::{driver_scale_to_dbm, representative_links};
-use acorn_phy::ChannelWidth;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -162,7 +162,13 @@ fn sigma_monte_carlo_check() -> Vec<SigmaCheck> {
         });
     }
     print_table(
-        &["SNR20 (dB)", "PER 20MHz", "PER 40MHz", "sigma MC", "sigma model"],
+        &[
+            "SNR20 (dB)",
+            "PER 20MHz",
+            "PER 40MHz",
+            "sigma MC",
+            "sigma model",
+        ],
         &rows,
     );
     println!();

@@ -114,10 +114,7 @@ fn main() {
     );
 
     header("Figure 6(b): optimal MCS with 40 MHz vs 20 MHz");
-    let le = points
-        .iter()
-        .filter(|p| p.mcs40 % 8 <= p.mcs20 % 8)
-        .count();
+    let le = points.iter().filter(|p| p.mcs40 % 8 <= p.mcs20 % 8).count();
     println!(
         "links where optimal 40 MHz MCS (mod order) <= 20 MHz MCS: {}/{}",
         le,

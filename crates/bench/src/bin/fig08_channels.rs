@@ -25,7 +25,8 @@ struct ChannelRow {
 
 /// Deterministic per-(link, channel) SNR jitter in ±0.3 dB.
 fn channel_jitter_db(link: usize, channel: usize) -> f64 {
-    let mut x = (link as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ (channel as u64 + 1).wrapping_mul(0xBF58476D1CE4E5B9);
+    let mut x = (link as u64).wrapping_mul(0x9E3779B97F4A7C15)
+        ^ (channel as u64 + 1).wrapping_mul(0xBF58476D1CE4E5B9);
     x ^= x >> 29;
     x = x.wrapping_mul(0x94D049BB133111EB);
     x ^= x >> 32;

@@ -28,7 +28,7 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2010);
     // 206 APs × ~500 sessions each over the trace span.
     let samples = AssociationDurations::default().sample_n(&mut rng, 103_000);
-    let ecdf = Ecdf::new(samples);
+    let ecdf = Ecdf::new(samples).expect("103k finite samples form a valid ECDF");
 
     let median = ecdf.median();
     let p90 = ecdf.quantile(0.9);
@@ -53,11 +53,7 @@ fn main() {
                 format!("{frac40:.3}"),
                 ">0.90".into(),
             ],
-            vec![
-                "max (s)".into(),
-                format!("{max:.0}"),
-                "~25000".into(),
-            ],
+            vec!["max (s)".into(), format!("{max:.0}"), "~25000".into()],
         ],
     );
 

@@ -97,7 +97,11 @@ fn compute(name: &str, wlan: &Wlan, plan: ChannelPlan) -> TopologyResult {
     let (base, base_total) = run_kauffmann(wlan, plan);
     let mut gains = Vec::new();
     for i in 0..wlan.aps.len() {
-        let gain = if base[i] > 0.0 { acorn[i] / base[i] } else { f64::INFINITY };
+        let gain = if base[i] > 0.0 {
+            acorn[i] / base[i]
+        } else {
+            f64::INFINITY
+        };
         gains.push(gain);
     }
     TopologyResult {
@@ -142,14 +146,20 @@ fn main() {
     // parallel, then print in order.
     let topologies: Vec<(&str, Wlan)> = vec![
         ("Topology 1 (2 APs, poor cell + good cell)", topology1()),
-        ("Topology 2 (5 APs, shared clients + poor cells)", topology2()),
+        (
+            "Topology 2 (5 APs, shared clients + poor cells)",
+            topology2(),
+        ),
     ];
     let results = acorn_core::par::par_map(&topologies, |(name, wlan)| compute(name, wlan, plan));
     for r in &results {
         show(r);
     }
     let mut it = results.into_iter();
-    let (t1, t2) = (it.next().expect("topology 1"), it.next().expect("topology 2"));
+    let (t1, t2) = (
+        it.next().expect("topology 1"),
+        it.next().expect("topology 2"),
+    );
     println!();
     println!("paper: gains of ~4x on Topology 1's poor cell; up to 6x on");
     println!("Topology 2's poorest cell; good cells essentially unchanged.");

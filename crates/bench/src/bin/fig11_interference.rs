@@ -56,7 +56,10 @@ fn main() {
     for c in 0..wlan.clients.len() {
         ctl.associate(&wlan, &mut state, ClientId(c));
     }
-    assert_eq!(state.assoc, vec![Some(ApId(0)), Some(ApId(1)), Some(ApId(2))]);
+    assert_eq!(
+        state.assoc,
+        vec![Some(ApId(0)), Some(ApId(1)), Some(ApId(2))]
+    );
 
     // The paper's four width combinations, with least-overlap channels.
     let combos: [(&str, Vec<ChannelAssignment>); 4] = [
@@ -114,16 +117,16 @@ fn main() {
         mbps(acorn_eval.total_bps)
     );
     let all40 = out[0].total_bps;
-    let best = out
-        .iter()
-        .map(|c| c.total_bps)
-        .fold(0.0f64, f64::max);
+    let best = out.iter().map(|c| c.total_bps).fold(0.0f64, f64::max);
     println!(
         "gain over aggressive all-40: {:.2}x (paper: ~2x); best combo: {}",
         acorn_eval.total_bps / all40,
         mbps(best)
     );
-    assert!(acorn_eval.total_bps + 1.0 >= best, "ACORN must find the best combo");
+    assert!(
+        acorn_eval.total_bps + 1.0 >= best,
+        "ACORN must find the best combo"
+    );
 
     save_json(
         "fig11_interference",

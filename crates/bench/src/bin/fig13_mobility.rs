@@ -31,10 +31,18 @@ struct Walk {
 }
 
 fn run_walk(outbound: bool) -> Walk {
-    let direction = if outbound { "outbound (vs fixed 40 MHz)" } else { "inbound (vs fixed 20 MHz)" };
+    let direction = if outbound {
+        "outbound (vs fixed 40 MHz)"
+    } else {
+        "inbound (vs fixed 20 MHz)"
+    };
     header(&format!("Figure 13 — {direction}"));
     let exp = paper_walk(outbound);
-    let fixed_width = if outbound { ChannelWidth::Ht40 } else { ChannelWidth::Ht20 };
+    let fixed_width = if outbound {
+        ChannelWidth::Ht40
+    } else {
+        ChannelWidth::Ht20
+    };
     let acorn = exp.run(WidthPolicy::AcornAdaptive);
     let fixed = exp.run(WidthPolicy::Fixed(fixed_width));
 
@@ -63,7 +71,13 @@ fn run_walk(outbound: bool) -> Walk {
         }
     }
     print_table(
-        &["t (s)", "mobile SNR", "ACORN (Mb/s)", "width", "fixed (Mb/s)"],
+        &[
+            "t (s)",
+            "mobile SNR",
+            "ACORN (Mb/s)",
+            "width",
+            "fixed (Mb/s)",
+        ],
         &rows,
     );
     let last_a = acorn.last().unwrap().cell_bps;
@@ -79,9 +93,7 @@ fn run_walk(outbound: bool) -> Walk {
     } else {
         "paper: ACORN switches to 40 MHz and utilizes the CB gains"
     };
-    println!(
-        "end-of-walk gain over fixed {fixed_width:?}: {endgame_gain:.1}x ({paper_note})"
-    );
+    println!("end-of-walk gain over fixed {fixed_width:?}: {endgame_gain:.1}x ({paper_note})");
     Walk {
         direction: direction.to_string(),
         switch_time_s: switch_time,

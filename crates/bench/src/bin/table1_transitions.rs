@@ -61,13 +61,23 @@ fn main() {
         });
     }
     print_table(
-        &["modcod", "σ≥2 (dB)", "σ<2 (dB)", "crossover", "paper σ≥2/σ<2"],
+        &[
+            "modcod",
+            "σ≥2 (dB)",
+            "σ<2 (dB)",
+            "crossover",
+            "paper σ≥2/σ<2",
+        ],
         &rows,
     );
     println!();
     println!(
         "threshold rises with aggressiveness: {}",
-        if monotone { "yes (matches paper)" } else { "NO" }
+        if monotone {
+            "yes (matches paper)"
+        } else {
+            "NO"
+        }
     );
     // The paper's SNR axis is the Ralink driver's RSSI-derived estimate,
     // which carries a large constant offset (QPSK 3/4 at −7 dB true SNR is

@@ -50,7 +50,15 @@ fn main() {
     let eval = |assignments: &[acorn_topology::ChannelAssignment],
                 assoc: &[Option<acorn_topology::ApId>],
                 traffic| {
-        evaluate_analytic(&wlan, assignments, assoc, &ctl.config.estimator, 1500, traffic).total_bps
+        evaluate_analytic(
+            &wlan,
+            assignments,
+            assoc,
+            &ctl.config.estimator,
+            1500,
+            traffic,
+        )
+        .total_bps
     };
     let acorn_udp = eval(&state.assignments, &state.assoc, Traffic::Udp);
     let acorn_tcp = eval(&state.assignments, &state.assoc, Traffic::tcp_default());
@@ -79,7 +87,11 @@ fn main() {
 
     let fmt = |v: &[f64]| v.iter().map(|x| mbps(*x)).collect::<Vec<_>>().join(", ");
     print_table(
-        &["traffic", "ACORN (Mb/s)", "10 best random configs (Mb/s, descending)"],
+        &[
+            "traffic",
+            "ACORN (Mb/s)",
+            "10 best random configs (Mb/s, descending)",
+        ],
         &[
             vec!["UDP".into(), mbps(acorn_udp), fmt(&best_udp)],
             vec!["TCP".into(), mbps(acorn_tcp), fmt(&best_tcp)],

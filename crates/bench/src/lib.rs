@@ -112,7 +112,10 @@ mod tests {
     fn print_table_does_not_panic_on_ragged_rows() {
         print_table(
             &["a", "b"],
-            &[vec!["1".into()], vec!["22".into(), "333".into(), "x".into()]],
+            &[
+                vec!["1".into()],
+                vec!["22".into(), "333".into(), "x".into()],
+            ],
         );
     }
 }

@@ -79,7 +79,9 @@ pub struct AllocationResult {
 pub fn random_initial(plan: &ChannelPlan, n_aps: usize, seed: u64) -> Vec<ChannelAssignment> {
     let mut rng = StdRng::seed_from_u64(seed);
     let all = plan.all_assignments();
-    (0..n_aps).map(|_| all[rng.gen_range(0..all.len())]).collect()
+    (0..n_aps)
+        .map(|_| all[rng.gen_range(0..all.len())])
+        .collect()
 }
 
 /// Runs Algorithm 2 from a given initial assignment.
@@ -289,10 +291,7 @@ mod tests {
         // one: widths (40, 20, 20). Single greedy runs can park the bond
         // on a poor AP (a true local optimum: no unilateral move escapes),
         // so run with restarts, as the evaluation harness does.
-        let m = model(
-            &[&[28.0], &[0.0], &[0.0]],
-            InterferenceGraph::complete(3),
-        );
+        let m = model(&[&[28.0], &[0.0], &[0.0]], InterferenceGraph::complete(3));
         let plan = ChannelPlan::restricted(4);
         let r = allocate_with_restarts(&m, &plan, &AllocationConfig::default(), 8, 7);
         use acorn_phy::ChannelWidth::*;
@@ -310,10 +309,7 @@ mod tests {
     fn epsilon_one_runs_to_a_local_optimum() {
         // ε = 1.0 keeps iterating while *any* improvement exists, so the
         // result must be single-switch stable.
-        let m = model(
-            &[&[30.0], &[12.0], &[4.0]],
-            InterferenceGraph::complete(3),
-        );
+        let m = model(&[&[30.0], &[12.0], &[4.0]], InterferenceGraph::complete(3));
         let plan = ChannelPlan::restricted(6);
         let cfg = AllocationConfig {
             epsilon: 1.0,
@@ -348,12 +344,7 @@ mod tests {
     fn illegal_initial_panics() {
         let m = model(&[&[20.0]], InterferenceGraph::new(1));
         let plan = ChannelPlan::restricted(2);
-        allocate(
-            &m,
-            &plan,
-            vec![single(7)],
-            &AllocationConfig::default(),
-        );
+        allocate(&m, &plan, vec![single(7)], &AllocationConfig::default());
     }
 
     #[test]

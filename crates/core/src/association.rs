@@ -194,10 +194,7 @@ mod tests {
     fn utility_is_total_network_throughput_shaped() {
         // Utility of choosing i must equal cell i's aggregate with u plus
         // the other cells' aggregates without u.
-        let c = [
-            cand(0, 2, 1.0, 0.010, 0.004),
-            cand(1, 4, 0.5, 0.040, 0.010),
-        ];
+        let c = [cand(0, 2, 1.0, 0.010, 0.004), cand(1, 4, 0.5, 0.040, 0.010)];
         let u0 = utility(&c, 0);
         let manual = 2.0 * (1.0 / 0.010) + 3.0 * (0.5 / 0.030);
         assert!((u0 - manual).abs() < 1e-9);

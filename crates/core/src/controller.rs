@@ -45,6 +45,15 @@ pub struct AcornConfig {
     /// Channel re-allocation period `T` (seconds); the paper derives
     /// 30 minutes from the CRAWDAD trace.
     pub reallocation_period_s: f64,
+    /// Relative hysteresis margin for the opportunistic width adaptation
+    /// ([`AcornController::adapt_widths`]): a bonded AP switches its
+    /// operating width only when the other width's predicted cell
+    /// throughput exceeds the *current* width's by more than this
+    /// fraction. `0.0` reproduces the paper's memoryless `t40 ≥ t20`
+    /// comparison; the default 5 % keeps a client oscillating around the
+    /// CB crossover SNR from flapping the cell width on consecutive
+    /// events.
+    pub width_hysteresis: f64,
 }
 
 impl Default for AcornConfig {
@@ -56,6 +65,7 @@ impl Default for AcornConfig {
             allocation: AllocationConfig::default(),
             association_snr_floor_db: -3.0,
             reallocation_period_s: REALLOCATION_PERIOD_S,
+            width_hysteresis: 0.05,
         }
     }
 }
@@ -143,7 +153,12 @@ impl AcornController {
                     .collect()
             })
             .collect();
-        NetworkModel::with_config(graph, cells, self.config.estimator, self.config.payload_bytes)
+        NetworkModel::with_config(
+            graph,
+            cells,
+            self.config.estimator,
+            self.config.payload_bytes,
+        )
     }
 
     /// Current beacons of all APs.
@@ -203,7 +218,12 @@ impl AcornController {
 
     /// Algorithm 1: associates `client`, mutating the state. Returns the
     /// chosen AP, or `None` if no AP is in range.
-    pub fn associate(&self, wlan: &Wlan, state: &mut NetworkState, client: ClientId) -> Option<ApId> {
+    pub fn associate(
+        &self,
+        wlan: &Wlan,
+        state: &mut NetworkState,
+        client: ClientId,
+    ) -> Option<ApId> {
         let candidates = self.candidates_for(wlan, state, client);
         let choice = choose_ap(&candidates)?;
         let ap = candidates[choice].ap;
@@ -270,8 +290,22 @@ impl AcornController {
     /// predicted cell throughput at 40 MHz vs its 20 MHz fallback — at its
     /// *current* client SNRs — and operates at the better width. Single-
     /// channel APs are untouched.
+    ///
+    /// The comparison is *hysteretic*: the AP leaves its current
+    /// operating width only when the alternative's predicted cell
+    /// throughput beats the current one's by more than
+    /// [`AcornConfig::width_hysteresis`] (a relative margin). A client
+    /// whose SNR oscillates around the CB crossover therefore does **not**
+    /// flap the cell width on consecutive events — both widths predict
+    /// near-equal throughput inside the band, so the AP holds its current
+    /// width until the link clearly favours the other one. With a margin
+    /// of `0.0` this reduces to the paper's memoryless rule (`t40 ≥ t20`
+    /// picks 40 MHz, ties included), which *does* flap under such
+    /// oscillation. Re-allocation (`reallocate*`) resets every AP to its
+    /// assignment's full width, re-arming the comparison each epoch.
     pub fn adapt_widths(&self, wlan: &Wlan, state: &mut NetworkState) {
         let model = self.build_model(wlan, state);
+        let margin = self.config.width_hysteresis.max(0.0);
         for i in 0..state.assignments.len() {
             if state.assignments[i].width() != ChannelWidth::Ht40 {
                 continue;
@@ -279,13 +313,26 @@ impl AcornController {
             let ap = ApId(i);
             // Compare at equal access share: the fallback stays within the
             // bond, so neighbours' contention with this AP is unchanged.
-            let t40 = model.cell_airtime(ap, ChannelWidth::Ht40).cell_throughput_bps(1.0);
-            let t20 = model.cell_airtime(ap, ChannelWidth::Ht20).cell_throughput_bps(1.0);
-            state.operating_width[i] = if t40 >= t20 {
-                ChannelWidth::Ht40
-            } else {
-                ChannelWidth::Ht20
+            let t40 = model
+                .cell_airtime(ap, ChannelWidth::Ht40)
+                .cell_throughput_bps(1.0);
+            let t20 = model
+                .cell_airtime(ap, ChannelWidth::Ht20)
+                .cell_throughput_bps(1.0);
+            let (t_cur, t_alt, alt) = match state.operating_width[i] {
+                ChannelWidth::Ht40 => (t40, t20, ChannelWidth::Ht20),
+                ChannelWidth::Ht20 => (t20, t40, ChannelWidth::Ht40),
             };
+            if margin == 0.0 {
+                // Memoryless paper rule (ties prefer the bonded width).
+                state.operating_width[i] = if t40 >= t20 {
+                    ChannelWidth::Ht40
+                } else {
+                    ChannelWidth::Ht20
+                };
+            } else if t_alt > t_cur * (1.0 + margin) {
+                state.operating_width[i] = alt;
+            }
         }
     }
 
@@ -321,9 +368,9 @@ mod tests {
         let mut w = Wlan::new(
             vec![Point::new(0.0, 0.0), Point::new(60.0, 0.0)],
             vec![
-                Point::new(3.0, 0.0),   // strong, near AP 0
-                Point::new(5.0, 2.0),   // strong, near AP 0
-                Point::new(57.0, 0.0),  // strong, near AP 1
+                Point::new(3.0, 0.0),    // strong, near AP 0
+                Point::new(5.0, 2.0),    // strong, near AP 0
+                Point::new(57.0, 0.0),   // strong, near AP 1
                 Point::new(-55.0, 65.0), // poor: ~85 m from AP 0
             ],
             11,
@@ -402,7 +449,10 @@ mod tests {
         let before = c.total_throughput_bps(&w, &s);
         let r = c.reallocate(&w, &mut s);
         let after = c.total_throughput_bps(&w, &s);
-        assert!(after + 1.0 >= before, "before {before:.3e} after {after:.3e}");
+        assert!(
+            after + 1.0 >= before,
+            "before {before:.3e} after {after:.3e}"
+        );
         assert!(r.total_bps > 0.0);
         // Plenty of channels: the two (interfering) APs must not overlap.
         assert!(!s.assignments[0].conflicts(s.assignments[1]));
@@ -419,11 +469,19 @@ mod tests {
         s.assoc[0] = Some(ApId(0));
         s.assoc[1] = Some(ApId(0));
         c.adapt_widths(&w, &mut s);
-        assert_eq!(s.operating_width[0], ChannelWidth::Ht40, "strong cell keeps CB");
+        assert_eq!(
+            s.operating_width[0],
+            ChannelWidth::Ht40,
+            "strong cell keeps CB"
+        );
         // Now the weak mid-field client joins: the cell should fall back.
         s.assoc[3] = Some(ApId(0));
         c.adapt_widths(&w, &mut s);
-        assert_eq!(s.operating_width[0], ChannelWidth::Ht20, "poor client forces fallback");
+        assert_eq!(
+            s.operating_width[0],
+            ChannelWidth::Ht20,
+            "poor client forces fallback"
+        );
         // Fallback stays inside the assigned bond.
         let eff = s.effective_assignment(ApId(0));
         assert!(s.assignments[0]
@@ -441,6 +499,135 @@ mod tests {
         assert_eq!(s.effective_assignment(ApId(0)).width(), ChannelWidth::Ht20);
         // The underlying allocation is still the bond.
         assert_eq!(s.assignments[0].width(), ChannelWidth::Ht40);
+    }
+
+    /// Single bonded AP serving one client at distance `d`; returns the
+    /// predicted (t40, t20) pair `adapt_widths` compares.
+    fn width_throughputs_at(c: &AcornController, d: f64) -> (f64, f64) {
+        let mut w = Wlan::new(vec![Point::new(0.0, 0.0)], vec![Point::new(d, 0.0)], 3);
+        w.pathloss.shadowing_sigma_db = 0.0;
+        let s = NetworkState {
+            assignments: vec![ChannelAssignment::bonded(acorn_topology::Channel20(0)).unwrap()],
+            operating_width: vec![ChannelWidth::Ht40],
+            assoc: vec![Some(ApId(0))],
+        };
+        let m = c.build_model(&w, &s);
+        (
+            m.cell_airtime(ApId(0), ChannelWidth::Ht40)
+                .cell_throughput_bps(1.0),
+            m.cell_airtime(ApId(0), ChannelWidth::Ht20)
+                .cell_throughput_bps(1.0),
+        )
+    }
+
+    /// Bisects for a `[d_near, d_far]` bracket around the CB crossover:
+    /// 40 MHz wins at `d_near`, 20 MHz at `d_far`, and both predictions
+    /// agree within `tol` at either end — the regime where a mobile
+    /// client's SNR jitter flips the memoryless comparison's sign without
+    /// any meaningful throughput difference.
+    fn crossover_bracket(c: &AcornController, tol: f64) -> (f64, f64) {
+        let (mut lo, mut hi) = (1.0f64, 0.0f64);
+        for d in 2..400 {
+            let (t40, t20) = width_throughputs_at(c, d as f64);
+            if t40 < t20 {
+                hi = d as f64;
+                lo = hi - 1.0;
+                break;
+            }
+        }
+        assert!(hi > 0.0, "no CB crossover found within 400 m");
+        loop {
+            let (a40, a20) = width_throughputs_at(c, lo);
+            let (b40, b20) = width_throughputs_at(c, hi);
+            assert!(a40 >= a20 && b40 < b20, "bracket lost the sign change");
+            if (a40 - a20) / a20 < tol && (b20 - b40) / b40 < tol {
+                return (lo, hi);
+            }
+            let mid = 0.5 * (lo + hi);
+            let (m40, m20) = width_throughputs_at(c, mid);
+            if m40 >= m20 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+
+    /// Oscillates a single client across the bracket for `events` width
+    /// re-evaluations and counts operating-width changes.
+    fn flaps_under(c: &AcornController, d_near: f64, d_far: f64, events: usize) -> usize {
+        let mut w = Wlan::new(vec![Point::new(0.0, 0.0)], vec![Point::new(d_near, 0.0)], 3);
+        w.pathloss.shadowing_sigma_db = 0.0;
+        let mut s = NetworkState {
+            assignments: vec![ChannelAssignment::bonded(acorn_topology::Channel20(0)).unwrap()],
+            operating_width: vec![ChannelWidth::Ht40],
+            assoc: vec![Some(ApId(0))],
+        };
+        let mut switches = 0;
+        for i in 0..events {
+            w.clients[0].pos = Point::new(if i % 2 == 0 { d_near } else { d_far }, 0.0);
+            let before = s.operating_width[0];
+            c.adapt_widths(&w, &mut s);
+            if s.operating_width[0] != before {
+                switches += 1;
+            }
+        }
+        switches
+    }
+
+    #[test]
+    fn memoryless_rule_flaps_at_the_cb_crossover() {
+        // Baseline for the hysteresis test below: with the margin off,
+        // the paper's `t40 >= t20` rule re-decides from scratch on every
+        // event, so a client bouncing across the crossover drags the
+        // whole cell's width with it almost every time.
+        let c = AcornController::new(AcornConfig {
+            width_hysteresis: 0.0,
+            ..AcornConfig::default()
+        });
+        let (d_near, d_far) = crossover_bracket(&c, 0.04);
+        let switches = flaps_under(&c, d_near, d_far, 24);
+        assert!(
+            switches >= 12,
+            "memoryless rule should flap nearly every event, got {switches}/24"
+        );
+    }
+
+    #[test]
+    fn hysteresis_locks_width_at_the_cb_crossover() {
+        // The satellite scenario: the same oscillation under the default
+        // 5 % margin. Inside the bracket both widths predict throughput
+        // within 4 % of each other, so no event clears the margin and the
+        // cell holds its width instead of flapping.
+        let c = controller();
+        assert!(c.config.width_hysteresis > 0.0, "default margin must be on");
+        let (d_near, d_far) = crossover_bracket(&c, 0.04);
+        let switches = flaps_under(&c, d_near, d_far, 24);
+        assert!(
+            switches <= 1,
+            "hysteretic adaptation must not flap at the crossover, got {switches}/24"
+        );
+    }
+
+    #[test]
+    fn hysteresis_still_reacts_to_clear_degradation() {
+        // Hysteresis must damp jitter, not decisions: a client far past
+        // the crossover (where 20 MHz clearly wins) still triggers the
+        // fallback on the first event.
+        let c = controller();
+        let (_, d_far) = crossover_bracket(&c, 0.04);
+        // Walk outward until 20 MHz wins by well over the margin.
+        let mut d = d_far;
+        loop {
+            let (t40, t20) = width_throughputs_at(&c, d);
+            if t20 > 0.0 && t20 > 1.2 * t40 {
+                break;
+            }
+            d += 1.0;
+            assert!(d < 400.0, "no clearly-degraded regime found");
+        }
+        let switches = flaps_under(&c, d, d, 1);
+        assert_eq!(switches, 1, "clear degradation must still fall back");
     }
 
     #[test]

@@ -29,10 +29,7 @@ pub struct SwitchPlan {
 }
 
 /// Diffs two full assignments into the switches that must be announced.
-pub fn switch_plans(
-    old: &[ChannelAssignment],
-    new: &[ChannelAssignment],
-) -> Vec<SwitchPlan> {
+pub fn switch_plans(old: &[ChannelAssignment], new: &[ChannelAssignment]) -> Vec<SwitchPlan> {
     assert_eq!(old.len(), new.len(), "assignment vectors must align");
     old.iter()
         .zip(new.iter())
@@ -72,7 +69,10 @@ impl ApCsa {
     /// Schedules a switch `countdown_beacons` intervals ahead
     /// (must be ≥ 1 so clients get at least one announcement).
     pub fn schedule(&mut self, to: ChannelAssignment, countdown_beacons: u8) {
-        assert!(countdown_beacons >= 1, "countdown must be at least 1 beacon");
+        assert!(
+            countdown_beacons >= 1,
+            "countdown must be at least 1 beacon"
+        );
         self.pending = Some((to, countdown_beacons));
     }
 

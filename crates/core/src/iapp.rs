@@ -237,7 +237,9 @@ mod tests {
 
     fn wlan_line(n: usize, spacing: f64) -> Wlan {
         let mut w = Wlan::new(
-            (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect(),
+            (0..n)
+                .map(|i| Point::new(i as f64 * spacing, 0.0))
+                .collect(),
             vec![],
             4,
         );
@@ -263,8 +265,7 @@ mod tests {
         let assignments = vec![bonded(0), single(0), single(1)];
         // Decode floor = power at exactly the carrier-sense range.
         let cs = w.radio.carrier_sense_range_m;
-        let floor = w.radio.tx_power_dbm + w.radio.antenna_gains_dbi
-            - w.pathloss.median_db(cs);
+        let floor = w.radio.tx_power_dbm + w.radio.antenna_gains_dbi - w.pathloss.median_db(cs);
         let bus = IappBus {
             decode_floor_dbm: floor,
             ..IappBus::new(&w)

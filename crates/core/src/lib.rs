@@ -45,7 +45,10 @@ pub mod theory;
 pub mod tracker;
 pub mod wire;
 
-pub use allocation::{allocate, allocate_from_random, allocate_with_restarts, random_initial, AllocationConfig, AllocationResult};
+pub use allocation::{
+    allocate, allocate_from_random, allocate_with_restarts, random_initial, AllocationConfig,
+    AllocationResult,
+};
 pub use association::{choose_ap, choose_ap_selfish, utility, Candidate};
 pub use beacon::Beacon;
 pub use controller::{AcornConfig, AcornController, NetworkState};

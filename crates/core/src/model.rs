@@ -305,7 +305,11 @@ impl ThroughputModel for NetworkModel {
             .neighbors(ap)
             .map(|j| {
                 let a_j = assignments[j.0];
-                (a_j, conflicts_of(j, a_j), self.cell_base_bps(j, a_j.width()))
+                (
+                    a_j,
+                    conflicts_of(j, a_j),
+                    self.cell_base_bps(j, a_j.width()),
+                )
             })
             .collect();
 
@@ -496,7 +500,14 @@ mod tests {
             .collect();
         let m = NetworkModel::new(graph, cells);
         let assignments = vec![single(0), bonded(0), single(1), single(3)];
-        let colours = [single(0), single(1), single(2), single(3), bonded(0), bonded(2)];
+        let colours = [
+            single(0),
+            single(1),
+            single(2),
+            single(3),
+            bonded(0),
+            bonded(2),
+        ];
         for ap in 0..4 {
             for &c in &colours {
                 let fast = m.delta_bps(ApId(ap), c, &assignments);
@@ -537,7 +548,14 @@ mod tests {
             .collect();
         let m = NetworkModel::new(graph, cells);
         let assignments = vec![single(0), bonded(0), single(1), single(3), bonded(2)];
-        let colours = [single(0), single(1), single(2), single(3), bonded(0), bonded(2)];
+        let colours = [
+            single(0),
+            single(1),
+            single(2),
+            single(3),
+            bonded(0),
+            bonded(2),
+        ];
         for ap in 0..5 {
             let (c_fast, g_fast) = m.best_switch(ApId(ap), &colours, &assignments);
             let mut ref_best: Option<(ChannelAssignment, f64)> = None;
@@ -550,7 +568,11 @@ mod tests {
             }
             let (c_ref, g_ref) = ref_best.unwrap();
             assert_eq!(c_fast, c_ref, "ap {ap}: colour");
-            assert_eq!(g_fast.to_bits(), g_ref.to_bits(), "ap {ap}: {g_fast} vs {g_ref}");
+            assert_eq!(
+                g_fast.to_bits(),
+                g_ref.to_bits(),
+                "ap {ap}: {g_fast} vs {g_ref}"
+            );
         }
     }
 

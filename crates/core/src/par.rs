@@ -31,7 +31,12 @@ pub fn max_threads() -> usize {
         .map(|n| n.get())
         .unwrap_or(1);
     match std::env::var("ACORN_THREADS") {
-        Ok(v) => v.trim().parse::<usize>().ok().filter(|&n| n >= 1).unwrap_or(hw),
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or(hw),
         Err(_) => hw,
     }
 }

@@ -189,10 +189,7 @@ mod tests {
                 ChannelAssignment::Single(Channel20(2)),
             ],
         ] {
-            assert!(
-                (m.total_bps(&a) - s.total_bps(&a)).abs() < 1e-6,
-                "{a:?}"
-            );
+            assert!((m.total_bps(&a) - s.total_bps(&a)).abs() < 1e-6, "{a:?}");
             assert!(a.iter().all(|x| plan.contains(*x)));
         }
     }
@@ -203,8 +200,14 @@ mod tests {
             sigma_db: 2.0,
             seed: 9,
         };
-        assert_eq!(s.offset_db(1, 2, Channel20(3)), s.offset_db(1, 2, Channel20(3)));
-        assert_ne!(s.offset_db(1, 2, Channel20(3)), s.offset_db(1, 2, Channel20(4)));
+        assert_eq!(
+            s.offset_db(1, 2, Channel20(3)),
+            s.offset_db(1, 2, Channel20(3))
+        );
+        assert_ne!(
+            s.offset_db(1, 2, Channel20(3)),
+            s.offset_db(1, 2, Channel20(4))
+        );
         let mean: f64 = (0..2000)
             .map(|i| s.offset_db(i, i * 7, Channel20((i % 12) as u8)))
             .sum::<f64>()

@@ -106,10 +106,7 @@ mod tests {
     fn algorithm2_beats_its_worst_case_bound() {
         // The paper's headline (Fig. 14): in practice the greedy lands
         // well above Y*/(Δ+1).
-        let m = model(
-            &[&[28.0], &[10.0], &[4.0]],
-            InterferenceGraph::complete(3),
-        );
+        let m = model(&[&[28.0], &[10.0], &[4.0]], InterferenceGraph::complete(3));
         for n_channels in [2u8, 4, 6] {
             let plan = ChannelPlan::restricted(n_channels);
             let r = allocate_from_random(&m, &plan, &AllocationConfig::default(), 5);
@@ -128,10 +125,7 @@ mod tests {
         // Fig. 14: "In the case of 6 channels, ACORN can achieve Y*, since
         // channel allocation isolates every AP and configures the best
         // channel width for each AP."
-        let m = model(
-            &[&[28.0], &[10.0], &[4.0]],
-            InterferenceGraph::complete(3),
-        );
+        let m = model(&[&[28.0], &[10.0], &[4.0]], InterferenceGraph::complete(3));
         let plan = ChannelPlan::restricted(6);
         let cfg = AllocationConfig {
             epsilon: 1.0,
@@ -147,15 +141,15 @@ mod tests {
         // Fig. 14: "With 2 channels ... the aggregate network throughput
         // is Y*/3, since the medium access is shared among the contending
         // APs" (loose: Y* is an upper bound, and mixed widths shift it).
-        let m = model(
-            &[&[28.0], &[26.0], &[27.0]],
-            InterferenceGraph::complete(3),
-        );
+        let m = model(&[&[28.0], &[26.0], &[27.0]], InterferenceGraph::complete(3));
         let plan = ChannelPlan::restricted(2);
         let r = allocate_from_random(&m, &plan, &AllocationConfig::default(), 5);
         let ratio = approximation_ratio(r.total_bps, y_star_bps(&m));
         assert!(ratio >= 1.0 / 3.0 - 1e-9, "ratio {ratio}");
-        assert!(ratio < 0.75, "with 2 channels full isolation of 3 APs is impossible: {ratio}");
+        assert!(
+            ratio < 0.75,
+            "with 2 channels full isolation of 3 APs is impossible: {ratio}"
+        );
     }
 
     #[test]

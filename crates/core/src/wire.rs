@@ -199,8 +199,9 @@ fn parse_acorn_ie(body: &[u8]) -> Result<Beacon, WireError> {
     let channel = body[7];
     let assignment = match body[8] {
         20 => ChannelAssignment::Single(Channel20(channel)),
-        40 => ChannelAssignment::bonded(Channel20(channel))
-            .ok_or(WireError::IllegalBond(channel))?,
+        40 => {
+            ChannelAssignment::bonded(Channel20(channel)).ok_or(WireError::IllegalBond(channel))?
+        }
         w => return Err(WireError::BadWidth(w)),
     };
     let share = u16::from_le_bytes([body[9], body[10]]) as f64 / SHARE_SCALE;

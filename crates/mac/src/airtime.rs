@@ -132,7 +132,10 @@ mod tests {
         let x_mixed = mixed.per_client_throughput_bps(1.0);
         let fast_alone = CellAirtime::new(&[fast], 1500).per_client_throughput_bps(1.0);
         // The fast client suffers drastically compared to being alone.
-        assert!(x_mixed < 0.2 * fast_alone, "mixed {x_mixed}, alone {fast_alone}");
+        assert!(
+            x_mixed < 0.2 * fast_alone,
+            "mixed {x_mixed}, alone {fast_alone}"
+        );
         // And the aggregate is dominated by the slow link's airtime.
         let slow_alone = CellAirtime::new(&[slow], 1500).cell_throughput_bps(1.0);
         assert!(mixed.cell_throughput_bps(1.0) < 2.0 * slow_alone);

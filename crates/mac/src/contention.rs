@@ -27,11 +27,7 @@ pub fn contenders(
 }
 
 /// The channel-access share `M_a = 1/(|con_a|+1)`.
-pub fn access_share(
-    graph: &InterferenceGraph,
-    assignments: &[ChannelAssignment],
-    ap: ApId,
-) -> f64 {
+pub fn access_share(graph: &InterferenceGraph, assignments: &[ChannelAssignment], ap: ApId) -> f64 {
     assert_eq!(graph.len(), assignments.len(), "one assignment per AP");
     let n = graph
         .neighbors(ap)
@@ -52,7 +48,13 @@ pub fn access_share_with(
     patch: (ApId, ChannelAssignment),
 ) -> f64 {
     assert_eq!(graph.len(), assignments.len(), "one assignment per AP");
-    let assignment_of = |i: ApId| if i == patch.0 { patch.1 } else { assignments[i.0] };
+    let assignment_of = |i: ApId| {
+        if i == patch.0 {
+            patch.1
+        } else {
+            assignments[i.0]
+        }
+    };
     let own = assignment_of(ap);
     let n = graph
         .neighbors(ap)

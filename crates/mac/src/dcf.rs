@@ -158,7 +158,11 @@ pub fn simulate_dcf(stations: &[StationConfig], duration_s: f64, seed: u64) -> V
             let i = tx[0];
             let st = &mut state[i];
             let client = stations[i].clients[st.rr];
-            let dur = txop_time_s(stations[i].payload_bytes, client.rate_bps, stations[i].burst);
+            let dur = txop_time_s(
+                stations[i].payload_bytes,
+                client.rate_bps,
+                stations[i].burst,
+            );
             stats[i].txops += 1;
             stats[i].airtime_s += dur;
             t += dur + DIFS_S;
@@ -201,7 +205,10 @@ mod tests {
         let sim = stats[0].throughput_bps(5.0);
         let model = cell_throughput_bps(&[clean(65.0)], 1500, 1.0);
         let err = (sim - model).abs() / model;
-        assert!(err < 0.05, "sim {sim:.3e} vs model {model:.3e} (err {err:.3})");
+        assert!(
+            err < 0.05,
+            "sim {sim:.3e} vs model {model:.3e} (err {err:.3})"
+        );
     }
 
     #[test]
@@ -216,7 +223,10 @@ mod tests {
         // And the aggregate matches the anomaly model.
         let model = cell_throughput_bps(&[clean(130.0), clean(6.5)], 1500, 1.0);
         let sim = stats[0].throughput_bps(10.0);
-        assert!((sim - model).abs() / model < 0.08, "sim {sim:.3e} model {model:.3e}");
+        assert!(
+            (sim - model).abs() / model < 0.08,
+            "sim {sim:.3e} model {model:.3e}"
+        );
     }
 
     #[test]

@@ -29,8 +29,8 @@ pub mod dcf;
 pub mod rate_control;
 pub mod timing;
 
-pub use bianchi::{saturation_throughput_bps, solve as bianchi_solve, BianchiPoint};
 pub use airtime::{cell_throughput_bps, CellAirtime, ClientLink};
+pub use bianchi::{saturation_throughput_bps, solve as bianchi_solve, BianchiPoint};
 pub use contention::{access_share, access_shares, contenders};
 pub use dcf::{simulate_dcf, StationConfig, StationStats};
 pub use rate_control::{optimal_mcs_pair, RateController};

@@ -62,7 +62,11 @@ impl RateController {
     /// count, as the hardware does).
     pub fn evaluate(&self, mcs: McsIndex, snr_db: f64, width: ChannelWidth) -> RatePoint {
         let m = mcs.mcs();
-        let mode = if m.n_ss == 1 { MimoMode::Stbc } else { MimoMode::Sdm };
+        let mode = if m.n_ss == 1 {
+            MimoMode::Stbc
+        } else {
+            MimoMode::Sdm
+        };
         let eff = mode.effective_snr_db(snr_db);
         let per = m.per(eff, self.estimator.packet_bytes);
         RatePoint {

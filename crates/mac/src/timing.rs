@@ -134,7 +134,10 @@ mod tests {
         let single = access_cycle_s(1500, 65e6, 1);
         let burst4 = access_cycle_s(1500, 65e6, 4);
         // Four MPDUs cost far less than four single accesses.
-        assert!(burst4 < 4.0 * single * 0.75, "burst {burst4}, single {single}");
+        assert!(
+            burst4 < 4.0 * single * 0.75,
+            "burst {burst4}, single {single}"
+        );
     }
 
     #[test]

@@ -193,7 +193,10 @@ mod tests {
     #[test]
     fn weaker_codes_have_higher_coded_ber() {
         for channel_ber in [1e-3, 3e-3, 1e-2] {
-            let bers: Vec<f64> = CodeRate::ALL.iter().map(|r| coded_ber(*r, channel_ber)).collect();
+            let bers: Vec<f64> = CodeRate::ALL
+                .iter()
+                .map(|r| coded_ber(*r, channel_ber))
+                .collect();
             for w in bers.windows(2) {
                 assert!(w[0] <= w[1] * 1.0001, "ber={channel_ber}: {bers:?}");
             }

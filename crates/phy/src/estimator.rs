@@ -147,12 +147,21 @@ impl LinkQualityEstimator {
         let mut best: Option<RatePoint> = None;
         for idx in McsIndex::all() {
             let mcs = idx.mcs();
-            let mode = if mcs.n_ss == 1 { MimoMode::Stbc } else { MimoMode::Sdm };
+            let mode = if mcs.n_ss == 1 {
+                MimoMode::Stbc
+            } else {
+                MimoMode::Sdm
+            };
             let eff_snr = mode.effective_snr_db(snr_db);
             let (coded_ber, per) = if self.fading_sigma_db > 0.0 {
                 (
                     crate::fading::faded_coded_ber(&mcs, eff_snr, self.fading_sigma_db),
-                    crate::fading::faded_per(&mcs, eff_snr, self.fading_sigma_db, self.packet_bytes),
+                    crate::fading::faded_per(
+                        &mcs,
+                        eff_snr,
+                        self.fading_sigma_db,
+                        self.packet_bytes,
+                    ),
                 )
             } else {
                 (mcs.coded_ber(eff_snr), mcs.per(eff_snr, self.packet_bytes))
@@ -200,10 +209,7 @@ impl LinkQualityEstimator {
     /// Monte-Carlo calibration harness consume: one call per cell (or per
     /// sweep), not one per link. `estimates[i]` equals
     /// `self.estimate(measurements[i].0, measurements[i].1)` exactly.
-    pub fn estimate_grid(
-        &self,
-        measurements: &[(f64, ChannelWidth)],
-    ) -> Vec<LinkQualityEstimate> {
+    pub fn estimate_grid(&self, measurements: &[(f64, ChannelWidth)]) -> Vec<LinkQualityEstimate> {
         measurements
             .iter()
             .map(|&(snr_db, at)| self.estimate(snr_db, at))
@@ -223,7 +229,10 @@ mod tests {
         assert!((to40 - (snr - 3.0103)).abs() < 1e-3);
         let back = e.calibrate_snr(to40, ChannelWidth::Ht40, ChannelWidth::Ht20);
         assert!((back - snr).abs() < 1e-9);
-        assert_eq!(e.calibrate_snr(snr, ChannelWidth::Ht20, ChannelWidth::Ht20), snr);
+        assert_eq!(
+            e.calibrate_snr(snr, ChannelWidth::Ht20, ChannelWidth::Ht20),
+            snr
+        );
     }
 
     #[test]

@@ -155,7 +155,12 @@ mod tests {
             }
             lo.unwrap() - hi.unwrap()
         };
-        assert!(band(3.0) > 2.0 * band(0.0), "faded {} vs awgn {}", band(3.0), band(0.0));
+        assert!(
+            band(3.0) > 2.0 * band(0.0),
+            "faded {} vs awgn {}",
+            band(3.0),
+            band(0.0)
+        );
     }
 
     #[test]

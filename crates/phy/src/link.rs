@@ -119,13 +119,19 @@ pub fn sigma_for(
     snr20_db: f64,
     packet_bytes: u32,
 ) -> f64 {
-    let per = |snr: f64| per_from_ber_bytes(coded_ber(code_rate, modulation.ber_awgn(snr)), packet_bytes);
+    let per =
+        |snr: f64| per_from_ber_bytes(coded_ber(code_rate, modulation.ber_awgn(snr)), packet_bytes);
     sigma(per(snr20_db), per(snr20_db + cb_snr_shift_db()))
 }
 
 /// Whether channel bonding *hurts* (20 MHz wins) at this operating point:
 /// the test `σ > R40/R20` from inequality (3).
-pub fn cb_hurts(modulation: Modulation, code_rate: CodeRate, snr20_db: f64, packet_bytes: u32) -> bool {
+pub fn cb_hurts(
+    modulation: Modulation,
+    code_rate: CodeRate,
+    snr20_db: f64,
+    packet_bytes: u32,
+) -> bool {
     sigma_for(modulation, code_rate, snr20_db, packet_bytes) > rate_ratio_40_over_20()
 }
 
@@ -223,7 +229,10 @@ mod tests {
     #[test]
     fn sinr_reduces_to_snr_without_interference() {
         let b = budget(12.0);
-        assert!((b.sinr_db(ChannelWidth::Ht20, f64::NEG_INFINITY) - b.snr_db(ChannelWidth::Ht20)).abs() < 1e-12);
+        assert!(
+            (b.sinr_db(ChannelWidth::Ht20, f64::NEG_INFINITY) - b.snr_db(ChannelWidth::Ht20)).abs()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -320,7 +329,10 @@ mod tests {
     fn aggregate_interference_sums_in_linear_domain() {
         let agg = aggregate_interference_dbm([-90.0, -90.0]);
         assert!((agg - (-86.9897)).abs() < 1e-3);
-        assert_eq!(aggregate_interference_dbm(std::iter::empty()), f64::NEG_INFINITY);
+        assert_eq!(
+            aggregate_interference_dbm(std::iter::empty()),
+            f64::NEG_INFINITY
+        );
     }
 
     #[test]

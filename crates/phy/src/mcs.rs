@@ -158,7 +158,11 @@ mod tests {
     use super::*;
 
     fn rate_mbps(idx: u8, w: ChannelWidth) -> f64 {
-        McsIndex::new(idx).unwrap().mcs().rate_bps(w, GuardInterval::Long) / 1e6
+        McsIndex::new(idx)
+            .unwrap()
+            .mcs()
+            .rate_bps(w, GuardInterval::Long)
+            / 1e6
     }
 
     #[test]

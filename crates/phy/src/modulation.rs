@@ -26,9 +26,8 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -121,7 +120,8 @@ impl Modulation {
             }
             Modulation::Qam16 | Modulation::Qam64 => {
                 let m = self.order() as f64;
-                let p_sqrt = 2.0 * (1.0 - 1.0 / m.sqrt()) * q_function((3.0 * snr / (m - 1.0)).sqrt());
+                let p_sqrt =
+                    2.0 * (1.0 - 1.0 / m.sqrt()) * q_function((3.0 * snr / (m - 1.0)).sqrt());
                 2.0 * p_sqrt - p_sqrt * p_sqrt
             }
         };
@@ -169,7 +169,10 @@ mod tests {
         for snr in [0.0, 5.0, 10.0, 14.0] {
             let qpsk = Modulation::Qpsk.ber_awgn(snr);
             let bpsk = Modulation::Bpsk.ber_awgn(snr - 3.0103);
-            assert!((qpsk - bpsk).abs() / bpsk < 1e-3, "snr {snr}: {qpsk} vs {bpsk}");
+            assert!(
+                (qpsk - bpsk).abs() / bpsk < 1e-3,
+                "snr {snr}: {qpsk} vs {bpsk}"
+            );
         }
     }
 

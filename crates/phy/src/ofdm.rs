@@ -223,7 +223,8 @@ mod tests {
             width: ChannelWidth::Ht20,
             gi: GuardInterval::Short,
         };
-        let ratio = short.nominal_bit_rate(6, 5.0 / 6.0, 1) / long.nominal_bit_rate(6, 5.0 / 6.0, 1);
+        let ratio =
+            short.nominal_bit_rate(6, 5.0 / 6.0, 1) / long.nominal_bit_rate(6, 5.0 / 6.0, 1);
         assert!((ratio - 10.0 / 9.0).abs() < 1e-9);
     }
 

@@ -2,9 +2,23 @@
 //! Algorithm 1, with periodic Algorithm 2 re-allocation every `T` seconds
 //! — the operating regime the paper designs for ("we run our channel
 //! allocation algorithm every 30 minutes", §4.2).
+//!
+//! Since the event-runtime port, this module is a thin adapter: the loop
+//! itself is [`SessionProcess`] + [`ReallocationTimer`] on the
+//! `acorn-events` kernel, and [`run_churn`] just assembles them and maps
+//! the world's re-allocation log back into the historical
+//! [`ChurnReport`] shape. Outputs are bit-identical to the pre-kernel
+//! sorted-vector loop for every seed: the kernel's `(time, seq)` total
+//! order reproduces the old stable sort's tie handling (session events
+//! in trace order, then re-allocation ticks), with the bonus that
+//! simultaneous events are now *guaranteed* stable and a NaN timestamp
+//! fails loudly at scheduling instead of corrupting a sort.
 
 use acorn_core::{AcornController, NetworkState};
-use acorn_topology::{ClientId, Wlan};
+use acorn_events::{
+    AcornEvent, AcornWorld, ReallocationTimer, SeedPolicy, SessionProcess, Simulation,
+};
+use acorn_topology::Wlan;
 use acorn_traces::Session;
 
 /// Configuration of a churn run.
@@ -80,70 +94,42 @@ pub fn run_churn(
     config: &ChurnConfig,
     seed: u64,
 ) -> ChurnReport {
-    for s in sessions {
-        assert!(
-            s.client < wlan.clients.len(),
-            "session client {} has no position in the deployment",
-            s.client
-        );
-    }
-    enum Ev {
-        Arrive(usize),
-        Depart(usize),
-        Reallocate,
-    }
-    let mut events: Vec<(f64, Ev)> = Vec::new();
-    for s in sessions {
-        if s.start_s < config.horizon_s {
-            events.push((s.start_s, Ev::Arrive(s.client)));
-            events.push((s.end_s().min(config.horizon_s), Ev::Depart(s.client)));
-        }
-    }
-    let mut t = config.reallocation_period_s;
-    while t < config.horizon_s {
-        events.push((t, Ev::Reallocate));
-        t += config.reallocation_period_s;
-    }
-    events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-
-    let mut state = ctl.new_state(wlan, seed);
-    let mut snapshots = Vec::new();
-    let mut realloc_seed = seed.wrapping_add(1);
-    for (time, ev) in events {
-        match ev {
-            Ev::Arrive(c) => {
-                ctl.associate(wlan, &mut state, ClientId(c));
-                if config.adapt_widths {
-                    ctl.adapt_widths(wlan, &mut state);
-                }
-            }
-            Ev::Depart(c) => {
-                ctl.deassociate(&mut state, ClientId(c));
-                if config.adapt_widths {
-                    ctl.adapt_widths(wlan, &mut state);
-                }
-            }
-            Ev::Reallocate => {
-                let before = ctl.total_throughput_bps(wlan, &state);
-                let active = state.assoc.iter().filter(|a| a.is_some()).count();
-                let r = ctl.reallocate_with_restarts(wlan, &mut state, config.restarts, realloc_seed);
-                realloc_seed = realloc_seed.wrapping_add(1);
-                if config.adapt_widths {
-                    ctl.adapt_widths(wlan, &mut state);
-                }
-                snapshots.push(Snapshot {
-                    t_s: time,
-                    active_clients: active,
-                    before_bps: before,
-                    after_bps: r.total_bps,
-                    switches: r.switches,
-                });
-            }
-        }
-    }
+    let world = AcornWorld::new(wlan.clone(), *ctl, seed);
+    let mut sim: Simulation<AcornWorld, AcornEvent> = Simulation::new(world);
+    // Registration order is load-bearing: session events get the low
+    // sequence numbers (in trace order), the timer's ticks come after —
+    // reproducing the old stable sort's same-timestamp ordering exactly.
+    sim.add_process(Box::new(SessionProcess {
+        sessions: sessions.to_vec(),
+        horizon_s: config.horizon_s,
+        adapt_widths: config.adapt_widths,
+    }));
+    sim.add_process(Box::new(ReallocationTimer {
+        period_s: config.reallocation_period_s,
+        horizon_s: config.horizon_s,
+        restarts: config.restarts,
+        adapt_widths: config.adapt_widths,
+        // The historical epoch-seed sequence: seed+1, seed+2, …
+        seed_policy: SeedPolicy::Sequential {
+            next: seed.wrapping_add(1),
+        },
+    }));
+    sim.run(config.horizon_s);
+    let snapshots = sim
+        .world
+        .realloc_log
+        .iter()
+        .map(|r| Snapshot {
+            t_s: r.t_s,
+            active_clients: r.active_clients,
+            before_bps: r.before_bps,
+            after_bps: r.after_bps,
+            switches: r.switches,
+        })
+        .collect();
     ChurnReport {
         snapshots,
-        final_state: state,
+        final_state: sim.world.state.clone(),
     }
 }
 
@@ -277,6 +263,45 @@ mod tests {
                 "{a:?} operating at {w:?}"
             );
         }
+    }
+
+    #[test]
+    fn simultaneous_events_keep_trace_order() {
+        // Regression for the pre-kernel sorted-vector loop, which ordered
+        // same-timestamp events only by sort stability (and panicked on
+        // NaN): a session arriving at *exactly* a re-allocation instant
+        // must be associated before the re-allocation fires — session
+        // events were pushed (and are now sequence-numbered) first.
+        let wlan = enterprise_grid(2, 2, 50.0, 2, 2);
+        let ctl = AcornController::new(AcornConfig::default());
+        let sessions = vec![
+            Session {
+                client: 0,
+                start_s: 1800.0,
+                duration_s: 100.0,
+            },
+            Session {
+                client: 1,
+                start_s: 1800.0, // simultaneous arrivals stay in trace order
+                duration_s: 50.0,
+            },
+        ];
+        let cfg = ChurnConfig {
+            horizon_s: 3600.0,
+            reallocation_period_s: 1800.0,
+            restarts: 1,
+            adapt_widths: false,
+        };
+        let report = run_churn(&wlan, &ctl, &sessions, &cfg, 21);
+        assert_eq!(report.snapshots.len(), 1);
+        assert_eq!(
+            report.snapshots[0].active_clients, 2,
+            "arrivals at t = T must be visible to the re-allocation at t = T"
+        );
+        // And the whole thing is reproducible, ties included.
+        let again = run_churn(&wlan, &ctl, &sessions, &cfg, 21);
+        assert_eq!(report.snapshots, again.snapshots);
+        assert_eq!(report.final_state, again.final_state);
     }
 
     #[test]

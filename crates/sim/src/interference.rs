@@ -91,14 +91,8 @@ pub fn evaluate_analytic_sinr(
                 .map(|(c, _)| {
                     let client = ClientId(c);
                     let budget = wlan.link_budget(ap, client);
-                    let interference = interference_at_client_dbm(
-                        wlan,
-                        &graph,
-                        assignments,
-                        ap,
-                        client,
-                        &duty,
-                    );
+                    let interference =
+                        interference_at_client_dbm(wlan, &graph, assignments, ap, client, &duty);
                     let sinr = budget.sinr_db(width, interference);
                     // Map the width-specific SINR back through the
                     // estimator (measured at the serving width).
@@ -199,24 +193,12 @@ mod tests {
         let (w, assoc) = hidden_pair();
         let est = LinkQualityEstimator::default();
         let loss_fraction = |victim: ChannelAssignment, interferer: ChannelAssignment| {
-            let with = evaluate_analytic_sinr(
-                &w,
-                &[victim, interferer],
-                &assoc,
-                &est,
-                1500,
-                Traffic::Udp,
-            )
-            .per_ap_bps[0];
-            let clean = evaluate_analytic_sinr(
-                &w,
-                &[victim, single(11)],
-                &assoc,
-                &est,
-                1500,
-                Traffic::Udp,
-            )
-            .per_ap_bps[0];
+            let with =
+                evaluate_analytic_sinr(&w, &[victim, interferer], &assoc, &est, 1500, Traffic::Udp)
+                    .per_ap_bps[0];
+            let clean =
+                evaluate_analytic_sinr(&w, &[victim, single(11)], &assoc, &est, 1500, Traffic::Udp)
+                    .per_ap_bps[0];
             1.0 - with / clean
         };
         // Interferer fully covers the victim's band in both cases.

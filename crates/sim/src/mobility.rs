@@ -8,39 +8,16 @@
 //! 20 MHz mode and is able to sustain a cell throughput that is almost ten
 //! times that of a fixed 40 MHz channel."
 
+use acorn_events::{Ctx, Process, Simulation};
 use acorn_mac::airtime::CellAirtime;
 use acorn_phy::estimator::LinkQualityEstimator;
 use acorn_phy::ChannelWidth;
 use acorn_topology::{ApId, ClientId, Point, Wlan};
 
-/// Straight-line pedestrian trajectory.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Trajectory {
-    /// Starting position.
-    pub from: Point,
-    /// End position (the client stops there).
-    pub to: Point,
-    /// Walking speed, m/s (pedestrian ≈ 1.2).
-    pub speed_mps: f64,
-}
-
-impl Trajectory {
-    /// Position at time `t` seconds after the walk starts (clamped at the
-    /// endpoint — "the client stops at a location far from the AP").
-    pub fn position_at(&self, t: f64) -> Point {
-        let total = self.from.distance(&self.to);
-        if total == 0.0 {
-            return self.from;
-        }
-        let frac = ((self.speed_mps * t.max(0.0)) / total).min(1.0);
-        self.from.lerp(&self.to, frac)
-    }
-
-    /// Time to reach the endpoint.
-    pub fn duration_s(&self) -> f64 {
-        self.from.distance(&self.to) / self.speed_mps
-    }
-}
+// The trajectory type moved to `acorn_topology::geom` (it is pure
+// geometry, shared with the event runtime's `MobilityProcess`); the
+// re-export keeps this module's historical API.
+pub use acorn_topology::Trajectory;
 
 /// Width policy under test.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,35 +80,70 @@ impl MobilityExperiment {
     }
 
     /// Runs the walk under a policy, returning the Fig. 13 time trace.
+    ///
+    /// Since the event-runtime port this is a kernel scenario: the walk
+    /// is a single self-scheduling [`Process`] over a `(Wlan, samples)`
+    /// world. Sample times accumulate exactly as the old fixed-step loop
+    /// did (`t + period`, from the previous *scheduled* time), so traces
+    /// are bit-identical to the pre-kernel implementation.
     pub fn run(&self, policy: WidthPolicy) -> Vec<MobilitySample> {
         assert_eq!(self.wlan.aps.len(), 1, "mobility experiment is single-cell");
-        let horizon = self.trajectory.duration_s() + 5.0;
-        let mut samples = Vec::new();
-        let mut t = 0.0;
-        let mut wlan = self.wlan.clone();
-        while t <= horizon {
-            wlan.clients[self.mobile.0].pos = self.trajectory.position_at(t);
-            let width = match policy {
-                WidthPolicy::Fixed(w) => w,
-                WidthPolicy::AcornAdaptive => {
-                    if self.cell_bps(&wlan, ChannelWidth::Ht40)
-                        >= self.cell_bps(&wlan, ChannelWidth::Ht20)
-                    {
-                        ChannelWidth::Ht40
-                    } else {
-                        ChannelWidth::Ht20
-                    }
-                }
-            };
-            samples.push(MobilitySample {
-                t_s: t,
-                width,
-                cell_bps: self.cell_bps(&wlan, width),
-                mobile_snr20_db: wlan.snr_db(ApId(0), self.mobile, ChannelWidth::Ht20),
-            });
-            t += self.sample_period_s;
+        struct WalkWorld {
+            wlan: Wlan,
+            samples: Vec<MobilitySample>,
         }
-        samples
+        struct WalkProcess {
+            exp: MobilityExperiment,
+            policy: WidthPolicy,
+            horizon_s: f64,
+        }
+        impl Process<WalkWorld, ()> for WalkProcess {
+            fn start(&mut self, ctx: &mut Ctx<'_, WalkWorld, ()>) {
+                ctx.schedule_at(0.0, ());
+            }
+            fn handle(&mut self, _e: &(), ctx: &mut Ctx<'_, WalkWorld, ()>) {
+                let t = ctx.now();
+                let w = &mut *ctx.world;
+                w.wlan.clients[self.exp.mobile.0].pos = self.exp.trajectory.position_at(t);
+                let width = match self.policy {
+                    WidthPolicy::Fixed(wd) => wd,
+                    WidthPolicy::AcornAdaptive => {
+                        if self.exp.cell_bps(&w.wlan, ChannelWidth::Ht40)
+                            >= self.exp.cell_bps(&w.wlan, ChannelWidth::Ht20)
+                        {
+                            ChannelWidth::Ht40
+                        } else {
+                            ChannelWidth::Ht20
+                        }
+                    }
+                };
+                let sample = MobilitySample {
+                    t_s: t,
+                    width,
+                    cell_bps: self.exp.cell_bps(&w.wlan, width),
+                    mobile_snr20_db: w.wlan.snr_db(ApId(0), self.exp.mobile, ChannelWidth::Ht20),
+                };
+                w.samples.push(sample);
+                ctx.telemetry
+                    .record("mobility.cell_bps", t, sample.cell_bps);
+                let next = t + self.exp.sample_period_s;
+                if next <= self.horizon_s {
+                    ctx.schedule_at(next, ());
+                }
+            }
+        }
+        let horizon = self.trajectory.duration_s() + 5.0;
+        let mut sim: Simulation<WalkWorld, ()> = Simulation::new(WalkWorld {
+            wlan: self.wlan.clone(),
+            samples: Vec::new(),
+        });
+        sim.add_process(Box::new(WalkProcess {
+            exp: self.clone(),
+            policy,
+            horizon_s: horizon,
+        }));
+        sim.run_to_completion();
+        sim.world.samples
     }
 }
 
@@ -184,19 +196,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn trajectory_clamps_at_endpoint() {
-        let tr = Trajectory {
-            from: Point::new(0.0, 0.0),
-            to: Point::new(10.0, 0.0),
-            speed_mps: 1.0,
-        };
-        assert_eq!(tr.position_at(0.0), Point::new(0.0, 0.0));
-        assert_eq!(tr.position_at(5.0), Point::new(5.0, 0.0));
-        assert_eq!(tr.position_at(100.0), Point::new(10.0, 0.0));
-        assert_eq!(tr.duration_s(), 10.0);
-    }
-
-    #[test]
     fn outbound_walk_acorn_switches_40_to_20() {
         // Fig. 13a: ACORN starts at 40 MHz, falls back to 20 MHz when the
         // mobile link degrades.
@@ -205,7 +204,10 @@ mod tests {
         assert_eq!(trace.first().unwrap().width, ChannelWidth::Ht40);
         assert_eq!(trace.last().unwrap().width, ChannelWidth::Ht20);
         // Exactly one switch (monotone degradation).
-        let switches = trace.windows(2).filter(|w| w[0].width != w[1].width).count();
+        let switches = trace
+            .windows(2)
+            .filter(|w| w[0].width != w[1].width)
+            .count();
         assert_eq!(switches, 1, "trace should switch once");
     }
 

@@ -150,10 +150,7 @@ pub fn evaluate_dcf(
             })
             .collect();
         let stats = simulate_dcf(&stations, duration_s, seed.wrapping_add(ci as u64));
-        stats
-            .iter()
-            .map(|s| s.throughput_bps(duration_s))
-            .collect()
+        stats.iter().map(|s| s.throughput_bps(duration_s)).collect()
     });
     let mut per_ap = vec![0.0f64; wlan.aps.len()];
     for (comp, bps) in components.iter().zip(&results) {
@@ -185,13 +182,11 @@ mod tests {
     fn natural_assoc(wlan: &Wlan) -> Vec<Option<ApId>> {
         (0..wlan.clients.len())
             .map(|c| {
-                (0..wlan.aps.len())
-                    .map(ApId)
-                    .max_by(|&a, &b| {
-                        wlan.snr_db(a, ClientId(c), ChannelWidth::Ht20)
-                            .partial_cmp(&wlan.snr_db(b, ClientId(c), ChannelWidth::Ht20))
-                            .unwrap()
-                    })
+                (0..wlan.aps.len()).map(ApId).max_by(|&a, &b| {
+                    wlan.snr_db(a, ClientId(c), ChannelWidth::Ht20)
+                        .partial_cmp(&wlan.snr_db(b, ClientId(c), ChannelWidth::Ht20))
+                        .unwrap()
+                })
             })
             .collect()
     }
@@ -202,9 +197,22 @@ mod tests {
         // a 20 MHz channel than bonded.
         let w = topology1();
         let assoc = natural_assoc(&w);
-        let cb = evaluate_analytic(&w, &[bonded(0), bonded(2)], &assoc, &est(), 1500, Traffic::Udp);
-        let acorn_like =
-            evaluate_analytic(&w, &[single(0), bonded(2)], &assoc, &est(), 1500, Traffic::Udp);
+        let cb = evaluate_analytic(
+            &w,
+            &[bonded(0), bonded(2)],
+            &assoc,
+            &est(),
+            1500,
+            Traffic::Udp,
+        );
+        let acorn_like = evaluate_analytic(
+            &w,
+            &[single(0), bonded(2)],
+            &assoc,
+            &est(),
+            1500,
+            Traffic::Udp,
+        );
         assert!(
             acorn_like.per_ap_bps[0] > 3.0 * cb.per_ap_bps[0],
             "20 MHz {:.3e} vs bonded {:.3e}",
@@ -224,7 +232,12 @@ mod tests {
         let d = evaluate_dcf(&w, &assignments, &assoc, &est(), 1500, 5.0, 1);
         for i in 0..2 {
             let err = (a.per_ap_bps[i] - d.per_ap_bps[i]).abs() / a.per_ap_bps[i].max(1.0);
-            assert!(err < 0.1, "AP {i}: analytic {:.3e} dcf {:.3e}", a.per_ap_bps[i], d.per_ap_bps[i]);
+            assert!(
+                err < 0.1,
+                "AP {i}: analytic {:.3e} dcf {:.3e}",
+                a.per_ap_bps[i],
+                d.per_ap_bps[i]
+            );
         }
     }
 
@@ -257,7 +270,8 @@ mod tests {
         let all40 = vec![bonded(0), bonded(2), bonded(0)];
         let acorn_like = vec![bonded(0), single(2), single(3)];
         let y_all40 = evaluate_analytic(&w, &all40, &assoc, &est(), 1500, Traffic::Udp).total_bps;
-        let y_acorn = evaluate_analytic(&w, &acorn_like, &assoc, &est(), 1500, Traffic::Udp).total_bps;
+        let y_acorn =
+            evaluate_analytic(&w, &acorn_like, &assoc, &est(), 1500, Traffic::Udp).total_bps;
         assert!(
             y_acorn > 1.5 * y_all40,
             "acorn {:.3e} vs all-40 {:.3e}",
@@ -272,7 +286,14 @@ mod tests {
         let assoc = natural_assoc(&w);
         let assignments = [single(0), bonded(2)];
         let udp = evaluate_analytic(&w, &assignments, &assoc, &est(), 1500, Traffic::Udp);
-        let tcp = evaluate_analytic(&w, &assignments, &assoc, &est(), 1500, Traffic::tcp_default());
+        let tcp = evaluate_analytic(
+            &w,
+            &assignments,
+            &assoc,
+            &est(),
+            1500,
+            Traffic::tcp_default(),
+        );
         assert!(tcp.total_bps < udp.total_bps);
         assert!(tcp.total_bps > 0.3 * udp.total_bps);
     }
@@ -282,7 +303,14 @@ mod tests {
         let w = topology1();
         let mut assoc = natural_assoc(&w);
         assoc[0] = None;
-        let e = evaluate_analytic(&w, &[single(0), single(1)], &assoc, &est(), 1500, Traffic::Udp);
+        let e = evaluate_analytic(
+            &w,
+            &[single(0), single(1)],
+            &assoc,
+            &est(),
+            1500,
+            Traffic::Udp,
+        );
         assert!(e.total_bps > 0.0);
         let links = cell_links(&w, &assoc, &est(), ApId(0), ChannelWidth::Ht20);
         assert_eq!(links.len(), 1);

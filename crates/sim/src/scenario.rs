@@ -7,11 +7,11 @@
 //! good ≈ 28–32 dB, poor ≈ 0–2 dB (where §3's measurements show CB
 //! collapsing).
 
+use acorn_phy::noise::channel_noise_floor_dbm;
+use acorn_phy::ChannelWidth;
 use acorn_topology::pathloss::LogDistance;
 use acorn_topology::wlan::RadioParams;
 use acorn_topology::{Point, Wlan};
-use acorn_phy::noise::channel_noise_floor_dbm;
-use acorn_phy::ChannelWidth;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -96,7 +96,7 @@ pub fn topology2() -> Wlan {
     clients.push(Point::new(40.0 - d_good * 0.7, -d_good * 0.5)); // good
     clients.push(Point::new(20.0, d_good * 0.8)); // good
     clients.push(Point::new(20.0, -d_mid)); // mid-quality
-    // AP 1: two good clients.
+                                            // AP 1: two good clients.
     clients.extend(ring(ap1, d_good, 2, 0.3));
     // AP 3: one good, one deeply poor client.
     clients.push(Point::new(4000.0 + d_good, 0.0));

@@ -126,7 +126,10 @@ mod tests {
         let udp = cell_goodput_bps(&a, &clients, 1.0, Traffic::Udp);
         let tcp = cell_goodput_bps(&a, &clients, 1.0, Traffic::tcp_default());
         assert!(tcp < udp);
-        assert!(tcp > 0.5 * udp, "clean-ish link shouldn't collapse: {tcp:.3e} vs {udp:.3e}");
+        assert!(
+            tcp > 0.5 * udp,
+            "clean-ish link shouldn't collapse: {tcp:.3e} vs {udp:.3e}"
+        );
     }
 
     #[test]

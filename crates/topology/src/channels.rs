@@ -177,7 +177,10 @@ mod tests {
     #[test]
     fn bonding_legality() {
         assert!(Channel20(0).bonds_with(Channel20(1)));
-        assert!(!Channel20(1).bonds_with(Channel20(2)), "straddles bond boundary");
+        assert!(
+            !Channel20(1).bonds_with(Channel20(2)),
+            "straddles bond boundary"
+        );
         assert!(!Channel20(0).bonds_with(Channel20(2)));
         assert!(ChannelAssignment::bonded(Channel20(4)).is_some());
         assert!(ChannelAssignment::bonded(Channel20(3)).is_none());
@@ -220,7 +223,10 @@ mod tests {
         assert_eq!(b.fallback_20().width(), ChannelWidth::Ht20);
         // Falling back keeps occupancy inside the original bond, so
         // neighbours' decisions stay valid (§5.2 mobility argument).
-        assert!(b.fallback_20().occupied().all(|c| b.occupied().any(|x| x == c)));
+        assert!(b
+            .fallback_20()
+            .occupied()
+            .all(|c| b.occupied().any(|x| x == c)));
     }
 
     #[test]

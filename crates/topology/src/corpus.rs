@@ -74,10 +74,7 @@ pub fn testbed_links() -> Vec<TestbedLink> {
         -2.0, 0.0, 1.5, 3.0, 4.0, 5.0, 6.0, 7.5, 9.0, 10.5, 12.0, 14.0, 16.0, 18.0, 20.0, 22.0,
         24.0, 26.0, 28.0, 30.0, 32.0, 34.0, 36.0, 38.0,
     ];
-    snrs.iter()
-        .enumerate()
-        .map(|(i, &s)| link(i, s))
-        .collect()
+    snrs.iter().enumerate().map(|(i, &s)| link(i, s)).collect()
 }
 
 /// The four "representative links A–D" of Fig. 5, ordered best to worst at

@@ -30,9 +30,64 @@ impl Point {
     }
 }
 
+/// Straight-line trajectory between two points at constant speed — the
+/// pedestrian walks of Figs. 12–13 and the waypoint input of the
+/// event-driven `MobilityProcess`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trajectory {
+    /// Starting position.
+    pub from: Point,
+    /// End position (the client stops there).
+    pub to: Point,
+    /// Walking speed, m/s (pedestrian ≈ 1.2).
+    pub speed_mps: f64,
+}
+
+impl Trajectory {
+    /// Position at time `t` seconds after the walk starts (clamped at the
+    /// endpoint — "the client stops at a location far from the AP").
+    pub fn position_at(&self, t: f64) -> Point {
+        let total = self.from.distance(&self.to);
+        if total == 0.0 {
+            return self.from;
+        }
+        let frac = ((self.speed_mps * t.max(0.0)) / total).min(1.0);
+        self.from.lerp(&self.to, frac)
+    }
+
+    /// Time to reach the endpoint.
+    pub fn duration_s(&self) -> f64 {
+        self.from.distance(&self.to) / self.speed_mps
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trajectory_clamps_at_endpoint() {
+        let tr = Trajectory {
+            from: Point::new(0.0, 0.0),
+            to: Point::new(10.0, 0.0),
+            speed_mps: 1.0,
+        };
+        assert_eq!(tr.position_at(0.0), Point::new(0.0, 0.0));
+        assert_eq!(tr.position_at(5.0), Point::new(5.0, 0.0));
+        assert_eq!(tr.position_at(100.0), Point::new(10.0, 0.0));
+        assert_eq!(tr.duration_s(), 10.0);
+    }
+
+    #[test]
+    fn degenerate_trajectory_stays_put() {
+        let p = Point::new(3.0, 4.0);
+        let tr = Trajectory {
+            from: p,
+            to: p,
+            speed_mps: 1.0,
+        };
+        assert_eq!(tr.position_at(7.0), p);
+    }
 
     #[test]
     fn distance_345() {

@@ -58,9 +58,7 @@ impl InterferenceGraph {
     /// Iterator over the neighbours of `a`.
     pub fn neighbors(&self, a: ApId) -> impl Iterator<Item = ApId> + '_ {
         let n = self.n;
-        (0..n)
-            .filter(move |j| self.adj[a.0 * n + j])
-            .map(ApId)
+        (0..n).filter(move |j| self.adj[a.0 * n + j]).map(ApId)
     }
 
     /// Degree of vertex `a`.

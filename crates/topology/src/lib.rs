@@ -28,7 +28,7 @@ pub mod pathloss;
 pub mod wlan;
 
 pub use channels::{Channel20, ChannelAssignment, ChannelPlan};
-pub use geom::Point;
+pub use geom::{Point, Trajectory};
 pub use graph::{ApId, InterferenceGraph};
 pub use pathloss::LogDistance;
 pub use wlan::{Ap, Client, ClientId, RadioParams, Wlan};

@@ -35,6 +35,15 @@ pub struct LogDistance {
     pub shadowing_sigma_db: f64,
     /// Seed mixed into the per-link shadowing hash.
     pub seed: u64,
+    /// Slow-drift phase (radians). At `0.0` (the default) every link uses
+    /// its frozen shadowing realization, exactly as before. A non-zero
+    /// phase rotates each link between **two** independent frozen
+    /// realizations, `X·cos(φ) + X'·sin(φ)`, so the environment drifts
+    /// smoothly and deterministically while the marginal distribution
+    /// stays `N(0, σ²)` at every phase — the `DriftProcess` scenario class
+    /// in `acorn-events` advances this to model furniture/people-scale
+    /// shadowing churn between re-allocation epochs.
+    pub drift_phase: f64,
 }
 
 impl LogDistance {
@@ -46,6 +55,7 @@ impl LogDistance {
             exponent: 3.3,
             shadowing_sigma_db: 4.0,
             seed,
+            drift_phase: 0.0,
         }
     }
 
@@ -56,6 +66,7 @@ impl LogDistance {
             exponent: 2.0,
             shadowing_sigma_db: 0.0,
             seed: 0,
+            drift_phase: 0.0,
         }
     }
 
@@ -71,13 +82,33 @@ impl LogDistance {
         self.median_db(d_m) + self.shadowing_db(link_key)
     }
 
-    /// The frozen shadowing realization (dB) of a link.
+    /// The shadowing realization (dB) of a link at the current
+    /// [`drift phase`](LogDistance::drift_phase).
+    ///
+    /// At phase `0.0` this is the link's frozen draw — the same
+    /// `(seed, link_key)` always produces the same loss (the Fig. 8
+    /// stability property), bit-identical to the pre-drift model. At any
+    /// other phase the link interpolates `X·cos(φ) + X'·sin(φ)` between
+    /// its two frozen draws, which is again `N(0, σ²)`-distributed and
+    /// still a pure function of `(seed, link_key, φ)`.
     pub fn shadowing_db(&self, link_key: u64) -> f64 {
         if self.shadowing_sigma_db == 0.0 {
             return 0.0;
         }
-        // SplitMix64 over (seed, link_key) → two uniforms → Box–Muller.
-        let mut x = self.seed ^ link_key.wrapping_mul(0x9E3779B97F4A7C15);
+        let g = Self::gaussian(self.seed, link_key);
+        if self.drift_phase == 0.0 {
+            return g * self.shadowing_sigma_db;
+        }
+        // Second independent frozen draw for the drift quadrature; the
+        // seed tweak keeps it decorrelated from the primary draw.
+        let g2 = Self::gaussian(self.seed ^ 0xD1F7_5EED_0000_0001, link_key);
+        (g * self.drift_phase.cos() + g2 * self.drift_phase.sin()) * self.shadowing_sigma_db
+    }
+
+    /// A standard-normal draw, a pure function of `(seed, link_key)`:
+    /// SplitMix64 over the pair → two uniforms → Box–Muller.
+    fn gaussian(seed: u64, link_key: u64) -> f64 {
+        let mut x = seed ^ link_key.wrapping_mul(0x9E3779B97F4A7C15);
         let mut next = || {
             x = x.wrapping_add(0x9E3779B97F4A7C15);
             let mut z = x;
@@ -87,8 +118,7 @@ impl LogDistance {
         };
         let u1 = (next() >> 11) as f64 / (1u64 << 53) as f64;
         let u2 = (next() >> 11) as f64 / (1u64 << 53) as f64;
-        let g = (-2.0 * u1.max(1e-18).ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-        g * self.shadowing_sigma_db
+        (-2.0 * u1.max(1e-18).ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     }
 }
 
@@ -168,6 +198,57 @@ mod tests {
     fn link_key_is_symmetric() {
         assert_eq!(link_key(12, 90), link_key(90, 12));
         assert_ne!(link_key(12, 90), link_key(12, 91));
+    }
+
+    #[test]
+    fn zero_drift_phase_is_bit_identical_to_frozen_shadowing() {
+        // drift_phase = 0.0 must take the single-draw path exactly, so
+        // every pre-drift result (and golden test) is unchanged.
+        let frozen = LogDistance::indoor_5ghz(42);
+        let drifting = LogDistance {
+            drift_phase: 0.0,
+            ..frozen
+        };
+        for k in 0..200u64 {
+            assert_eq!(
+                frozen.shadowing_db(k).to_bits(),
+                drifting.shadowing_db(k).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn drift_is_smooth_and_deterministic() {
+        let base = LogDistance::indoor_5ghz(9);
+        let k = link_key(2, 5);
+        let at = |phase: f64| {
+            LogDistance {
+                drift_phase: phase,
+                ..base
+            }
+            .shadowing_db(k)
+        };
+        assert_eq!(at(0.3), at(0.3), "pure function of phase");
+        // A small phase step moves the realization by O(phase · σ).
+        assert!((at(1e-4) - at(0.0)).abs() < 1e-2);
+        // A large step genuinely changes the environment.
+        assert_ne!(at(0.0), at(std::f64::consts::FRAC_PI_2));
+    }
+
+    #[test]
+    fn drift_preserves_the_shadowing_distribution() {
+        // At any phase the marginal stays N(0, σ²): cos²+sin² = 1.
+        let m = LogDistance {
+            shadowing_sigma_db: 6.0,
+            drift_phase: 0.77,
+            ..LogDistance::indoor_5ghz(7)
+        };
+        let n = 20_000u64;
+        let samples: Vec<f64> = (0..n).map(|i| m.shadowing_db(i)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.15, "mean {mean}");
+        assert!((var.sqrt() - 6.0).abs() < 0.2, "std {}", var.sqrt());
     }
 
     #[test]

@@ -113,7 +113,9 @@ impl Wlan {
     pub fn ap_to_ap_rx_dbm(&self, from: ApId, to: ApId) -> f64 {
         let d = self.aps[from.0].pos.distance(&self.aps[to.0].pos);
         self.radio.tx_power_dbm + self.radio.antenna_gains_dbi
-            - self.pathloss.loss_db(d, link_key(from.0 as u64, to.0 as u64))
+            - self
+                .pathloss
+                .loss_db(d, link_key(from.0 as u64, to.0 as u64))
     }
 
     /// Whether two positions are within carrier-sense range.
@@ -134,8 +136,12 @@ impl Wlan {
             for j in i + 1..n {
                 let direct = self.in_cs_range(&self.aps[i].pos, &self.aps[j].pos);
                 let via_clients = assoc.iter().enumerate().any(|(c, owner)| match owner {
-                    Some(ap) if ap.0 == i => self.in_cs_range(&self.aps[j].pos, &self.clients[c].pos),
-                    Some(ap) if ap.0 == j => self.in_cs_range(&self.aps[i].pos, &self.clients[c].pos),
+                    Some(ap) if ap.0 == i => {
+                        self.in_cs_range(&self.aps[j].pos, &self.clients[c].pos)
+                    }
+                    Some(ap) if ap.0 == j => {
+                        self.in_cs_range(&self.aps[i].pos, &self.clients[c].pos)
+                    }
                     _ => false,
                 });
                 if direct || via_clients {

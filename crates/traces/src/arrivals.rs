@@ -53,7 +53,10 @@ impl SessionGenerator {
 
     /// Generates all sessions starting inside `[0, horizon_s)`.
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, horizon_s: f64) -> Vec<Session> {
-        assert!(self.arrival_rate_per_s > 0.0, "arrival rate must be positive");
+        assert!(
+            self.arrival_rate_per_s > 0.0,
+            "arrival rate must be positive"
+        );
         let mut sessions = Vec::new();
         let mut t = 0.0;
         let mut id = 0usize;

@@ -4,6 +4,28 @@
 //! provides the ECDF machinery used to regenerate it (and to summarize any
 //! other experimental sample).
 
+use std::fmt;
+
+/// Why an [`Ecdf`] could not be built from a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EcdfError {
+    /// The sample set was empty — an ECDF needs at least one sample.
+    Empty,
+    /// The sample set contained a NaN, which has no place in an ordering.
+    Nan,
+}
+
+impl fmt::Display for EcdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcdfError::Empty => write!(f, "ECDF needs at least one sample"),
+            EcdfError::Nan => write!(f, "ECDF rejects NaN samples"),
+        }
+    }
+}
+
+impl std::error::Error for EcdfError {}
+
 /// An empirical CDF over a sorted sample.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Ecdf {
@@ -11,12 +33,20 @@ pub struct Ecdf {
 }
 
 impl Ecdf {
-    /// Builds an ECDF. NaNs are rejected.
-    pub fn new(mut samples: Vec<f64>) -> Ecdf {
-        assert!(!samples.is_empty(), "ECDF needs at least one sample");
-        assert!(samples.iter().all(|s| !s.is_nan()), "NaN sample");
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        Ecdf { sorted: samples }
+    /// Builds an ECDF. Empty sample sets and NaNs are rejected with a
+    /// typed error instead of a panic, so callers feeding
+    /// externally-derived samples (trace filters, telemetry series) can
+    /// propagate the failure.
+    pub fn new(mut samples: Vec<f64>) -> Result<Ecdf, EcdfError> {
+        if samples.is_empty() {
+            return Err(EcdfError::Empty);
+        }
+        if samples.iter().any(|s| s.is_nan()) {
+            return Err(EcdfError::Nan);
+        }
+        // No NaNs: total order exists, so the comparison cannot fail.
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaNs rejected above"));
+        Ok(Ecdf { sorted: samples })
     }
 
     /// Number of samples.
@@ -50,7 +80,10 @@ impl Ecdf {
 
     /// Smallest and largest samples.
     pub fn range(&self) -> (f64, f64) {
-        (self.sorted[0], *self.sorted.last().unwrap())
+        (
+            self.sorted[0],
+            *self.sorted.last().expect("non-empty by construction"),
+        )
     }
 
     /// Evaluates the ECDF on a grid of `n` evenly spaced points spanning
@@ -71,9 +104,13 @@ impl Ecdf {
 mod tests {
     use super::*;
 
+    fn ecdf(samples: Vec<f64>) -> Ecdf {
+        Ecdf::new(samples).expect("valid sample set")
+    }
+
     #[test]
     fn eval_known_points() {
-        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        let e = ecdf(vec![1.0, 2.0, 3.0, 4.0]);
         assert_eq!(e.eval(0.5), 0.0);
         assert_eq!(e.eval(1.0), 0.25);
         assert_eq!(e.eval(2.5), 0.5);
@@ -83,7 +120,7 @@ mod tests {
 
     #[test]
     fn quantiles() {
-        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+        let e = ecdf(vec![10.0, 20.0, 30.0, 40.0, 50.0]);
         assert_eq!(e.median(), 30.0);
         assert_eq!(e.quantile(0.0), 10.0);
         assert_eq!(e.quantile(1.0), 50.0);
@@ -93,14 +130,14 @@ mod tests {
 
     #[test]
     fn unsorted_input_is_sorted() {
-        let e = Ecdf::new(vec![3.0, 1.0, 2.0]);
+        let e = ecdf(vec![3.0, 1.0, 2.0]);
         assert_eq!(e.range(), (1.0, 3.0));
         assert!((e.eval(1.5) - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn curve_is_monotone_and_spans_01() {
-        let e = Ecdf::new((1..=100).map(|i| i as f64).collect());
+        let e = ecdf((1..=100).map(|i| i as f64).collect());
         let curve = e.curve(50);
         assert_eq!(curve.len(), 50);
         for w in curve.windows(2) {
@@ -110,14 +147,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one sample")]
-    fn empty_panics() {
-        Ecdf::new(vec![]);
+    fn empty_is_an_error_not_a_panic() {
+        assert_eq!(Ecdf::new(vec![]), Err(EcdfError::Empty));
     }
 
     #[test]
-    #[should_panic(expected = "NaN")]
-    fn nan_panics() {
-        Ecdf::new(vec![1.0, f64::NAN]);
+    fn nan_is_an_error_not_a_panic() {
+        assert_eq!(Ecdf::new(vec![1.0, f64::NAN]), Err(EcdfError::Nan));
+        // Infinities are orderable and stay accepted.
+        assert!(Ecdf::new(vec![f64::INFINITY, 0.0]).is_ok());
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(EcdfError::Empty.to_string().contains("at least one"));
+        assert!(EcdfError::Nan.to_string().contains("NaN"));
     }
 }

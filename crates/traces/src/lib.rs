@@ -16,4 +16,4 @@ pub mod ecdf;
 
 pub use arrivals::{Session, SessionGenerator};
 pub use durations::{AssociationDurations, REALLOCATION_PERIOD_S};
-pub use ecdf::Ecdf;
+pub use ecdf::{Ecdf, EcdfError};

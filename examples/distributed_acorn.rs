@@ -47,7 +47,9 @@ fn main() {
     );
 
     // IAPP discovery: two announcement rounds.
-    let mut agents: Vec<IappAgent> = (0..wlan.aps.len()).map(|i| IappAgent::new(ApId(i))).collect();
+    let mut agents: Vec<IappAgent> = (0..wlan.aps.len())
+        .map(|i| IappAgent::new(ApId(i)))
+        .collect();
     let bus = IappBus::new(&wlan);
     let counts: Vec<usize> = (0..wlan.aps.len())
         .map(|i| state.cell_clients(ApId(i)).len())

@@ -20,7 +20,11 @@ fn main() {
     let horizon_s = 4.0 * 3600.0; // four simulated hours
     let mut rng = StdRng::seed_from_u64(99);
     let sessions = SessionGenerator::enterprise_default().generate(&mut rng, horizon_s);
-    println!("workload: {} sessions over {:.0} h", sessions.len(), horizon_s / 3600.0);
+    println!(
+        "workload: {} sessions over {:.0} h",
+        sessions.len(),
+        horizon_s / 3600.0
+    );
 
     // Place one (potential) client position per session on the floor.
     let wlan = acorn::sim::enterprise_grid(3, 3, 50.0, sessions.len(), 123);

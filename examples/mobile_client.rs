@@ -24,7 +24,10 @@ fn main() {
     let fixed40 = exp.run(WidthPolicy::Fixed(ChannelWidth::Ht40));
 
     println!("outbound walk: cell throughput, ACORN vs fixed 40 MHz");
-    println!("{:>4} {:>9} {:>6}  {:<32} {}", "t(s)", "SNR(dB)", "width", "ACORN", "fixed-40");
+    println!(
+        "{:>4} {:>9} {:>6}  {:<32} {}",
+        "t(s)", "SNR(dB)", "width", "ACORN", "fixed-40"
+    );
     for (a, f) in acorn.iter().zip(&fixed40).step_by(3) {
         println!(
             "{:>4.0} {:>9.1} {:>6}  {:<32} {}",

@@ -22,4 +22,8 @@ echo "== end-to-end: baseband engine + 25-AP allocate_with_restarts =="
 cargo run --offline --release -p acorn-bench --bin bench_snapshot
 
 echo
-echo "snapshots written to BENCH_baseband.json and BENCH_allocation.json"
+echo "== event runtime: kernel micro + composite 25/400-AP scaling =="
+cargo run --offline --release -p acorn-bench --bin bench_events
+
+echo
+echo "snapshots written to BENCH_baseband.json, BENCH_allocation.json and BENCH_events.json"

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# The tier-1 gate, runnable locally and from any CI runner:
+#   1. formatting (cargo fmt --check, whole workspace),
+#   2. release build,
+#   3. the root test suite (tier-1: reproduction guards, properties,
+#      determinism, event-runtime goldens),
+#   4. the determinism + golden suites re-run under ACORN_THREADS = 1, 2
+#      and 8 — the engine's thread-count cap must never move an output
+#      bit, including the hard-coded pre-port fingerprints.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmt check =="
+cargo fmt --all -- --check
+
+echo
+echo "== release build =="
+cargo build --release --offline
+
+echo
+echo "== tests =="
+cargo test -q --offline
+
+echo
+echo "== determinism across thread counts =="
+for t in 1 2 8; do
+    echo "-- ACORN_THREADS=$t --"
+    ACORN_THREADS=$t cargo test -q --offline --release \
+        --test determinism --test event_runtime
+done
+
+echo
+echo "ci: all gates passed"

@@ -3,6 +3,11 @@
 # ablations. Outputs: console tables + results/*.json (+ results/logs/).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Preflight: the tier-1 gate (fmt, build, tests, thread-count
+# determinism). Regenerating figures from a broken tree wastes an hour.
+scripts/ci.sh
+
 mkdir -p results/logs
 BINS="fig01_psd fig02_constellation fig03_ber fig04_per fig05_sigma \
       table1_transitions fig06_throughput fig08_channels fig09_durations \

@@ -10,9 +10,7 @@
 //! — and reports them point by point, the software analogue of
 //! calibrating the paper's estimator against its WARP measurements.
 
-use acorn_baseband::{
-    run_trials, ChannelModel, Equalization, FrameConfig, FrameError, SyncMode,
-};
+use acorn_baseband::{run_trials, ChannelModel, Equalization, FrameConfig, FrameError, SyncMode};
 use acorn_phy::coding::{coded_ber, per_from_ber_bytes};
 use acorn_phy::estimator::LinkQualityEstimator;
 use acorn_phy::{ChannelWidth, CodeRate, GuardInterval, Modulation};

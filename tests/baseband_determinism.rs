@@ -11,8 +11,8 @@
 
 use acorn::baseband::channel::ChannelModel;
 use acorn::baseband::frame::{
-    mix_seed, run_trial_with, run_trials, try_run_trial, Equalization, FrameConfig,
-    FrameReport, FrameWorkspace, SyncMode,
+    mix_seed, run_trial_with, run_trials, try_run_trial, Equalization, FrameConfig, FrameReport,
+    FrameWorkspace, SyncMode,
 };
 use acorn::phy::ChannelWidth;
 

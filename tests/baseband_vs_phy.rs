@@ -127,7 +127,10 @@ fn preamble_sync_only_fails_at_very_low_snr() {
     let good = run_trial(&mk(12.0), 25, 31);
     assert_eq!(good.sync_failures, 0);
     let terrible = run_trial(&mk(-12.0), 25, 37);
-    assert!(terrible.sync_failures > 0, "sync should fail sometimes at −12 dB");
+    assert!(
+        terrible.sync_failures > 0,
+        "sync should fail sometimes at −12 dB"
+    );
 }
 
 #[test]

@@ -10,9 +10,10 @@
 use acorn_core::allocation::{allocate_with_restarts, AllocationConfig};
 use acorn_core::model::{ClientSnr, NetworkModel};
 use acorn_core::{AcornConfig, AcornController, NetworkState};
+use acorn_events::{CompositeReport, CompositeScenario, DriftSpec, MobilitySpec};
 use acorn_sim::churn::{run_churn, ChurnConfig, ChurnReport};
 use acorn_sim::scenario::enterprise_grid;
-use acorn_topology::{ChannelPlan, ClientId, InterferenceGraph, Wlan};
+use acorn_topology::{ChannelPlan, ClientId, InterferenceGraph, Point, Trajectory, Wlan};
 use acorn_traces::{Session, SessionGenerator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -70,6 +71,43 @@ fn run_churn_once(
     run_churn(wlan, ctl, sessions, &cfg, seed)
 }
 
+/// The event-runtime composite: churn + a walking client + shadowing
+/// drift in one simulation — every standard process active at once, with
+/// the executed-event log and the telemetry snapshot as the comparands.
+fn run_composite(
+    wlan: &Wlan,
+    ctl: &AcornController,
+    sessions: &[Session],
+    seed: u64,
+) -> CompositeReport {
+    let mobile = ClientId(wlan.clients.len() - 1);
+    let from = wlan.clients[mobile.0].pos;
+    CompositeScenario {
+        wlan: wlan.clone(),
+        sessions: sessions.to_vec(),
+        horizon_s: 3600.0,
+        reallocation_period_s: 1200.0,
+        restarts: 4,
+        adapt_widths: true,
+        mobility: Some(MobilitySpec {
+            client: mobile,
+            trajectory: Trajectory {
+                from,
+                to: Point::new(from.x + 40.0, from.y),
+                speed_mps: 0.02,
+            },
+            sample_period_s: 120.0,
+        }),
+        drift: Some(DriftSpec {
+            period_s: 600.0,
+            phase_step_rad: 0.03,
+        }),
+        seed,
+        record_log: true,
+    }
+    .run(ctl)
+}
+
 #[test]
 fn results_are_identical_across_thread_counts() {
     let thread_counts = ["1", "2", "8"];
@@ -83,12 +121,14 @@ fn results_are_identical_across_thread_counts() {
         let mut controller_runs: Vec<(NetworkState, u64)> = Vec::new();
         let mut direct_runs: Vec<(Vec<_>, u64)> = Vec::new();
         let mut churn_runs: Vec<ChurnReport> = Vec::new();
+        let mut composite_runs: Vec<CompositeReport> = Vec::new();
         for threads in thread_counts {
             std::env::set_var("ACORN_THREADS", threads);
             controller_runs.push(run_controller_alloc(&wlan, &ctl, 7 + topo as u64));
             let r = allocate_with_restarts(&model, &plan, &alloc_cfg, 8, 500 + topo as u64);
             direct_runs.push((r.assignments, r.total_bps.to_bits()));
             churn_runs.push(run_churn_once(&wlan, &ctl, &sessions, 21 + topo as u64));
+            composite_runs.push(run_composite(&wlan, &ctl, &sessions, 33 + topo as u64));
         }
         std::env::remove_var("ACORN_THREADS");
 
@@ -109,6 +149,18 @@ fn results_are_identical_across_thread_counts() {
                 churn_runs[0].mean_after_bps().to_bits(),
                 churn_runs[t].mean_after_bps().to_bits(),
                 "topology {topo}: churn throughput bits differ at {threads} threads"
+            );
+            assert_eq!(
+                composite_runs[0].log, composite_runs[t].log,
+                "topology {topo}: composite event log differs at {threads} threads"
+            );
+            assert_eq!(
+                composite_runs[0].telemetry, composite_runs[t].telemetry,
+                "topology {topo}: composite telemetry differs at {threads} threads"
+            );
+            assert_eq!(
+                composite_runs[0].final_state, composite_runs[t].final_state,
+                "topology {topo}: composite final state differs at {threads} threads"
             );
         }
     }

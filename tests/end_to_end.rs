@@ -10,7 +10,11 @@ use acorn::sim::runner::evaluate_analytic;
 use acorn::sim::{enterprise_grid, fig11, topology1, topology2, Traffic};
 use acorn::topology::{ChannelPlan, ClientId, Wlan};
 
-fn acorn_configure(wlan: &Wlan, plan: ChannelPlan, seed: u64) -> (AcornController, acorn::core::NetworkState) {
+fn acorn_configure(
+    wlan: &Wlan,
+    plan: ChannelPlan,
+    seed: u64,
+) -> (AcornController, acorn::core::NetworkState) {
     let ctl = AcornController::new(AcornConfig {
         plan,
         ..AcornConfig::default()
@@ -41,12 +45,8 @@ fn acorn_beats_aggressive_cb_on_topology1() {
         1500,
         Traffic::Udp,
     );
-    let aggressive = allocate_aggressive_cb(
-        &wlan,
-        &wlan.interference_graph(&state.assoc),
-        &plan,
-        8,
-    );
+    let aggressive =
+        allocate_aggressive_cb(&wlan, &wlan.interference_graph(&state.assoc), &plan, 8);
     let base = evaluate_analytic(
         &wlan,
         &aggressive,
@@ -184,7 +184,10 @@ fn rssi_association_is_never_better_on_the_grouping_topology() {
         Traffic::Udp,
     )
     .total_bps;
-    assert!(acorn + 1.0 >= rssi, "rssi {rssi:.3e} beats acorn {acorn:.3e}");
+    assert!(
+        acorn + 1.0 >= rssi,
+        "rssi {rssi:.3e} beats acorn {acorn:.3e}"
+    );
 }
 
 #[test]

@@ -1,0 +1,177 @@
+//! Port-fidelity guards for the event runtime.
+//!
+//! `sim::churn` and `sim::mobility` were rewired from hand-rolled time
+//! loops onto the `acorn-events` kernel. The fingerprints below were
+//! captured from the *pre-port* implementations (FNV-1a over every f64
+//! bit pattern in the outputs) and are hard-coded here: the kernel-based
+//! adapters must reproduce the old loops bit-for-bit for the default
+//! scenarios. If a change to the kernel or the adapters moves any output
+//! bit, these hashes move and the diff is intentional-or-bust.
+
+use acorn_core::{AcornConfig, AcornController};
+use acorn_phy::ChannelWidth;
+use acorn_sim::churn::{run_churn, ChurnConfig, ChurnReport};
+use acorn_sim::mobility::{paper_walk, MobilitySample, WidthPolicy};
+use acorn_sim::scenario::enterprise_grid;
+use acorn_traces::SessionGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fnv(h: &mut u64, bits: u64) {
+    *h ^= bits;
+    *h = h.wrapping_mul(0x100000001b3);
+}
+
+fn churn_fingerprint(report: &ChurnReport) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for s in &report.snapshots {
+        fnv(&mut h, s.t_s.to_bits());
+        fnv(&mut h, s.active_clients as u64);
+        fnv(&mut h, s.before_bps.to_bits());
+        fnv(&mut h, s.after_bps.to_bits());
+        fnv(&mut h, s.switches as u64);
+    }
+    for a in &report.final_state.assoc {
+        fnv(&mut h, a.map(|ap| ap.0 as u64 + 1).unwrap_or(0));
+    }
+    h
+}
+
+fn mobility_fingerprint(trace: &[MobilitySample]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for s in trace {
+        fnv(&mut h, s.t_s.to_bits());
+        fnv(&mut h, matches!(s.width, ChannelWidth::Ht40) as u64);
+        fnv(&mut h, s.cell_bps.to_bits());
+        fnv(&mut h, s.mobile_snr20_db.to_bits());
+    }
+    h
+}
+
+#[test]
+fn churn_port_is_bit_identical_to_the_preport_loop() {
+    // (adapt_widths, churn seed) -> pre-port fingerprint. The adapt and
+    // no-adapt fingerprints coincide for these seeds: every re-allocation
+    // resets operating widths, and the hysteretic adaptation holds them
+    // between epochs on this deployment.
+    let golden = [
+        (false, 3u64, 0xdba288a6604ac383u64),
+        (false, 9, 0x793b1057822a08cd),
+        (true, 3, 0xdba288a6604ac383),
+        (true, 9, 0x793b1057822a08cd),
+    ];
+    let mut rng = StdRng::seed_from_u64(1);
+    let sessions = SessionGenerator::enterprise_default().generate(&mut rng, 7200.0);
+    let wlan = enterprise_grid(2, 2, 50.0, sessions.len().max(1), 2);
+    let ctl = AcornController::new(AcornConfig::default());
+    for (adapt, seed, expect) in golden {
+        let cfg = ChurnConfig {
+            horizon_s: 7200.0,
+            reallocation_period_s: 1800.0,
+            restarts: 2,
+            adapt_widths: adapt,
+        };
+        let report = run_churn(&wlan, &ctl, &sessions, &cfg, seed);
+        assert_eq!(report.snapshots.len(), 3);
+        assert_eq!(
+            churn_fingerprint(&report),
+            expect,
+            "churn adapt={adapt} seed={seed}: output bits diverged from the pre-port loop"
+        );
+    }
+}
+
+#[test]
+fn mobility_port_is_bit_identical_to_the_preport_loop() {
+    // (outbound, policy) -> pre-port fingerprint over the 51-sample walk.
+    let golden: [(bool, WidthPolicy, u64); 6] = [
+        (true, WidthPolicy::AcornAdaptive, 0x7b87a421694c051c),
+        (
+            true,
+            WidthPolicy::Fixed(ChannelWidth::Ht20),
+            0x96754cf1cc76f973,
+        ),
+        (
+            true,
+            WidthPolicy::Fixed(ChannelWidth::Ht40),
+            0x8a3c2e72a8837ac7,
+        ),
+        (false, WidthPolicy::AcornAdaptive, 0xadfeefb24b2b690e),
+        (
+            false,
+            WidthPolicy::Fixed(ChannelWidth::Ht20),
+            0xc7b4c4b2e7a434dc,
+        ),
+        (
+            false,
+            WidthPolicy::Fixed(ChannelWidth::Ht40),
+            0x7e5ddefbccbb5ab3,
+        ),
+    ];
+    for (outbound, policy, expect) in golden {
+        let trace = paper_walk(outbound).run(policy);
+        assert_eq!(trace.len(), 51);
+        assert_eq!(
+            mobility_fingerprint(&trace),
+            expect,
+            "mobility outbound={outbound} policy={policy:?}: trace bits diverged"
+        );
+    }
+}
+
+#[test]
+fn composite_scenario_exports_a_telemetry_snapshot() {
+    use acorn_events::{CompositeScenario, DriftSpec, MobilitySpec};
+    use acorn_topology::{ClientId, Point, Trajectory};
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let sessions = SessionGenerator::enterprise_default().generate(&mut rng, 3600.0);
+    let wlan = enterprise_grid(2, 2, 50.0, sessions.len().max(2), 7);
+    let ctl = AcornController::new(AcornConfig::default());
+    let mobile = ClientId(wlan.clients.len() - 1);
+    let from = wlan.clients[mobile.0].pos;
+    let report = CompositeScenario {
+        wlan,
+        sessions,
+        horizon_s: 3600.0,
+        reallocation_period_s: 1200.0,
+        restarts: 2,
+        adapt_widths: true,
+        mobility: Some(MobilitySpec {
+            client: mobile,
+            trajectory: Trajectory {
+                from,
+                to: Point::new(from.x + 30.0, from.y),
+                speed_mps: 0.01,
+            },
+            sample_period_s: 300.0,
+        }),
+        drift: Some(DriftSpec {
+            period_s: 900.0,
+            phase_step_rad: 0.02,
+        }),
+        seed: 11,
+        record_log: true,
+    }
+    .run(&ctl);
+
+    // Two re-allocations (1200, 2400), 13 mobility samples, 4 drift steps.
+    assert_eq!(report.realloc.len(), 2);
+    let json = report.telemetry.to_json();
+    for metric in [
+        "network_bps.after",
+        "switches",
+        "association.delay_s",
+        "mobility.snr20_db",
+        "drift.phase_rad",
+    ] {
+        assert!(json.contains(metric), "snapshot is missing {metric}");
+    }
+    // The log's dispatch order is strictly (time, seq)-sorted.
+    let log = report.log.unwrap();
+    for w in log.entries.windows(2) {
+        let a = (f64::from_bits(w[0].time_bits), w[0].seq);
+        let b = (f64::from_bits(w[1].time_bits), w[1].seq);
+        assert!(a < b, "log out of order: {a:?} !< {b:?}");
+    }
+}

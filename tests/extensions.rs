@@ -26,11 +26,13 @@ fn iapp_reproduces_the_controller_access_shares() {
     }
     ctl.reallocate_with_restarts(&wlan, &mut state, 4, 5);
 
-    let mut agents: Vec<IappAgent> = (0..wlan.aps.len()).map(|i| IappAgent::new(ApId(i))).collect();
+    let mut agents: Vec<IappAgent> = (0..wlan.aps.len())
+        .map(|i| IappAgent::new(ApId(i)))
+        .collect();
     // Decode floor matched to the CS range so IAPP reach == genie reach.
     let cs = wlan.radio.carrier_sense_range_m;
-    let floor = wlan.radio.tx_power_dbm + wlan.radio.antenna_gains_dbi
-        - wlan.pathloss.median_db(cs);
+    let floor =
+        wlan.radio.tx_power_dbm + wlan.radio.antenna_gains_dbi - wlan.pathloss.median_db(cs);
     let bus = IappBus {
         decode_floor_dbm: floor,
         ..IappBus::new(&wlan)
@@ -46,8 +48,7 @@ fn iapp_reproduces_the_controller_access_shares() {
     let genie = wlan.ap_only_interference_graph();
     for i in 0..wlan.aps.len() {
         let via_iapp = agents[i].access_share(state.assignments[i]);
-        let via_genie =
-            acorn::mac::access_share(&genie, &state.assignments, ApId(i));
+        let via_genie = acorn::mac::access_share(&genie, &state.assignments, ApId(i));
         // Shadowing can put a borderline AP pair on opposite sides of the
         // CS-range vs decode-floor cut; allow one step of disagreement.
         let steps = [1.0, 0.5, 1.0 / 3.0, 0.25, 0.2, 1.0 / 6.0];
@@ -71,7 +72,11 @@ fn iapp_tracks_channel_switches() {
     assert_eq!(agents[0].contender_count(a0[12]), 1);
     // Round 2: neighbour moves to a disjoint single channel.
     bus.round(&mut agents, &[a0[12], a0[4]], &[0, 0], 1.0);
-    assert_eq!(agents[0].contender_count(a0[12]), 0, "cache must track the switch");
+    assert_eq!(
+        agents[0].contender_count(a0[12]),
+        0,
+        "cache must track the switch"
+    );
 }
 
 #[test]
@@ -86,7 +91,13 @@ fn scanning_model_composes_with_the_controller() {
         ctl.associate(&wlan, &mut state, ClientId(c));
     }
     let base = ctl.build_model(&wlan, &state);
-    let truth = ScanningModel::new(base.clone(), HashSounding { sigma_db: 2.0, seed: 3 });
+    let truth = ScanningModel::new(
+        base.clone(),
+        HashSounding {
+            sigma_db: 2.0,
+            seed: 3,
+        },
+    );
 
     let plan = ctl.config.plan;
     let cfg = acorn::core::AllocationConfig::default();
@@ -222,7 +233,10 @@ fn association_works_over_the_wire() {
         let point = est.rate_point(parsed.assignment.width());
         let d_u = delivery_delay_s(
             ctl.config.payload_bytes,
-            point.mcs.mcs().rate_bps(parsed.assignment.width(), ctl.config.estimator.gi),
+            point
+                .mcs
+                .mcs()
+                .rate_bps(parsed.assignment.width(), ctl.config.estimator.gi),
             point.per,
         );
         candidates.push(Candidate {

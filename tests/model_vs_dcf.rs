@@ -3,9 +3,9 @@
 //! deployments. Spans acorn-sim, acorn-mac, acorn-topology, acorn-phy.
 
 use acorn::phy::estimator::LinkQualityEstimator;
+use acorn::phy::ChannelWidth;
 use acorn::sim::runner::{evaluate_analytic, evaluate_dcf};
 use acorn::sim::{enterprise_grid, fig11, topology1, topology2, Traffic};
-use acorn::phy::ChannelWidth;
 use acorn::topology::{ApId, Channel20, ChannelAssignment, ClientId, Wlan};
 
 fn natural_assoc(wlan: &Wlan) -> Vec<Option<ApId>> {

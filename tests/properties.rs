@@ -159,7 +159,7 @@ proptest! {
         mut xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
         probe in -1e6f64..1e6,
     ) {
-        let e = Ecdf::new(xs.clone());
+        let e = Ecdf::new(xs.clone()).expect("non-empty finite samples");
         let f = e.eval(probe);
         prop_assert!((0.0..=1.0).contains(&f));
         // F is monotone.
