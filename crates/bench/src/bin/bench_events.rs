@@ -107,6 +107,7 @@ fn composite(side: usize, seed: u64) -> (ScenarioBench, TelemetrySnapshot) {
             period_s: 600.0,
             phase_step_rad: 0.02,
         }),
+        faults: None,
         seed,
         record_log: false,
     };

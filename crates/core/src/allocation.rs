@@ -184,16 +184,24 @@ pub fn allocate_with_restarts<M: ThroughputModel + Sync>(
     restarts: usize,
     seed: u64,
 ) -> AllocationResult {
-    assert!(restarts >= 1, "need at least one restart");
     // Restarts are fully independent (each derives its own seed from its
-    // index), so they fan out; the max-fold runs in seed order, matching
-    // the sequential `max_by` (last max wins on exact ties).
+    // index), so they fan out; the max-fold runs in seed order with last
+    // max winning on exact ties, matching the sequential `max_by`.
+    // `restarts = 0` degrades to a single run rather than aborting —
+    // allocation totals are finite by construction, so the fold is
+    // NaN-free and needs no fallible comparator.
     par::par_map_n(restarts, |i| {
         allocate_from_random(model, plan, config, seed.wrapping_add(i as u64))
     })
     .into_iter()
-    .max_by(|a, b| a.total_bps.partial_cmp(&b.total_bps).unwrap())
-    .expect("restarts >= 1")
+    .reduce(|best, r| {
+        if r.total_bps >= best.total_bps {
+            r
+        } else {
+            best
+        }
+    })
+    .unwrap_or_else(|| allocate_from_random(model, plan, config, seed))
 }
 
 #[cfg(test)]

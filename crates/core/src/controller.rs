@@ -175,16 +175,40 @@ impl AcornController {
             .collect()
     }
 
-    /// The client's probed delay at an AP operating at a width.
-    fn client_delay_s(&self, wlan: &Wlan, ap: ApId, client: ClientId, width: ChannelWidth) -> f64 {
-        let snr20 = wlan.snr_db(ap, client, ChannelWidth::Ht20);
-        let est = self.config.estimator.estimate(snr20, ChannelWidth::Ht20);
+    /// The delivery delay the §4.2 pipeline predicts for a link with the
+    /// given 20 MHz-referenced SNR, at a width — the per-client `d_u`
+    /// ACORN beacons advertise.
+    pub fn delay_from_snr(&self, snr20_db: f64, width: ChannelWidth) -> f64 {
+        let est = self.config.estimator.estimate(snr20_db, ChannelWidth::Ht20);
         let point = est.rate_point(width);
         delivery_delay_s(
             self.config.payload_bytes,
             point.mcs.mcs().rate_bps(width, self.config.estimator.gi),
             point.per,
         )
+    }
+
+    /// The advertised delay for a *tracked* link at the controller
+    /// boundary: the staleness-gated EWMA estimate feeds the §4.2
+    /// pipeline, and a stale link degrades to `∞` (`u32::MAX` µs on the
+    /// wire) — a link the controller has not heard from recently must
+    /// never be advertised at its last confident value.
+    pub fn tracked_delay_s(
+        &self,
+        tracker: &crate::tracker::ClientTracker,
+        now_s: f64,
+        width: ChannelWidth,
+    ) -> f64 {
+        match tracker.fresh_snr_db(now_s) {
+            Some(snr20) => self.delay_from_snr(snr20, width),
+            None => f64::INFINITY,
+        }
+    }
+
+    /// The client's probed delay at an AP operating at a width.
+    fn client_delay_s(&self, wlan: &Wlan, ap: ApId, client: ClientId, width: ChannelWidth) -> f64 {
+        let snr20 = wlan.snr_db(ap, client, ChannelWidth::Ht20);
+        self.delay_from_snr(snr20, width)
     }
 
     /// Builds client `u`'s candidate set (its view after probing every
@@ -350,6 +374,19 @@ impl AcornController {
     /// Predicted aggregate network throughput under the current state.
     pub fn total_throughput_bps(&self, wlan: &Wlan, state: &NetworkState) -> f64 {
         (0..wlan.aps.len())
+            .map(|i| self.ap_throughput_bps(wlan, state, ApId(i)))
+            .sum()
+    }
+
+    /// Aggregate throughput counting only the APs marked up in `up`
+    /// (missing entries count as up). With every AP up this is
+    /// bit-identical to [`AcornController::total_throughput_bps`]: same
+    /// per-AP terms, same summation order. A crashed AP's cell simply
+    /// contributes zero — its orphaned clients are the fault layer's
+    /// problem to re-associate.
+    pub fn total_throughput_bps_up(&self, wlan: &Wlan, state: &NetworkState, up: &[bool]) -> f64 {
+        (0..wlan.aps.len())
+            .filter(|&i| up.get(i).copied().unwrap_or(true))
             .map(|i| self.ap_throughput_bps(wlan, state, ApId(i)))
             .sum()
     }
@@ -628,6 +665,41 @@ mod tests {
         }
         let switches = flaps_under(&c, d, d, 1);
         assert_eq!(switches, 1, "clear degradation must still fall back");
+    }
+
+    #[test]
+    fn stale_tracked_links_advertise_infinite_delay() {
+        use crate::tracker::{ClientTracker, TrackerConfig};
+        let c = controller();
+        let mut t = ClientTracker::new(TrackerConfig::default(), 100.0).unwrap();
+        t.observe_snr(25.0, 100.0).unwrap();
+        let fresh = c.tracked_delay_s(&t, 101.0, ChannelWidth::Ht20);
+        assert!(fresh.is_finite() && fresh > 0.0);
+        assert_eq!(
+            fresh,
+            c.delay_from_snr(t.snr_db().unwrap(), ChannelWidth::Ht20)
+        );
+        // Past the staleness horizon the boundary degrades to ∞ — which
+        // the wire codec saturates to u32::MAX µs.
+        let stale = c.tracked_delay_s(&t, 120.0, ChannelWidth::Ht20);
+        assert_eq!(stale, f64::INFINITY);
+    }
+
+    #[test]
+    fn up_mask_with_every_ap_up_is_bit_identical() {
+        let w = wlan();
+        let c = controller();
+        let mut s = c.new_state(&w, 9);
+        for cl in 0..4 {
+            c.associate(&w, &mut s, ClientId(cl));
+        }
+        let plain = c.total_throughput_bps(&w, &s);
+        let masked = c.total_throughput_bps_up(&w, &s, &[true, true]);
+        assert_eq!(plain.to_bits(), masked.to_bits());
+        // One AP down: exactly its cell's contribution disappears.
+        let partial = c.total_throughput_bps_up(&w, &s, &[true, false]);
+        let ap1 = c.ap_throughput_bps(&w, &s, ApId(1));
+        assert!((plain - ap1 - partial).abs() < 1.0);
     }
 
     #[test]

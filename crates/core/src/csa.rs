@@ -13,8 +13,12 @@
 //!   beacon interval.
 //! * [`ClientCsa`] — the client-side follower: arms on the first heard
 //!   announcement, tolerates missed beacons by tracking the absolute
-//!   switch epoch, and reports the channel to retune to.
+//!   switch epoch, and reports the channel to retune to. If its AP goes
+//!   silent mid-countdown (crash, deep fade), the client does **not**
+//!   blindly follow a possibly-dead switch: [`ClientCsa::check_orphan`]
+//!   times the silence out and tells the caller to re-scan.
 
+use crate::error::ControlError;
 use acorn_topology::{ApId, ChannelAssignment};
 
 /// One AP's pending channel switch.
@@ -29,9 +33,23 @@ pub struct SwitchPlan {
 }
 
 /// Diffs two full assignments into the switches that must be announced.
-pub fn switch_plans(old: &[ChannelAssignment], new: &[ChannelAssignment]) -> Vec<SwitchPlan> {
-    assert_eq!(old.len(), new.len(), "assignment vectors must align");
-    old.iter()
+///
+/// Mismatched vector lengths are a recoverable
+/// [`ControlError::AssignmentLengthMismatch`] — between epochs the
+/// controller may be fed state from before/after a topology change, and
+/// that must not abort the control loop.
+pub fn switch_plans(
+    old: &[ChannelAssignment],
+    new: &[ChannelAssignment],
+) -> Result<Vec<SwitchPlan>, ControlError> {
+    if old.len() != new.len() {
+        return Err(ControlError::AssignmentLengthMismatch {
+            old: old.len(),
+            new: new.len(),
+        });
+    }
+    Ok(old
+        .iter()
         .zip(new.iter())
         .enumerate()
         .filter(|(_, (a, b))| a != b)
@@ -40,7 +58,7 @@ pub fn switch_plans(old: &[ChannelAssignment], new: &[ChannelAssignment]) -> Vec
             from: *a,
             to: *b,
         })
-        .collect()
+        .collect())
 }
 
 /// What an AP does at a beacon interval while a switch is pending.
@@ -66,14 +84,19 @@ pub struct ApCsa {
 }
 
 impl ApCsa {
-    /// Schedules a switch `countdown_beacons` intervals ahead
-    /// (must be ≥ 1 so clients get at least one announcement).
-    pub fn schedule(&mut self, to: ChannelAssignment, countdown_beacons: u8) {
-        assert!(
-            countdown_beacons >= 1,
-            "countdown must be at least 1 beacon"
-        );
+    /// Schedules a switch `countdown_beacons` intervals ahead. A zero
+    /// countdown would switch without ever announcing, so it is rejected
+    /// as [`ControlError::ZeroCsaCountdown`] with no state change.
+    pub fn schedule(
+        &mut self,
+        to: ChannelAssignment,
+        countdown_beacons: u8,
+    ) -> Result<(), ControlError> {
+        if countdown_beacons == 0 {
+            return Err(ControlError::ZeroCsaCountdown);
+        }
         self.pending = Some((to, countdown_beacons));
+        Ok(())
     }
 
     /// Whether a switch is pending.
@@ -104,13 +127,34 @@ impl ApCsa {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ClientCsa {
     armed: Option<(ChannelAssignment, u64)>, // (target, switch epoch)
+    last_heard: u64,                         // beacon epoch of the last heard beacon
 }
 
 impl ClientCsa {
+    /// Records that *any* beacon from the client's AP was heard at epoch
+    /// `now` — the liveness signal [`ClientCsa::check_orphan`] times out.
+    pub fn note_heard(&mut self, now: u64) {
+        self.last_heard = self.last_heard.max(now);
+    }
+
     /// Processes a heard announcement at beacon epoch `now`. Later
     /// announcements for the same switch refresh/correct the epoch.
     pub fn on_announcement(&mut self, to: ChannelAssignment, remaining: u8, now: u64) {
         self.armed = Some((to, now + remaining as u64));
+        self.note_heard(now);
+    }
+
+    /// Orphan detection: if the client is armed for a switch but has not
+    /// heard its AP for more than `miss_limit` beacon epochs, the AP
+    /// likely died mid-countdown. The client disarms (it must NOT follow
+    /// the dead switch) and the caller should deassociate and re-scan.
+    /// Returns `true` exactly when that timeout fires.
+    pub fn check_orphan(&mut self, now: u64, miss_limit: u64) -> bool {
+        if self.armed.is_some() && now.saturating_sub(self.last_heard) > miss_limit {
+            self.armed = None;
+            return true;
+        }
+        false
     }
 
     /// Called every beacon epoch (whether or not a beacon was heard).
@@ -148,20 +192,20 @@ mod tests {
     fn diff_only_reports_changes() {
         let old = vec![single(0), bonded(2), single(5)];
         let new = vec![single(0), single(2), bonded(6)];
-        let plans = switch_plans(&old, &new);
+        let plans = switch_plans(&old, &new).unwrap();
         assert_eq!(plans.len(), 2);
         assert_eq!(plans[0].ap, ApId(1));
         assert_eq!(plans[0].to, single(2));
         assert_eq!(plans[1].ap, ApId(2));
         assert_eq!(plans[1].from, single(5));
-        assert!(switch_plans(&old, &old).is_empty());
+        assert!(switch_plans(&old, &old).unwrap().is_empty());
     }
 
     #[test]
     fn ap_countdown_sequence() {
         let mut ap = ApCsa::default();
         assert_eq!(ap.tick(), CsaAction::Idle);
-        ap.schedule(bonded(4), 3);
+        ap.schedule(bonded(4), 3).unwrap();
         assert_eq!(
             ap.tick(),
             CsaAction::Announce {
@@ -192,7 +236,7 @@ mod tests {
     fn client_follows_even_with_missed_beacons() {
         let mut ap = ApCsa::default();
         let mut client = ClientCsa::default();
-        ap.schedule(single(7), 3);
+        ap.schedule(single(7), 3).unwrap();
         // Client hears only the FIRST announcement (epoch 0, remaining 3),
         // then misses everything.
         if let CsaAction::Announce { to, remaining } = ap.tick() {
@@ -227,11 +271,11 @@ mod tests {
         // verify everyone lands on the new plan at the same epoch.
         let old = vec![single(0), single(0), bonded(2)];
         let new = vec![bonded(0), single(4), bonded(2)];
-        let plans = switch_plans(&old, &new);
+        let plans = switch_plans(&old, &new).unwrap();
         let countdown = 4u8;
         let mut aps: Vec<ApCsa> = vec![ApCsa::default(); 3];
         for p in &plans {
-            aps[p.ap.0].schedule(p.to, countdown);
+            aps[p.ap.0].schedule(p.to, countdown).unwrap();
         }
         let mut clients: Vec<ClientCsa> = vec![ClientCsa::default(); 3];
         let mut current = old.clone();
@@ -253,14 +297,53 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least 1 beacon")]
-    fn zero_countdown_panics() {
-        ApCsa::default().schedule(single(0), 0);
+    fn zero_countdown_is_a_typed_error() {
+        let mut ap = ApCsa::default();
+        assert_eq!(
+            ap.schedule(single(0), 0),
+            Err(crate::error::ControlError::ZeroCsaCountdown)
+        );
+        assert!(!ap.is_pending(), "rejected schedule must not arm the AP");
+        assert_eq!(ap.tick(), CsaAction::Idle);
     }
 
     #[test]
-    #[should_panic(expected = "must align")]
-    fn mismatched_diff_panics() {
-        switch_plans(&[single(0)], &[]);
+    fn mismatched_diff_is_a_typed_error() {
+        assert_eq!(
+            switch_plans(&[single(0)], &[]),
+            Err(crate::error::ControlError::AssignmentLengthMismatch { old: 1, new: 0 })
+        );
+    }
+
+    #[test]
+    fn orphaned_client_disarms_and_requests_rescan() {
+        // The AP dies mid-countdown: the client must NOT follow the dead
+        // switch, and must time out to a re-scan.
+        let mut ap = ApCsa::default();
+        let mut client = ClientCsa::default();
+        ap.schedule(single(7), 5).unwrap();
+        if let CsaAction::Announce { to, remaining } = ap.tick() {
+            client.on_announcement(to, remaining, 0);
+        }
+        assert!(client.is_armed());
+        // Silence for 3 epochs with miss_limit 2: orphan fires once.
+        assert!(!client.check_orphan(1, 2), "within the miss budget");
+        assert!(!client.check_orphan(2, 2), "still within");
+        assert!(client.check_orphan(3, 2), "limit exceeded: orphan");
+        assert!(!client.is_armed(), "must disarm, not follow a dead switch");
+        assert_eq!(client.poll(5), None, "the dead switch never fires");
+        assert!(!client.check_orphan(4, 2), "orphan reported exactly once");
+    }
+
+    #[test]
+    fn heard_beacons_keep_the_countdown_alive() {
+        let mut client = ClientCsa::default();
+        client.on_announcement(single(3), 4, 0);
+        // Beacons keep arriving (without CSA IEs heard): no orphan.
+        for epoch in 1..=3 {
+            client.note_heard(epoch);
+            assert!(!client.check_orphan(epoch, 2));
+        }
+        assert_eq!(client.poll(4), Some(single(3)), "switch proceeds");
     }
 }

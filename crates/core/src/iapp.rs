@@ -56,7 +56,30 @@ pub struct NeighborEntry {
     pub rx_power_dbm: f64,
 }
 
+/// An expired neighbour in its hold-down window: still counted as a
+/// contender (pessimistic), being re-solicited with exponential backoff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeldEntry {
+    entry: NeighborEntry,
+    /// Hold-down deadline: past this the neighbour is finally forgotten.
+    held_until_s: f64,
+    /// Next solicitation due time.
+    next_retry_s: f64,
+    /// Current backoff interval (doubles per solicitation).
+    retry_interval_s: f64,
+}
+
 /// Per-AP IAPP state machine.
+///
+/// Loss resilience: when a cached neighbour expires without being
+/// refreshed, it does **not** silently vanish — that would drop
+/// `|con_a|`, inflate `M_a = 1/(|con_a|+1)`, and make the allocator
+/// *optimistic* exactly when its information is worst. Instead the entry
+/// enters a *hold-down* window ([`IappAgent::hold_down_s`]) during which
+/// it still counts as a contender while the agent re-solicits the silent
+/// neighbour with exponential backoff ([`IappAgent::due_solicits`]). Only
+/// after hold-down also lapses (the neighbour is genuinely gone, not just
+/// lossy) does the contender count drop.
 #[derive(Debug, Clone)]
 pub struct IappAgent {
     /// The AP this agent runs on.
@@ -64,18 +87,29 @@ pub struct IappAgent {
     /// Entries older than this are pruned (the 802.11F-style cache
     /// lifetime; announcements are expected once per beacon-ish period).
     pub expiry_s: f64,
+    /// How long an expired entry stays pessimistically counted while
+    /// retries try to re-confirm it. Defaults to one expiry period, so
+    /// `M_a` can stay optimistic for at most that long under pure loss.
+    pub hold_down_s: f64,
+    /// Initial solicitation backoff (doubles per retry).
+    pub retry_backoff_s: f64,
     seq: u64,
     neighbors: HashMap<ApId, NeighborEntry>,
+    held: HashMap<ApId, HeldEntry>,
 }
 
 impl IappAgent {
-    /// Creates an agent with a 10-second cache lifetime.
+    /// Creates an agent with a 10-second cache lifetime (and an equal
+    /// hold-down window).
     pub fn new(ap: ApId) -> IappAgent {
         IappAgent {
             ap,
             expiry_s: 10.0,
+            hold_down_s: 10.0,
+            retry_backoff_s: 1.0,
             seq: 0,
             neighbors: HashMap::new(),
+            held: HashMap::new(),
         }
     }
 
@@ -102,27 +136,82 @@ impl IappAgent {
         if msg.from == self.ap {
             return;
         }
-        match self.neighbors.get(&msg.from) {
-            Some(e) if e.last_seq >= msg.seq => {} // replay / reorder
-            _ => {
-                self.neighbors.insert(
-                    msg.from,
-                    NeighborEntry {
-                        last_seq: msg.seq,
-                        assignment: msg.assignment,
-                        n_clients: msg.n_clients,
-                        heard_at_s: now_s,
-                        rx_power_dbm,
-                    },
-                );
-            }
+        // Replay protection spans both the active cache and the hold-down
+        // shelf: a delayed old frame must not resurrect anything.
+        let last_seq = self
+            .neighbors
+            .get(&msg.from)
+            .map(|e| e.last_seq)
+            .or_else(|| self.held.get(&msg.from).map(|h| h.entry.last_seq));
+        if matches!(last_seq, Some(s) if s >= msg.seq) {
+            return; // replay / reorder
         }
+        self.held.remove(&msg.from); // fresh word from a silent neighbour
+        self.neighbors.insert(
+            msg.from,
+            NeighborEntry {
+                last_seq: msg.seq,
+                assignment: msg.assignment,
+                n_clients: msg.n_clients,
+                heard_at_s: now_s,
+                rx_power_dbm,
+            },
+        );
     }
 
-    /// Drops entries not refreshed within `expiry_s`.
+    /// Ages the cache: entries not refreshed within `expiry_s` move to the
+    /// hold-down shelf (still counted as contenders, queued for
+    /// re-solicitation); shelf entries past `hold_down_s` are dropped.
     pub fn prune(&mut self, now_s: f64) {
         let expiry = self.expiry_s;
-        self.neighbors.retain(|_, e| now_s - e.heard_at_s <= expiry);
+        let hold = self.hold_down_s;
+        let backoff = self.retry_backoff_s;
+        let mut expired: Vec<(ApId, NeighborEntry)> = Vec::new();
+        self.neighbors.retain(|ap, e| {
+            if now_s - e.heard_at_s <= expiry {
+                true
+            } else {
+                expired.push((*ap, *e));
+                false
+            }
+        });
+        for (ap, entry) in expired {
+            self.held.entry(ap).or_insert(HeldEntry {
+                entry,
+                held_until_s: entry.heard_at_s + expiry + hold,
+                next_retry_s: now_s,
+                retry_interval_s: backoff,
+            });
+        }
+        self.held.retain(|_, h| now_s <= h.held_until_s);
+    }
+
+    /// Neighbours currently in hold-down (sorted by AP id).
+    pub fn held_down(&self) -> Vec<ApId> {
+        let mut v: Vec<ApId> = self.held.keys().copied().collect();
+        v.sort_by_key(|ap| ap.0);
+        v
+    }
+
+    /// Returns the held-down neighbours whose solicitation timer has
+    /// fired, and doubles their backoff. The caller (controller or fault
+    /// harness) should unicast a probe / expect an announcement from each;
+    /// any reply re-enters the active cache via [`IappAgent::handle`].
+    pub fn due_solicits(&mut self, now_s: f64) -> Vec<ApId> {
+        let mut due: Vec<ApId> = self
+            .held
+            .iter()
+            .filter(|(_, h)| now_s >= h.next_retry_s)
+            .map(|(ap, _)| *ap)
+            .collect();
+        due.sort_by_key(|ap| ap.0);
+        for ap in &due {
+            if let Some(h) = self.held.get_mut(ap) {
+                h.next_retry_s = now_s + h.retry_interval_s;
+                h.retry_interval_s *= 2.0;
+            }
+        }
+        due
     }
 
     /// Current neighbour cache (sorted by AP id for determinism).
@@ -133,12 +222,19 @@ impl IappAgent {
     }
 
     /// `|con_a|` as learned from the protocol: cached neighbours whose
-    /// advertised assignment spectrally overlaps `my_assignment`.
+    /// advertised assignment spectrally overlaps `my_assignment`. Held-down
+    /// (expired-but-unconfirmed) neighbours still count — under loss the
+    /// share estimate degrades pessimistically, never optimistically.
     pub fn contender_count(&self, my_assignment: ChannelAssignment) -> usize {
         self.neighbors
             .values()
             .filter(|e| e.assignment.conflicts(my_assignment))
             .count()
+            + self
+                .held
+                .values()
+                .filter(|h| h.entry.assignment.conflicts(my_assignment))
+                .count()
     }
 
     /// The protocol-derived channel-access share `M_a = 1/(|con_a|+1)`.
@@ -352,6 +448,60 @@ mod tests {
         assert_eq!(agents[0].contender_count(single(0)), 1);
         // …but would not on channel 2.
         assert_eq!(agents[0].contender_count(single(2)), 0);
+    }
+
+    #[test]
+    fn expired_entries_hold_down_pessimistically() {
+        let w = wlan_line(2, 30.0);
+        let mut agents: Vec<IappAgent> = (0..2).map(|i| IappAgent::new(ApId(i))).collect();
+        let bus = IappBus::new(&w);
+        bus.round(&mut agents, &[single(0), single(0)], &[0, 0], 0.0);
+        // Past expiry (10 s) but inside hold-down (expiry + 10 s): the
+        // silent neighbour leaves the active cache yet still counts, so
+        // M_a never turns optimistic on pure loss.
+        agents[0].prune(15.0);
+        assert!(agents[0].neighbors().is_empty());
+        assert_eq!(agents[0].held_down(), vec![ApId(1)]);
+        assert_eq!(agents[0].contender_count(single(0)), 1);
+        assert_eq!(agents[0].access_share(single(0)), 0.5);
+        // Past hold-down the neighbour is genuinely forgotten.
+        agents[0].prune(25.0);
+        assert!(agents[0].held_down().is_empty());
+        assert_eq!(agents[0].access_share(single(0)), 1.0);
+    }
+
+    #[test]
+    fn solicitations_retry_with_exponential_backoff() {
+        let mut a = IappAgent::new(ApId(0));
+        a.hold_down_s = 100.0;
+        let mut b = IappAgent::new(ApId(1));
+        let msg = b.announce(single(0), 0, 0.0);
+        a.handle(&msg, -60.0, 0.0);
+        a.prune(11.0); // expired → held
+        assert_eq!(a.due_solicits(11.0), vec![ApId(1)], "first retry is due");
+        assert!(a.due_solicits(11.0).is_empty(), "backoff gates a re-ask");
+        assert!(a.due_solicits(11.5).is_empty());
+        assert_eq!(a.due_solicits(12.0), vec![ApId(1)], "1 s backoff");
+        assert!(a.due_solicits(13.5).is_empty(), "now doubled to 2 s");
+        assert_eq!(a.due_solicits(14.0), vec![ApId(1)]);
+    }
+
+    #[test]
+    fn fresh_announcements_clear_hold_down() {
+        let mut a = IappAgent::new(ApId(0));
+        let mut b = IappAgent::new(ApId(1));
+        let m1 = b.announce(single(0), 0, 0.0);
+        let m2 = b.announce(single(1), 0, 12.0);
+        a.handle(&m1, -60.0, 0.0);
+        a.prune(11.0);
+        assert_eq!(a.held_down(), vec![ApId(1)]);
+        // A replay of the expired frame must not resurrect the entry...
+        a.handle(&m1, -60.0, 11.5);
+        assert!(a.neighbors().is_empty());
+        // ...but a genuinely fresh one restores it to the active cache.
+        a.handle(&m2, -60.0, 12.0);
+        assert!(a.held_down().is_empty());
+        assert_eq!(a.neighbors()[0].1.assignment, single(1));
     }
 
     #[test]

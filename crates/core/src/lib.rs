@@ -37,6 +37,7 @@ pub mod association;
 pub mod beacon;
 pub mod controller;
 pub mod csa;
+pub mod error;
 pub mod iapp;
 pub mod model;
 pub mod par;
@@ -53,7 +54,11 @@ pub use association::{choose_ap, choose_ap_selfish, utility, Candidate};
 pub use beacon::Beacon;
 pub use controller::{AcornConfig, AcornController, NetworkState};
 pub use csa::{switch_plans, ApCsa, ClientCsa, CsaAction, SwitchPlan};
+pub use error::ControlError;
 pub use model::{ClientSnr, NetworkModel, ThroughputModel};
 pub use theory::{approximation_ratio, worst_case_bound_bps, y_star_bps};
 pub use tracker::{ClientTracker, TrackerConfig};
-pub use wire::{parse_beacon, serialize_beacon, WireError};
+pub use wire::{
+    crc32, parse_announcement, parse_beacon, refresh_fcs, serialize_announcement, serialize_beacon,
+    WireError,
+};

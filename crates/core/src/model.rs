@@ -15,6 +15,7 @@
 //! [`ThroughputModel`] trait so the allocation algorithm (and the
 //! baselines) stay independent of how throughputs are predicted.
 
+use crate::error::ControlError;
 use acorn_mac::airtime::{CellAirtime, ClientLink};
 use acorn_mac::contention::{access_share, access_share_with};
 use acorn_phy::estimator::LinkQualityEstimator;
@@ -60,10 +61,12 @@ pub trait ThroughputModel {
 
     /// The best colour for `ap` with everyone else frozen, and its gain —
     /// one candidate ranking of Algorithm 2's inner loop. Ties keep the
-    /// first colour in `colours` (matching the sequential scan). The
-    /// default scans via [`delta_bps`](ThroughputModel::delta_bps);
-    /// models that can share work across the colour scan should override
-    /// it (see [`NetworkModel`]'s hoisted version).
+    /// first colour in `colours` (matching the sequential scan). An empty
+    /// colour set degrades to "stay put" (current colour, zero gain)
+    /// rather than aborting. The default scans via
+    /// [`delta_bps`](ThroughputModel::delta_bps); models that can share
+    /// work across the colour scan should override it (see
+    /// [`NetworkModel`]'s hoisted version).
     fn best_switch(
         &self,
         ap: ApId,
@@ -78,7 +81,7 @@ pub trait ThroughputModel {
                 _ => best = Some((c, gain)),
             }
         }
-        best.expect("non-empty colour set")
+        best.unwrap_or((assignments[ap.0], 0.0))
     }
 }
 
@@ -150,6 +153,29 @@ impl NetworkModel {
         model
     }
 
+    /// Fallible construction for inputs of runtime provenance (wire or
+    /// operator data): a graph/cells size mismatch is a typed
+    /// [`ControlError`] instead of an abort.
+    pub fn try_with_config(
+        graph: InterferenceGraph,
+        cells: Vec<Vec<ClientSnr>>,
+        estimator: LinkQualityEstimator,
+        payload_bytes: u32,
+    ) -> Result<NetworkModel, ControlError> {
+        if graph.len() != cells.len() {
+            return Err(ControlError::CellCountMismatch {
+                graph: graph.len(),
+                cells: cells.len(),
+            });
+        }
+        Ok(NetworkModel::with_config(
+            graph,
+            cells,
+            estimator,
+            payload_bytes,
+        ))
+    }
+
     /// Clients associated with each AP.
     pub fn cells(&self) -> &[Vec<ClientSnr>] {
         &self.cells
@@ -177,11 +203,18 @@ impl NetworkModel {
         self.rebuild_cell_base();
     }
 
-    /// Replaces the per-AP client lists and rebuilds the table.
-    pub fn set_cells(&mut self, cells: Vec<Vec<ClientSnr>>) {
-        assert_eq!(self.graph.len(), cells.len(), "one cell per AP");
+    /// Replaces the per-AP client lists and rebuilds the table. A size
+    /// mismatch is a typed error and leaves the model untouched.
+    pub fn set_cells(&mut self, cells: Vec<Vec<ClientSnr>>) -> Result<(), ControlError> {
+        if self.graph.len() != cells.len() {
+            return Err(ControlError::CellCountMismatch {
+                graph: self.graph.len(),
+                cells: cells.len(),
+            });
+        }
         self.cells = cells;
         self.rebuild_cell_base();
+        Ok(())
     }
 
     fn rebuild_cell_base(&mut self) {
@@ -335,7 +368,7 @@ impl ThroughputModel for NetworkModel {
                 _ => best = Some((c, gain)),
             }
         }
-        best.expect("non-empty colour set")
+        best.unwrap_or((current, 0.0))
     }
 }
 
@@ -470,8 +503,51 @@ mod tests {
         m.set_estimator(est);
         assert_ne!(m.total_bps(&a), before);
 
-        m.set_cells(vec![vec![], vec![]]);
+        m.set_cells(vec![vec![], vec![]]).unwrap();
         assert_eq!(m.total_bps(&a), 0.0);
+    }
+
+    #[test]
+    fn mismatched_cells_are_typed_errors_on_the_fallible_paths() {
+        use crate::error::ControlError;
+        let err = NetworkModel::try_with_config(
+            InterferenceGraph::new(2),
+            vec![vec![]],
+            LinkQualityEstimator::default(),
+            1500,
+        )
+        .err();
+        assert!(matches!(
+            err,
+            Some(ControlError::CellCountMismatch { graph: 2, cells: 1 })
+        ));
+        let mut m = two_ap_model(&[25.0], &[20.0], false);
+        let before = m.total_bps(&[single(0), single(1)]);
+        assert!(m.set_cells(vec![vec![]]).is_err());
+        assert_eq!(
+            m.total_bps(&[single(0), single(1)]),
+            before,
+            "failed set_cells must leave the model untouched"
+        );
+    }
+
+    #[test]
+    fn empty_colour_sets_degrade_to_stay_put() {
+        let m = two_ap_model(&[25.0], &[20.0], true);
+        let a = vec![single(0), single(1)];
+        // Both the hoisted scan and the trait default must return the
+        // current colour with zero gain, not abort.
+        assert_eq!(m.best_switch(ApId(0), &[], &a), (single(0), 0.0));
+        struct Slow<'m>(&'m NetworkModel);
+        impl ThroughputModel for Slow<'_> {
+            fn n_aps(&self) -> usize {
+                self.0.n_aps()
+            }
+            fn ap_throughput_bps(&self, ap: ApId, a: &[ChannelAssignment]) -> f64 {
+                self.0.ap_throughput_bps(ap, a)
+            }
+        }
+        assert_eq!(Slow(&m).best_switch(ApId(1), &[], &a), (single(1), 0.0));
     }
 
     #[test]

@@ -123,7 +123,15 @@ impl<S: ChannelSounding> ThroughputModel for ScanningModel<S> {
     fn ap_throughput_bps(&self, ap: ApId, assignments: &[ChannelAssignment]) -> f64 {
         let a = assignments[ap.0];
         let m = access_share(&self.base.graph, assignments, ap);
-        if let Some(v) = self.cell_cache.lock().unwrap().get(&(ap.0, a)) {
+        // A panicked holder cannot corrupt this cache (values are written
+        // atomically under the lock), so a poisoned mutex is recoverable:
+        // take the inner guard rather than propagating the poison panic.
+        if let Some(v) = self
+            .cell_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&(ap.0, a))
+        {
             return m * v;
         }
         let width = a.width();
@@ -141,7 +149,10 @@ impl<S: ChannelSounding> ThroughputModel for ScanningModel<S> {
             })
             .collect();
         let base = CellAirtime::new(&links, self.base.payload_bytes()).cell_throughput_bps(1.0);
-        self.cell_cache.lock().unwrap().insert((ap.0, a), base);
+        self.cell_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert((ap.0, a), base);
         m * base
     }
 }

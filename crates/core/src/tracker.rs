@@ -9,6 +9,7 @@
 //! median-of-recent outlier rejection, staleness detection, and the
 //! association-time clock.
 
+use crate::error::ControlError;
 use std::collections::VecDeque;
 
 /// Tracker configuration.
@@ -37,6 +38,26 @@ impl Default for TrackerConfig {
     }
 }
 
+impl TrackerConfig {
+    /// Validates the configuration, returning the first violation as a
+    /// typed [`ControlError`].
+    pub fn validate(&self) -> Result<(), ControlError> {
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(ControlError::BadTrackerAlpha(self.alpha));
+        }
+        if self.window < 1 {
+            return Err(ControlError::EmptyTrackerWindow);
+        }
+        if !(self.outlier_db.is_finite() && self.outlier_db > 0.0) {
+            return Err(ControlError::BadTrackerThreshold("outlier_db"));
+        }
+        if !(self.staleness_s.is_finite() && self.staleness_s > 0.0) {
+            return Err(ControlError::BadTrackerThreshold("staleness_s"));
+        }
+        Ok(())
+    }
+}
+
 /// Smoothed link state for one client.
 #[derive(Debug, Clone)]
 pub struct ClientTracker {
@@ -50,11 +71,12 @@ pub struct ClientTracker {
 }
 
 impl ClientTracker {
-    /// Starts tracking a client that associated at `now_s`.
-    pub fn new(config: TrackerConfig, now_s: f64) -> ClientTracker {
-        assert!(config.alpha > 0.0 && config.alpha <= 1.0, "alpha in (0,1]");
-        assert!(config.window >= 1, "window must be positive");
-        ClientTracker {
+    /// Starts tracking a client that associated at `now_s`. A malformed
+    /// configuration is a recoverable [`ControlError`], not an abort —
+    /// tracker configs may come from operator input.
+    pub fn new(config: TrackerConfig, now_s: f64) -> Result<ClientTracker, ControlError> {
+        config.validate()?;
+        Ok(ClientTracker {
             config,
             associated_at_s: now_s,
             ewma_snr_db: None,
@@ -62,22 +84,27 @@ impl ClientTracker {
             last_sample_s: now_s,
             samples: 0,
             rejected: 0,
-        }
+        })
     }
 
-    /// Feeds one per-frame SNR reading. Returns `true` if the sample was
-    /// accepted (not an outlier).
-    pub fn observe_snr(&mut self, snr_db: f64, now_s: f64) -> bool {
+    /// Feeds one per-frame SNR reading. Returns `Ok(true)` if the sample
+    /// was accepted, `Ok(false)` if it was rejected as an outlier, and
+    /// `Err(ControlError::NonFiniteMeasurement)` for NaN/±∞ readings — a
+    /// faulty driver report must never reach the EWMA or the median sort.
+    pub fn observe_snr(&mut self, snr_db: f64, now_s: f64) -> Result<bool, ControlError> {
+        if !snr_db.is_finite() {
+            return Err(ControlError::NonFiniteMeasurement(snr_db));
+        }
         self.samples += 1;
         // Outlier test against the median of the recent window (only once
         // the window has some substance; early samples are all accepted).
         if self.recent.len() >= self.config.window / 2 + 1 {
             let mut sorted: Vec<f64> = self.recent.iter().copied().collect();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.sort_by(f64::total_cmp);
             let median = sorted[sorted.len() / 2];
             if (snr_db - median).abs() > self.config.outlier_db {
                 self.rejected += 1;
-                return false;
+                return Ok(false);
             }
         }
         if self.recent.len() == self.config.window {
@@ -89,12 +116,24 @@ impl ClientTracker {
             None => snr_db,
         });
         self.last_sample_s = now_s;
-        true
+        Ok(true)
     }
 
     /// The smoothed SNR estimate, if any sample was ever accepted.
     pub fn snr_db(&self) -> Option<f64> {
         self.ewma_snr_db
+    }
+
+    /// The staleness-gated estimate the *controller boundary* must use: a
+    /// link with no fresh samples inside `staleness_s` yields `None`, so
+    /// its advertised delay degrades to ∞ (`u32::MAX` on the wire)
+    /// instead of a confidently-wrong last EWMA value.
+    pub fn fresh_snr_db(&self, now_s: f64) -> Option<f64> {
+        if self.is_stale(now_s) {
+            None
+        } else {
+            self.ewma_snr_db
+        }
     }
 
     /// Whether the estimate is stale at `now_s`.
@@ -118,14 +157,14 @@ mod tests {
     use super::*;
 
     fn tracker() -> ClientTracker {
-        ClientTracker::new(TrackerConfig::default(), 100.0)
+        ClientTracker::new(TrackerConfig::default(), 100.0).unwrap()
     }
 
     #[test]
     fn first_sample_seeds_the_ewma() {
         let mut t = tracker();
         assert_eq!(t.snr_db(), None);
-        assert!(t.observe_snr(17.0, 100.1));
+        assert!(t.observe_snr(17.0, 100.1).unwrap());
         assert_eq!(t.snr_db(), Some(17.0));
     }
 
@@ -133,12 +172,12 @@ mod tests {
     fn ewma_converges_to_a_level_shift() {
         let mut t = tracker();
         for i in 0..50 {
-            t.observe_snr(10.0, 100.0 + i as f64);
+            t.observe_snr(10.0, 100.0 + i as f64).unwrap();
         }
         assert!((t.snr_db().unwrap() - 10.0).abs() < 1e-6);
         // Gradual 5 dB drop (within the outlier gate) is tracked.
         for i in 0..80 {
-            t.observe_snr(5.0, 200.0 + i as f64);
+            t.observe_snr(5.0, 200.0 + i as f64).unwrap();
         }
         assert!((t.snr_db().unwrap() - 5.0).abs() < 0.05);
     }
@@ -147,10 +186,10 @@ mod tests {
     fn spikes_are_rejected_but_persistent_changes_accepted() {
         let mut t = tracker();
         for i in 0..10 {
-            t.observe_snr(20.0, 100.0 + i as f64);
+            t.observe_snr(20.0, 100.0 + i as f64).unwrap();
         }
         // A single 30 dB spike: rejected, estimate unmoved.
-        assert!(!t.observe_snr(50.0, 111.0));
+        assert!(!t.observe_snr(50.0, 111.0).unwrap());
         assert!((t.snr_db().unwrap() - 20.0).abs() < 0.1);
         let (ok, bad) = t.sample_counts();
         assert_eq!(bad, 1);
@@ -167,7 +206,7 @@ mod tests {
             let noise = if i % 2 == 0 { 4.0 } else { -4.0 };
             let sample = 15.0 + noise;
             worst_raw = worst_raw.max((sample - 15.0f64).abs());
-            t.observe_snr(sample, 100.0 + i as f64);
+            t.observe_snr(sample, 100.0 + i as f64).unwrap();
         }
         let err = (t.snr_db().unwrap() - 15.0).abs();
         assert!(err < 1.0, "ewma err {err}");
@@ -178,9 +217,48 @@ mod tests {
     fn staleness_detection() {
         let mut t = tracker();
         assert!(t.is_stale(100.0), "no samples yet");
-        t.observe_snr(12.0, 100.0);
+        t.observe_snr(12.0, 100.0).unwrap();
         assert!(!t.is_stale(104.0));
         assert!(t.is_stale(106.0));
+    }
+
+    #[test]
+    fn stale_links_yield_no_fresh_estimate() {
+        // The satellite regression: past the staleness horizon the
+        // gated accessor must return None (→ ∞ delay on the wire), while
+        // the raw EWMA is still available for diagnostics.
+        let mut t = tracker();
+        t.observe_snr(12.0, 100.0).unwrap();
+        assert_eq!(t.fresh_snr_db(104.0), Some(12.0));
+        assert_eq!(t.fresh_snr_db(106.0), None, "stale link must gate out");
+        assert_eq!(t.snr_db(), Some(12.0), "raw estimate still readable");
+        // A fresh sample restores the gated estimate.
+        t.observe_snr(13.0, 200.0).unwrap();
+        assert!(t.fresh_snr_db(201.0).is_some());
+    }
+
+    #[test]
+    fn non_finite_measurements_are_typed_errors() {
+        let mut t = tracker();
+        for i in 0..5 {
+            t.observe_snr(20.0, 100.0 + i as f64).unwrap();
+        }
+        let before = t.snr_db();
+        let (ok_before, _) = t.sample_counts();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            match t.observe_snr(bad, 110.0) {
+                Err(ControlError::NonFiniteMeasurement(_)) => {}
+                other => panic!("expected NonFiniteMeasurement, got {other:?}"),
+            }
+        }
+        assert_eq!(t.snr_db(), before, "estimate unmoved by faulty reports");
+        assert_eq!(t.sample_counts().0, ok_before, "counts unmoved");
+        // Last *accepted* sample was at t = 104: the faulty reports at
+        // t = 110 must not have refreshed liveness.
+        assert!(
+            t.is_stale(111.0),
+            "faulty reports must not refresh liveness"
+        );
     }
 
     #[test]
@@ -191,14 +269,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "alpha in (0,1]")]
-    fn zero_alpha_panics() {
-        ClientTracker::new(
-            TrackerConfig {
-                alpha: 0.0,
-                ..TrackerConfig::default()
-            },
-            0.0,
+    fn bad_configs_are_typed_errors() {
+        let bad_alpha = TrackerConfig {
+            alpha: 0.0,
+            ..TrackerConfig::default()
+        };
+        assert_eq!(
+            ClientTracker::new(bad_alpha, 0.0).err(),
+            Some(ControlError::BadTrackerAlpha(0.0))
         );
+        let no_window = TrackerConfig {
+            window: 0,
+            ..TrackerConfig::default()
+        };
+        assert_eq!(
+            ClientTracker::new(no_window, 0.0).err(),
+            Some(ControlError::EmptyTrackerWindow)
+        );
+        let nan_gate = TrackerConfig {
+            outlier_db: f64::NAN,
+            ..TrackerConfig::default()
+        };
+        assert_eq!(
+            ClientTracker::new(nan_gate, 0.0).err(),
+            Some(ControlError::BadTrackerThreshold("outlier_db"))
+        );
+        assert!(TrackerConfig::default().validate().is_ok());
     }
 }

@@ -21,32 +21,54 @@
 //! Delays are saturating microseconds (`u32::MAX` encodes ∞ — a dead
 //! link). Parsing is defensive: every malformed input maps to a typed
 //! [`WireError`], never a panic — property-tested against random bytes.
+//!
+//! Every frame ends in a 4-byte FCS (CRC-32, the 802.11 polynomial), so
+//! bit corruption in flight is *detected*: a flipped frame parses to
+//! [`WireError::BadFcs`], never to silently-wrong contents. The same
+//! module also frames IAPP [`Announcement`]s
+//! ([`serialize_announcement`]/[`parse_announcement`]) so the
+//! fault-injection layer can push inter-AP traffic through the identical
+//! encode → corrupt → parse path.
 
 use crate::beacon::Beacon;
+use crate::iapp::Announcement;
 use acorn_topology::{ApId, Channel20, ChannelAssignment};
 
 /// 802.11 management / beacon frame-control value (version 0, type
 /// management, subtype beacon) in little-endian byte order.
 pub const FC_BEACON: [u8; 2] = [0x80, 0x00];
+/// 802.11 management / action frame-control value — the transport for
+/// IAPP announcements.
+pub const FC_ACTION: [u8; 2] = [0xD0, 0x00];
 /// Vendor-specific information element ID.
 pub const IE_VENDOR: u8 = 221;
 /// Our (made-up, documentation-range) OUI: "ACO".
 pub const ACORN_OUI: [u8; 3] = [0x41, 0x43, 0x4F];
 /// OUI subtype for the ACORN beacon payload.
 pub const ACORN_OUI_TYPE: u8 = 0x01;
+/// OUI subtype for the IAPP announcement payload.
+pub const ACORN_OUI_TYPE_IAPP: u8 = 0x02;
 /// Wire-format version this module speaks.
 pub const WIRE_VERSION: u8 = 1;
 /// Fixed-point scale of the access share (Q2.14-ish: share × 2^14).
 pub const SHARE_SCALE: f64 = 16384.0;
 /// Maximum clients one IE can carry (IE length is a u8).
 pub const MAX_CLIENTS: usize = (255 - IE_FIXED) / 4;
+/// Trailing frame-check-sequence bytes on every serialized frame.
+pub const FCS_LEN: usize = 4;
 
 /// Bytes of the IE payload before the per-client delay list:
 /// OUI(3) + type(1) + version(1) + ap_id(2) + channel(1) + width(1) +
 /// share(2) + n_clients(1) + atd(4).
 const IE_FIXED: usize = 16;
+/// IAPP announcement IE payload:
+/// OUI(3) + type(1) + version(1) + from(2) + seq(8) + channel(1) +
+/// width(1) + n_clients(2) + sent_at bits(8).
+const IE_IAPP: usize = 27;
 /// MAC header + beacon fixed part.
 const HEADER: usize = 24 + 12;
+/// MAC header alone (action frames carry their IE directly).
+const MAC_HEADER: usize = 24;
 
 /// Typed parse failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +91,11 @@ pub enum WireError {
     LengthMismatch,
     /// Too many clients for one IE.
     TooManyClients(usize),
+    /// The frame-check sequence does not match the frame contents —
+    /// bits were corrupted in flight.
+    BadFcs,
+    /// Frame control is not an action frame (announcement parsing).
+    NotAnAnnouncement,
 }
 
 impl std::fmt::Display for WireError {
@@ -83,11 +110,61 @@ impl std::fmt::Display for WireError {
             WireError::IllegalBond(c) => write!(f, "illegal bond primary {c}"),
             WireError::LengthMismatch => write!(f, "client count / length mismatch"),
             WireError::TooManyClients(n) => write!(f, "{n} clients exceed one IE"),
+            WireError::BadFcs => write!(f, "frame check sequence mismatch"),
+            WireError::NotAnAnnouncement => write!(f, "not an announcement frame"),
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+/// CRC-32 as 802.11 computes its FCS: reflected polynomial `0xEDB88320`,
+/// init and final-xor `0xFFFF_FFFF`. Bitwise (no table) — frames are a
+/// few hundred bytes and this sits far off any hot path.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= 0xEDB8_8320;
+            }
+        }
+    }
+    !crc
+}
+
+fn append_fcs(out: &mut Vec<u8>) {
+    let fcs = crc32(out);
+    out.extend_from_slice(&fcs.to_le_bytes());
+}
+
+/// Checks and strips the trailing FCS, returning the protected payload.
+fn check_fcs(frame: &[u8]) -> Result<&[u8], WireError> {
+    if frame.len() < FCS_LEN {
+        return Err(WireError::Truncated);
+    }
+    let (body, trailer) = frame.split_at(frame.len() - FCS_LEN);
+    let got = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    if crc32(body) != got {
+        return Err(WireError::BadFcs);
+    }
+    Ok(body)
+}
+
+/// Recomputes the trailing FCS over the current frame contents — for
+/// tooling/tests that splice or rewrite bytes of a serialized frame and
+/// need it to validate again.
+pub fn refresh_fcs(frame: &mut [u8]) {
+    if frame.len() < FCS_LEN {
+        return;
+    }
+    let n = frame.len() - FCS_LEN;
+    let fcs = crc32(&frame[..n]);
+    frame[n..].copy_from_slice(&fcs.to_le_bytes());
+}
 
 fn delay_to_us(d_s: f64) -> u32 {
     if !d_s.is_finite() {
@@ -154,6 +231,7 @@ pub fn serialize_beacon(
     for d in &beacon.client_delays_s {
         out.extend_from_slice(&delay_to_us(*d).to_le_bytes());
     }
+    append_fcs(&mut out);
     Ok(out)
 }
 
@@ -163,22 +241,23 @@ pub fn serialize_beacon(
 /// `parse(serialize(b))` matches `b` to those resolutions (asserted by
 /// the property tests); an infinite ATD/delay survives exactly.
 pub fn parse_beacon(frame: &[u8]) -> Result<Beacon, WireError> {
-    if frame.len() < HEADER {
+    let body = check_fcs(frame)?;
+    if body.len() < HEADER {
         return Err(WireError::Truncated);
     }
-    if frame[0..2] != FC_BEACON {
+    if body[0..2] != FC_BEACON {
         return Err(WireError::NotABeacon);
     }
-    // Walk the IE list.
+    // Walk the IE list (the FCS trailer is already stripped).
     let mut off = HEADER;
-    while off + 2 <= frame.len() {
-        let id = frame[off];
-        let len = frame[off + 1] as usize;
-        let body = frame
+    while off + 2 <= body.len() {
+        let id = body[off];
+        let len = body[off + 1] as usize;
+        let ie = body
             .get(off + 2..off + 2 + len)
             .ok_or(WireError::Truncated)?;
         if id == IE_VENDOR {
-            return parse_acorn_ie(body);
+            return parse_acorn_ie(ie);
         }
         off += 2 + len;
     }
@@ -222,6 +301,99 @@ fn parse_acorn_ie(body: &[u8]) -> Result<Beacon, WireError> {
         client_delays_s: delays,
         atd_s: atd,
         access_share: share.clamp(f64::MIN_POSITIVE, 1.0),
+    })
+}
+
+/// Serializes an IAPP [`Announcement`] as a vendor action frame: MAC
+/// header, the ACORN vendor IE (subtype
+/// [`ACORN_OUI_TYPE_IAPP`]), and the FCS. This is the transport the
+/// fault-injection layer corrupts, so inter-AP control traffic gets the
+/// same detection guarantees as beacons.
+pub fn serialize_announcement(ann: &Announcement, bssid: [u8; 6]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MAC_HEADER + 2 + IE_IAPP + FCS_LEN);
+    out.extend_from_slice(&FC_ACTION);
+    out.extend_from_slice(&[0, 0]); // duration
+    out.extend_from_slice(&[0xFF; 6]); // DA: broadcast
+    out.extend_from_slice(&bssid); // SA
+    out.extend_from_slice(&bssid); // BSSID
+    out.extend_from_slice(&[0, 0]); // sequence control
+
+    out.push(IE_VENDOR);
+    out.push(IE_IAPP as u8);
+    out.extend_from_slice(&ACORN_OUI);
+    out.push(ACORN_OUI_TYPE_IAPP);
+    out.push(WIRE_VERSION);
+    out.extend_from_slice(&(ann.from.0 as u16).to_le_bytes());
+    out.extend_from_slice(&ann.seq.to_le_bytes());
+    let (channel, width) = match ann.assignment {
+        ChannelAssignment::Single(c) => (c.0, 20u8),
+        ChannelAssignment::Bonded(c) => (c.0, 40u8),
+    };
+    out.push(channel);
+    out.push(width);
+    out.extend_from_slice(&(ann.n_clients.min(u16::MAX as usize) as u16).to_le_bytes());
+    out.extend_from_slice(&ann.sent_at_s.to_bits().to_le_bytes());
+    append_fcs(&mut out);
+    out
+}
+
+/// Parses an action frame back into an [`Announcement`]. Defensive like
+/// [`parse_beacon`]: every malformed input is a typed [`WireError`].
+pub fn parse_announcement(frame: &[u8]) -> Result<Announcement, WireError> {
+    let body = check_fcs(frame)?;
+    if body.len() < MAC_HEADER {
+        return Err(WireError::Truncated);
+    }
+    if body[0..2] != FC_ACTION {
+        return Err(WireError::NotAnAnnouncement);
+    }
+    let mut off = MAC_HEADER;
+    while off + 2 <= body.len() {
+        let id = body[off];
+        let len = body[off + 1] as usize;
+        let ie = body
+            .get(off + 2..off + 2 + len)
+            .ok_or(WireError::Truncated)?;
+        if id == IE_VENDOR {
+            return parse_iapp_ie(ie);
+        }
+        off += 2 + len;
+    }
+    Err(WireError::MissingIe)
+}
+
+fn parse_iapp_ie(body: &[u8]) -> Result<Announcement, WireError> {
+    if body.len() < 4 || body[0..3] != ACORN_OUI || body[3] != ACORN_OUI_TYPE_IAPP {
+        return Err(WireError::ForeignVendorIe);
+    }
+    if body.len() != IE_IAPP {
+        return Err(WireError::LengthMismatch);
+    }
+    if body[4] != WIRE_VERSION {
+        return Err(WireError::BadVersion(body[4]));
+    }
+    let from = ApId(u16::from_le_bytes([body[5], body[6]]) as usize);
+    let mut seq_bytes = [0u8; 8];
+    seq_bytes.copy_from_slice(&body[7..15]);
+    let seq = u64::from_le_bytes(seq_bytes);
+    let channel = body[15];
+    let assignment = match body[16] {
+        20 => ChannelAssignment::Single(Channel20(channel)),
+        40 => {
+            ChannelAssignment::bonded(Channel20(channel)).ok_or(WireError::IllegalBond(channel))?
+        }
+        w => return Err(WireError::BadWidth(w)),
+    };
+    let n_clients = u16::from_le_bytes([body[17], body[18]]) as usize;
+    let mut at_bytes = [0u8; 8];
+    at_bytes.copy_from_slice(&body[19..27]);
+    let sent_at_s = f64::from_bits(u64::from_le_bytes(at_bytes));
+    Ok(Announcement {
+        from,
+        seq,
+        assignment,
+        n_clients,
+        sent_at_s,
     })
 }
 
@@ -296,6 +468,7 @@ mod tests {
     fn non_beacon_frames_are_rejected() {
         let mut frame = serialize_beacon(&beacon(1, false), [1; 6], 9).unwrap();
         frame[0] = 0x08; // data frame
+        refresh_fcs(&mut frame);
         assert_eq!(parse_beacon(&frame), Err(WireError::NotABeacon));
     }
 
@@ -303,6 +476,7 @@ mod tests {
     fn foreign_vendor_ie_is_rejected() {
         let mut frame = serialize_beacon(&beacon(1, false), [1; 6], 9).unwrap();
         frame[HEADER + 2] = 0x00; // clobber the OUI
+        refresh_fcs(&mut frame);
         assert_eq!(parse_beacon(&frame), Err(WireError::ForeignVendorIe));
     }
 
@@ -310,9 +484,11 @@ mod tests {
     fn version_and_width_are_checked() {
         let mut f1 = serialize_beacon(&beacon(1, false), [1; 6], 9).unwrap();
         f1[HEADER + 2 + 4] = 99; // version byte
+        refresh_fcs(&mut f1);
         assert_eq!(parse_beacon(&f1), Err(WireError::BadVersion(99)));
         let mut f2 = serialize_beacon(&beacon(1, false), [1; 6], 9).unwrap();
         f2[HEADER + 2 + 8] = 30; // width byte
+        refresh_fcs(&mut f2);
         assert_eq!(parse_beacon(&f2), Err(WireError::BadWidth(30)));
     }
 
@@ -320,6 +496,7 @@ mod tests {
     fn illegal_bond_is_rejected() {
         let mut frame = serialize_beacon(&beacon(1, true), [1; 6], 9).unwrap();
         frame[HEADER + 2 + 7] = 5; // odd primary channel
+        refresh_fcs(&mut frame);
         assert_eq!(parse_beacon(&frame), Err(WireError::IllegalBond(5)));
     }
 
@@ -328,7 +505,56 @@ mod tests {
         let mut frame = serialize_beacon(&beacon(2, false), [1; 6], 9).unwrap();
         let count_off = HEADER + 2 + 11;
         frame[count_off] = 3; // claim one more client than present
+        refresh_fcs(&mut frame);
         assert_eq!(parse_beacon(&frame), Err(WireError::LengthMismatch));
+    }
+
+    #[test]
+    fn corruption_without_fcs_repair_is_detected() {
+        // The in-flight story: any byte flipped after serialization (FCS
+        // not recomputed) must surface as BadFcs, including flips inside
+        // the trailer itself.
+        let frame = serialize_beacon(&beacon(2, true), [1; 6], 9).unwrap();
+        for at in [0, 2, HEADER + 2, HEADER + 9, frame.len() - 1] {
+            let mut bad = frame.clone();
+            bad[at] ^= 0x10;
+            assert_eq!(parse_beacon(&bad), Err(WireError::BadFcs), "flip at {at}");
+        }
+    }
+
+    #[test]
+    fn announcement_roundtrip_and_corruption() {
+        let ann = Announcement {
+            from: ApId(12),
+            seq: 977,
+            assignment: ChannelAssignment::bonded(Channel20(6)).unwrap(),
+            n_clients: 5,
+            sent_at_s: 1234.5,
+        };
+        let frame = serialize_announcement(&ann, [9; 6]);
+        assert_eq!(parse_announcement(&frame), Ok(ann));
+        // Beacon parser refuses it and vice versa (typed, no panic).
+        assert_eq!(parse_beacon(&frame), Err(WireError::NotABeacon));
+        let beacon_frame = serialize_beacon(&beacon(1, false), [1; 6], 0).unwrap();
+        assert_eq!(
+            parse_announcement(&beacon_frame),
+            Err(WireError::NotAnAnnouncement)
+        );
+        // A flipped bit is detected.
+        let mut bad = frame.clone();
+        bad[MAC_HEADER + 7] ^= 0x01;
+        assert_eq!(parse_announcement(&bad), Err(WireError::BadFcs));
+        // Truncations are typed errors.
+        for cut in [0, 3, MAC_HEADER, frame.len() - 1] {
+            assert!(parse_announcement(&frame[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        // The canonical IEEE 802.3 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]
@@ -352,6 +578,7 @@ mod tests {
         spliced.extend_from_slice(ssid);
         spliced.extend_from_slice(&frame[HEADER..]);
         frame = spliced;
+        refresh_fcs(&mut frame);
         let parsed = parse_beacon(&frame).unwrap();
         assert_eq!(parsed.ap, b.ap);
     }

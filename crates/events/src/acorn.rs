@@ -24,10 +24,12 @@
 //! [`Simulation`] and returns the telemetry snapshot plus the executed
 //! event log — the object the thread-count determinism tests compare.
 
+use crate::faults::{FaultPlan, FaultProcess, ResilienceReport};
 use crate::sim::{mix_seed, Ctx, Process, Simulation};
 use crate::telemetry::{Histogram, TelemetrySnapshot};
 use acorn_core::{choose_ap, AcornController, NetworkState};
-use acorn_topology::{ApId, ClientId, Trajectory, Wlan};
+use acorn_phy::ChannelWidth;
+use acorn_topology::{ApId, ChannelAssignment, ClientId, Trajectory, Wlan};
 use acorn_traces::Session;
 
 /// The shared world every ACORN process operates on.
@@ -41,23 +43,42 @@ pub struct AcornWorld {
     pub state: NetworkState,
     /// One record per re-allocation epoch, in firing order.
     pub realloc_log: Vec<ReallocRecord>,
+    /// Liveness per AP — all `true` unless a fault process crashes one.
+    pub ap_up: Vec<bool>,
+    /// The last assignment + width vector a *healthy* re-allocation epoch
+    /// deployed; safe mode restores it instead of re-optimizing on a
+    /// partial view of the network.
+    pub last_good: Option<(Vec<ChannelAssignment>, Vec<ChannelWidth>)>,
 }
 
 impl AcornWorld {
     /// A world with a fresh controller state seeded from `seed`.
     pub fn new(wlan: Wlan, ctl: AcornController, seed: u64) -> AcornWorld {
         let state = ctl.new_state(&wlan, seed);
+        let n_aps = wlan.aps.len();
         AcornWorld {
             wlan,
             ctl,
             state,
             realloc_log: Vec::new(),
+            ap_up: vec![true; n_aps],
+            last_good: None,
         }
     }
 
     /// Clients currently associated.
     pub fn active_clients(&self) -> usize {
         self.state.assoc.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Whether every AP is up.
+    pub fn all_up(&self) -> bool {
+        self.ap_up.iter().all(|&u| u)
+    }
+
+    /// APs currently down.
+    pub fn down_count(&self) -> usize {
+        self.ap_up.iter().filter(|&&u| !u).count()
     }
 }
 
@@ -74,6 +95,9 @@ pub struct ReallocRecord {
     pub after_bps: f64,
     /// Channel switches performed.
     pub switches: usize,
+    /// Whether this epoch ran in safe mode (degraded network: the
+    /// controller kept the last-known-good plan instead of re-optimizing).
+    pub degraded: bool,
 }
 
 /// Event payload shared by the standard processes. Every variant carries
@@ -91,6 +115,15 @@ pub enum AcornEvent {
     MobilitySample,
     /// One step of slow shadowing drift.
     DriftStep,
+    /// An AP crashes (fault layer).
+    ApCrash(usize),
+    /// A crashed AP finishes repair and comes back cold (fault layer).
+    ApRestart(usize),
+    /// One control round: measurements, beacons, IAPP, CSA, detection
+    /// (fault layer).
+    ControlRound,
+    /// A delayed control-message copy arrives (fault layer).
+    DeliverMsg(u32),
 }
 
 /// Drives Algorithm 1 association from a session trace.
@@ -144,7 +177,10 @@ impl Process<AcornWorld, AcornEvent> for SessionProcess {
                 // so the chosen candidate's own delay is available for
                 // telemetry without recomputing the candidate set.
                 let w = &mut *ctx.world;
-                let candidates = w.ctl.candidates_for(&w.wlan, &w.state, ClientId(c));
+                let mut candidates = w.ctl.candidates_for(&w.wlan, &w.state, ClientId(c));
+                // Dead APs don't beacon, so clients never see them as
+                // candidates. A no-op while every AP is up.
+                candidates.retain(|cand| w.ap_up[cand.ap.0]);
                 let mut delay = None;
                 if let Some(i) = choose_ap(&candidates) {
                     w.state.assoc[c] = Some(candidates[i].ap);
@@ -224,6 +260,11 @@ pub struct ReallocationTimer {
     pub adapt_widths: bool,
     /// Per-epoch seed derivation.
     pub seed_policy: SeedPolicy,
+    /// Degrade gracefully when APs are down: keep the last-known-good
+    /// plan, skip re-optimization, and force cells bordering a dead AP to
+    /// 20 MHz. Off, the timer re-optimizes blindly every epoch (the
+    /// pre-fault-layer behaviour).
+    pub safe_mode: bool,
 }
 
 impl Process<AcornWorld, AcornEvent> for ReallocationTimer {
@@ -240,26 +281,54 @@ impl Process<AcornWorld, AcornEvent> for ReallocationTimer {
         let t = ctx.now();
         let seed = self.seed_policy.epoch_seed(ctx.event_seq());
         let w = &mut *ctx.world;
-        let before = w.ctl.total_throughput_bps(&w.wlan, &w.state);
+        // With every AP up this is bit-identical to the plain total, so
+        // fault-free runs keep their golden fingerprints.
+        let before = w.ctl.total_throughput_bps_up(&w.wlan, &w.state, &w.ap_up);
         let active = w.active_clients();
-        let r = w
-            .ctl
-            .reallocate_with_restarts(&w.wlan, &mut w.state, self.restarts, seed);
-        if self.adapt_widths {
-            w.ctl.adapt_widths(&w.wlan, &mut w.state);
-        }
+        let degraded = self.safe_mode && !w.all_up();
+        let (after, switches) = if degraded {
+            // Safe mode: a partial network means a partial view — any
+            // re-optimization now would chase phantom interference. Keep
+            // the last plan a healthy epoch deployed and shed the risky
+            // 40 MHz bonds next to the hole.
+            if let Some((assignments, widths)) = w.last_good.clone() {
+                w.state.assignments = assignments;
+                w.state.operating_width = widths;
+            }
+            let graph = w.wlan.ap_only_interference_graph();
+            for ap in 0..w.wlan.aps.len() {
+                if w.ap_up[ap] && graph.neighbors(ApId(ap)).any(|n| !w.ap_up[n.0]) {
+                    w.state.operating_width[ap] = ChannelWidth::Ht20;
+                }
+            }
+            ctx.telemetry.inc("controller.safe_mode_epochs");
+            let after = w.ctl.total_throughput_bps_up(&w.wlan, &w.state, &w.ap_up);
+            (after, 0)
+        } else {
+            let r = w
+                .ctl
+                .reallocate_with_restarts(&w.wlan, &mut w.state, self.restarts, seed);
+            if self.adapt_widths {
+                w.ctl.adapt_widths(&w.wlan, &mut w.state);
+            }
+            if self.safe_mode {
+                w.last_good = Some((w.state.assignments.clone(), w.state.operating_width.clone()));
+            }
+            (r.total_bps, r.switches)
+        };
         let record = ReallocRecord {
             t_s: t,
             active_clients: active,
             before_bps: before,
-            after_bps: r.total_bps,
-            switches: r.switches,
+            after_bps: after,
+            switches,
+            degraded,
         };
         w.realloc_log.push(record);
         ctx.telemetry.inc("reallocations");
         ctx.telemetry.record("network_bps.before", t, before);
-        ctx.telemetry.record("network_bps.after", t, r.total_bps);
-        ctx.telemetry.observe("switches", r.switches as f64);
+        ctx.telemetry.record("network_bps.after", t, after);
+        ctx.telemetry.observe("switches", switches as f64);
         let next = t + self.period_s;
         if next < self.horizon_s {
             ctx.schedule_at(next, AcornEvent::Reallocate);
@@ -378,10 +447,13 @@ pub struct DriftSpec {
 }
 
 /// A full scenario: session churn + periodic re-allocation, optionally
-/// with a mobile client and shadowing drift, over one deployment.
-/// Process registration order is fixed (sessions, timer, mobility,
-/// drift), which pins every event's sequence number and therefore the
-/// whole dispatch order.
+/// with a mobile client, shadowing drift, and a fault-injection layer,
+/// over one deployment. Process registration order is fixed (sessions,
+/// timer, mobility, drift, faults), which pins every event's sequence
+/// number and therefore the whole dispatch order — the fault process
+/// registering *last* keeps fault-free schedules (and their golden
+/// fingerprints) byte-identical to pre-fault builds.
+#[derive(Clone)]
 pub struct CompositeScenario {
     /// The deployment.
     pub wlan: Wlan,
@@ -399,6 +471,10 @@ pub struct CompositeScenario {
     pub mobility: Option<MobilitySpec>,
     /// Optional shadowing drift.
     pub drift: Option<DriftSpec>,
+    /// Optional fault-injection layer. Setting it (even to a benign plan)
+    /// runs the full control-plane-on-the-wire machinery and switches the
+    /// re-allocation timer to safe mode.
+    pub faults: Option<FaultPlan>,
     /// Master seed (initial assignment + per-epoch restart streams).
     pub seed: u64,
     /// Record the executed-event log (costs a `String` per event).
@@ -417,6 +493,11 @@ pub struct CompositeReport {
     pub realloc: Vec<ReallocRecord>,
     /// The final controller state.
     pub final_state: NetworkState,
+    /// Fault-layer aggregates (present iff `faults` was set). The golden
+    /// comparison fields are zero unless
+    /// [`run_resilience`](CompositeScenario::run_resilience) produced the
+    /// report.
+    pub resilience: Option<ResilienceReport>,
 }
 
 impl CompositeScenario {
@@ -435,7 +516,19 @@ impl CompositeScenario {
             horizon_s: self.horizon_s,
             restarts: self.restarts,
             adapt_widths: self.adapt_widths,
-            seed_policy: SeedPolicy::FromEventSeq { base: self.seed },
+            // With faults on, epoch seeds count epochs rather than events:
+            // a faulty run and its golden twin schedule different event
+            // interleavings (delayed deliveries consume sequence numbers),
+            // and the resilience comparison is only meaningful if both
+            // draw identical per-epoch restart streams.
+            seed_policy: if self.faults.is_some() {
+                SeedPolicy::Sequential {
+                    next: self.seed.wrapping_add(1),
+                }
+            } else {
+                SeedPolicy::FromEventSeq { base: self.seed }
+            },
+            safe_mode: self.faults.is_some(),
         }));
         if let Some(m) = self.mobility {
             sim.add_process(Box::new(MobilityProcess {
@@ -453,14 +546,46 @@ impl CompositeScenario {
                 phase_step_rad: d.phase_step_rad,
             }));
         }
+        if let Some(plan) = self.faults {
+            sim.add_process(Box::new(FaultProcess::new(plan, self.horizon_s)));
+        }
         let stats = sim.run(self.horizon_s);
+        let resilience = self
+            .faults
+            .map(|_| ResilienceReport::from_telemetry(&sim.telemetry));
         CompositeReport {
             stats,
             telemetry: sim.telemetry.snapshot(),
             log: sim.event_log().cloned(),
             realloc: std::mem::take(&mut sim.world.realloc_log),
             final_state: sim.world.state.clone(),
+            resilience,
         }
+    }
+
+    /// Runs the scenario twice — once with its fault plan, once with the
+    /// plan's fault-free twin — and returns the faulty report with its
+    /// [`ResilienceReport`] golden-comparison fields filled in
+    /// (`golden_mean_bps`, `throughput_retained`). The twin keeps the
+    /// same seed, control cadence, and detection thresholds, so the only
+    /// difference between the runs is the faults themselves.
+    pub fn run_resilience(&self, ctl: &AcornController) -> CompositeReport {
+        let plan = self.faults.unwrap_or_default();
+        let mut faulty = self.clone();
+        faulty.faults = Some(plan);
+        let mut report = faulty.run(ctl);
+        let mut golden = self.clone();
+        golden.faults = Some(plan.benign_twin());
+        let golden_report = golden.run(ctl);
+        if let (Some(r), Some(g)) = (report.resilience.as_mut(), golden_report.resilience) {
+            r.golden_mean_bps = g.faulty_mean_bps;
+            r.throughput_retained = if g.faulty_mean_bps > 0.0 {
+                r.faulty_mean_bps / g.faulty_mean_bps
+            } else {
+                0.0
+            };
+        }
+        report
     }
 }
 
@@ -523,6 +648,7 @@ mod tests {
                 period_s: 250.0,
                 phase_step_rad: 0.05,
             }),
+            faults: None,
             seed,
             record_log: true,
         }

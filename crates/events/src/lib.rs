@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod acorn;
+pub mod faults;
 pub mod queue;
 pub mod sim;
 pub mod telemetry;
@@ -42,6 +43,7 @@ pub use acorn::{
     AcornEvent, AcornWorld, CompositeReport, CompositeScenario, DriftProcess, DriftSpec,
     MobilityProcess, MobilitySpec, ReallocRecord, ReallocationTimer, SeedPolicy, SessionProcess,
 };
+pub use faults::{FaultPlan, FaultProcess, ResilienceReport};
 pub use queue::{EventId, EventQueue, Fired};
 pub use sim::{
     mix_seed, Ctx, Envelope, EventLog, LogEntry, Process, ProcessId, RunStats, Simulation,

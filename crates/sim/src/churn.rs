@@ -113,6 +113,7 @@ pub fn run_churn(
         seed_policy: SeedPolicy::Sequential {
             next: seed.wrapping_add(1),
         },
+        safe_mode: false,
     }));
     sim.run(config.horizon_s);
     let snapshots = sim

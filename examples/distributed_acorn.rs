@@ -100,12 +100,15 @@ fn main() {
     );
 
     // Deploy via CSA: 4-beacon countdown, everyone hops together.
-    let plans = switch_plans(&state.assignments, &result.assignments);
+    let plans = switch_plans(&state.assignments, &result.assignments)
+        .expect("old/new assignments come from the same deployment");
     println!("{} APs need to switch channels:", plans.len());
     let mut csa: Vec<ApCsa> = vec![ApCsa::default(); wlan.aps.len()];
     for p in &plans {
         println!("  AP {}: {:?} -> {:?}", p.ap.0, p.from, p.to);
-        csa[p.ap.0].schedule(p.to, 4);
+        csa[p.ap.0]
+            .schedule(p.to, 4)
+            .expect("countdown of 4 beacons is non-zero");
     }
     let mut current = state.assignments.clone();
     for epoch in 0..=4 {

@@ -44,6 +44,7 @@ fn main() {
             period_s: 900.0,
             phase_step_rad: 0.02,
         }),
+        faults: None,
         seed: 7,
         record_log: false,
     }

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # The tier-1 gate, runnable locally and from any CI runner:
 #   1. formatting (cargo fmt --check, whole workspace),
-#   2. release build,
-#   3. the root test suite (tier-1: reproduction guards, properties,
-#      determinism, event-runtime goldens),
-#   4. the determinism + golden suites re-run under ACORN_THREADS = 1, 2
+#   2. panic-path budget: `unwrap()` / `expect(` / `panic!(` in
+#      crates/core non-test code must not grow past the audited baseline
+#      (control-plane code returns typed ControlError instead),
+#   3. warnings-clean check build of the whole workspace,
+#   4. release build,
+#   5. the root test suite (tier-1: reproduction guards, properties,
+#      determinism, resilience, event-runtime goldens),
+#   6. the determinism + golden suites re-run under ACORN_THREADS = 1, 2
 #      and 8 — the engine's thread-count cap must never move an output
 #      bit, including the hard-coded pre-port fingerprints.
 #
@@ -16,6 +20,34 @@ echo "== fmt check =="
 cargo fmt --all -- --check
 
 echo
+echo "== panic-path budget (crates/core, non-test) =="
+# Audited baseline: 1 (par.rs's provably-unreachable expect). Everything
+# else in the control plane must surface a typed ControlError. Test
+# modules sit at the bottom of each file behind #[cfg(test)], so counting
+# stops at that marker.
+PANIC_BASELINE=1
+count=0
+for f in crates/core/src/*.rs; do
+    hits=$(awk '/#\[cfg\(test\)\]/{exit} {print}' "$f" \
+        | grep -cE '\.unwrap\(\)|\.expect\(|panic!\(' || true)
+    if [ "$hits" -gt 0 ]; then
+        echo "  $f: $hits"
+        count=$((count + hits))
+    fi
+done
+echo "  total: $count (baseline $PANIC_BASELINE)"
+if [ "$count" -gt "$PANIC_BASELINE" ]; then
+    echo "panic-path budget exceeded: $count > $PANIC_BASELINE" >&2
+    echo "(convert the new unwrap/expect/panic to ControlError, or" >&2
+    echo " re-audit and bump PANIC_BASELINE in scripts/ci.sh)" >&2
+    exit 1
+fi
+
+echo
+echo "== warnings-clean check =="
+RUSTFLAGS="-D warnings" cargo check --offline --workspace --all-targets
+
+echo
 echo "== release build =="
 cargo build --release --offline
 
@@ -25,10 +57,13 @@ cargo test -q --offline
 
 echo
 echo "== determinism across thread counts =="
+# determinism.rs sweeps ACORN_THREADS internally (fault-free AND faulty
+# composites); the outer loop additionally pins the *ambient* thread
+# count for the golden-fingerprint and resilience suites.
 for t in 1 2 8; do
     echo "-- ACORN_THREADS=$t --"
     ACORN_THREADS=$t cargo test -q --offline --release \
-        --test determinism --test event_runtime
+        --test determinism --test event_runtime --test resilience
 done
 
 echo

@@ -10,7 +10,7 @@
 use acorn_core::allocation::{allocate_with_restarts, AllocationConfig};
 use acorn_core::model::{ClientSnr, NetworkModel};
 use acorn_core::{AcornConfig, AcornController, NetworkState};
-use acorn_events::{CompositeReport, CompositeScenario, DriftSpec, MobilitySpec};
+use acorn_events::{CompositeReport, CompositeScenario, DriftSpec, FaultPlan, MobilitySpec};
 use acorn_sim::churn::{run_churn, ChurnConfig, ChurnReport};
 use acorn_sim::scenario::enterprise_grid;
 use acorn_topology::{ChannelPlan, ClientId, InterferenceGraph, Point, Trajectory, Wlan};
@@ -102,6 +102,60 @@ fn run_composite(
             period_s: 600.0,
             phase_step_rad: 0.03,
         }),
+        faults: None,
+        seed,
+        record_log: true,
+    }
+    .run(ctl)
+}
+
+/// The composite plus the fault layer at full tilt: an AP crash, message
+/// loss/corruption/delay, and measurement faults. Every fault decision
+/// runs inside event handlers with seeds keyed on event sequence numbers,
+/// so the thread count must not move a single bit of it either.
+fn run_faulty_composite(
+    wlan: &Wlan,
+    ctl: &AcornController,
+    sessions: &[Session],
+    seed: u64,
+) -> CompositeReport {
+    let mobile = ClientId(wlan.clients.len() - 1);
+    let from = wlan.clients[mobile.0].pos;
+    CompositeScenario {
+        wlan: wlan.clone(),
+        sessions: sessions.to_vec(),
+        horizon_s: 3600.0,
+        reallocation_period_s: 1200.0,
+        restarts: 4,
+        adapt_widths: true,
+        mobility: Some(MobilitySpec {
+            client: mobile,
+            trajectory: Trajectory {
+                from,
+                to: Point::new(from.x + 40.0, from.y),
+                speed_mps: 0.02,
+            },
+            sample_period_s: 120.0,
+        }),
+        drift: Some(DriftSpec {
+            period_s: 600.0,
+            phase_step_rad: 0.03,
+        }),
+        faults: Some(FaultPlan {
+            seed: seed ^ 0xFA17,
+            control_period_s: 30.0,
+            ap_mttf_s: Some(600.0),
+            ap_mttr_s: 300.0,
+            max_crashes: 1,
+            loss: 0.2,
+            corruption: 0.05,
+            delay_prob: 0.1,
+            delay_max_s: 45.0,
+            meas_nan: 0.02,
+            meas_outlier: 0.05,
+            meas_freeze: 0.05,
+            ..FaultPlan::default()
+        }),
         seed,
         record_log: true,
     }
@@ -122,6 +176,7 @@ fn results_are_identical_across_thread_counts() {
         let mut direct_runs: Vec<(Vec<_>, u64)> = Vec::new();
         let mut churn_runs: Vec<ChurnReport> = Vec::new();
         let mut composite_runs: Vec<CompositeReport> = Vec::new();
+        let mut faulty_runs: Vec<CompositeReport> = Vec::new();
         for threads in thread_counts {
             std::env::set_var("ACORN_THREADS", threads);
             controller_runs.push(run_controller_alloc(&wlan, &ctl, 7 + topo as u64));
@@ -129,6 +184,12 @@ fn results_are_identical_across_thread_counts() {
             direct_runs.push((r.assignments, r.total_bps.to_bits()));
             churn_runs.push(run_churn_once(&wlan, &ctl, &sessions, 21 + topo as u64));
             composite_runs.push(run_composite(&wlan, &ctl, &sessions, 33 + topo as u64));
+            faulty_runs.push(run_faulty_composite(
+                &wlan,
+                &ctl,
+                &sessions,
+                33 + topo as u64,
+            ));
         }
         std::env::remove_var("ACORN_THREADS");
 
@@ -161,6 +222,22 @@ fn results_are_identical_across_thread_counts() {
             assert_eq!(
                 composite_runs[0].final_state, composite_runs[t].final_state,
                 "topology {topo}: composite final state differs at {threads} threads"
+            );
+            assert_eq!(
+                faulty_runs[0].log, faulty_runs[t].log,
+                "topology {topo}: faulty composite event log differs at {threads} threads"
+            );
+            assert_eq!(
+                faulty_runs[0].telemetry, faulty_runs[t].telemetry,
+                "topology {topo}: faulty composite telemetry differs at {threads} threads"
+            );
+            assert_eq!(
+                faulty_runs[0].final_state, faulty_runs[t].final_state,
+                "topology {topo}: faulty composite final state differs at {threads} threads"
+            );
+            assert_eq!(
+                faulty_runs[0].resilience, faulty_runs[t].resilience,
+                "topology {topo}: resilience report differs at {threads} threads"
             );
         }
     }

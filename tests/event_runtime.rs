@@ -150,6 +150,7 @@ fn composite_scenario_exports_a_telemetry_snapshot() {
             period_s: 900.0,
             phase_step_rad: 0.02,
         }),
+        faults: None,
         seed: 11,
         record_log: true,
     }

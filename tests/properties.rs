@@ -259,13 +259,122 @@ proptest! {
     }
 
     #[test]
+    fn wire_roundtrip_under_bit_flips_never_panics_or_lies(
+        n_flips in 1usize..=3,
+        positions in proptest::collection::vec(0usize..4096, 3),
+        seed in any::<u64>(),
+        beacon_side in any::<bool>(),
+    ) {
+        // CRC-32 has Hamming distance ≥ 4 at these frame lengths, so a
+        // frame with 1–3 flipped bits (possibly coincident, i.e. weight
+        // 0–3) either parses back to the original fields or fails typed.
+        // Panics and silently-wrong decodes are both bugs.
+        use acorn::core::wire::{
+            parse_announcement, parse_beacon, serialize_announcement, serialize_beacon,
+        };
+        use acorn::core::iapp::Announcement;
+        use acorn::core::Beacon;
+        use acorn::topology::{ApId, Channel20, ChannelAssignment};
+        let assignment = ChannelAssignment::Single(Channel20((seed % 12) as u8));
+        let mut frame = if beacon_side {
+            let b = Beacon {
+                ap: ApId(3),
+                assignment,
+                n_clients: 2,
+                client_delays_s: vec![0.001, 0.002],
+                atd_s: 0.003,
+                access_share: 0.5,
+            };
+            serialize_beacon(&b, [1; 6], 7).unwrap()
+        } else {
+            let a = Announcement {
+                from: ApId(9),
+                assignment,
+                n_clients: 4,
+                seq: 21,
+                sent_at_s: 3.0,
+            };
+            serialize_announcement(&a, [2; 6])
+        };
+        let original = frame.clone();
+        let bits = frame.len() * 8;
+        for p in positions.iter().take(n_flips) {
+            let pos = p % bits;
+            frame[pos / 8] ^= 1 << (pos % 8);
+        }
+        if beacon_side {
+            if let Ok(parsed) = parse_beacon(&frame) {
+                prop_assert_eq!(&frame, &original, "corrupted beacon decoded");
+                prop_assert_eq!(parsed.ap, ApId(3));
+            }
+        } else if let Ok(parsed) = parse_announcement(&frame) {
+            prop_assert_eq!(&frame, &original, "corrupted announcement decoded");
+            prop_assert_eq!(parsed.from, ApId(9));
+        }
+    }
+
+    #[test]
+    fn iapp_never_undercounts_contenders_beyond_one_hold_down(
+        seed in any::<u64>(),
+        loss in 0.0f64..0.9,
+        rounds in 10usize..80,
+    ) {
+        // A neighbour on a conflicting channel announces once a second;
+        // each frame is lost independently, and each delivered frame is
+        // sometimes the *previous* round's (reordered, stale seq). The
+        // pessimism contract: from first contact until `expiry_s +
+        // hold_down_s` past the last delivery, the agent must keep
+        // counting that contender — loss may only ever make `M_a`
+        // smaller, never larger (share 1.0 with a live contender would
+        // be optimistic).
+        use acorn::core::iapp::{Announcement, IappAgent};
+        use acorn::topology::{ApId, Channel20, ChannelAssignment};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let chan = ChannelAssignment::Single(Channel20(0));
+        let mut agent = IappAgent::new(ApId(0));
+        let mut peer = IappAgent::new(ApId(1));
+        let mut last_delivery: Option<f64> = None;
+        let mut previous: Option<Announcement> = None;
+        for round in 0..rounds {
+            let now = round as f64;
+            let fresh = peer.announce(chan, 1, now);
+            if rng.gen::<f64>() >= loss {
+                // 1-in-4 delivered frames arrive reordered: the stale
+                // predecessor shows up instead of the fresh frame.
+                let stale = rng.gen::<f64>() < 0.25;
+                let msg = match (&previous, stale) {
+                    (Some(p), true) => *p,
+                    _ => fresh,
+                };
+                agent.handle(&msg, -60.0, now);
+                last_delivery = Some(now);
+            }
+            previous = Some(fresh);
+            agent.prune(now);
+            if let Some(t) = last_delivery {
+                if now - t <= agent.expiry_s + agent.hold_down_s {
+                    prop_assert_eq!(
+                        agent.contender_count(chan), 1,
+                        "round {}: contender forgotten only {}s after last \
+                         delivery (expiry {} + hold {})",
+                        round, now - t, agent.expiry_s, agent.hold_down_s
+                    );
+                    prop_assert!(agent.access_share(chan) <= 0.5);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn tracker_estimate_stays_within_sample_range(
         samples in proptest::collection::vec(-5.0f64..40.0, 1..50),
     ) {
         use acorn::core::tracker::{ClientTracker, TrackerConfig};
-        let mut t = ClientTracker::new(TrackerConfig::default(), 0.0);
+        let mut t = ClientTracker::new(TrackerConfig::default(), 0.0).unwrap();
         for (i, s) in samples.iter().enumerate() {
-            t.observe_snr(*s, i as f64);
+            t.observe_snr(*s, i as f64).unwrap();
         }
         if let Some(est) = t.snr_db() {
             let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
