@@ -42,6 +42,7 @@ use crate::preamble::{build_preamble_into, detect_preamble, preamble_len};
 use crate::prefix::{cp_len_for, extend_with_cp};
 use crate::stbc::{alamouti_combine, Mimo2x2};
 use acorn_core::par::par_map_n;
+use acorn_obs::{names, NullSink, Sink};
 use acorn_phy::{ChannelWidth, CodeRate, Modulation};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -437,10 +438,23 @@ impl FrameWorkspace {
         config: &FrameConfig,
         packet_seed: u64,
     ) -> Result<PacketOutcome, FrameError> {
+        self.run_packet_obs(config, packet_seed, &NullSink)
+    }
+
+    /// [`run_packet`](FrameWorkspace::run_packet) with per-stage spans and
+    /// packet/sync-failure counters reported to `sink`. With [`NullSink`]
+    /// this is exactly `run_packet`: the spans compile to nothing and the
+    /// zero-allocation guarantee holds.
+    pub fn run_packet_obs<S: Sink>(
+        &mut self,
+        config: &FrameConfig,
+        packet_seed: u64,
+        sink: &S,
+    ) -> Result<PacketOutcome, FrameError> {
         config.validate()?;
         self.ensure(config);
         let mut rng = StdRng::seed_from_u64(packet_seed);
-        Ok(run_packet_inner(config, self, &mut rng))
+        Ok(run_packet_inner(config, self, &mut rng, sink))
     }
 
     /// The equalized data symbols of the last packet, capped at the
@@ -452,38 +466,48 @@ impl FrameWorkspace {
 }
 
 /// One packet through the pipeline; every buffer comes from `ws`.
-fn run_packet_inner(
+fn run_packet_inner<S: Sink>(
     config: &FrameConfig,
     ws: &mut FrameWorkspace,
     rng: &mut StdRng,
+    sink: &S,
 ) -> PacketOutcome {
+    sink.inc(names::BASEBAND_PACKETS);
     let cp = cp_len_for(config.width.fft_size(), config.gi);
     let amplitude = config.subcarrier_amplitude();
     let info_len = config.packet_bytes * 8;
 
     // 1. Payload and (optional) FEC; the uncoded path modulates `info`
     //    directly (no copy).
-    ws.info.clear();
-    ws.info.extend((0..info_len).map(|_| rng.gen::<bool>()));
-    let codec = config.code_rate.map(Codec::new);
-    match codec {
-        Some(c) => {
-            c.encode_into(&ws.info, &mut ws.mother, &mut ws.coded);
-            // 2. Constellation mapping.
-            modulate_into(config.modulation, &ws.coded, &mut ws.tx_symbols);
+    let codec = {
+        let _span = sink.span(names::BASEBAND_STAGE_ENCODE);
+        ws.info.clear();
+        ws.info.extend((0..info_len).map(|_| rng.gen::<bool>()));
+        let codec = config.code_rate.map(Codec::new);
+        match codec {
+            Some(c) => {
+                c.encode_into(&ws.info, &mut ws.mother, &mut ws.coded);
+                // 2. Constellation mapping.
+                modulate_into(config.modulation, &ws.coded, &mut ws.tx_symbols);
+            }
+            None => modulate_into(config.modulation, &ws.info, &mut ws.tx_symbols),
         }
-        None => modulate_into(config.modulation, &ws.info, &mut ws.tx_symbols),
-    }
+        codec
+    };
 
     // 3-4. Subcarrier mapping + IFFT + CP, per antenna.
-    if config.stbc {
-        build_stbc_streams(config, amplitude, cp, ws);
-    } else {
-        build_siso_stream(config, amplitude, cp, ws);
+    {
+        let _span = sink.span(names::BASEBAND_STAGE_STREAMS);
+        if config.stbc {
+            build_stbc_streams(config, amplitude, cp, ws);
+        } else {
+            build_siso_stream(config, amplitude, cp, ws);
+        }
     }
 
     // 5. Channel + noise per receive antenna. Under Genie sync no
     //    preamble is transmitted, so the frame starts at offset 0.
+    let channel_span = sink.span(names::BASEBAND_STAGE_CHANNEL);
     let n_ant = if config.stbc { 2 } else { 1 };
     for i in 0..n_ant {
         for j in 0..n_ant {
@@ -529,47 +553,57 @@ fn run_packet_inner(
         }
         add_awgn(rx, config.sample_noise(), rng);
     }
+    drop(channel_span);
 
     // 6. Synchronization.
-    let data_start = match config.sync {
-        SyncMode::Genie => frame_offset,
-        SyncMode::Preamble { threshold } => match detect_preamble(&ws.rx[0], 4, threshold) {
-            Some(off) => off,
-            None => {
-                ws.rx_symbols.clear();
-                return PacketOutcome {
-                    bits: info_len,
-                    bit_errors: info_len,
-                    sync_failed: true,
-                    tx_power: tx_power_meas,
-                    evm_sum: 0.0,
-                    evm_n: 0,
-                };
-            }
-        },
+    let data_start = {
+        let _span = sink.span(names::BASEBAND_STAGE_SYNC);
+        match config.sync {
+            SyncMode::Genie => frame_offset,
+            SyncMode::Preamble { threshold } => match detect_preamble(&ws.rx[0], 4, threshold) {
+                Some(off) => off,
+                None => {
+                    sink.inc(names::BASEBAND_SYNC_FAILURES);
+                    ws.rx_symbols.clear();
+                    return PacketOutcome {
+                        bits: info_len,
+                        bit_errors: info_len,
+                        sync_failed: true,
+                        tx_power: tx_power_meas,
+                        evm_sum: 0.0,
+                        evm_n: 0,
+                    };
+                }
+            },
+        }
     };
 
     // 7. FFT + equalize/combine.
-    if config.stbc {
-        receive_stbc(config, amplitude, data_start, cp, ws);
-    } else {
-        receive_siso(config, amplitude, data_start, cp, ws);
-    }
+    let (evm_sum, evm_n) = {
+        let _span = sink.span(names::BASEBAND_STAGE_RECEIVE);
+        if config.stbc {
+            receive_stbc(config, amplitude, data_start, cp, ws);
+        } else {
+            receive_siso(config, amplitude, data_start, cp, ws);
+        }
 
-    // Constellation / EVM bookkeeping (up to 512 symbols per packet).
-    let mut evm_sum = 0.0;
-    let mut evm_n = 0usize;
-    for (txs, rxs) in ws
-        .tx_symbols
-        .iter()
-        .zip(ws.rx_symbols.iter())
-        .take(CONSTELLATION_PER_PACKET)
-    {
-        evm_sum += (*rxs - *txs).norm_sqr();
-        evm_n += 1;
-    }
+        // Constellation / EVM bookkeeping (up to 512 symbols per packet).
+        let mut evm_sum = 0.0;
+        let mut evm_n = 0usize;
+        for (txs, rxs) in ws
+            .tx_symbols
+            .iter()
+            .zip(ws.rx_symbols.iter())
+            .take(CONSTELLATION_PER_PACKET)
+        {
+            evm_sum += (*rxs - *txs).norm_sqr();
+            evm_n += 1;
+        }
+        (evm_sum, evm_n)
+    };
 
     // 8. Demap + decode + count.
+    let _span = sink.span(names::BASEBAND_STAGE_DECODE);
     demodulate_into(config.modulation, &ws.rx_symbols, &mut ws.rx_bits);
     let bit_errors = match codec {
         Some(c) => {
@@ -1133,6 +1167,46 @@ mod tests {
         cfg.packet_bytes = 200;
         let r = run_trial(&cfg, 3, 2);
         assert_eq!(r.bit_errors, 0);
+    }
+
+    #[test]
+    fn obs_packet_run_matches_plain_run_and_counts_stages() {
+        use acorn_obs::RecordingSink;
+
+        let mut cfg = FrameConfig::baseline(ChannelWidth::Ht20);
+        cfg.packet_bytes = 120;
+        let sink = RecordingSink::new();
+        let mut ws_plain = FrameWorkspace::new();
+        let mut ws_obs = FrameWorkspace::new();
+        let n = 5u64;
+        for i in 0..n {
+            let seed = mix_seed(42, i);
+            let plain = ws_plain.run_packet(&cfg, seed).unwrap();
+            let obs = ws_obs.run_packet_obs(&cfg, seed, &sink).unwrap();
+            assert_eq!(plain.bits, obs.bits);
+            assert_eq!(plain.bit_errors, obs.bit_errors);
+            assert_eq!(plain.sync_failed, obs.sync_failed);
+            assert_eq!(plain.tx_power.to_bits(), obs.tx_power.to_bits());
+        }
+        let snap = sink.snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|c| c.name == name)
+                .map_or(0, |c| c.value)
+        };
+        assert_eq!(counter(names::BASEBAND_PACKETS), n);
+        for stage in [
+            names::BASEBAND_STAGE_ENCODE,
+            names::BASEBAND_STAGE_STREAMS,
+            names::BASEBAND_STAGE_CHANNEL,
+            names::BASEBAND_STAGE_SYNC,
+            names::BASEBAND_STAGE_RECEIVE,
+            names::BASEBAND_STAGE_DECODE,
+        ] {
+            assert_eq!(counter(stage), n, "{stage}");
+        }
+        assert_eq!(counter(names::BASEBAND_SYNC_FAILURES), 0);
     }
 
     #[test]

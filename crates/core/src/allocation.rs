@@ -34,6 +34,7 @@
 
 use crate::model::ThroughputModel;
 use crate::par;
+use acorn_obs::{names, NullSink, Sink};
 use acorn_topology::{ApId, ChannelAssignment, ChannelPlan};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -91,6 +92,20 @@ pub fn allocate<M: ThroughputModel + Sync>(
     initial: Vec<ChannelAssignment>,
     config: &AllocationConfig,
 ) -> AllocationResult {
+    allocate_obs(model, plan, initial, config, &NullSink)
+}
+
+/// [`allocate`] reporting into a metric sink: `alloc.runs`,
+/// `alloc.rounds`, `alloc.iterations`, and `alloc.switches` counters,
+/// emitted once per run as commutative adds — safe to share one sink
+/// across the restart fan-out.
+pub fn allocate_obs<M: ThroughputModel + Sync, S: Sink>(
+    model: &M,
+    plan: &ChannelPlan,
+    initial: Vec<ChannelAssignment>,
+    config: &AllocationConfig,
+    sink: &S,
+) -> AllocationResult {
     let n = model.n_aps();
     assert_eq!(initial.len(), n, "one initial assignment per AP");
     for a in &initial {
@@ -101,9 +116,11 @@ pub fn allocate<M: ThroughputModel + Sync>(
     let mut y = model.total_bps(&assignments);
     let mut iterations = 0usize;
     let mut switches = 0usize;
+    let mut rounds = 0usize;
     let mut history = vec![y];
 
     for _round in 0..config.max_rounds {
+        rounds += 1;
         let y_round_start = y;
         let mut eligible: Vec<bool> = vec![true; n];
         // Inner loop: repeatedly let the max-rank eligible AP switch.
@@ -148,6 +165,13 @@ pub fn allocate<M: ThroughputModel + Sync>(
         }
     }
 
+    if sink.enabled() {
+        sink.inc(names::ALLOC_RUNS);
+        sink.add(names::ALLOC_ROUNDS, rounds as u64);
+        sink.add(names::ALLOC_ITERATIONS, iterations as u64);
+        sink.add(names::ALLOC_SWITCHES, switches as u64);
+    }
+
     // Re-anchor the headline number with one full evaluation so that
     // accumulated delta rounding cannot drift it; `history_bps` keeps the
     // exact per-switch gains.
@@ -168,8 +192,19 @@ pub fn allocate_from_random<M: ThroughputModel + Sync>(
     config: &AllocationConfig,
     seed: u64,
 ) -> AllocationResult {
+    allocate_from_random_obs(model, plan, config, seed, &NullSink)
+}
+
+/// [`allocate_from_random`] reporting into a metric sink.
+pub fn allocate_from_random_obs<M: ThroughputModel + Sync, S: Sink>(
+    model: &M,
+    plan: &ChannelPlan,
+    config: &AllocationConfig,
+    seed: u64,
+    sink: &S,
+) -> AllocationResult {
     let initial = random_initial(plan, model.n_aps(), seed);
-    allocate(model, plan, initial, config)
+    allocate_obs(model, plan, initial, config, sink)
 }
 
 /// Multi-restart allocation: runs Algorithm 2 from `restarts` random
@@ -184,6 +219,22 @@ pub fn allocate_with_restarts<M: ThroughputModel + Sync>(
     restarts: usize,
     seed: u64,
 ) -> AllocationResult {
+    allocate_with_restarts_obs(model, plan, config, restarts, seed, &NullSink)
+}
+
+/// [`allocate_with_restarts`] reporting into a metric sink shared across
+/// the restart fan-out (hence `S: Sync`). Each restart emits its own
+/// per-run counters plus one `alloc.restarts` increment; all of them are
+/// commutative adds, so the recorded totals are identical at any
+/// `ACORN_THREADS`.
+pub fn allocate_with_restarts_obs<M: ThroughputModel + Sync, S: Sink + Sync>(
+    model: &M,
+    plan: &ChannelPlan,
+    config: &AllocationConfig,
+    restarts: usize,
+    seed: u64,
+    sink: &S,
+) -> AllocationResult {
     // Restarts are fully independent (each derives its own seed from its
     // index), so they fan out; the max-fold runs in seed order with last
     // max winning on exact ties, matching the sequential `max_by`.
@@ -191,7 +242,10 @@ pub fn allocate_with_restarts<M: ThroughputModel + Sync>(
     // allocation totals are finite by construction, so the fold is
     // NaN-free and needs no fallible comparator.
     par::par_map_n(restarts, |i| {
-        allocate_from_random(model, plan, config, seed.wrapping_add(i as u64))
+        if sink.enabled() {
+            sink.inc(names::ALLOC_RESTARTS);
+        }
+        allocate_from_random_obs(model, plan, config, seed.wrapping_add(i as u64), sink)
     })
     .into_iter()
     .reduce(|best, r| {
@@ -201,7 +255,7 @@ pub fn allocate_with_restarts<M: ThroughputModel + Sync>(
             best
         }
     })
-    .unwrap_or_else(|| allocate_from_random(model, plan, config, seed))
+    .unwrap_or_else(|| allocate_from_random_obs(model, plan, config, seed, sink))
 }
 
 #[cfg(test)]
@@ -353,6 +407,27 @@ mod tests {
         let m = model(&[&[20.0]], InterferenceGraph::new(1));
         let plan = ChannelPlan::restricted(2);
         allocate(&m, &plan, vec![single(7)], &AllocationConfig::default());
+    }
+
+    #[test]
+    fn obs_counters_match_the_result_and_the_plain_path() {
+        use acorn_obs::{names, RecordingSink};
+        let m = model(
+            &[&[30.0, 28.0], &[5.0, 4.0], &[20.0]],
+            InterferenceGraph::complete(3),
+        );
+        let plan = ChannelPlan::restricted(4);
+        let cfg = AllocationConfig::default();
+        let sink = RecordingSink::new();
+        let r_obs = allocate_with_restarts_obs(&m, &plan, &cfg, 4, 11, &sink);
+        let r_plain = allocate_with_restarts(&m, &plan, &cfg, 4, 11);
+        assert_eq!(r_obs, r_plain, "instrumentation must not change results");
+        sink.with_telemetry(|t| {
+            assert_eq!(t.counter(names::ALLOC_RESTARTS), 4);
+            assert_eq!(t.counter(names::ALLOC_RUNS), 4);
+            assert!(t.counter(names::ALLOC_ROUNDS) >= 4);
+            assert!(t.counter(names::ALLOC_ITERATIONS) >= t.counter(names::ALLOC_SWITCHES));
+        });
     }
 
     #[test]

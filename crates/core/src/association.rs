@@ -20,8 +20,23 @@
 //!
 //! All quantities come out of the modified beacons plus the client's own
 //! probed delay `d_u^i`, exactly as the paper's Click implementation does.
+//!
+//! ## NaN policy
+//!
+//! Fault injection can push NaN measurements into the beacon fields, and
+//! a NaN can survive into a utility (e.g. a NaN `M_i` multiplied by a
+//! zero client count is still NaN). The argmax therefore runs under a
+//! documented deterministic policy, [`screen_score`]: a NaN score is
+//! **least preferred** (screened to `-∞`) and counted, comparison uses
+//! `f64::total_cmp` (a total order — no `partial_cmp` escape hatch), and
+//! ties keep the earliest candidate. When *every* score is NaN the
+//! choice degrades to the earliest candidate rather than becoming
+//! candidate-order-dependent, which is what the old
+//! `partial_cmp(..).unwrap_or(Equal)` comparator silently was.
 
+use acorn_obs::{names, NullSink, Sink};
 use acorn_topology::ApId;
+use std::cmp::Ordering;
 
 /// Everything the client knows about one candidate AP after probing it:
 /// the beacon contents *with the client provisionally counted in*.
@@ -78,36 +93,80 @@ pub fn utility(candidates: &[Candidate], choice: usize) -> f64 {
     u
 }
 
+/// The association NaN policy: a NaN score is least preferred. Screens
+/// NaN to `-∞` (every real score, including `-∞` itself, then orders at
+/// or above it under `total_cmp`, and an all-NaN field degrades to the
+/// earliest candidate); anything else passes through untouched.
+#[inline]
+pub fn screen_score(score: f64) -> f64 {
+    if score.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        score
+    }
+}
+
+/// Single-pass argmax under the NaN policy: scores are screened through
+/// [`screen_score`], compared with `f64::total_cmp`, and the incumbent
+/// is replaced only on a *strictly greater* score — so the earliest
+/// maximal candidate wins every tie by construction (no `max_by`
+/// last-maximal subtlety to invert).
+fn choose_by_score<S: Sink>(
+    n: usize,
+    sink: &S,
+    mut score: impl FnMut(usize) -> f64,
+) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    let mut nans = 0u64;
+    for i in 0..n {
+        let raw = score(i);
+        if raw.is_nan() {
+            nans += 1;
+        }
+        let s = screen_score(raw);
+        match best {
+            Some((_, b)) if s.total_cmp(&b) != Ordering::Greater => {}
+            _ => best = Some((i, s)),
+        }
+    }
+    if sink.enabled() {
+        sink.inc(names::ASSOC_CHOICES);
+        sink.add(names::ASSOC_CANDIDATES, n as u64);
+        sink.add(names::ASSOC_NAN_UTILITIES, nans);
+    }
+    best.map(|(i, _)| i)
+}
+
 /// Algorithm 1: returns the index of the utility-maximizing candidate, or
 /// `None` for an empty candidate set. Ties break toward the earlier
-/// candidate (stable).
+/// candidate (stable); NaN utilities follow the module-level NaN policy.
 pub fn choose_ap(candidates: &[Candidate]) -> Option<usize> {
-    (0..candidates.len()).max_by(|&a, &b| {
-        utility(candidates, a)
-            .partial_cmp(&utility(candidates, b))
-            .unwrap_or(std::cmp::Ordering::Equal)
-            // max_by keeps the *last* maximal element; invert equality
-            // handling by comparing indices so earlier wins ties.
-            .then(b.cmp(&a))
-    })
+    choose_ap_obs(candidates, &NullSink)
+}
+
+/// [`choose_ap`] reporting into a metric sink: `assoc.choices`,
+/// `assoc.candidates`, and `assoc.nan_utilities` counters.
+pub fn choose_ap_obs<S: Sink>(candidates: &[Candidate], sink: &S) -> Option<usize> {
+    choose_by_score(candidates.len(), sink, |i| utility(candidates, i))
 }
 
 /// Greedy/selfish baseline for comparison and ablations: pick the AP
 /// maximizing only u's own throughput `X_{w,u}` — ignoring collateral
-/// damage to neighbouring cells.
+/// damage to neighbouring cells. Same tie-break and NaN policy as
+/// [`choose_ap`].
 pub fn choose_ap_selfish(candidates: &[Candidate]) -> Option<usize> {
-    (0..candidates.len()).max_by(|&a, &b| {
-        candidates[a]
-            .x_with()
-            .partial_cmp(&candidates[b].x_with())
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(b.cmp(&a))
-    })
+    choose_ap_selfish_obs(candidates, &NullSink)
+}
+
+/// [`choose_ap_selfish`] reporting into a metric sink.
+pub fn choose_ap_selfish_obs<S: Sink>(candidates: &[Candidate], sink: &S) -> Option<usize> {
+    choose_by_score(candidates.len(), sink, |i| candidates[i].x_with())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use acorn_obs::RecordingSink;
 
     fn cand(ap: usize, k: usize, m: f64, atd: f64, du: f64) -> Candidate {
         Candidate {
@@ -205,5 +264,69 @@ mod tests {
         let d = 0.005;
         let c = [cand(7, 2, 1.0, 2.0 * d, d), cand(9, 2, 1.0, 2.0 * d, d)];
         assert_eq!(choose_ap(&c), Some(0));
+    }
+
+    #[test]
+    fn all_nan_utilities_degrade_to_earliest_candidate() {
+        // A NaN access share poisons every utility (its cell contributes
+        // a `(K−1) · NaN = NaN` term to the other choices too), which is
+        // the realistic fault-injection shape. The policy pins the winner
+        // to the earliest candidate instead of leaving it
+        // order-dependent.
+        let nan = cand(3, 2, f64::NAN, 0.02, 0.01);
+        let ok = cand(5, 2, 1.0, 0.02, 0.01);
+        assert!(utility(&[nan, ok], 0).is_nan());
+        assert!(utility(&[nan, ok], 1).is_nan());
+        assert_eq!(choose_ap(&[nan, ok]), Some(0));
+        assert_eq!(choose_ap(&[ok, nan]), Some(0));
+    }
+
+    #[test]
+    fn selfish_rule_never_picks_a_nan_score_over_a_real_one() {
+        // The selfish score is per-candidate, so a NaN can be isolated:
+        // it must lose to any real score, whatever the candidate order.
+        let nan = cand(3, 1, f64::NAN, 0.01, 0.01);
+        let ok = cand(5, 1, 1.0, 0.01, 0.01);
+        assert_eq!(choose_ap_selfish(&[nan, ok]), Some(1));
+        assert_eq!(choose_ap_selfish(&[ok, nan]), Some(0));
+    }
+
+    #[test]
+    fn screen_score_policy_shape() {
+        assert_eq!(screen_score(f64::NAN), f64::NEG_INFINITY);
+        assert_eq!(screen_score(1.5), 1.5);
+        assert_eq!(screen_score(f64::NEG_INFINITY), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn obs_variant_counts_choices_candidates_and_nans() {
+        let sink = RecordingSink::new();
+        let nan = cand(3, 1, f64::NAN, 0.01, 0.01);
+        let ok = cand(5, 1, 1.0, 0.01, 0.01);
+        choose_ap_selfish_obs(&[nan, ok], &sink);
+        choose_ap_obs(&[ok], &sink);
+        sink.with_telemetry(|t| {
+            assert_eq!(t.counter(names::ASSOC_CHOICES), 2);
+            assert_eq!(t.counter(names::ASSOC_CANDIDATES), 3);
+            assert_eq!(t.counter(names::ASSOC_NAN_UTILITIES), 1);
+        });
+    }
+
+    #[test]
+    fn obs_variant_matches_plain_variant() {
+        let sink = RecordingSink::new();
+        let cases = [
+            vec![],
+            vec![cand(0, 1, 1.0, 0.01, 0.01)],
+            vec![cand(0, 2, 1.0, 0.01, 0.002), cand(1, 3, 0.5, 0.04, 0.01)],
+            vec![
+                cand(0, 1, f64::NAN, 0.01, 0.01),
+                cand(1, 1, 1.0, 0.01, 0.01),
+            ],
+        ];
+        for c in &cases {
+            assert_eq!(choose_ap(c), choose_ap_obs(c, &sink));
+            assert_eq!(choose_ap_selfish(c), choose_ap_selfish_obs(c, &sink));
+        }
     }
 }

@@ -17,12 +17,15 @@
 //!   interference on the neighboring APs"
 //!   ([`AcornController::adapt_widths`]).
 
-use crate::allocation::{allocate, random_initial, AllocationConfig, AllocationResult};
-use crate::association::{choose_ap, Candidate};
+use crate::allocation::{
+    allocate_obs, allocate_with_restarts_obs, random_initial, AllocationConfig, AllocationResult,
+};
+use crate::association::{choose_ap_obs, Candidate};
 use crate::beacon::Beacon;
 use crate::model::{ClientSnr, NetworkModel};
 use acorn_mac::contention::access_share;
 use acorn_mac::timing::delivery_delay_s;
+use acorn_obs::{names, NullSink, Sink};
 use acorn_phy::estimator::LinkQualityEstimator;
 use acorn_phy::ChannelWidth;
 use acorn_topology::{ApId, ChannelAssignment, ChannelPlan, ClientId, Wlan};
@@ -248,8 +251,20 @@ impl AcornController {
         state: &mut NetworkState,
         client: ClientId,
     ) -> Option<ApId> {
+        self.associate_obs(wlan, state, client, &NullSink)
+    }
+
+    /// [`AcornController::associate`] reporting candidate-ranking metrics
+    /// (`assoc.*`) into a sink.
+    pub fn associate_obs<S: Sink>(
+        &self,
+        wlan: &Wlan,
+        state: &mut NetworkState,
+        client: ClientId,
+        sink: &S,
+    ) -> Option<ApId> {
         let candidates = self.candidates_for(wlan, state, client);
-        let choice = choose_ap(&candidates)?;
+        let choice = choose_ap_obs(&candidates, sink)?;
         let ap = candidates[choice].ap;
         state.assoc[client.0] = Some(ap);
         Some(ap)
@@ -264,15 +279,30 @@ impl AcornController {
     /// mutating the state (and resetting opportunistic widths to the new
     /// assignments' full widths).
     pub fn reallocate(&self, wlan: &Wlan, state: &mut NetworkState) -> AllocationResult {
+        self.reallocate_obs(wlan, state, &NullSink)
+    }
+
+    /// [`AcornController::reallocate`] reporting into a metric sink: the
+    /// `alloc.*` run counters, the model's `model.*` evaluation counters
+    /// (flushed sequentially after the run), a `controller.obs_epochs`
+    /// counter, and a `controller.total_bps` gauge.
+    pub fn reallocate_obs<S: Sink + Sync>(
+        &self,
+        wlan: &Wlan,
+        state: &mut NetworkState,
+        sink: &S,
+    ) -> AllocationResult {
         let model = self.build_model(wlan, state);
-        let result = allocate(
+        let result = allocate_obs(
             &model,
             &self.config.plan,
             state.assignments.clone(),
             &self.config.allocation,
+            sink,
         );
         state.assignments = result.assignments.clone();
         state.operating_width = state.assignments.iter().map(|a| a.width()).collect();
+        self.finish_epoch_obs(&model, result.total_bps, sink);
         result
     }
 
@@ -287,27 +317,57 @@ impl AcornController {
         restarts: usize,
         seed: u64,
     ) -> AllocationResult {
+        self.reallocate_with_restarts_obs(wlan, state, restarts, seed, &NullSink)
+    }
+
+    /// [`AcornController::reallocate_with_restarts`] reporting into a
+    /// metric sink. The sink is shared across the restart fan-out
+    /// (counters only there — commutative adds keep the totals
+    /// thread-invariant); the model-stats flush and the epoch gauge run
+    /// here, sequentially, after the fan-out has joined.
+    pub fn reallocate_with_restarts_obs<S: Sink + Sync>(
+        &self,
+        wlan: &Wlan,
+        state: &mut NetworkState,
+        restarts: usize,
+        seed: u64,
+        sink: &S,
+    ) -> AllocationResult {
         let model = self.build_model(wlan, state);
         // Include the current assignment as one starting point.
-        let mut best = allocate(
+        let mut best = allocate_obs(
             &model,
             &self.config.plan,
             state.assignments.clone(),
             &self.config.allocation,
+            sink,
         );
-        let hedged = crate::allocation::allocate_with_restarts(
+        let hedged = allocate_with_restarts_obs(
             &model,
             &self.config.plan,
             &self.config.allocation,
             restarts.max(1),
             seed,
+            sink,
         );
         if hedged.total_bps > best.total_bps {
             best = hedged;
         }
         state.assignments = best.assignments.clone();
         state.operating_width = state.assignments.iter().map(|a| a.width()).collect();
+        self.finish_epoch_obs(&model, best.total_bps, sink);
         best
+    }
+
+    /// Sequential end-of-epoch reporting shared by the `reallocate*_obs`
+    /// entry points.
+    fn finish_epoch_obs<S: Sink>(&self, model: &NetworkModel, total_bps: f64, sink: &S) {
+        if !sink.enabled() {
+            return;
+        }
+        model.stats().flush_into(sink);
+        sink.inc(names::CONTROLLER_EPOCHS);
+        sink.gauge("controller.total_bps", total_bps);
     }
 
     /// Opportunistic width adaptation (§5.2): each bonded AP compares its

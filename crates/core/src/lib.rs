@@ -47,15 +47,18 @@ pub mod tracker;
 pub mod wire;
 
 pub use allocation::{
-    allocate, allocate_from_random, allocate_with_restarts, random_initial, AllocationConfig,
-    AllocationResult,
+    allocate, allocate_from_random, allocate_from_random_obs, allocate_obs, allocate_with_restarts,
+    allocate_with_restarts_obs, random_initial, AllocationConfig, AllocationResult,
 };
-pub use association::{choose_ap, choose_ap_selfish, utility, Candidate};
+pub use association::{
+    choose_ap, choose_ap_obs, choose_ap_selfish, choose_ap_selfish_obs, screen_score, utility,
+    Candidate,
+};
 pub use beacon::Beacon;
 pub use controller::{AcornConfig, AcornController, NetworkState};
 pub use csa::{switch_plans, ApCsa, ClientCsa, CsaAction, SwitchPlan};
 pub use error::ControlError;
-pub use model::{ClientSnr, NetworkModel, ThroughputModel};
+pub use model::{ClientSnr, ModelStats, ModelStatsSnapshot, NetworkModel, ThroughputModel};
 pub use theory::{approximation_ratio, worst_case_bound_bps, y_star_bps};
 pub use tracker::{ClientTracker, TrackerConfig};
 pub use wire::{

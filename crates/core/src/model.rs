@@ -18,9 +18,92 @@
 use crate::error::ControlError;
 use acorn_mac::airtime::{CellAirtime, ClientLink};
 use acorn_mac::contention::{access_share, access_share_with};
+use acorn_obs::{names, Sink};
 use acorn_phy::estimator::LinkQualityEstimator;
 use acorn_phy::ChannelWidth;
 use acorn_topology::{ApId, ChannelAssignment, InterferenceGraph};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Evaluation counters a [`NetworkModel`] maintains about itself:
+/// throughput-table rebuilds, O(Δ) delta evaluations, and hoisted
+/// colour scans. Kept as relaxed atomics so the instrumented model
+/// stays `Sync` and the counts stay exact under the parallel evaluation
+/// engine — relaxed `u64` adds commute, so totals are invariant to the
+/// thread count and never perturb the determinism contract.
+#[derive(Debug, Default)]
+pub struct ModelStats {
+    rebuilds: AtomicU64,
+    delta_evals: AtomicU64,
+    best_switch_scans: AtomicU64,
+}
+
+/// A point-in-time copy of [`ModelStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModelStatsSnapshot {
+    /// Full `cell_base_bps` table rebuilds.
+    pub rebuilds: u64,
+    /// Colour-candidate evaluations served from the cached table (one
+    /// per `delta_bps` call or per colour in a hoisted scan).
+    pub delta_evals: u64,
+    /// Hoisted `best_switch` scans.
+    pub best_switch_scans: u64,
+}
+
+impl ModelStats {
+    fn add_rebuild(&self) {
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn add_delta_evals(&self, n: u64) {
+        self.delta_evals.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn add_best_switch_scan(&self) {
+        self.best_switch_scans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads the current counter values.
+    pub fn snapshot(&self) -> ModelStatsSnapshot {
+        ModelStatsSnapshot {
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            delta_evals: self.delta_evals.load(Ordering::Relaxed),
+            best_switch_scans: self.best_switch_scans.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reads and zeroes the counters (for periodic flushes into a sink).
+    pub fn take(&self) -> ModelStatsSnapshot {
+        ModelStatsSnapshot {
+            rebuilds: self.rebuilds.swap(0, Ordering::Relaxed),
+            delta_evals: self.delta_evals.swap(0, Ordering::Relaxed),
+            best_switch_scans: self.best_switch_scans.swap(0, Ordering::Relaxed),
+        }
+    }
+
+    /// Reads, zeroes, and reports the counters into a metric sink under
+    /// the `model.*` names. Call from sequential contexts only (the
+    /// counts themselves are thread-exact; the *flush* is a read-reset).
+    pub fn flush_into<S: Sink>(&self, sink: &S) {
+        if !sink.enabled() {
+            return;
+        }
+        let s = self.take();
+        sink.add(names::MODEL_REBUILDS, s.rebuilds);
+        sink.add(names::MODEL_DELTA_EVALS, s.delta_evals);
+        sink.add(names::MODEL_BEST_SWITCH_SCANS, s.best_switch_scans);
+    }
+}
+
+impl Clone for ModelStats {
+    fn clone(&self) -> ModelStats {
+        let s = self.snapshot();
+        ModelStats {
+            rebuilds: AtomicU64::new(s.rebuilds),
+            delta_evals: AtomicU64::new(s.delta_evals),
+            best_switch_scans: AtomicU64::new(s.best_switch_scans),
+        }
+    }
+}
 
 /// Anything that can score a full channel assignment.
 pub trait ThroughputModel {
@@ -117,6 +200,7 @@ pub struct NetworkModel {
     payload_bytes: u32,
     /// Dense `M = 1` cell throughput, indexed `[ap * 2 + width_index]`.
     cell_base: Vec<f64>,
+    stats: ModelStats,
 }
 
 fn width_index(width: ChannelWidth) -> usize {
@@ -148,6 +232,7 @@ impl NetworkModel {
             estimator,
             payload_bytes,
             cell_base: Vec::new(),
+            stats: ModelStats::default(),
         };
         model.rebuild_cell_base();
         model
@@ -217,7 +302,15 @@ impl NetworkModel {
         Ok(())
     }
 
+    /// The model's own evaluation counters (rebuilds, delta evals,
+    /// hoisted scans) — flush into a sink with
+    /// [`ModelStats::flush_into`] from a sequential context.
+    pub fn stats(&self) -> &ModelStats {
+        &self.stats
+    }
+
     fn rebuild_cell_base(&mut self) {
+        self.stats.add_rebuild();
         let n = self.cells.len();
         let mut table = vec![0.0; n * 2];
         for ap in 0..n {
@@ -289,6 +382,7 @@ impl ThroughputModel for NetworkModel {
         colour: ChannelAssignment,
         assignments: &[ChannelAssignment],
     ) -> f64 {
+        self.stats.add_delta_evals(1);
         let current = assignments[ap.0];
         if current == colour {
             return 0.0;
@@ -323,6 +417,8 @@ impl ThroughputModel for NetworkModel {
         colours: &[ChannelAssignment],
         assignments: &[ChannelAssignment],
     ) -> (ChannelAssignment, f64) {
+        self.stats.add_best_switch_scan();
+        self.stats.add_delta_evals(colours.len() as u64);
         let current = assignments[ap.0];
         let conflicts_of = |j: ApId, colour: ChannelAssignment| {
             self.graph
@@ -663,5 +759,43 @@ mod tests {
     fn model_is_sync() {
         fn assert_sync<T: Sync>() {}
         assert_sync::<NetworkModel>();
+    }
+
+    #[test]
+    fn stats_count_rebuilds_deltas_and_scans() {
+        let mut m = two_ap_model(&[25.0], &[20.0], true);
+        assert_eq!(m.stats().snapshot().rebuilds, 1, "construction builds once");
+        m.set_payload_bytes(256);
+        assert_eq!(m.stats().snapshot().rebuilds, 2);
+
+        let a = vec![single(0), single(1)];
+        let before = m.stats().snapshot();
+        m.delta_bps(ApId(0), single(1), &a);
+        let colours = [single(0), single(1), single(2)];
+        m.best_switch(ApId(0), &colours, &a);
+        let after = m.stats().snapshot();
+        assert_eq!(after.delta_evals - before.delta_evals, 1 + 3);
+        assert_eq!(after.best_switch_scans - before.best_switch_scans, 1);
+
+        // take() drains; a cloned model carries the values forward.
+        let cloned = m.clone();
+        assert_eq!(cloned.stats().snapshot(), after);
+        assert_eq!(m.stats().take(), after);
+        assert_eq!(m.stats().snapshot(), ModelStatsSnapshot::default());
+    }
+
+    #[test]
+    fn stats_flush_reports_model_metrics() {
+        use acorn_obs::RecordingSink;
+        let m = two_ap_model(&[25.0], &[20.0], true);
+        let a = vec![single(0), single(1)];
+        m.best_switch(ApId(0), &[single(0), single(1)], &a);
+        let sink = RecordingSink::new();
+        m.stats().flush_into(&sink);
+        sink.with_telemetry(|t| {
+            assert_eq!(t.counter(acorn_obs::names::MODEL_REBUILDS), 1);
+            assert_eq!(t.counter(acorn_obs::names::MODEL_DELTA_EVALS), 2);
+            assert_eq!(t.counter(acorn_obs::names::MODEL_BEST_SWITCH_SCANS), 1);
+        });
     }
 }

@@ -27,7 +27,8 @@
 use crate::faults::{FaultPlan, FaultProcess, ResilienceReport};
 use crate::sim::{mix_seed, Ctx, Process, Simulation};
 use crate::telemetry::{Histogram, TelemetrySnapshot};
-use acorn_core::{choose_ap, AcornController, NetworkState};
+use acorn_core::{choose_ap_obs, AcornController, NetworkState};
+use acorn_obs::RecordingSink;
 use acorn_phy::ChannelWidth;
 use acorn_topology::{ApId, ChannelAssignment, ClientId, Trajectory, Wlan};
 use acorn_traces::Session;
@@ -159,7 +160,7 @@ impl Process<AcornWorld, AcornEvent> for SessionProcess {
             // Delivery delays for 1500-byte payloads run sub-millisecond
             // at high MCS to a few ms near the floor; overflow catches
             // retry-dominated stragglers.
-            Histogram::linear(0.0, 0.01, 50),
+            Histogram::linear(0.0, 0.01, 50).expect("static histogram bounds"),
         );
         for i in 0..self.sessions.len() {
             let s = self.sessions[i];
@@ -182,10 +183,16 @@ impl Process<AcornWorld, AcornEvent> for SessionProcess {
                 // candidates. A no-op while every AP is up.
                 candidates.retain(|cand| w.ap_up[cand.ap.0]);
                 let mut delay = None;
-                if let Some(i) = choose_ap(&candidates) {
+                // Candidate-ranking metrics (assoc.*) go through an
+                // ephemeral sink drained into the run-wide recorder —
+                // event handlers are sequential, so this is
+                // deterministic by construction.
+                let sink = RecordingSink::new();
+                if let Some(i) = choose_ap_obs(&candidates, &sink) {
                     w.state.assoc[c] = Some(candidates[i].ap);
                     delay = Some(candidates[i].delay_u_s);
                 }
+                sink.drain_into(ctx.telemetry);
                 if self.adapt_widths {
                     w.ctl.adapt_widths(&w.wlan, &mut w.state);
                 }
@@ -269,8 +276,10 @@ pub struct ReallocationTimer {
 
 impl Process<AcornWorld, AcornEvent> for ReallocationTimer {
     fn start(&mut self, ctx: &mut Ctx<'_, AcornWorld, AcornEvent>) {
-        ctx.telemetry
-            .register_histogram("switches", Histogram::linear(0.0, 32.0, 32));
+        ctx.telemetry.register_histogram(
+            "switches",
+            Histogram::linear(0.0, 32.0, 32).expect("static histogram bounds"),
+        );
         if self.period_s < self.horizon_s {
             ctx.schedule_at(self.period_s, AcornEvent::Reallocate);
         }
@@ -301,13 +310,24 @@ impl Process<AcornWorld, AcornEvent> for ReallocationTimer {
                     w.state.operating_width[ap] = ChannelWidth::Ht20;
                 }
             }
-            ctx.telemetry.inc("controller.safe_mode_epochs");
+            ctx.telemetry
+                .inc(acorn_obs::names::CONTROLLER_SAFE_MODE_EPOCHS);
             let after = w.ctl.total_throughput_bps_up(&w.wlan, &w.state, &w.ap_up);
             (after, 0)
         } else {
-            let r = w
-                .ctl
-                .reallocate_with_restarts(&w.wlan, &mut w.state, self.restarts, seed);
+            // The epoch's alloc.*/model.* metrics ride an ephemeral sink
+            // shared across the restart fan-out (counter adds commute,
+            // so the totals are thread-invariant) and drain into the
+            // run-wide recorder here, sequentially.
+            let sink = RecordingSink::new();
+            let r = w.ctl.reallocate_with_restarts_obs(
+                &w.wlan,
+                &mut w.state,
+                self.restarts,
+                seed,
+                &sink,
+            );
+            sink.drain_into(ctx.telemetry);
             if self.adapt_widths {
                 w.ctl.adapt_widths(&w.wlan, &mut w.state);
             }

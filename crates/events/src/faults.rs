@@ -31,6 +31,7 @@ use acorn_core::{
     parse_announcement, parse_beacon, serialize_announcement, serialize_beacon, switch_plans,
     ApCsa, Beacon, ClientCsa, ClientTracker, ControlError, TrackerConfig,
 };
+use acorn_obs::{names, RecordingSink};
 use acorn_phy::ChannelWidth;
 use acorn_topology::{ApId, ChannelAssignment, ClientId};
 use serde::Serialize;
@@ -202,7 +203,7 @@ impl ResilienceReport {
             csa_orphans: tel.counter("faults.csa_orphans"),
             rescans: tel.counter("faults.rescans"),
             solicits: tel.counter("faults.solicits"),
-            safe_mode_epochs: tel.counter("controller.safe_mode_epochs"),
+            safe_mode_epochs: tel.counter(names::CONTROLLER_SAFE_MODE_EPOCHS),
             mean_detection_delay_s: hist_mean("faults.detection_delay_s"),
             mean_downtime_s: hist_mean("faults.downtime_s"),
             faulty_mean_bps: series_mean("resilience.network_bps"),
@@ -413,9 +414,11 @@ impl FaultProcess {
         w.state.assoc[client] = None;
         let mut candidates = w.ctl.candidates_for(&w.wlan, &w.state, ClientId(client));
         candidates.retain(|c| w.ap_up[c.ap.0]);
-        if let Some(i) = acorn_core::choose_ap(&candidates) {
+        let sink = RecordingSink::new();
+        if let Some(i) = acorn_core::choose_ap_obs(&candidates, &sink) {
             w.state.assoc[client] = Some(candidates[i].ap);
         }
+        sink.drain_into(ctx.telemetry);
         self.client_csa[client] = ClientCsa::default();
         self.trackers[client] = None;
         self.tracker_ap[client] = w.state.assoc[client];
@@ -510,8 +513,12 @@ impl FaultProcess {
         // --- 1. Deploy new channel switches over CSA.
         if let Ok(plans) = switch_plans(&self.last_assignments, &ctx.world.state.assignments) {
             for p in &plans {
-                if ctx.world.ap_up[p.ap.0] {
-                    let _ = self.ap_csa[p.ap.0].schedule(p.to, self.plan.csa_countdown);
+                if ctx.world.ap_up[p.ap.0]
+                    && self.ap_csa[p.ap.0]
+                        .schedule(p.to, self.plan.csa_countdown)
+                        .is_ok()
+                {
+                    ctx.telemetry.inc(names::CSA_SCHEDULED);
                 }
             }
         }
@@ -525,8 +532,12 @@ impl FaultProcess {
                 continue;
             }
             match self.ap_csa[ap].tick() {
-                CsaAction::Announce { to, remaining } => round_announce[ap] = Some((to, remaining)),
-                CsaAction::SwitchNow(_) | CsaAction::Idle => {}
+                CsaAction::Announce { to, remaining } => {
+                    ctx.telemetry.inc(names::CSA_ANNOUNCED);
+                    round_announce[ap] = Some((to, remaining));
+                }
+                CsaAction::SwitchNow(_) => ctx.telemetry.inc(names::CSA_SWITCHED),
+                CsaAction::Idle => {}
             }
         }
 
@@ -660,6 +671,10 @@ impl FaultProcess {
                 continue;
             }
             self.agents[ap].prune(now);
+            let held = self.agents[ap].held_down().len() as u64;
+            if held > 0 {
+                ctx.telemetry.add(names::IAPP_HOLD_DOWNS, held);
+            }
             for target in self.agents[ap].due_solicits(now) {
                 ctx.telemetry.inc("faults.solicits");
                 if !ctx.world.ap_up[target.0] {
@@ -741,10 +756,12 @@ impl Process<AcornWorld, AcornEvent> for FaultProcess {
         self.down_since = vec![None; n_aps];
         ctx.telemetry.register_histogram(
             "faults.detection_delay_s",
-            Histogram::linear(0.0, 600.0, 60),
+            Histogram::linear(0.0, 600.0, 60).expect("static histogram bounds"),
         );
-        ctx.telemetry
-            .register_histogram("faults.downtime_s", Histogram::linear(0.0, 1200.0, 60));
+        ctx.telemetry.register_histogram(
+            "faults.downtime_s",
+            Histogram::linear(0.0, 1200.0, 60).expect("static histogram bounds"),
+        );
         if self.plan.control_period_s < self.horizon_s {
             ctx.schedule_at(self.plan.control_period_s, AcornEvent::ControlRound);
         }

@@ -1,398 +1,12 @@
-//! First-class telemetry for event-driven runs: counters, gauges,
-//! time-series, and fixed-bin histograms, all recorded against virtual
-//! time and exportable as a JSON snapshot.
+//! Telemetry for event-driven runs.
 //!
-//! Everything lives in `BTreeMap`s keyed by metric name, so snapshot
-//! output order is lexicographic — never hash order — and two
-//! deterministic runs produce byte-identical JSON. Histogram `min`/`max`
-//! are `Option<f64>` rather than NaN sentinels, which keeps
-//! [`TelemetrySnapshot`] meaningfully `PartialEq` (and serializes as
-//! `null` for an empty histogram instead of an unparseable NaN).
+//! The recorder types moved to `acorn-obs` so that events, sim, and
+//! bench binaries share one metric namespace and one byte-stable
+//! snapshot format; this module re-exports them under their historical
+//! paths. See `acorn_obs::telemetry` for the types and DESIGN.md §12
+//! for the sink model built on top of them.
 
-use serde::Serialize;
-use std::collections::BTreeMap;
-
-/// A fixed-bin histogram over `f64` observations.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Histogram {
-    /// Bin edges, strictly increasing; observation `x` lands in bin `i`
-    /// iff `edges[i] <= x < edges[i+1]`. Values outside the edge range go
-    /// to the under/overflow counts.
-    pub edges: Vec<f64>,
-    /// One count per bin (`edges.len() - 1` of them).
-    pub counts: Vec<u64>,
-    /// Observations below `edges[0]`.
-    pub underflow: u64,
-    /// Observations at or above `edges.last()`.
-    pub overflow: u64,
-    /// Total observations (including under/overflow).
-    pub count: u64,
-    /// Running sum of observations.
-    pub sum: f64,
-    /// Smallest observation so far, if any.
-    pub min: Option<f64>,
-    /// Largest observation so far, if any.
-    pub max: Option<f64>,
-}
-
-impl Histogram {
-    /// A histogram with the given bin edges (at least two, strictly
-    /// increasing and finite).
-    pub fn with_edges(edges: Vec<f64>) -> Histogram {
-        assert!(edges.len() >= 2, "need at least two edges");
-        assert!(
-            edges.windows(2).all(|w| w[0] < w[1] && w[1].is_finite()),
-            "edges must be finite and strictly increasing"
-        );
-        let bins = edges.len() - 1;
-        Histogram {
-            edges,
-            counts: vec![0; bins],
-            underflow: 0,
-            overflow: 0,
-            count: 0,
-            sum: 0.0,
-            min: None,
-            max: None,
-        }
-    }
-
-    /// `n` equal-width bins spanning `[lo, hi)`.
-    pub fn linear(lo: f64, hi: f64, n: usize) -> Histogram {
-        assert!(n >= 1 && lo < hi);
-        let w = (hi - lo) / n as f64;
-        Self::with_edges((0..=n).map(|i| lo + w * i as f64).collect())
-    }
-
-    /// Records one observation (NaN is rejected: a NaN measurement is a
-    /// model bug and must surface, not vanish into a bin).
-    pub fn observe(&mut self, x: f64) {
-        assert!(!x.is_nan(), "cannot observe NaN");
-        self.count += 1;
-        self.sum += x;
-        self.min = Some(self.min.map_or(x, |m| m.min(x)));
-        self.max = Some(self.max.map_or(x, |m| m.max(x)));
-        if x < self.edges[0] {
-            self.underflow += 1;
-        } else if x >= *self.edges.last().unwrap() {
-            self.overflow += 1;
-        } else {
-            // Binary search for the bin: first edge strictly above x.
-            let i = self.edges.partition_point(|e| *e <= x) - 1;
-            self.counts[i] += 1;
-        }
-    }
-
-    /// Mean of all observations (`None` when empty).
-    pub fn mean(&self) -> Option<f64> {
-        (self.count > 0).then(|| self.sum / self.count as f64)
-    }
-}
-
-/// One (time, value) series.
-#[derive(Debug, Clone, PartialEq, Default)]
-pub struct Series {
-    /// Sample times (s, virtual).
-    pub times_s: Vec<f64>,
-    /// Sample values.
-    pub values: Vec<f64>,
-}
-
-/// The telemetry recorder processes write into through
-/// [`Ctx`](crate::sim::Ctx).
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct Telemetry {
-    counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, f64>,
-    series: BTreeMap<String, Series>,
-    histograms: BTreeMap<String, Histogram>,
-}
-
-impl Telemetry {
-    /// An empty recorder.
-    pub fn new() -> Telemetry {
-        Telemetry::default()
-    }
-
-    /// Increments a counter by 1.
-    pub fn inc(&mut self, name: &str) {
-        self.add(name, 1);
-    }
-
-    /// Increments a counter by `n`.
-    pub fn add(&mut self, name: &str, n: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += n;
-    }
-
-    /// Reads a counter (0 if never written).
-    pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
-    }
-
-    /// Sets a gauge to its latest value.
-    pub fn set_gauge(&mut self, name: &str, value: f64) {
-        self.gauges.insert(name.to_string(), value);
-    }
-
-    /// Reads a gauge.
-    pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.gauges.get(name).copied()
-    }
-
-    /// Appends a (time, value) sample to a series.
-    pub fn record(&mut self, name: &str, t_s: f64, value: f64) {
-        let s = self.series.entry(name.to_string()).or_default();
-        s.times_s.push(t_s);
-        s.values.push(value);
-    }
-
-    /// Reads a series.
-    pub fn series(&self, name: &str) -> Option<&Series> {
-        self.series.get(name)
-    }
-
-    /// Registers a histogram under `name` (replacing any existing one).
-    pub fn register_histogram(&mut self, name: &str, hist: Histogram) {
-        self.histograms.insert(name.to_string(), hist);
-    }
-
-    /// Records an observation into a registered histogram; auto-registers
-    /// a default one (64 linear bins over `[0, 1)`) if the name is new,
-    /// so ad-hoc metrics still land somewhere visible.
-    pub fn observe(&mut self, name: &str, x: f64) {
-        self.histograms
-            .entry(name.to_string())
-            .or_insert_with(|| Histogram::linear(0.0, 1.0, 64))
-            .observe(x);
-    }
-
-    /// Reads a histogram.
-    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.histograms.get(name)
-    }
-
-    /// Freezes the recorder into a serializable snapshot (metrics in
-    /// lexicographic name order).
-    pub fn snapshot(&self) -> TelemetrySnapshot {
-        TelemetrySnapshot {
-            counters: self
-                .counters
-                .iter()
-                .map(|(k, v)| CounterEntry {
-                    name: k.clone(),
-                    value: *v,
-                })
-                .collect(),
-            gauges: self
-                .gauges
-                .iter()
-                .map(|(k, v)| GaugeEntry {
-                    name: k.clone(),
-                    value: *v,
-                })
-                .collect(),
-            series: self
-                .series
-                .iter()
-                .map(|(k, s)| SeriesEntry {
-                    name: k.clone(),
-                    times_s: s.times_s.clone(),
-                    values: s.values.clone(),
-                })
-                .collect(),
-            histograms: self
-                .histograms
-                .iter()
-                .map(|(k, h)| HistogramEntry {
-                    name: k.clone(),
-                    edges: h.edges.clone(),
-                    counts: h.counts.clone(),
-                    underflow: h.underflow,
-                    overflow: h.overflow,
-                    count: h.count,
-                    sum: h.sum,
-                    min: h.min,
-                    max: h.max,
-                })
-                .collect(),
-        }
-    }
-}
-
-/// Snapshot of one counter.
-#[derive(Debug, Clone, PartialEq, Serialize)]
-pub struct CounterEntry {
-    /// Metric name.
-    pub name: String,
-    /// Final value.
-    pub value: u64,
-}
-
-/// Snapshot of one gauge.
-#[derive(Debug, Clone, PartialEq, Serialize)]
-pub struct GaugeEntry {
-    /// Metric name.
-    pub name: String,
-    /// Latest value.
-    pub value: f64,
-}
-
-/// Snapshot of one time-series.
-#[derive(Debug, Clone, PartialEq, Serialize)]
-pub struct SeriesEntry {
-    /// Metric name.
-    pub name: String,
-    /// Sample times (s).
-    pub times_s: Vec<f64>,
-    /// Sample values.
-    pub values: Vec<f64>,
-}
-
-/// Snapshot of one histogram.
-#[derive(Debug, Clone, PartialEq, Serialize)]
-pub struct HistogramEntry {
-    /// Metric name.
-    pub name: String,
-    /// Bin edges.
-    pub edges: Vec<f64>,
-    /// Per-bin counts.
-    pub counts: Vec<u64>,
-    /// Observations below the first edge.
-    pub underflow: u64,
-    /// Observations at or above the last edge.
-    pub overflow: u64,
-    /// Total observations.
-    pub count: u64,
-    /// Sum of observations.
-    pub sum: f64,
-    /// Smallest observation (`null` when empty).
-    pub min: Option<f64>,
-    /// Largest observation (`null` when empty).
-    pub max: Option<f64>,
-}
-
-/// A frozen, serializable view of a [`Telemetry`] recorder. Field order
-/// and metric order are deterministic, so two identical runs produce
-/// byte-identical JSON.
-#[derive(Debug, Clone, PartialEq, Serialize)]
-pub struct TelemetrySnapshot {
-    /// All counters, by name.
-    pub counters: Vec<CounterEntry>,
-    /// All gauges, by name.
-    pub gauges: Vec<GaugeEntry>,
-    /// All series, by name.
-    pub series: Vec<SeriesEntry>,
-    /// All histograms, by name.
-    pub histograms: Vec<HistogramEntry>,
-}
-
-impl TelemetrySnapshot {
-    /// Pretty-printed JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("snapshot serialization is infallible")
-    }
-
-    /// Writes the snapshot as JSON to `path`.
-    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir)?;
-        }
-        std::fs::write(path, self.to_json())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn counters_accumulate() {
-        let mut t = Telemetry::new();
-        t.inc("events");
-        t.add("events", 4);
-        assert_eq!(t.counter("events"), 5);
-        assert_eq!(t.counter("never"), 0);
-    }
-
-    #[test]
-    fn gauges_keep_latest() {
-        let mut t = Telemetry::new();
-        t.set_gauge("bps", 1.0);
-        t.set_gauge("bps", 2.5);
-        assert_eq!(t.gauge("bps"), Some(2.5));
-    }
-
-    #[test]
-    fn series_append_in_order() {
-        let mut t = Telemetry::new();
-        t.record("thr", 1.0, 10.0);
-        t.record("thr", 2.0, 20.0);
-        let s = t.series("thr").unwrap();
-        assert_eq!(s.times_s, vec![1.0, 2.0]);
-        assert_eq!(s.values, vec![10.0, 20.0]);
-    }
-
-    #[test]
-    fn histogram_binning_and_overflow() {
-        let mut h = Histogram::linear(0.0, 10.0, 5); // bins of width 2
-        for x in [0.0, 1.9, 2.0, 9.99, -1.0, 10.0, 100.0] {
-            h.observe(x);
-        }
-        assert_eq!(h.counts, vec![2, 1, 0, 0, 1]);
-        assert_eq!(h.underflow, 1);
-        assert_eq!(h.overflow, 2);
-        assert_eq!(h.count, 7);
-        assert_eq!(h.min, Some(-1.0));
-        assert_eq!(h.max, Some(100.0));
-    }
-
-    #[test]
-    fn histogram_edge_boundaries_are_half_open() {
-        let mut h = Histogram::with_edges(vec![0.0, 1.0, 2.0]);
-        h.observe(1.0); // belongs to the second bin, not the first
-        assert_eq!(h.counts, vec![0, 1]);
-    }
-
-    #[test]
-    fn empty_histogram_has_no_extremes() {
-        let h = Histogram::linear(0.0, 1.0, 4);
-        assert_eq!(h.min, None);
-        assert_eq!(h.mean(), None);
-    }
-
-    #[test]
-    #[should_panic(expected = "NaN")]
-    fn nan_observation_is_rejected() {
-        Histogram::linear(0.0, 1.0, 2).observe(f64::NAN);
-    }
-
-    #[test]
-    fn snapshot_is_deterministic_json() {
-        let mut t = Telemetry::new();
-        // Insert in non-lexicographic order; snapshot must sort.
-        t.inc("zeta");
-        t.inc("alpha");
-        t.set_gauge("g", 1.5);
-        t.record("s", 0.5, 2.0);
-        t.register_histogram("h", Histogram::linear(0.0, 4.0, 2));
-        t.observe("h", 1.0);
-        let a = t.snapshot();
-        let b = t.snapshot();
-        assert_eq!(a, b);
-        let json = a.to_json();
-        assert!(json.find("\"alpha\"").unwrap() < json.find("\"zeta\"").unwrap());
-        // Empty histogram min/max serialize as null, not NaN.
-        t.register_histogram("empty", Histogram::linear(0.0, 1.0, 2));
-        assert!(t.snapshot().to_json().contains("null"));
-    }
-
-    #[test]
-    fn snapshot_roundtrips_equability() {
-        let mut t = Telemetry::new();
-        t.observe("lat", 0.25);
-        let s1 = t.snapshot();
-        t.observe("lat", 0.75);
-        let s2 = t.snapshot();
-        assert_ne!(s1, s2);
-    }
-}
+pub use acorn_obs::telemetry::{
+    CounterEntry, GaugeEntry, Histogram, HistogramEntry, HistogramError, Series, SeriesEntry,
+    Telemetry, TelemetrySnapshot,
+};

@@ -1,0 +1,68 @@
+//! The workspace metric namespace.
+//!
+//! Every instrumented call site names its metrics through these
+//! constants, so events, sim, and bench binaries agree on what a metric
+//! is called and DESIGN.md §12 can document the namespace in one place.
+//! Names are dotted, lowercase, `layer.metric`; pre-existing
+//! `acorn-events` metrics (`controller.*`, `faults.*`, `association.*`)
+//! keep their historical names.
+
+/// `choose_ap` invocations (Algorithm 1 rankings performed).
+pub const ASSOC_CHOICES: &str = "assoc.choices";
+/// Candidates examined across all `choose_ap` calls.
+pub const ASSOC_CANDIDATES: &str = "assoc.candidates";
+/// Candidates whose utility evaluated to NaN and were screened to the
+/// deterministic lowest-preference policy.
+pub const ASSOC_NAN_UTILITIES: &str = "assoc.nan_utilities";
+
+/// Greedy allocation runs (Algorithm 2 invocations).
+pub const ALLOC_RUNS: &str = "alloc.runs";
+/// Greedy rounds executed across all runs.
+pub const ALLOC_ROUNDS: &str = "alloc.rounds";
+/// Candidate (cell, colour) switches evaluated across all rounds.
+pub const ALLOC_ITERATIONS: &str = "alloc.iterations";
+/// Switches actually applied (a round found an improving move).
+pub const ALLOC_SWITCHES: &str = "alloc.switches";
+/// Random-restart allocations fanned out by `allocate_with_restarts`.
+pub const ALLOC_RESTARTS: &str = "alloc.restarts";
+
+/// Full `cell_base_bps` table rebuilds on the throughput model.
+pub const MODEL_REBUILDS: &str = "model.cell_base_rebuilds";
+/// O(Δ) `delta_bps` evaluations served from the cached table.
+pub const MODEL_DELTA_EVALS: &str = "model.delta_evals";
+/// Hoisted `best_switch` scans (each replaces a per-colour delta loop).
+pub const MODEL_BEST_SWITCH_SCANS: &str = "model.best_switch_scans";
+
+/// Controller reallocation epochs driven through the obs entry points.
+pub const CONTROLLER_EPOCHS: &str = "controller.obs_epochs";
+/// Reallocation epochs spent in safe mode (historical name, also read
+/// by `ResilienceReport`).
+pub const CONTROLLER_SAFE_MODE_EPOCHS: &str = "controller.safe_mode_epochs";
+
+/// CSA countdowns scheduled by the fault-layer control round.
+pub const CSA_SCHEDULED: &str = "csa.scheduled";
+/// CSA announcements ticked out mid-countdown.
+pub const CSA_ANNOUNCED: &str = "csa.announced";
+/// CSA countdowns that reached SwitchNow.
+pub const CSA_SWITCHED: &str = "csa.switched";
+
+/// IAPP conflict entries sitting in hold-down, summed per control round.
+pub const IAPP_HOLD_DOWNS: &str = "iapp.hold_downs";
+
+/// Baseband packets pushed through `run_packet`.
+pub const BASEBAND_PACKETS: &str = "baseband.packets";
+/// Baseband pipeline stage spans (entry counts; wall time only in
+/// bench binaries that opt in).
+pub const BASEBAND_STAGE_ENCODE: &str = "baseband.stage.encode";
+/// Space-time/SISO stream construction stage.
+pub const BASEBAND_STAGE_STREAMS: &str = "baseband.stage.streams";
+/// Channel convolution + AWGN stage.
+pub const BASEBAND_STAGE_CHANNEL: &str = "baseband.stage.channel";
+/// Preamble detection / synchronization stage.
+pub const BASEBAND_STAGE_SYNC: &str = "baseband.stage.sync";
+/// Combining / equalization / EVM stage.
+pub const BASEBAND_STAGE_RECEIVE: &str = "baseband.stage.receive";
+/// Demodulation + Viterbi decode stage.
+pub const BASEBAND_STAGE_DECODE: &str = "baseband.stage.decode";
+/// Packets that failed preamble sync (pipeline aborted at stage 6).
+pub const BASEBAND_SYNC_FAILURES: &str = "baseband.sync_failures";

@@ -184,8 +184,7 @@ mod tests {
             .map(|c| {
                 (0..wlan.aps.len()).map(ApId).max_by(|&a, &b| {
                     wlan.snr_db(a, ClientId(c), ChannelWidth::Ht20)
-                        .partial_cmp(&wlan.snr_db(b, ClientId(c), ChannelWidth::Ht20))
-                        .unwrap()
+                        .total_cmp(&wlan.snr_db(b, ClientId(c), ChannelWidth::Ht20))
                 })
             })
             .collect()

@@ -3,13 +3,16 @@
 //! Builds a 2×2 AP grid with 8 clients, runs Algorithm 1 (association)
 //! for each arriving client, then Algorithm 2 (channel-bonding-aware
 //! allocation), and prints the resulting configuration and per-cell
-//! throughputs.
+//! throughputs. A [`RecordingSink`] rides along, so the run also shows
+//! what the observability layer sees — and saves the full snapshot under
+//! `results/`.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use acorn::core::{AcornConfig, AcornController};
+use acorn::obs::{RecordingSink, Sink};
 use acorn::sim::runner::evaluate_analytic;
 use acorn::sim::Traffic;
 use acorn::topology::{ApId, ClientId};
@@ -19,17 +22,21 @@ fn main() {
     let wlan = acorn::sim::enterprise_grid(2, 2, 55.0, 8, 42);
     let ctl = AcornController::new(AcornConfig::default());
 
+    // Every decision below reports into this sink; swap in `NullSink`
+    // (or call the un-suffixed methods) to run with observability off.
+    let sink = RecordingSink::new();
+
     // Clients arrive one by one and associate per Algorithm 1.
     let mut state = ctl.new_state(&wlan, 42);
     for c in 0..wlan.clients.len() {
-        match ctl.associate(&wlan, &mut state, ClientId(c)) {
+        match ctl.associate_obs(&wlan, &mut state, ClientId(c), &sink) {
             Some(ap) => println!("client {c} -> AP {}", ap.0),
             None => println!("client {c} is out of range"),
         }
     }
 
     // Channel allocation per Algorithm 2 (with random restarts).
-    let result = ctl.reallocate_with_restarts(&wlan, &mut state, 8, 7);
+    let result = ctl.reallocate_with_restarts_obs(&wlan, &mut state, 8, 7, &sink);
     println!();
     println!(
         "allocation converged after {} iterations, {} switches",
@@ -58,4 +65,19 @@ fn main() {
         println!("AP {i}: {:.1} Mb/s", bps / 1e6);
     }
     println!("network total: {:.1} Mb/s", eval.total_bps / 1e6);
+
+    // What the observability layer recorded: every counter the decision
+    // paths emitted, in deterministic (lexicographic) order.
+    sink.gauge("quickstart.total_bps", eval.total_bps);
+    let snap = sink.snapshot();
+    println!();
+    println!("observability counters:");
+    for c in &snap.counters {
+        println!("  {:<24} {}", c.name, c.value);
+    }
+    let path = std::path::Path::new("results").join("quickstart_observability.json");
+    match snap.save(&path) {
+        Ok(()) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
 }

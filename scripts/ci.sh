@@ -8,9 +8,16 @@
 #   4. release build,
 #   5. the root test suite (tier-1: reproduction guards, properties,
 #      determinism, resilience, event-runtime goldens),
-#   6. the determinism + golden suites re-run under ACORN_THREADS = 1, 2
+#   6. the observability overhead gate: the baseband packet path must
+#      stay zero-allocation with a NullSink attached (measured under the
+#      counting allocator), and instrumented runs must be bit-identical
+#      to plain ones,
+#   7. the determinism + golden suites re-run under ACORN_THREADS = 1, 2
 #      and 8 — the engine's thread-count cap must never move an output
-#      bit, including the hard-coded pre-port fingerprints.
+#      bit, including the hard-coded pre-port fingerprints. The
+#      determinism sweep runs with a RecordingSink attached and asserts
+#      byte-stable snapshot JSON; the resilience suite records through
+#      the events-layer sinks (faults.*, csa.*, iapp.* counters).
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -54,6 +61,14 @@ cargo build --release --offline
 echo
 echo "== tests =="
 cargo test -q --offline
+
+echo
+echo "== observability overhead gate (NullSink) =="
+# The disabled-observability contract, measured rather than assumed:
+# 0 allocs/packet on the warm baseband path, plain == instrumented bit
+# patterns. scripts/bench_snapshot.sh tracks the companion < 2%
+# wall-clock budget in BENCH_allocation.json / BENCH_baseband.json.
+cargo test -q --offline --release -p acorn-bench --test obs_overhead
 
 echo
 echo "== determinism across thread counts =="

@@ -10,6 +10,7 @@
 //! | [`mac`] | DCF airtime/anomaly model, contention, rate control, DCF simulator |
 //! | [`traces`] | association-duration traces, ECDF, arrival workloads |
 //! | [`core`] | ACORN itself: Algorithms 1 & 2, estimator, controller, theory |
+//! | [`obs`] | observability: metric sinks, spans, deterministic telemetry |
 //! | [`events`] | deterministic discrete-event runtime + telemetry recorder |
 //! | [`baselines`] | \[17\]-style greedy CB, RSSI, random/fixed configs, optimal |
 //! | [`sim`] | scenarios, traffic models, statistics, mobility, eval runner |
@@ -38,6 +39,7 @@ pub use acorn_baselines as baselines;
 pub use acorn_core as core;
 pub use acorn_events as events;
 pub use acorn_mac as mac;
+pub use acorn_obs as obs;
 pub use acorn_phy as phy;
 pub use acorn_sim as sim;
 pub use acorn_topology as topology;

@@ -7,10 +7,13 @@
 //! Kept as a single `#[test]` because the env var is process-global and
 //! the three thread counts must run sequentially.
 
-use acorn_core::allocation::{allocate_with_restarts, AllocationConfig};
+use acorn_core::allocation::{
+    allocate_with_restarts, allocate_with_restarts_obs, AllocationConfig,
+};
 use acorn_core::model::{ClientSnr, NetworkModel};
 use acorn_core::{AcornConfig, AcornController, NetworkState};
 use acorn_events::{CompositeReport, CompositeScenario, DriftSpec, FaultPlan, MobilitySpec};
+use acorn_obs::RecordingSink;
 use acorn_sim::churn::{run_churn, ChurnConfig, ChurnReport};
 use acorn_sim::scenario::enterprise_grid;
 use acorn_topology::{ChannelPlan, ClientId, InterferenceGraph, Point, Trajectory, Wlan};
@@ -177,11 +180,23 @@ fn results_are_identical_across_thread_counts() {
         let mut churn_runs: Vec<ChurnReport> = Vec::new();
         let mut composite_runs: Vec<CompositeReport> = Vec::new();
         let mut faulty_runs: Vec<CompositeReport> = Vec::new();
+        let mut obs_snapshots: Vec<String> = Vec::new();
         for threads in thread_counts {
             std::env::set_var("ACORN_THREADS", threads);
             controller_runs.push(run_controller_alloc(&wlan, &ctl, 7 + topo as u64));
             let r = allocate_with_restarts(&model, &plan, &alloc_cfg, 8, 500 + topo as u64);
             direct_runs.push((r.assignments, r.total_bps.to_bits()));
+            // The instrumented path must (a) agree with the plain path and
+            // (b) record the same snapshot bytes at every thread count.
+            let sink = RecordingSink::new();
+            let r_obs =
+                allocate_with_restarts_obs(&model, &plan, &alloc_cfg, 8, 500 + topo as u64, &sink);
+            assert_eq!(
+                r_obs.total_bps.to_bits(),
+                direct_runs.last().unwrap().1,
+                "topology {topo}: instrumentation changed the result at {threads} threads"
+            );
+            obs_snapshots.push(sink.snapshot().to_json());
             churn_runs.push(run_churn_once(&wlan, &ctl, &sessions, 21 + topo as u64));
             composite_runs.push(run_composite(&wlan, &ctl, &sessions, 33 + topo as u64));
             faulty_runs.push(run_faulty_composite(
@@ -218,6 +233,15 @@ fn results_are_identical_across_thread_counts() {
             assert_eq!(
                 composite_runs[0].telemetry, composite_runs[t].telemetry,
                 "topology {topo}: composite telemetry differs at {threads} threads"
+            );
+            assert_eq!(
+                composite_runs[0].telemetry.to_json(),
+                composite_runs[t].telemetry.to_json(),
+                "topology {topo}: composite telemetry JSON differs at {threads} threads"
+            );
+            assert_eq!(
+                obs_snapshots[0], obs_snapshots[t],
+                "topology {topo}: RecordingSink snapshot bytes differ at {threads} threads"
             );
             assert_eq!(
                 composite_runs[0].final_state, composite_runs[t].final_state,

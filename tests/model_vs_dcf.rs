@@ -16,8 +16,7 @@ fn natural_assoc(wlan: &Wlan) -> Vec<Option<ApId>> {
                 .filter(|&ap| wlan.snr_db(ap, ClientId(c), ChannelWidth::Ht20) > -3.0)
                 .max_by(|&a, &b| {
                     wlan.snr_db(a, ClientId(c), ChannelWidth::Ht20)
-                        .partial_cmp(&wlan.snr_db(b, ClientId(c), ChannelWidth::Ht20))
-                        .unwrap()
+                        .total_cmp(&wlan.snr_db(b, ClientId(c), ChannelWidth::Ht20))
                 })
         })
         .collect()

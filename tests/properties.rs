@@ -385,6 +385,124 @@ proptest! {
 }
 
 proptest! {
+    // Algorithm 1's NaN policy, exercised adversarially: for ANY
+    // candidate field (NaN access shares included) the chosen AP's
+    // screened utility is the `total_cmp` maximum, and the choice is
+    // invariant under reordering of the candidate list (modulo the index
+    // remap) whenever the argmax is unique.
+    #[test]
+    fn choose_ap_is_permutation_invariant_even_with_nans(
+        seed in any::<u64>(),
+        n in 1usize..8,
+        nan_mask in any::<u8>(),
+        rotate_by in 0usize..8,
+    ) {
+        use acorn::core::{choose_ap, screen_score, utility, Candidate};
+        use acorn::topology::ApId;
+        // Derive candidate fields from the seed with a splitmix64-style
+        // mixer, poisoning the access share of every mask-selected slot.
+        let mix = |i: u64, salt: u64| -> f64 {
+            let mut z = seed
+                .wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                .wrapping_add(salt.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z >> 11) as f64 / (1u64 << 53) as f64 // uniform in [0, 1)
+        };
+        let cands: Vec<Candidate> = (0..n)
+            .map(|i| {
+                let share = if nan_mask & (1 << i) != 0 {
+                    f64::NAN
+                } else {
+                    0.05 + 0.95 * mix(i as u64, 1)
+                };
+                let atd = 0.005 + 0.095 * mix(i as u64, 2);
+                Candidate {
+                    ap: ApId(i),
+                    k_including_u: 1 + (mix(i as u64, 3) * 5.0) as usize,
+                    access_share: share,
+                    atd_including_u_s: atd,
+                    delay_u_s: atd * 0.9 * mix(i as u64, 4),
+                }
+            })
+            .collect();
+
+        let winner = choose_ap(&cands).expect("non-empty candidate list");
+        let screened: Vec<f64> = (0..cands.len())
+            .map(|i| screen_score(utility(&cands, i)))
+            .collect();
+        let max = screened
+            .iter()
+            .copied()
+            .max_by(f64::total_cmp)
+            .unwrap();
+        prop_assert_eq!(
+            screened[winner].to_bits(),
+            max.to_bits(),
+            "winner must carry the total_cmp-max screened utility"
+        );
+
+        // Rotate the list: a unique argmax must keep winning.
+        let r = rotate_by % cands.len();
+        let mut rotated = cands.clone();
+        rotated.rotate_left(r);
+        let w2 = choose_ap(&rotated).expect("non-empty candidate list");
+        let unique = screened
+            .iter()
+            .filter(|s| s.to_bits() == max.to_bits())
+            .count()
+            == 1;
+        if unique {
+            prop_assert_eq!(
+                rotated[w2].ap, cands[winner].ap,
+                "unique argmax must survive reordering"
+            );
+        } else {
+            prop_assert_eq!(
+                screen_score(utility(&rotated, w2)).to_bits(),
+                max.to_bits()
+            );
+        }
+    }
+
+    // The histogram ingestion path must never panic, whatever bit
+    // pattern arrives: NaN is counted and dropped, infinities land in
+    // the under-/overflow bins, everything else is binned.
+    #[test]
+    fn histograms_never_panic_on_any_f64(
+        bits in proptest::collection::vec(any::<u64>(), 1..64),
+    ) {
+        use acorn::obs::Histogram;
+        let mut h = Histogram::linear(0.0, 10.0, 8).expect("static bounds");
+        let mut nans = 0u64;
+        for b in &bits {
+            let x = f64::from_bits(*b);
+            if x.is_nan() {
+                nans += 1;
+            }
+            h.observe(x);
+        }
+        prop_assert_eq!(h.nan_rejected, nans);
+        let binned: u64 = h.counts.iter().sum::<u64>() + h.underflow + h.overflow;
+        prop_assert_eq!(binned + nans, bits.len() as u64);
+    }
+
+    // Constructor misuse is a typed error, never a panic.
+    #[test]
+    fn histogram_constructors_never_panic(
+        lo_bits in any::<u64>(),
+        hi_bits in any::<u64>(),
+        n in 0usize..40,
+        edge_bits in proptest::collection::vec(any::<u64>(), 0..10),
+    ) {
+        use acorn::obs::Histogram;
+        let _ = Histogram::linear(f64::from_bits(lo_bits), f64::from_bits(hi_bits), n);
+        let edges: Vec<f64> = edge_bits.iter().map(|b| f64::from_bits(*b)).collect();
+        let _ = Histogram::with_edges(edges);
+    }
+}
+
+proptest! {
     // The Monte-Carlo engine's core contract: the parallel chunked
     // fan-out (whatever the ambient thread count) folds to exactly the
     // report the sequential single-workspace loop produces, for any
