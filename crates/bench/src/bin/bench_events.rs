@@ -5,29 +5,41 @@
 //! * **Kernel micro-benchmark** — a self-scheduling no-op process
 //!   churning the queue: pure `(schedule, pop, dispatch)` overhead in
 //!   events/second.
-//! * **Composite scaling** — the full churn + mobility + drift scenario
-//!   on 25-AP and 400-AP enterprise grids: dispatched events, wall-clock,
-//!   and events/second, with model evaluation (association, periodic
-//!   re-allocation) dominating — the number that tells us how far the
-//!   scenario scale can grow before runtime becomes the bottleneck.
+//! * **Composite scaling** — session workloads whose arrival rate scales
+//!   with the deployment (`n_aps / 300` arrivals per second, i.e. the
+//!   per-AP enterprise rate), so client count grows with AP count
+//!   instead of pinning every row at a 16-client trace:
+//!   - the 25-AP enterprise grid runs the exact
+//!     [`CompositeScenario`] (full per-event model rebuilds, mobility,
+//!     drift) — the reference semantics;
+//!   - the 400-AP and 10k-AP city grids run the [`CityScenario`]
+//!     (spatial-index candidates, incremental conflict graph, sharded
+//!     re-allocation, memoized goodput table) — the path built for
+//!     city-scale deployments, where the exact composite's O(network)
+//!     per-event cost is the bottleneck being measured away.
 
 use acorn_bench::{header, save_json};
 use acorn_core::{AcornConfig, AcornController};
 use acorn_events::{
-    CompositeScenario, Ctx, DriftSpec, MobilitySpec, Process, Simulation, TelemetrySnapshot,
+    CityScenario, CompositeScenario, Ctx, DriftSpec, MobilitySpec, Process, Simulation,
+    TelemetrySnapshot,
 };
-use acorn_sim::scenario::enterprise_grid;
+use acorn_phy::{GoodputTable, LinkQualityEstimator};
+use acorn_sim::scenario::{city_grid, enterprise_grid};
 use acorn_topology::{ClientId, Point, Trajectory};
-use acorn_traces::SessionGenerator;
+use acorn_traces::{AssociationDurations, SessionGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
 
 const MICRO_EVENTS: u64 = 500_000;
+const HORIZON_S: f64 = 3600.0;
 
 #[derive(Serialize)]
 struct ScenarioBench {
+    mode: &'static str,
     n_aps: usize,
     n_clients: usize,
     sessions: usize,
@@ -77,20 +89,30 @@ fn micro() -> (u64, f64) {
     (stats.events, wall)
 }
 
-fn composite(side: usize, seed: u64) -> (ScenarioBench, TelemetrySnapshot) {
+/// The deployment-scaled session workload: `n_aps / 300` arrivals per
+/// second (one per 5 minutes per AP), CRAWDAD-fit durations.
+fn scaled_sessions(n_aps: usize, seed: u64) -> Vec<acorn_traces::Session> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let sessions = SessionGenerator::enterprise_default().generate(&mut rng, 3600.0);
+    SessionGenerator {
+        arrival_rate_per_s: n_aps as f64 / 300.0,
+        durations: AssociationDurations::default(),
+    }
+    .generate(&mut rng, HORIZON_S)
+}
+
+fn composite(side: usize, seed: u64) -> (ScenarioBench, TelemetrySnapshot) {
+    let n_aps = side * side;
+    let sessions = scaled_sessions(n_aps, seed);
     // One spare slot for the walking client.
     let n_clients = sessions.len().max(1) + 1;
     let wlan = enterprise_grid(side, side, 50.0, n_clients, seed);
     let ctl = AcornController::new(AcornConfig::default());
     let mobile = ClientId(n_clients - 1);
     let from = wlan.clients[mobile.0].pos;
-    let n_aps = wlan.aps.len();
     let scenario = CompositeScenario {
         wlan,
         sessions: sessions.clone(),
-        horizon_s: 3600.0,
+        horizon_s: HORIZON_S,
         reallocation_period_s: 1800.0,
         restarts: 2,
         adapt_widths: true,
@@ -114,19 +136,64 @@ fn composite(side: usize, seed: u64) -> (ScenarioBench, TelemetrySnapshot) {
     let t0 = Instant::now();
     let report = scenario.run(&ctl);
     let wall = t0.elapsed().as_secs_f64();
-    let reallocations = report.realloc.len() as u64;
     (
         ScenarioBench {
+            mode: "exact",
             n_aps,
             n_clients,
             sessions: sessions.len(),
             events: report.stats.events,
             wall_s: wall,
             events_per_s: report.stats.events as f64 / wall,
-            reallocations,
+            reallocations: report.realloc.len() as u64,
         },
         report.telemetry,
     )
+}
+
+fn city(districts_per_side: usize, seed: u64) -> ScenarioBench {
+    let aps_per_district_side = 4usize;
+    let n_aps = districts_per_side * districts_per_side * aps_per_district_side.pow(2);
+    let sessions = scaled_sessions(n_aps, seed);
+    let n_clients = sessions.len().max(1);
+    let wlan = city_grid(districts_per_side, aps_per_district_side, n_clients, seed);
+    let table = Arc::new(GoodputTable::new(LinkQualityEstimator::default()));
+    let ctl = AcornController::with_table(AcornConfig::default(), table);
+    let scenario = CityScenario {
+        wlan,
+        sessions: sessions.clone(),
+        horizon_s: HORIZON_S,
+        reallocation_period_s: 1800.0,
+        restarts: 2,
+        candidate_radius_m: 120.0,
+        adapt_widths: true,
+        drift: Some(DriftSpec {
+            period_s: 600.0,
+            phase_step_rad: 0.02,
+        }),
+        seed,
+        record_log: false,
+    };
+    let t0 = Instant::now();
+    let report = scenario.run(&ctl);
+    let wall = t0.elapsed().as_secs_f64();
+    ScenarioBench {
+        mode: "city",
+        n_aps,
+        n_clients,
+        sessions: sessions.len(),
+        events: report.stats.events,
+        wall_s: wall,
+        events_per_s: report.stats.events as f64 / wall,
+        reallocations: report.realloc.len() as u64,
+    }
+}
+
+fn print_row(b: &ScenarioBench) {
+    println!(
+        "[{}] {} APs, {} clients, {} sessions: {} events in {:.3} s -> {:.0} events/s ({} reallocations)",
+        b.mode, b.n_aps, b.n_clients, b.sessions, b.events, b.wall_s, b.events_per_s, b.reallocations
+    );
 }
 
 fn main() {
@@ -136,19 +203,19 @@ fn main() {
     println!("{events} no-op events in {wall:.3} s -> {micro_rate:.0} events/s");
 
     let mut scenarios = Vec::new();
-    for side in [5usize, 20] {
+
+    header("event runtime: exact composite churn+mobility+drift, 5x5 grid");
+    let (b, telemetry) = composite(5, 42);
+    print_row(&b);
+    save_json("events_composite", &telemetry);
+    scenarios.push(b);
+
+    for districts in [5usize, 25] {
         header(&format!(
-            "event runtime: composite churn+mobility+drift, {}x{} grid",
-            side, side
+            "event runtime: city churn+drift, {districts}x{districts} districts x 16 APs"
         ));
-        let (b, telemetry) = composite(side, 42);
-        println!(
-            "{} APs, {} clients, {} sessions: {} events in {:.3} s -> {:.0} events/s ({} reallocations)",
-            b.n_aps, b.n_clients, b.sessions, b.events, b.wall_s, b.events_per_s, b.reallocations
-        );
-        if side == 5 {
-            save_json("events_composite", &telemetry);
-        }
+        let b = city(districts, 42);
+        print_row(&b);
         scenarios.push(b);
     }
 

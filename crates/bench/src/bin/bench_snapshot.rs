@@ -19,13 +19,16 @@ use acorn_baseband::ChannelModel;
 use acorn_bench::alloc_counter::allocations_during;
 use acorn_bench::baseline_frame::run_trial_baseline;
 use acorn_bench::header;
-use acorn_core::allocation::{allocate_with_restarts, random_initial, AllocationConfig};
-use acorn_core::model::{NetworkModel, ThroughputModel};
+use acorn_core::allocation::{
+    allocate_sharded_with_restarts, allocate_with_restarts, random_initial, AllocationConfig,
+};
+use acorn_core::model::{ClientSnr, NetworkModel, ThroughputModel};
 use acorn_core::{AcornConfig, AcornController};
-use acorn_phy::{ChannelWidth, CodeRate, Modulation};
-use acorn_sim::scenario::enterprise_grid;
-use acorn_topology::{ChannelAssignment, ChannelPlan, ClientId};
+use acorn_phy::{ChannelWidth, CodeRate, GoodputTable, LinkQualityEstimator, Modulation};
+use acorn_sim::scenario::{city_grid, enterprise_grid};
+use acorn_topology::{ApId, ChannelAssignment, ChannelPlan, ClientId};
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
 
 const N_AP_SIDE: usize = 5; // 5×5 grid = 25 APs
@@ -52,6 +55,20 @@ struct BenchAllocation {
     delta_total_bps: f64,
     /// Sequential and parallel delta runs are bit-identical.
     delta_bit_identical: bool,
+    /// City-grid section: sharded allocation + memoized goodput table.
+    city_n_aps: usize,
+    city_n_clients: usize,
+    /// Connected components of the city conflict graph (= districts).
+    city_shards: usize,
+    /// Best-of-reps wall-clock (s): unsharded delta engine, exact model.
+    city_unsharded_exact_s: f64,
+    /// Best-of-reps wall-clock (s): sharded engine, exact model.
+    city_sharded_exact_s: f64,
+    /// Best-of-reps wall-clock (s): sharded engine, memoized-table model.
+    city_sharded_table_s: f64,
+    city_speedup_sharded_table_vs_unsharded: f64,
+    /// Sharded runs at 1 thread and full parallelism are bit-identical.
+    city_sharded_bit_identical: bool,
 }
 
 /// The pre-engine allocator: every candidate colour is scored by a full
@@ -314,6 +331,110 @@ fn main() {
         "sequential and parallel runs must be bit-identical"
     );
 
+    header("Evaluation-engine snapshot: city grid, sharded + memoized table");
+    let city_districts = 4usize;
+    let city_n_clients = 432;
+    let city_wlan = city_grid(city_districts, 3, city_n_clients, 77);
+    let city_n_aps = city_wlan.aps.len();
+    // Nearest-AP association: pure geometry, fine for a timing model.
+    let assoc: Vec<Option<ApId>> = city_wlan
+        .clients
+        .iter()
+        .map(|cl| {
+            (0..city_n_aps)
+                .min_by(|&a, &b| {
+                    let da = city_wlan.aps[a].pos.distance(&cl.pos);
+                    let db = city_wlan.aps[b].pos.distance(&cl.pos);
+                    da.partial_cmp(&db).expect("finite distances")
+                })
+                .map(ApId)
+        })
+        .collect();
+    let city_graph = city_wlan.interference_graph(&assoc);
+    let city_shards = city_graph.connected_components().len();
+    let cells: Vec<Vec<ClientSnr>> = (0..city_n_aps)
+        .map(|ap| {
+            assoc
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| **a == Some(ApId(ap)))
+                .map(|(c, _)| ClientSnr {
+                    client: c,
+                    snr20_db: city_wlan.snr_db(ApId(ap), ClientId(c), ChannelWidth::Ht20),
+                })
+                .collect()
+        })
+        .collect();
+    let payload = AcornConfig::default().payload_bytes;
+    let city_exact = NetworkModel::with_config(
+        city_graph.clone(),
+        cells.clone(),
+        LinkQualityEstimator::default(),
+        payload,
+    );
+    let table = Arc::new(GoodputTable::new(LinkQualityEstimator::default()));
+    let city_table = NetworkModel::with_table(city_graph, cells, table, payload);
+    let city_initial = random_initial(&plan, city_n_aps, seed);
+
+    let (t_city_unsharded, r_unsharded) =
+        time_best(|| allocate_with_restarts(&city_exact, &plan, &cfg, RESTARTS, seed));
+    println!(
+        "unsharded delta engine, exact model:  {t_city_unsharded:.3} s  (Y = {:.1} Mb/s)",
+        r_unsharded.total_bps / 1e6
+    );
+    let (t_city_sharded, r_sharded) = time_best(|| {
+        allocate_sharded_with_restarts(
+            &city_exact,
+            &plan,
+            city_initial.clone(),
+            &cfg,
+            RESTARTS,
+            seed,
+        )
+    });
+    println!(
+        "sharded ({city_shards} shards), exact model:      {t_city_sharded:.3} s  (Y = {:.1} Mb/s)",
+        r_sharded.total_bps / 1e6
+    );
+    std::env::set_var("ACORN_THREADS", "1");
+    let (t_city_table, r_table_seq) = time_best(|| {
+        allocate_sharded_with_restarts(
+            &city_table,
+            &plan,
+            city_initial.clone(),
+            &cfg,
+            RESTARTS,
+            seed,
+        )
+    });
+    std::env::set_var("ACORN_THREADS", threads.to_string());
+    let (t_city_table_par, r_table_par) = time_best(|| {
+        allocate_sharded_with_restarts(
+            &city_table,
+            &plan,
+            city_initial.clone(),
+            &cfg,
+            RESTARTS,
+            seed,
+        )
+    });
+    std::env::remove_var("ACORN_THREADS");
+    let city_t_table_best = t_city_table.min(t_city_table_par);
+    println!(
+        "sharded + memoized table:             {city_t_table_best:.3} s  (Y = {:.1} Mb/s)",
+        r_table_par.total_bps / 1e6
+    );
+    let city_identical = r_table_seq.assignments == r_table_par.assignments
+        && r_table_seq.total_bps.to_bits() == r_table_par.total_bps.to_bits();
+    assert!(
+        city_identical,
+        "sharded runs must be bit-identical across thread counts"
+    );
+    println!(
+        "sharded+table vs unsharded exact: {:.2}x",
+        t_city_unsharded / city_t_table_best
+    );
+
     let record = BenchAllocation {
         n_aps: model.n_aps(),
         n_clients,
@@ -329,6 +450,14 @@ fn main() {
         baseline_total_bps: base_total,
         delta_total_bps: r_par.total_bps,
         delta_bit_identical: identical,
+        city_n_aps,
+        city_n_clients,
+        city_shards,
+        city_unsharded_exact_s: t_city_unsharded,
+        city_sharded_exact_s: t_city_sharded,
+        city_sharded_table_s: city_t_table_best,
+        city_speedup_sharded_table_vs_unsharded: t_city_unsharded / city_t_table_best,
+        city_sharded_bit_identical: city_identical,
     };
     println!();
     println!(

@@ -32,7 +32,7 @@
 //! the same way. Both reductions are order-stable, so results are
 //! bit-identical for every thread count (`ACORN_THREADS=1` included).
 
-use crate::model::ThroughputModel;
+use crate::model::{NetworkModel, ThroughputModel};
 use crate::par;
 use acorn_obs::{names, NullSink, Sink};
 use acorn_topology::{ApId, ChannelAssignment, ChannelPlan};
@@ -258,6 +258,146 @@ pub fn allocate_with_restarts_obs<M: ThroughputModel + Sync, S: Sink + Sync>(
     .unwrap_or_else(|| allocate_from_random_obs(model, plan, config, seed, sink))
 }
 
+/// Sharded Algorithm 2: decompose the conflict graph into connected
+/// components and solve each independently — a current-assignment run
+/// plus a `restarts`-way random hedge per shard — merging the per-shard
+/// winners into one assignment.
+///
+/// Correctness rests on the objective being separable across components:
+/// an AP's access share depends only on its graph neighbours, so
+/// `Y = Σ_shards Y_shard` and no switch inside one shard can change
+/// another shard's throughput. Each shard keeping its own better of
+/// (current-start, hedge) can therefore only improve on hedging the
+/// whole network with a single winner.
+///
+/// Determinism: components come ordered by smallest vertex, the
+/// `(shard, attempt)` tasks fan out through the order-stable
+/// [`par::par_map_n`], restart seeds are a pure function of the shard and
+/// attempt indices, and every fold runs sequentially in task order — the
+/// merged result is bit-identical at any `ACORN_THREADS`. On a connected
+/// graph this degrades to exactly the current-start + restart-hedge
+/// composition on the full model (same seeds, same tie rules).
+pub fn allocate_sharded_with_restarts(
+    model: &NetworkModel,
+    plan: &ChannelPlan,
+    initial: Vec<ChannelAssignment>,
+    config: &AllocationConfig,
+    restarts: usize,
+    seed: u64,
+) -> AllocationResult {
+    allocate_sharded_with_restarts_obs(model, plan, initial, config, restarts, seed, &NullSink)
+}
+
+/// [`allocate_sharded_with_restarts`] reporting into a metric sink: the
+/// per-run `alloc.*` counters of every attempt, one `alloc.restarts`
+/// increment per random attempt, and `alloc.shards` += the component
+/// count. All adds commute, so totals are thread-count invariant.
+pub fn allocate_sharded_with_restarts_obs<S: Sink + Sync>(
+    model: &NetworkModel,
+    plan: &ChannelPlan,
+    initial: Vec<ChannelAssignment>,
+    config: &AllocationConfig,
+    restarts: usize,
+    seed: u64,
+    sink: &S,
+) -> AllocationResult {
+    let n = model.n_aps();
+    assert_eq!(initial.len(), n, "one initial assignment per AP");
+    let components = model.graph.connected_components();
+    if sink.enabled() {
+        sink.add(names::ALLOC_SHARDS, components.len().max(1) as u64);
+    }
+
+    // Pick the better of a current-start run and the restart hedge; the
+    // current assignment wins exact ties (strict `>`), matching the
+    // controller's historical composition.
+    let pick = |best: AllocationResult, hedged: Option<AllocationResult>| match hedged {
+        Some(h) if h.total_bps > best.total_bps => h,
+        _ => best,
+    };
+
+    if components.len() <= 1 {
+        // Connected (or empty) graph: run on the full model directly so
+        // the result is exactly the unsharded composition.
+        let attempts: Vec<AllocationResult> = par::par_map_n(restarts + 1, |k| {
+            if k == 0 {
+                allocate_obs(model, plan, initial.clone(), config, sink)
+            } else {
+                if sink.enabled() {
+                    sink.inc(names::ALLOC_RESTARTS);
+                }
+                allocate_from_random_obs(model, plan, config, seed.wrapping_add(k as u64 - 1), sink)
+            }
+        });
+        let mut attempts = attempts.into_iter();
+        let best = attempts
+            .next()
+            .unwrap_or_else(|| allocate_obs(model, plan, initial, config, sink));
+        let hedged = attempts.reduce(|b, r| if r.total_bps >= b.total_bps { r } else { b });
+        return pick(best, hedged);
+    }
+
+    // Build the per-shard submodels (cheap: cell-base rows are copied,
+    // not re-estimated) and shard-local initial assignments.
+    let shards: Vec<(Vec<usize>, NetworkModel, Vec<ChannelAssignment>)> = components
+        .into_iter()
+        .map(|nodes| {
+            let sub = model.restrict(&nodes);
+            let init: Vec<ChannelAssignment> = nodes.iter().map(|&i| initial[i]).collect();
+            (nodes, sub, init)
+        })
+        .collect();
+
+    // Fan every (shard, attempt) pair out flat: attempt 0 is the
+    // current-start run, attempts 1..=restarts are the random hedge.
+    let per_shard = restarts + 1;
+    let results: Vec<AllocationResult> = par::par_map_n(shards.len() * per_shard, |t| {
+        let (s, k) = (t / per_shard, t % per_shard);
+        let (_, sub, init) = &shards[s];
+        if k == 0 {
+            allocate_obs(sub, plan, init.clone(), config, sink)
+        } else {
+            if sink.enabled() {
+                sink.inc(names::ALLOC_RESTARTS);
+            }
+            let attempt_seed = seed.wrapping_add((s * restarts + k - 1) as u64);
+            allocate_from_random_obs(sub, plan, config, attempt_seed, sink)
+        }
+    });
+
+    // Deterministic merge in shard order: scatter each shard winner back
+    // to global AP indices, sum the work counters, and concatenate the
+    // per-shard convergence histories.
+    let mut merged = initial;
+    let mut iterations = 0usize;
+    let mut switches = 0usize;
+    let mut history = Vec::new();
+    for (s, (nodes, _, _)) in shards.iter().enumerate() {
+        let mut chunk = results[s * per_shard..(s + 1) * per_shard].iter().cloned();
+        let Some(best) = chunk.next() else {
+            continue; // unreachable: every shard ran `per_shard >= 1` attempts
+        };
+        let hedged = chunk.reduce(|b, r| if r.total_bps >= b.total_bps { r } else { b });
+        let winner = pick(best, hedged);
+        for (local, &global) in nodes.iter().enumerate() {
+            merged[global] = winner.assignments[local];
+        }
+        iterations += winner.iterations;
+        switches += winner.switches;
+        history.extend(winner.history_bps);
+    }
+    // One full evaluation re-anchors the headline number, exactly as the
+    // unsharded path does.
+    let total_bps = model.total_bps(&merged);
+    AllocationResult {
+        assignments: merged,
+        total_bps,
+        iterations,
+        switches,
+        history_bps: history,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,6 +567,90 @@ mod tests {
             assert_eq!(t.counter(names::ALLOC_RUNS), 4);
             assert!(t.counter(names::ALLOC_ROUNDS) >= 4);
             assert!(t.counter(names::ALLOC_ITERATIONS) >= t.counter(names::ALLOC_SWITCHES));
+        });
+    }
+
+    #[test]
+    fn sharded_on_connected_graph_matches_the_unsharded_composition() {
+        let m = model(
+            &[&[30.0, 28.0], &[5.0, 4.0], &[20.0]],
+            InterferenceGraph::complete(3),
+        );
+        let plan = ChannelPlan::restricted(4);
+        let cfg = AllocationConfig::default();
+        let initial = random_initial(&plan, 3, 5);
+        let sharded = allocate_sharded_with_restarts(&m, &plan, initial.clone(), &cfg, 4, 11);
+        let best = allocate(&m, &plan, initial, &cfg);
+        let hedged = allocate_with_restarts(&m, &plan, &cfg, 4, 11);
+        let expect = if hedged.total_bps > best.total_bps {
+            hedged
+        } else {
+            best
+        };
+        assert_eq!(sharded.assignments, expect.assignments);
+        assert_eq!(sharded.total_bps.to_bits(), expect.total_bps.to_bits());
+    }
+
+    #[test]
+    fn sharded_multi_component_solves_each_shard_independently() {
+        // Two components: a triangle {0,1,2} and an edge {3,4}.
+        let g = InterferenceGraph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (3, 4)]);
+        let m = model(&[&[30.0], &[5.0, 4.0], &[20.0], &[28.0], &[12.0]], g);
+        let plan = ChannelPlan::restricted(4);
+        let cfg = AllocationConfig::default();
+        let (restarts, seed) = (3usize, 17u64);
+        let initial = random_initial(&plan, 5, 2);
+        let sharded =
+            allocate_sharded_with_restarts(&m, &plan, initial.clone(), &cfg, restarts, seed);
+
+        // Every shard's slice of the merged assignment must equal solving
+        // that shard's restricted model directly with the same seeds.
+        for (s, nodes) in m.graph.connected_components().iter().enumerate() {
+            let sub = m.restrict(nodes);
+            let init: Vec<_> = nodes.iter().map(|&i| initial[i]).collect();
+            let best = allocate(&sub, &plan, init, &cfg);
+            let hedged = allocate_with_restarts(
+                &sub,
+                &plan,
+                &cfg,
+                restarts,
+                seed.wrapping_add((s * restarts) as u64),
+            );
+            let expect = if hedged.total_bps > best.total_bps {
+                hedged
+            } else {
+                best
+            };
+            for (local, &global) in nodes.iter().enumerate() {
+                assert_eq!(
+                    sharded.assignments[global], expect.assignments[local],
+                    "shard {s}, AP {global}"
+                );
+            }
+        }
+        // The merged headline number is one full-model evaluation.
+        assert_eq!(
+            sharded.total_bps.to_bits(),
+            m.total_bps(&sharded.assignments).to_bits()
+        );
+    }
+
+    #[test]
+    fn sharded_never_decreases_throughput_and_records_shards() {
+        use acorn_obs::RecordingSink;
+        let g = InterferenceGraph::from_edges(6, &[(0, 1), (2, 3), (4, 5)]);
+        let m = model(&[&[30.0], &[5.0], &[20.0], &[28.0], &[12.0], &[7.0]], g);
+        let plan = ChannelPlan::restricted(4);
+        let cfg = AllocationConfig::default();
+        let initial = random_initial(&plan, 6, 9);
+        let y0 = m.total_bps(&initial);
+        let sink = RecordingSink::new();
+        let r = allocate_sharded_with_restarts_obs(&m, &plan, initial, &cfg, 2, 3, &sink);
+        assert!(r.total_bps + 1e-6 >= y0);
+        sink.with_telemetry(|t| {
+            assert_eq!(t.counter(names::ALLOC_SHARDS), 3);
+            assert_eq!(t.counter(names::ALLOC_RESTARTS), 3 * 2);
+            assert_eq!(t.counter(names::ALLOC_RUNS), 3 * 3);
         });
     }
 

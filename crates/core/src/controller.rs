@@ -18,7 +18,8 @@
 //!   ([`AcornController::adapt_widths`]).
 
 use crate::allocation::{
-    allocate_obs, allocate_with_restarts_obs, random_initial, AllocationConfig, AllocationResult,
+    allocate_obs, allocate_sharded_with_restarts_obs, allocate_with_restarts_obs, random_initial,
+    AllocationConfig, AllocationResult,
 };
 use crate::association::{choose_ap_obs, Candidate};
 use crate::beacon::Beacon;
@@ -27,9 +28,10 @@ use acorn_mac::contention::access_share;
 use acorn_mac::timing::delivery_delay_s;
 use acorn_obs::{names, NullSink, Sink};
 use acorn_phy::estimator::LinkQualityEstimator;
-use acorn_phy::ChannelWidth;
+use acorn_phy::{ChannelWidth, GoodputTable};
 use acorn_topology::{ApId, ChannelAssignment, ChannelPlan, ClientId, Wlan};
 use acorn_traces::REALLOCATION_PERIOD_S;
+use std::sync::Arc;
 
 /// Controller configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -116,16 +118,40 @@ impl NetworkState {
 }
 
 /// The ACORN controller.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct AcornController {
     /// Configuration.
     pub config: AcornConfig,
+    /// Optional memoized goodput table shared with every model this
+    /// controller builds (and with any other controller clone). `None`
+    /// keeps the exact per-call estimator pipeline.
+    table: Option<Arc<GoodputTable>>,
 }
 
 impl AcornController {
-    /// Creates a controller.
+    /// Creates a controller using the exact estimator pipeline.
     pub fn new(config: AcornConfig) -> AcornController {
-        AcornController { config }
+        AcornController {
+            config,
+            table: None,
+        }
+    }
+
+    /// Creates a controller that answers SNR → goodput queries from a
+    /// shared memoized [`GoodputTable`]. The config's estimator is
+    /// replaced by the table's own, so the table and every fallback path
+    /// agree on calibration, GI and fading parameters.
+    pub fn with_table(mut config: AcornConfig, table: Arc<GoodputTable>) -> AcornController {
+        config.estimator = *table.estimator();
+        AcornController {
+            config,
+            table: Some(table),
+        }
+    }
+
+    /// The attached goodput table, if any.
+    pub fn table(&self) -> Option<&Arc<GoodputTable>> {
+        self.table.as_ref()
     }
 
     /// Fresh state: random channels (the Algorithm 2 starting point), no
@@ -156,12 +182,17 @@ impl AcornController {
                     .collect()
             })
             .collect();
-        NetworkModel::with_config(
-            graph,
-            cells,
-            self.config.estimator,
-            self.config.payload_bytes,
-        )
+        match &self.table {
+            Some(t) => {
+                NetworkModel::with_table(graph, cells, Arc::clone(t), self.config.payload_bytes)
+            }
+            None => NetworkModel::with_config(
+                graph,
+                cells,
+                self.config.estimator,
+                self.config.payload_bytes,
+            ),
+        }
     }
 
     /// Current beacons of all APs.
@@ -182,7 +213,10 @@ impl AcornController {
     /// given 20 MHz-referenced SNR, at a width — the per-client `d_u`
     /// ACORN beacons advertise.
     pub fn delay_from_snr(&self, snr20_db: f64, width: ChannelWidth) -> f64 {
-        let est = self.config.estimator.estimate(snr20_db, ChannelWidth::Ht20);
+        let est = match &self.table {
+            Some(t) => t.estimate(snr20_db, ChannelWidth::Ht20),
+            None => self.config.estimator.estimate(snr20_db, ChannelWidth::Ht20),
+        };
         let point = est.rate_point(width);
         delivery_delay_s(
             self.config.payload_bytes,
@@ -359,13 +393,57 @@ impl AcornController {
         best
     }
 
+    /// Like [`AcornController::reallocate_with_restarts`], but running
+    /// Algorithm 2 independently per connected component of the conflict
+    /// graph through [`allocate_sharded_with_restarts_obs`] — the path
+    /// city-scale deployments use, where the conflict graph splits into
+    /// many distant islands. The current assignment seeds attempt 0 of
+    /// every shard, so with `restarts = 0` on a connected graph this is
+    /// the plain greedy continuation.
+    pub fn reallocate_sharded_with_restarts(
+        &self,
+        wlan: &Wlan,
+        state: &mut NetworkState,
+        restarts: usize,
+        seed: u64,
+    ) -> AllocationResult {
+        self.reallocate_sharded_with_restarts_obs(wlan, state, restarts, seed, &NullSink)
+    }
+
+    /// [`AcornController::reallocate_sharded_with_restarts`] reporting
+    /// into a metric sink (the `alloc.*` counters including
+    /// `alloc.shards`, the model/table counters, and the epoch gauge).
+    pub fn reallocate_sharded_with_restarts_obs<S: Sink + Sync>(
+        &self,
+        wlan: &Wlan,
+        state: &mut NetworkState,
+        restarts: usize,
+        seed: u64,
+        sink: &S,
+    ) -> AllocationResult {
+        let model = self.build_model(wlan, state);
+        let best = allocate_sharded_with_restarts_obs(
+            &model,
+            &self.config.plan,
+            state.assignments.clone(),
+            &self.config.allocation,
+            restarts,
+            seed,
+            sink,
+        );
+        state.assignments = best.assignments.clone();
+        state.operating_width = state.assignments.iter().map(|a| a.width()).collect();
+        self.finish_epoch_obs(&model, best.total_bps, sink);
+        best
+    }
+
     /// Sequential end-of-epoch reporting shared by the `reallocate*_obs`
     /// entry points.
     fn finish_epoch_obs<S: Sink>(&self, model: &NetworkModel, total_bps: f64, sink: &S) {
         if !sink.enabled() {
             return;
         }
-        model.stats().flush_into(sink);
+        model.flush_stats_into(sink);
         sink.inc(names::CONTROLLER_EPOCHS);
         sink.gauge("controller.total_bps", total_bps);
     }
@@ -760,6 +838,95 @@ mod tests {
         let partial = c.total_throughput_bps_up(&w, &s, &[true, false]);
         let ap1 = c.ap_throughput_bps(&w, &s, ApId(1));
         assert!((plain - ap1 - partial).abs() < 1.0);
+    }
+
+    #[test]
+    fn sharded_reallocation_matches_plain_on_a_connected_wlan() {
+        // Two APs 60 m apart interfere, so the conflict graph is one
+        // component and the sharded entry point must reproduce the plain
+        // hedged reallocation bit-for-bit (same seed scheme, same ties).
+        let w = wlan();
+        let c = controller();
+        let mut s_plain = c.new_state(&w, 11);
+        for cl in 0..4 {
+            c.associate(&w, &mut s_plain, ClientId(cl));
+        }
+        let mut s_shard = s_plain.clone();
+        let r_plain = c.reallocate_with_restarts(&w, &mut s_plain, 3, 77);
+        let r_shard = c.reallocate_sharded_with_restarts(&w, &mut s_shard, 3, 77);
+        assert_eq!(s_plain.assignments, s_shard.assignments);
+        assert_eq!(r_plain.total_bps.to_bits(), r_shard.total_bps.to_bits());
+    }
+
+    #[test]
+    fn table_backed_controller_tracks_the_exact_one() {
+        use acorn_phy::estimator::LinkQualityEstimator;
+        let w = wlan();
+        let exact = controller();
+        let table = Arc::new(GoodputTable::build(
+            LinkQualityEstimator::default(),
+            -12.0,
+            48.0,
+            0.0625,
+        ));
+        let memo = AcornController::with_table(AcornConfig::default(), Arc::clone(&table));
+        assert!(memo.table().is_some());
+
+        // Association decisions agree: the table's goodput error is far
+        // smaller than the SNR separation between these APs.
+        let mut s_exact = exact.new_state(&w, 12);
+        let mut s_memo = s_exact.clone();
+        for cl in 0..4 {
+            let a = exact.associate(&w, &mut s_exact, ClientId(cl));
+            let b = memo.associate(&w, &mut s_memo, ClientId(cl));
+            assert_eq!(a, b, "client {cl}");
+        }
+
+        // Advertised delays match within the table's documented budget.
+        for snr in [2.0, 11.5, 23.0, 37.25] {
+            for width in [ChannelWidth::Ht20, ChannelWidth::Ht40] {
+                let d_exact = exact.delay_from_snr(snr, width);
+                let d_memo = memo.delay_from_snr(snr, width);
+                assert!(
+                    (d_exact - d_memo).abs() / d_exact < 1e-2,
+                    "snr {snr} {width:?}: {d_exact} vs {d_memo}"
+                );
+            }
+        }
+
+        // Reallocation through the table-backed model lands on an
+        // equivalent plan, and the table actually served the queries.
+        let before = table.stats().hits;
+        let r = memo.reallocate_sharded_with_restarts(&w, &mut s_memo, 2, 5);
+        assert!(r.total_bps > 0.0);
+        assert!(!s_memo.assignments[0].conflicts(s_memo.assignments[1]));
+        assert!(table.stats().hits > before, "model must query the table");
+    }
+
+    #[test]
+    fn table_epoch_flush_reports_table_counters() {
+        use acorn_obs::RecordingSink;
+        use acorn_phy::estimator::LinkQualityEstimator;
+        let w = wlan();
+        let table = Arc::new(GoodputTable::build(
+            LinkQualityEstimator::default(),
+            -12.0,
+            48.0,
+            0.25,
+        ));
+        let memo = AcornController::with_table(AcornConfig::default(), table);
+        let mut s = memo.new_state(&w, 13);
+        for cl in 0..4 {
+            memo.associate(&w, &mut s, ClientId(cl));
+        }
+        let sink = RecordingSink::new();
+        memo.reallocate_sharded_with_restarts_obs(&w, &mut s, 2, 5, &sink);
+        sink.with_telemetry(|t| {
+            assert!(t.counter(names::ALLOC_SHARDS) >= 1);
+            assert!(t.counter(names::TABLE_HITS) > 0);
+            assert_eq!(t.counter(names::TABLE_REBUILDS), 1);
+            assert!(t.gauge(names::TABLE_MAX_QUANT_ERROR).is_some());
+        });
     }
 
     #[test]

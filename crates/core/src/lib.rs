@@ -47,7 +47,8 @@ pub mod tracker;
 pub mod wire;
 
 pub use allocation::{
-    allocate, allocate_from_random, allocate_from_random_obs, allocate_obs, allocate_with_restarts,
+    allocate, allocate_from_random, allocate_from_random_obs, allocate_obs,
+    allocate_sharded_with_restarts, allocate_sharded_with_restarts_obs, allocate_with_restarts,
     allocate_with_restarts_obs, random_initial, AllocationConfig, AllocationResult,
 };
 pub use association::{

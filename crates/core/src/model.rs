@@ -20,9 +20,10 @@ use acorn_mac::airtime::{CellAirtime, ClientLink};
 use acorn_mac::contention::{access_share, access_share_with};
 use acorn_obs::{names, Sink};
 use acorn_phy::estimator::LinkQualityEstimator;
-use acorn_phy::ChannelWidth;
+use acorn_phy::{ChannelWidth, GoodputTable};
 use acorn_topology::{ApId, ChannelAssignment, InterferenceGraph};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Evaluation counters a [`NetworkModel`] maintains about itself:
 /// throughput-table rebuilds, O(Δ) delta evaluations, and hoisted
@@ -200,6 +201,12 @@ pub struct NetworkModel {
     payload_bytes: u32,
     /// Dense `M = 1` cell throughput, indexed `[ap * 2 + width_index]`.
     cell_base: Vec<f64>,
+    /// Optional memoized goodput table; when present, `client_link` (and
+    /// hence the `cell_base` build) answers from the table instead of
+    /// running the exact union-bound search per client. Shared by `Arc`
+    /// so model clones (and per-shard submodels) reuse one build and one
+    /// set of hit/miss counters.
+    table: Option<Arc<GoodputTable>>,
     stats: ModelStats,
 }
 
@@ -232,6 +239,33 @@ impl NetworkModel {
             estimator,
             payload_bytes,
             cell_base: Vec::new(),
+            table: None,
+            stats: ModelStats::default(),
+        };
+        model.rebuild_cell_base();
+        model
+    }
+
+    /// Creates a model whose per-client rate/PER predictions come from a
+    /// prebuilt memoized [`GoodputTable`] instead of per-call exact
+    /// union-bound searches. The table must have been built from the same
+    /// estimator configuration (same packet size, GI, fading model), or
+    /// predictions would silently mix two error models.
+    pub fn with_table(
+        graph: InterferenceGraph,
+        cells: Vec<Vec<ClientSnr>>,
+        table: Arc<GoodputTable>,
+        payload_bytes: u32,
+    ) -> NetworkModel {
+        assert_eq!(graph.len(), cells.len(), "one cell per AP");
+        let estimator = *table.estimator();
+        let mut model = NetworkModel {
+            graph,
+            cells,
+            estimator,
+            payload_bytes,
+            cell_base: Vec::new(),
+            table: Some(table),
             stats: ModelStats::default(),
         };
         model.rebuild_cell_base();
@@ -276,9 +310,13 @@ impl NetworkModel {
         self.payload_bytes
     }
 
-    /// Replaces the estimator and rebuilds the throughput table.
+    /// Replaces the estimator and rebuilds the throughput table. Any
+    /// attached memoized table is detached — it baked in the previous
+    /// estimator; attach a fresh one via [`set_table`]
+    /// (NetworkModel::set_table) to restore memoization.
     pub fn set_estimator(&mut self, estimator: LinkQualityEstimator) {
         self.estimator = estimator;
+        self.table = None;
         self.rebuild_cell_base();
     }
 
@@ -302,11 +340,86 @@ impl NetworkModel {
         Ok(())
     }
 
+    /// The memoized goodput table, when one is attached.
+    pub fn table(&self) -> Option<&Arc<GoodputTable>> {
+        self.table.as_ref()
+    }
+
+    /// Attaches (or detaches) a memoized goodput table and rebuilds the
+    /// throughput cache through it. Attaching a table also adopts its
+    /// estimator configuration, keeping the two consistent.
+    pub fn set_table(&mut self, table: Option<Arc<GoodputTable>>) {
+        if let Some(t) = &table {
+            self.estimator = *t.estimator();
+        }
+        self.table = table;
+        self.rebuild_cell_base();
+    }
+
     /// The model's own evaluation counters (rebuilds, delta evals,
     /// hoisted scans) — flush into a sink with
     /// [`ModelStats::flush_into`] from a sequential context.
     pub fn stats(&self) -> &ModelStats {
         &self.stats
+    }
+
+    /// Flushes the model counters *and*, when a table is attached, its
+    /// hit/miss/rebuild counters (plus the max-quantization-error gauge)
+    /// into a sink under the `model.*` / `phy.table.*` names. Call from
+    /// sequential contexts only.
+    pub fn flush_stats_into<S: Sink>(&self, sink: &S) {
+        self.stats.flush_into(sink);
+        if let Some(t) = &self.table {
+            if sink.enabled() {
+                let s = t.take_stats();
+                sink.add(names::TABLE_HITS, s.hits);
+                sink.add(names::TABLE_MISSES, s.misses);
+                sink.add(names::TABLE_REBUILDS, s.rebuilds);
+                sink.gauge(names::TABLE_MAX_QUANT_ERROR, s.max_quant_error_bps);
+            }
+        }
+    }
+
+    /// The submodel induced by a subset of APs (`nodes`, strictly
+    /// ascending): the vertex-induced subgraph reindexed to `0..k`, the
+    /// corresponding cells, and — crucially — the corresponding rows of
+    /// the precomputed `cell_base` table *copied, not re-estimated*, so
+    /// restriction is O(k·Δ) and every per-shard throughput term is
+    /// bit-identical to the full model's. The sharded allocation path
+    /// solves each connected component on such a submodel.
+    pub fn restrict(&self, nodes: &[usize]) -> NetworkModel {
+        let n = self.graph.len();
+        let mut index_of = vec![usize::MAX; n];
+        let mut prev: Option<usize> = None;
+        for (new, &old) in nodes.iter().enumerate() {
+            assert!(old < n, "restrict node out of range");
+            assert!(prev.map_or(true, |p| p < old), "restrict nodes must ascend");
+            prev = Some(old);
+            index_of[old] = new;
+        }
+        let mut graph = InterferenceGraph::new(nodes.len());
+        let mut cells = Vec::with_capacity(nodes.len());
+        let mut cell_base = Vec::with_capacity(nodes.len() * 2);
+        for (new, &old) in nodes.iter().enumerate() {
+            for nb in self.graph.neighbors(ApId(old)) {
+                let mapped = index_of[nb.0];
+                if mapped != usize::MAX && nb.0 > old {
+                    graph.add_edge(ApId(new), ApId(mapped));
+                }
+            }
+            cells.push(self.cells[old].clone());
+            cell_base.push(self.cell_base[old * 2]);
+            cell_base.push(self.cell_base[old * 2 + 1]);
+        }
+        NetworkModel {
+            graph,
+            cells,
+            estimator: self.estimator,
+            payload_bytes: self.payload_bytes,
+            cell_base,
+            table: self.table.clone(),
+            stats: ModelStats::default(),
+        }
     }
 
     fn rebuild_cell_base(&mut self) {
@@ -327,10 +440,22 @@ impl NetworkModel {
         self.cell_base[ap.0 * 2 + width_index(width)]
     }
 
-    /// Predicts the MAC-layer operating point of a client at a width.
+    /// Predicts the MAC-layer operating point of a client at a width —
+    /// through the memoized table when one is attached, the exact §4.2
+    /// pipeline otherwise.
     pub fn client_link(&self, snr20_db: f64, width: ChannelWidth) -> ClientLink {
-        let est = self.estimator.estimate(snr20_db, ChannelWidth::Ht20);
-        let point = est.rate_point(width);
+        let point = match &self.table {
+            Some(t) => {
+                let snr = self
+                    .estimator
+                    .calibrate_snr(snr20_db, ChannelWidth::Ht20, width);
+                t.rate_point(snr, width)
+            }
+            None => self
+                .estimator
+                .estimate(snr20_db, ChannelWidth::Ht20)
+                .rate_point(width),
+        };
         ClientLink {
             rate_bps: point.mcs.mcs().rate_bps(width, self.estimator.gi),
             per: point.per,
@@ -782,6 +907,94 @@ mod tests {
         assert_eq!(cloned.stats().snapshot(), after);
         assert_eq!(m.stats().take(), after);
         assert_eq!(m.stats().snapshot(), ModelStatsSnapshot::default());
+    }
+
+    #[test]
+    fn restricted_submodel_copies_rows_and_edges_bit_exactly() {
+        let graph = InterferenceGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let cells = [
+            &[28.0, 22.0][..],
+            &[15.0][..],
+            &[8.0, 31.0][..],
+            &[2.0][..],
+            &[19.0][..],
+        ];
+        let cells: Vec<Vec<ClientSnr>> = cells
+            .iter()
+            .map(|snrs| {
+                snrs.iter()
+                    .enumerate()
+                    .map(|(i, &s)| ClientSnr {
+                        client: i,
+                        snr20_db: s,
+                    })
+                    .collect()
+            })
+            .collect();
+        let m = NetworkModel::new(graph, cells);
+        let sub = m.restrict(&[3, 4]);
+        assert_eq!(sub.n_aps(), 2);
+        assert!(sub.graph.interferes(ApId(0), ApId(1)));
+        for (new, old) in [(0usize, 3usize), (1, 4)] {
+            for w in [ChannelWidth::Ht20, ChannelWidth::Ht40] {
+                assert_eq!(
+                    sub.cell_base_bps(ApId(new), w).to_bits(),
+                    m.cell_base_bps(ApId(old), w).to_bits(),
+                    "row ({old}, {w:?}) must be copied, not re-derived"
+                );
+            }
+        }
+        // Restriction copies rows — no estimator pipeline rebuild.
+        assert_eq!(sub.stats().snapshot().rebuilds, 0);
+        // Edges to outside the subset are dropped.
+        let sub2 = m.restrict(&[0, 1, 3]);
+        assert!(sub2.graph.interferes(ApId(0), ApId(1)));
+        assert_eq!(sub2.graph.degree(ApId(2)), 0, "edge (3,4) left the subset");
+    }
+
+    #[test]
+    #[should_panic(expected = "must ascend")]
+    fn restrict_rejects_unsorted_nodes() {
+        let m = two_ap_model(&[25.0], &[20.0], true);
+        m.restrict(&[1, 0]);
+    }
+
+    #[test]
+    fn table_backed_model_tracks_the_exact_model() {
+        use acorn_phy::GoodputTable;
+        let graph = InterferenceGraph::complete(2);
+        let mk = |snrs: &[f64]| {
+            snrs.iter()
+                .enumerate()
+                .map(|(i, &s)| ClientSnr {
+                    client: i,
+                    snr20_db: s,
+                })
+                .collect::<Vec<_>>()
+        };
+        let cells = vec![mk(&[30.0, 8.5, 1.65]), mk(&[22.3, 14.0])];
+        let exact = NetworkModel::new(graph.clone(), cells.clone());
+        let table = std::sync::Arc::new(GoodputTable::build(
+            LinkQualityEstimator::default(),
+            -12.0,
+            48.0,
+            0.0625,
+        ));
+        let fast = NetworkModel::with_table(graph, cells, table.clone(), 1500);
+        let a = vec![single(0), single(1)];
+        let (ye, yf) = (exact.total_bps(&a), fast.total_bps(&a));
+        assert!(
+            (ye - yf).abs() / ye < 1e-3,
+            "table-backed total {yf} vs exact {ye}"
+        );
+        assert!(table.stats().hits > 0, "cell-base build must hit the table");
+        assert_eq!(
+            fast.table().map(std::sync::Arc::as_ptr),
+            Some(std::sync::Arc::as_ptr(&table))
+        );
+        // Restriction shares the same table.
+        let sub = fast.restrict(&[0]);
+        assert!(sub.table().is_some());
     }
 
     #[test]

@@ -238,7 +238,7 @@ pub enum SeedPolicy {
 }
 
 impl SeedPolicy {
-    fn epoch_seed(&mut self, event_seq: u64) -> u64 {
+    pub(crate) fn epoch_seed(&mut self, event_seq: u64) -> u64 {
         match self {
             SeedPolicy::Sequential { next } => {
                 let s = *next;
@@ -523,7 +523,7 @@ pub struct CompositeReport {
 impl CompositeScenario {
     /// Runs the scenario under `ctl` to its horizon.
     pub fn run(&self, ctl: &AcornController) -> CompositeReport {
-        let world = AcornWorld::new(self.wlan.clone(), *ctl, self.seed);
+        let world = AcornWorld::new(self.wlan.clone(), ctl.clone(), self.seed);
         let mut sim: Simulation<AcornWorld, AcornEvent> = Simulation::new(world);
         sim.record_events(self.record_log);
         sim.add_process(Box::new(SessionProcess {

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod acorn;
+pub mod city;
 pub mod faults;
 pub mod queue;
 pub mod sim;
@@ -42,6 +43,10 @@ pub mod telemetry;
 pub use acorn::{
     AcornEvent, AcornWorld, CompositeReport, CompositeScenario, DriftProcess, DriftSpec,
     MobilityProcess, MobilitySpec, ReallocRecord, ReallocationTimer, SeedPolicy, SessionProcess,
+};
+pub use city::{
+    CityDriftProcess, CityReallocationTimer, CityReport, CityScenario, CitySessionProcess,
+    CityWorld,
 };
 pub use faults::{FaultPlan, FaultProcess, ResilienceReport};
 pub use queue::{EventId, EventQueue, Fired};

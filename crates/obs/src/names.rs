@@ -25,6 +25,9 @@ pub const ALLOC_ITERATIONS: &str = "alloc.iterations";
 pub const ALLOC_SWITCHES: &str = "alloc.switches";
 /// Random-restart allocations fanned out by `allocate_with_restarts`.
 pub const ALLOC_RESTARTS: &str = "alloc.restarts";
+/// Connected-component shards the sharded allocation path fanned out
+/// over (summed per run; 1 when the conflict graph is connected).
+pub const ALLOC_SHARDS: &str = "alloc.shards";
 
 /// Full `cell_base_bps` table rebuilds on the throughput model.
 pub const MODEL_REBUILDS: &str = "model.cell_base_rebuilds";
@@ -32,6 +35,17 @@ pub const MODEL_REBUILDS: &str = "model.cell_base_rebuilds";
 pub const MODEL_DELTA_EVALS: &str = "model.delta_evals";
 /// Hoisted `best_switch` scans (each replaces a per-colour delta loop).
 pub const MODEL_BEST_SWITCH_SCANS: &str = "model.best_switch_scans";
+
+/// Memoized goodput-table lookups answered from the table.
+pub const TABLE_HITS: &str = "phy.table.hits";
+/// Goodput-table lookups outside the tabulated SNR range (answered by
+/// the exact estimator instead).
+pub const TABLE_MISSES: &str = "phy.table.misses";
+/// Goodput-table (re)builds.
+pub const TABLE_REBUILDS: &str = "phy.table.rebuilds";
+/// Gauge: max absolute goodput quantization error (bits/s) observed by
+/// the table's build-time self-check sweep.
+pub const TABLE_MAX_QUANT_ERROR: &str = "phy.table.max_quant_error_bps";
 
 /// Controller reallocation epochs driven through the obs entry points.
 pub const CONTROLLER_EPOCHS: &str = "controller.obs_epochs";

@@ -139,6 +139,25 @@ impl LinkQualityEstimator {
         }
     }
 
+    /// The (coded BER, PER) prediction for one MCS at a mode-effective
+    /// SNR — the single primitive both [`best_rate_point`]
+    /// (LinkQualityEstimator::best_rate_point) and the memoized
+    /// `GoodputTable` build call, so the exact and tabulated paths always
+    /// share the same error model (crisp AWGN or fading-averaged).
+    pub fn error_rates(&self, mcs: &crate::mcs::Mcs, eff_snr_db: f64) -> (f64, f64) {
+        if self.fading_sigma_db > 0.0 {
+            (
+                crate::fading::faded_coded_ber(mcs, eff_snr_db, self.fading_sigma_db),
+                crate::fading::faded_per(mcs, eff_snr_db, self.fading_sigma_db, self.packet_bytes),
+            )
+        } else {
+            (
+                mcs.coded_ber(eff_snr_db),
+                mcs.per(eff_snr_db, self.packet_bytes),
+            )
+        }
+    }
+
     /// Exhaustive best-(MCS, mode) search at a given calibrated SNR and
     /// width — the model of the testbed's auto-rate behaviour used for
     /// prediction: maximize expected goodput `(1 − PER) · R` over MCS 0–7
@@ -153,19 +172,7 @@ impl LinkQualityEstimator {
                 MimoMode::Sdm
             };
             let eff_snr = mode.effective_snr_db(snr_db);
-            let (coded_ber, per) = if self.fading_sigma_db > 0.0 {
-                (
-                    crate::fading::faded_coded_ber(&mcs, eff_snr, self.fading_sigma_db),
-                    crate::fading::faded_per(
-                        &mcs,
-                        eff_snr,
-                        self.fading_sigma_db,
-                        self.packet_bytes,
-                    ),
-                )
-            } else {
-                (mcs.coded_ber(eff_snr), mcs.per(eff_snr, self.packet_bytes))
-            };
+            let (coded_ber, per) = self.error_rates(&mcs, eff_snr);
             let goodput = (1.0 - per) * mcs.rate_bps(width, self.gi);
             let candidate = RatePoint {
                 mcs: idx,

@@ -33,6 +33,7 @@ pub mod mcs;
 pub mod modulation;
 pub mod noise;
 pub mod ofdm;
+pub mod table;
 pub mod units;
 
 pub use coding::{coded_ber, per_from_ber, CodeRate};
@@ -43,4 +44,5 @@ pub use mcs::{Mcs, McsIndex, MimoMode};
 pub use modulation::Modulation;
 pub use noise::noise_floor_dbm;
 pub use ofdm::{ChannelWidth, GuardInterval, OfdmParams};
+pub use table::{GoodputTable, TableStats};
 pub use units::{db_to_linear, dbm_to_mw, linear_to_db, mw_to_dbm};

@@ -94,7 +94,7 @@ pub fn run_churn(
     config: &ChurnConfig,
     seed: u64,
 ) -> ChurnReport {
-    let world = AcornWorld::new(wlan.clone(), *ctl, seed);
+    let world = AcornWorld::new(wlan.clone(), ctl.clone(), seed);
     let mut sim: Simulation<AcornWorld, AcornEvent> = Simulation::new(world);
     // Registration order is load-bearing: session events get the low
     // sequence numbers (in trace order), the timer's ticks come after —

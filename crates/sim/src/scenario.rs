@@ -151,6 +151,76 @@ pub fn enterprise_grid(nx: usize, ny: usize, spacing: f64, n_clients: usize, see
     Wlan::new(aps, clients, seed)
 }
 
+/// Centre-to-centre distance between [`city_grid`] district origins (m).
+pub const CITY_DISTRICT_PITCH_M: f64 = 400.0;
+/// AP spacing inside a [`city_grid`] district (m).
+pub const CITY_AP_SPACING_M: f64 = 50.0;
+/// [`city_grid`] clients stay within this margin of their district's AP
+/// bounding box (m).
+pub const CITY_CLIENT_MARGIN_M: f64 = 25.0;
+
+/// A city-scale deployment: `districts_per_side²` districts on a square
+/// grid with [`CITY_DISTRICT_PITCH_M`] pitch, each district an
+/// `aps_per_district_side²` AP grid at [`CITY_AP_SPACING_M`] spacing.
+/// Clients are assigned to districts round-robin (`c % n_districts`) and
+/// placed uniformly inside their district's AP bounding box plus
+/// [`CITY_CLIENT_MARGIN_M`], with lognormal shadowing enabled.
+///
+/// With `aps_per_district_side ≤ 4` the district extent is at most 150 m,
+/// so the nearest foreign-district AP sits ≥ 225 m from any client and
+/// ≥ 250 m from any AP — both far beyond the default 80 m carrier-sense
+/// radius. The interference graph therefore decomposes into exactly
+/// `districts_per_side²` connected components regardless of association,
+/// which is what makes this the reference workload for the sharded
+/// allocation path.
+///
+/// AP ids are district-major (row-major over districts, then row-major
+/// inside the district), so each district's APs are contiguous.
+pub fn city_grid(
+    districts_per_side: usize,
+    aps_per_district_side: usize,
+    n_clients: usize,
+    seed: u64,
+) -> Wlan {
+    assert!(districts_per_side >= 1, "need at least one district");
+    assert!(
+        (1..=4).contains(&aps_per_district_side),
+        "district extent must stay below the inter-district gap"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = aps_per_district_side;
+    let extent = (k - 1) as f64 * CITY_AP_SPACING_M;
+    let mut aps = Vec::with_capacity(districts_per_side * districts_per_side * k * k);
+    let mut origins = Vec::with_capacity(districts_per_side * districts_per_side);
+    for dy in 0..districts_per_side {
+        for dx in 0..districts_per_side {
+            let origin = Point::new(
+                dx as f64 * CITY_DISTRICT_PITCH_M,
+                dy as f64 * CITY_DISTRICT_PITCH_M,
+            );
+            origins.push(origin);
+            for j in 0..k {
+                for i in 0..k {
+                    aps.push(Point::new(
+                        origin.x + i as f64 * CITY_AP_SPACING_M,
+                        origin.y + j as f64 * CITY_AP_SPACING_M,
+                    ));
+                }
+            }
+        }
+    }
+    let clients: Vec<Point> = (0..n_clients)
+        .map(|c| {
+            let o = origins[c % origins.len()];
+            Point::new(
+                o.x + rng.gen_range(-CITY_CLIENT_MARGIN_M..=extent + CITY_CLIENT_MARGIN_M),
+                o.y + rng.gen_range(-CITY_CLIENT_MARGIN_M..=extent + CITY_CLIENT_MARGIN_M),
+            )
+        })
+        .collect();
+    Wlan::new(aps, clients, seed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +283,42 @@ mod tests {
             }
         }
         assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn city_grid_is_district_isolated() {
+        let w = city_grid(3, 2, 90, 5);
+        assert_eq!(w.aps.len(), 9 * 4);
+        assert_eq!(w.clients.len(), 90);
+        // No association: AP-only graph already shows the components.
+        let g = w.ap_only_interference_graph();
+        assert_eq!(g.connected_components().len(), 9);
+        // Even with every client associated to its nearest AP, clients
+        // never bridge districts.
+        let assoc: Vec<Option<ApId>> = w
+            .clients
+            .iter()
+            .map(|c| {
+                (0..w.aps.len())
+                    .min_by(|&a, &b| {
+                        w.aps[a]
+                            .pos
+                            .distance(&c.pos)
+                            .total_cmp(&w.aps[b].pos.distance(&c.pos))
+                    })
+                    .map(ApId)
+            })
+            .collect();
+        let full = w.interference_graph(&assoc);
+        assert_eq!(full.connected_components().len(), 9);
+    }
+
+    #[test]
+    fn city_grid_is_deterministic() {
+        let a = city_grid(2, 3, 40, 9);
+        let b = city_grid(2, 3, 40, 9);
+        assert_eq!(a.clients[17].pos.x, b.clients[17].pos.x);
+        assert_eq!(a.aps.len(), 4 * 9);
     }
 
     #[test]

@@ -6,8 +6,12 @@
 //! compete for the medium or if either competes with at least one of the
 //! other AP's clients."
 //!
-//! The graph is small (one vertex per AP), so a dense adjacency matrix is
-//! the simplest robust representation.
+//! The graph is stored as sorted adjacency lists. City-scale deployments
+//! (10k+ APs) are radically sparse — the carrier-sense radius bounds the
+//! degree by the local AP density, not by `n` — so a dense n×n matrix
+//! would waste O(n²) memory and make every `neighbors` walk O(n). Sorted
+//! lists keep `neighbors` ascending (a determinism invariant relied on by
+//! the O(Δ) delta engine) and make membership tests O(log Δ).
 
 /// Identifier of an access point (index into the deployment's AP list).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -16,65 +20,70 @@ pub struct ApId(pub usize);
 /// An undirected interference graph over `n` APs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InterferenceGraph {
-    n: usize,
-    adj: Vec<bool>, // row-major n×n
+    /// Sorted, deduplicated neighbour list per vertex.
+    adj: Vec<Vec<u32>>,
 }
 
 impl InterferenceGraph {
     /// Creates an edgeless graph over `n` APs.
     pub fn new(n: usize) -> InterferenceGraph {
         InterferenceGraph {
-            n,
-            adj: vec![false; n * n],
+            adj: vec![Vec::new(); n],
         }
     }
 
     /// Number of vertices (APs).
     pub fn len(&self) -> usize {
-        self.n
+        self.adj.len()
     }
 
     /// True if the graph has no vertices.
     pub fn is_empty(&self) -> bool {
-        self.n == 0
+        self.adj.is_empty()
     }
 
     /// Adds an undirected edge. Self-loops are ignored (an AP always
     /// contends with itself; the MAC model accounts for that separately).
     pub fn add_edge(&mut self, a: ApId, b: ApId) {
-        assert!(a.0 < self.n && b.0 < self.n, "AP id out of range");
+        let n = self.adj.len();
+        assert!(a.0 < n && b.0 < n, "AP id out of range");
         if a == b {
             return;
         }
-        self.adj[a.0 * self.n + b.0] = true;
-        self.adj[b.0 * self.n + a.0] = true;
+        Self::insert_sorted(&mut self.adj[a.0], b.0 as u32);
+        Self::insert_sorted(&mut self.adj[b.0], a.0 as u32);
+    }
+
+    fn insert_sorted(list: &mut Vec<u32>, v: u32) {
+        if let Err(pos) = list.binary_search(&v) {
+            list.insert(pos, v);
+        }
     }
 
     /// Whether two APs interfere.
     pub fn interferes(&self, a: ApId, b: ApId) -> bool {
-        a != b && self.adj[a.0 * self.n + b.0]
+        a != b && self.adj[a.0].binary_search(&(b.0 as u32)).is_ok()
     }
 
-    /// Iterator over the neighbours of `a`.
+    /// Iterator over the neighbours of `a`, in ascending id order.
     pub fn neighbors(&self, a: ApId) -> impl Iterator<Item = ApId> + '_ {
-        let n = self.n;
-        (0..n).filter(move |j| self.adj[a.0 * n + j]).map(ApId)
+        self.adj[a.0].iter().map(|&j| ApId(j as usize))
     }
 
     /// Degree of vertex `a`.
     pub fn degree(&self, a: ApId) -> usize {
-        self.neighbors(a).count()
+        self.adj[a.0].len()
     }
 
     /// Δ — the maximum node degree, which bounds the worst-case
     /// approximation ratio O(1/(Δ+1)) of Algorithm 2.
     pub fn max_degree(&self) -> usize {
-        (0..self.n).map(|i| self.degree(ApId(i))).max().unwrap_or(0)
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
     }
 
     /// Total number of undirected edges.
     pub fn edge_count(&self) -> usize {
-        self.adj.iter().filter(|b| **b).count() / 2
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
     }
 
     /// Builds a complete graph (every AP contends with every other) — the
@@ -82,9 +91,7 @@ impl InterferenceGraph {
     pub fn complete(n: usize) -> InterferenceGraph {
         let mut g = InterferenceGraph::new(n);
         for i in 0..n {
-            for j in i + 1..n {
-                g.add_edge(ApId(i), ApId(j));
-            }
+            g.adj[i] = (0..n as u32).filter(|&j| j as usize != i).collect();
         }
         g
     }
@@ -96,6 +103,38 @@ impl InterferenceGraph {
             g.add_edge(ApId(a), ApId(b));
         }
         g
+    }
+
+    /// Connected components of the graph, each a sorted vertex list,
+    /// ordered by their smallest vertex. The decomposition is a pure
+    /// function of the edge set — the sharded allocation path relies on
+    /// that for its deterministic per-shard fan-out and merge.
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        let n = self.adj.len();
+        let mut seen = vec![false; n];
+        let mut components = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            seen[start] = true;
+            queue.push_back(start);
+            let mut comp = Vec::new();
+            while let Some(v) = queue.pop_front() {
+                comp.push(v);
+                for &nb in &self.adj[v] {
+                    let nb = nb as usize;
+                    if !seen[nb] {
+                        seen[nb] = true;
+                        queue.push_back(nb);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            components.push(comp);
+        }
+        components
     }
 }
 
@@ -158,6 +197,13 @@ mod tests {
     }
 
     #[test]
+    fn neighbors_are_ascending_regardless_of_insertion_order() {
+        let g = InterferenceGraph::from_edges(5, &[(2, 4), (2, 0), (2, 3), (2, 1)]);
+        let n: Vec<usize> = g.neighbors(ApId(2)).map(|a| a.0).collect();
+        assert_eq!(n, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_edge_panics() {
         let mut g = InterferenceGraph::new(2);
@@ -168,5 +214,27 @@ mod tests {
     fn duplicate_edges_counted_once() {
         let g = InterferenceGraph::from_edges(3, &[(0, 1), (1, 0), (0, 1)]);
         assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn components_of_edgeless_graph_are_singletons() {
+        let g = InterferenceGraph::new(3);
+        assert_eq!(g.connected_components(), vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn components_are_sorted_and_ordered_by_min_vertex() {
+        // Two triangles and an isolated vertex, edges inserted shuffled.
+        let g = InterferenceGraph::from_edges(7, &[(5, 3), (3, 6), (6, 5), (1, 0), (0, 2)]);
+        assert_eq!(
+            g.connected_components(),
+            vec![vec![0, 1, 2], vec![3, 5, 6], vec![4]]
+        );
+    }
+
+    #[test]
+    fn complete_graph_is_one_component() {
+        let g = InterferenceGraph::complete(4);
+        assert_eq!(g.connected_components(), vec![vec![0, 1, 2, 3]]);
     }
 }

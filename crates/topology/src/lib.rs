@@ -12,6 +12,8 @@
 //! * [`channels`] — the 12-channel 5 GHz plan, legal 40 MHz bonds, and the
 //!   basic/composite colour-conflict rules of §4.2.
 //! * [`graph`] — the AP-level interference graph and its Δ (max degree).
+//! * [`index`] — a uniform-grid spatial index making radius-bounded
+//!   neighbour queries (and thus graph construction) O(local density).
 //! * [`wlan`] — a full deployment: APs, clients, radio parameters, link
 //!   budgets, interference-graph construction per the paper's footnote 5.
 //! * [`corpus`] — the synthetic 24-link testbed corpus and Fig. 5's four
@@ -24,11 +26,13 @@ pub mod channels;
 pub mod corpus;
 pub mod geom;
 pub mod graph;
+pub mod index;
 pub mod pathloss;
 pub mod wlan;
 
 pub use channels::{Channel20, ChannelAssignment, ChannelPlan};
 pub use geom::{Point, Trajectory};
 pub use graph::{ApId, InterferenceGraph};
+pub use index::SpatialGrid;
 pub use pathloss::LogDistance;
 pub use wlan::{Ap, Client, ClientId, RadioParams, Wlan};

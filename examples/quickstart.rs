@@ -13,14 +13,20 @@
 
 use acorn::core::{AcornConfig, AcornController};
 use acorn::obs::{RecordingSink, Sink};
+use acorn::phy::{GoodputTable, LinkQualityEstimator};
 use acorn::sim::runner::evaluate_analytic;
 use acorn::sim::Traffic;
 use acorn::topology::{ApId, ClientId};
+use std::sync::Arc;
 
 fn main() {
     // A 2×2 floor, 55 m AP spacing, 8 clients scattered with shadowing.
     let wlan = acorn::sim::enterprise_grid(2, 2, 55.0, 8, 42);
-    let ctl = AcornController::new(AcornConfig::default());
+    // The controller runs its SNR→PER→goodput evaluations through the
+    // memoized table (the city-scale fast path); drop `with_table` for
+    // the exact per-call union-bound evaluation.
+    let table = Arc::new(GoodputTable::new(LinkQualityEstimator::default()));
+    let ctl = AcornController::with_table(AcornConfig::default(), table);
 
     // Every decision below reports into this sink; swap in `NullSink`
     // (or call the un-suffixed methods) to run with observability off.
@@ -35,8 +41,11 @@ fn main() {
         }
     }
 
-    // Channel allocation per Algorithm 2 (with random restarts).
-    let result = ctl.reallocate_with_restarts_obs(&wlan, &mut state, 8, 7, &sink);
+    // Channel allocation per Algorithm 2 (with random restarts), sharded
+    // over the conflict graph's connected components — the snapshot below
+    // reports the shard count (`alloc.shards`) and the table's hit/miss
+    // counters (`phy.table.*`) alongside the association metrics.
+    let result = ctl.reallocate_sharded_with_restarts_obs(&wlan, &mut state, 8, 7, &sink);
     println!();
     println!(
         "allocation converged after {} iterations, {} switches",
@@ -73,7 +82,11 @@ fn main() {
     println!();
     println!("observability counters:");
     for c in &snap.counters {
-        println!("  {:<24} {}", c.name, c.value);
+        println!("  {:<28} {}", c.name, c.value);
+    }
+    println!("observability gauges:");
+    for g in &snap.gauges {
+        println!("  {:<28} {:.3}", g.name, g.value);
     }
     let path = std::path::Path::new("results").join("quickstart_observability.json");
     match snap.save(&path) {

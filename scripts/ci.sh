@@ -71,6 +71,15 @@ echo "== observability overhead gate (NullSink) =="
 cargo test -q --offline --release -p acorn-bench --test obs_overhead
 
 echo
+echo "== goodput-table accuracy gate =="
+# The memoized SNR->PER->goodput table must stay within its documented
+# error budget (GoodputTable::GOODPUT_TOLERANCE_BPS) over the full
+# MCS x width x SNR sweep, and must not change any golden-topology
+# coloring. The companion spatial_graph properties pin the grid-built
+# interference graph to the brute-force oracle, edge for edge.
+cargo test -q --offline --release --test table_accuracy --test spatial_graph
+
+echo
 echo "== determinism across thread counts =="
 # determinism.rs sweeps ACORN_THREADS internally (fault-free AND faulty
 # composites); the outer loop additionally pins the *ambient* thread
@@ -80,6 +89,13 @@ for t in 1 2 8; do
     ACORN_THREADS=$t cargo test -q --offline --release \
         --test determinism --test event_runtime --test resilience
 done
+
+echo
+echo "== city-scale determinism (10k APs, sharded + memoized) =="
+# The full 25x25-district composite: sharded re-allocation and the
+# memoized table swept at ACORN_THREADS = 1/2/8 inside the test.
+ACORN_CITY_FULL=1 cargo test -q --offline --release \
+    --test determinism sharded_and_city
 
 echo
 echo "ci: all gates passed"

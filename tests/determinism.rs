@@ -4,22 +4,32 @@
 //! on several seeded topologies, and the results — including the f64 bit
 //! patterns — must be identical.
 //!
-//! Kept as a single `#[test]` because the env var is process-global and
-//! the three thread counts must run sequentially.
+//! The env var is process-global and the three thread counts must run
+//! sequentially, so the tests serialize on a shared lock.
 
 use acorn_core::allocation::{
-    allocate_with_restarts, allocate_with_restarts_obs, AllocationConfig,
+    allocate_sharded_with_restarts_obs, allocate_with_restarts, allocate_with_restarts_obs,
+    random_initial, AllocationConfig,
 };
-use acorn_core::model::{ClientSnr, NetworkModel};
+use acorn_core::model::{ClientSnr, NetworkModel, ThroughputModel};
 use acorn_core::{AcornConfig, AcornController, NetworkState};
-use acorn_events::{CompositeReport, CompositeScenario, DriftSpec, FaultPlan, MobilitySpec};
+use acorn_events::{
+    CityReport, CityScenario, CompositeReport, CompositeScenario, DriftSpec, FaultPlan,
+    MobilitySpec,
+};
 use acorn_obs::RecordingSink;
+use acorn_phy::{GoodputTable, LinkQualityEstimator};
 use acorn_sim::churn::{run_churn, ChurnConfig, ChurnReport};
-use acorn_sim::scenario::enterprise_grid;
-use acorn_topology::{ChannelPlan, ClientId, InterferenceGraph, Point, Trajectory, Wlan};
-use acorn_traces::{Session, SessionGenerator};
+use acorn_sim::scenario::{city_grid, enterprise_grid};
+use acorn_topology::{ApId, ChannelPlan, ClientId, InterferenceGraph, Point, Trajectory, Wlan};
+use acorn_traces::{AssociationDurations, Session, SessionGenerator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex};
+
+/// Both tests sweep the process-global `ACORN_THREADS` variable, so they
+/// must never overlap within the test binary's parallel harness.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 /// Seeded deployments of varying size, each with its own session trace.
 fn topology(i: usize) -> (Wlan, AcornController, Vec<Session>) {
@@ -165,8 +175,178 @@ fn run_faulty_composite(
     .run(ctl)
 }
 
+/// A disconnected abstract model: disjoint complete blocks, so the
+/// sharded allocator actually fans out over several components.
+fn multi_component_model(i: usize) -> NetworkModel {
+    let mut rng = StdRng::seed_from_u64(700 + i as u64);
+    let blocks: &[usize] = [&[3usize, 4, 2][..], &[1, 5, 3, 2][..], &[2, 2, 2, 2, 1][..]][i];
+    let n: usize = blocks.iter().sum();
+    let mut g = InterferenceGraph::new(n);
+    let mut base = 0;
+    for &b in blocks {
+        for a in base..base + b {
+            for c in (a + 1)..base + b {
+                g.add_edge(ApId(a), ApId(c));
+            }
+        }
+        base += b;
+    }
+    let cells: Vec<Vec<ClientSnr>> = (0..n)
+        .map(|_| {
+            (0..rng.gen_range(1..4usize))
+                .map(|c| ClientSnr {
+                    client: c,
+                    snr20_db: rng.gen_range(1.5..32.0),
+                })
+                .collect()
+        })
+        .collect();
+    NetworkModel::new(g, cells)
+}
+
+/// A memoized goodput table small enough to rebuild per run in a debug
+/// test (its hit/miss counters are process-global and drained at epoch
+/// flushes, so runs being compared must never share one table).
+fn small_table() -> Arc<GoodputTable> {
+    Arc::new(GoodputTable::build(
+        LinkQualityEstimator::default(),
+        -12.0,
+        48.0,
+        0.25,
+    ))
+}
+
+/// Thread-sweep goldens for the city-scale fast paths: the sharded
+/// allocator on disconnected models (results and RecordingSink snapshot
+/// bytes) and the city composite (sharded re-allocation + memoized
+/// table + drift) must be bit-identical at `ACORN_THREADS` = 1, 2 and 8.
+///
+/// The city deployment defaults to 2×2 districts (16 APs) so the sweep
+/// stays debug-test sized; set `ACORN_CITY_FULL=1` to run the 25×25
+/// district (10 000 AP) composite instead — `scripts/ci.sh` does so in
+/// release as part of the thread-count gate.
+#[test]
+fn sharded_and_city_runs_are_identical_across_thread_counts() {
+    let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let thread_counts = ["1", "2", "8"];
+    let alloc_cfg = AllocationConfig::default();
+    let plan = ChannelPlan::restricted(6);
+
+    for topo in 0..3 {
+        let model = multi_component_model(topo);
+        let initial = random_initial(&plan, model.n_aps(), 900 + topo as u64);
+        let mut runs: Vec<(Vec<_>, u64)> = Vec::new();
+        let mut snaps: Vec<String> = Vec::new();
+        for threads in thread_counts {
+            std::env::set_var("ACORN_THREADS", threads);
+            let sink = RecordingSink::new();
+            let r = allocate_sharded_with_restarts_obs(
+                &model,
+                &plan,
+                initial.clone(),
+                &alloc_cfg,
+                6,
+                800 + topo as u64,
+                &sink,
+            );
+            runs.push((r.assignments, r.total_bps.to_bits()));
+            snaps.push(sink.snapshot().to_json());
+        }
+        std::env::remove_var("ACORN_THREADS");
+        for (t, threads) in thread_counts.iter().enumerate().skip(1) {
+            assert_eq!(
+                runs[0], runs[t],
+                "model {topo}: sharded allocation differs at {threads} threads"
+            );
+            assert_eq!(
+                snaps[0], snaps[t],
+                "model {topo}: sharded snapshot bytes differ at {threads} threads"
+            );
+        }
+        assert!(
+            snaps[0].contains("alloc.shards"),
+            "sharded path must report its shard count"
+        );
+    }
+
+    let full = std::env::var("ACORN_CITY_FULL").is_ok();
+    let (districts, aps_side) = if full { (25, 4) } else { (2, 2) };
+    let n_aps = districts * districts * aps_side * aps_side;
+    let mut rng = StdRng::seed_from_u64(4242);
+    let sessions = SessionGenerator {
+        arrival_rate_per_s: n_aps as f64 / 300.0,
+        durations: AssociationDurations::default(),
+    }
+    .generate(&mut rng, 3600.0);
+    let wlan = city_grid(districts, aps_side, sessions.len().max(1), 4242);
+    let mut city_runs: Vec<CityReport> = Vec::new();
+    for threads in thread_counts {
+        std::env::set_var("ACORN_THREADS", threads);
+        let ctl = AcornController::with_table(AcornConfig::default(), small_table());
+        city_runs.push(
+            CityScenario {
+                wlan: wlan.clone(),
+                sessions: sessions.clone(),
+                horizon_s: 3600.0,
+                reallocation_period_s: 1200.0,
+                restarts: 2,
+                candidate_radius_m: 120.0,
+                adapt_widths: true,
+                drift: Some(DriftSpec {
+                    period_s: 600.0,
+                    phase_step_rad: 0.02,
+                }),
+                seed: 4242,
+                record_log: true,
+            }
+            .run(&ctl),
+        );
+    }
+    std::env::remove_var("ACORN_THREADS");
+    for (t, threads) in thread_counts.iter().enumerate().skip(1) {
+        assert_eq!(
+            city_runs[0].stats, city_runs[t].stats,
+            "city ({n_aps} APs): run stats differ at {threads} threads"
+        );
+        assert_eq!(
+            city_runs[0].log, city_runs[t].log,
+            "city ({n_aps} APs): event log differs at {threads} threads"
+        );
+        assert_eq!(
+            city_runs[0].telemetry, city_runs[t].telemetry,
+            "city ({n_aps} APs): telemetry differs at {threads} threads"
+        );
+        assert_eq!(
+            city_runs[0].telemetry.to_json(),
+            city_runs[t].telemetry.to_json(),
+            "city ({n_aps} APs): telemetry JSON differs at {threads} threads"
+        );
+        assert_eq!(
+            city_runs[0].realloc, city_runs[t].realloc,
+            "city ({n_aps} APs): realloc records differ at {threads} threads"
+        );
+        assert_eq!(
+            city_runs[0].final_state, city_runs[t].final_state,
+            "city ({n_aps} APs): final state differs at {threads} threads"
+        );
+    }
+    let shards = city_runs[0]
+        .telemetry
+        .counters
+        .iter()
+        .find(|c| c.name == "alloc.shards")
+        .map(|c| c.value)
+        .unwrap_or(0);
+    assert!(
+        shards as usize >= districts * districts,
+        "city run reported {shards} shards for {} districts",
+        districts * districts
+    );
+}
+
 #[test]
 fn results_are_identical_across_thread_counts() {
+    let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let thread_counts = ["1", "2", "8"];
     let alloc_cfg = AllocationConfig::default();
     let plan = ChannelPlan::restricted(6);

@@ -1,0 +1,107 @@
+//! Exactness of the spatial-index fast paths.
+//!
+//! The grid-backed [`Wlan::interference_graph`] is advertised as *exactly*
+//! the footnote-5 graph — not an approximation — because the grid only
+//! prunes candidates and the final test is the same crisp
+//! `distance <= carrier_sense_range_m` predicate the O(n²) pair loop
+//! applies (shadowing never enters the relation). These properties pin
+//! that claim on seeded random topologies, including APs placed exactly
+//! on grid-cell boundaries and radii crossing cell sizes.
+
+use acorn::topology::{ApId, Point, SpatialGrid, Wlan};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random positions in `[0, extent)²`; with probability ~1/2 each
+/// coordinate is snapped onto a 40 m lattice, so many points land exactly
+/// on cell boundaries of typical grid sizes (40/80/120 m cells).
+fn random_points(rng: &mut StdRng, n: usize, extent: f64) -> Vec<Point> {
+    (0..n)
+        .map(|_| {
+            let coord = |rng: &mut StdRng| {
+                let x: f64 = rng.gen_range(0.0..extent);
+                if rng.gen::<bool>() {
+                    (x / 40.0).round() * 40.0
+                } else {
+                    x
+                }
+            };
+            let x = coord(rng);
+            let y = coord(rng);
+            Point::new(x, y)
+        })
+        .collect()
+}
+
+/// A seeded random deployment with a random partial association.
+fn random_topology(seed: u64, n_aps: usize, n_clients: usize, r: f64) -> (Wlan, Vec<Option<ApId>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let aps = random_points(&mut rng, n_aps, 600.0);
+    let clients = random_points(&mut rng, n_clients, 600.0);
+    let assoc = (0..n_clients)
+        .map(|_| {
+            if rng.gen::<bool>() {
+                Some(ApId(rng.gen_range(0..n_aps)))
+            } else {
+                None
+            }
+        })
+        .collect();
+    let mut w = Wlan::new(aps, clients, seed ^ 0x5eed);
+    w.radio.carrier_sense_range_m = r;
+    (w, assoc)
+}
+
+proptest! {
+    /// The grid-backed build equals the brute-force oracle edge for edge
+    /// on random topologies: random AP/client positions (about half the
+    /// coordinates snapped onto 40 m lattice lines, i.e. exactly on cell
+    /// boundaries), random carrier-sense radii and random partial
+    /// associations.
+    #[test]
+    fn grid_graph_equals_brute_force(
+        seed in 0u64..1_000_000,
+        n_aps in 1usize..40,
+        n_clients in 0usize..60,
+        r in 20.0f64..200.0,
+    ) {
+        let (w, assoc) = random_topology(seed, n_aps, n_clients, r);
+        prop_assert_eq!(
+            w.interference_graph(&assoc),
+            w.interference_graph_brute(&assoc)
+        );
+    }
+
+    /// The index's range query is exact for any positive cell size, not
+    /// just the canonical cell == radius choice: results match the naive
+    /// scan with the same crisp `<=` predicate, in ascending order.
+    #[test]
+    fn range_query_is_exact_for_any_cell_size(
+        seed in 0u64..1_000_000,
+        n in 0usize..80,
+        r in 0.0f64..250.0,
+        cell in 0.5f64..300.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points = random_points(&mut rng, n, 400.0);
+        let query = random_points(&mut rng, 1, 400.0)[0];
+        let grid = SpatialGrid::build(&points, cell);
+        let naive: Vec<usize> = (0..points.len())
+            .filter(|&i| points[i].distance(&query) <= r)
+            .collect();
+        prop_assert_eq!(grid.within(&query, r), naive);
+    }
+
+    /// Radius exactly equal to the inter-point distance keeps the pair —
+    /// the crisp boundary case the brute loop also includes.
+    #[test]
+    fn exact_radius_boundary_is_inclusive(
+        d in 1.0f64..200.0,
+        cell in 0.5f64..300.0,
+    ) {
+        let points = vec![Point::new(0.0, 0.0), Point::new(d, 0.0)];
+        let grid = SpatialGrid::build(&points, cell);
+        prop_assert_eq!(grid.within(&Point::new(0.0, 0.0), d), vec![0, 1]);
+    }
+}
