@@ -61,7 +61,14 @@ fn ziggurat_tables() -> &'static ZigguratTables {
 /// `u64` provides the layer index (8 bits) and a 53-bit uniform in
 /// `(-1, 1)`; ~98.8% of draws accept immediately with one table compare.
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    let t = ziggurat_tables();
+    standard_normal_with(ziggurat_tables(), rng)
+}
+
+/// [`standard_normal`] against an already-fetched table reference, so bulk
+/// callers ([`add_awgn`]) pay the `OnceLock` acquire once per buffer
+/// instead of once per draw.
+#[inline]
+fn standard_normal_with<R: Rng + ?Sized>(t: &ZigguratTables, rng: &mut R) -> f64 {
     loop {
         let bits = rng.next_u64();
         let i = (bits & 0xFF) as usize;
@@ -104,9 +111,10 @@ pub fn add_awgn<R: Rng + ?Sized>(samples: &mut [Cplx], noise_power: f64, rng: &m
         return;
     }
     let sigma = (noise_power / 2.0).sqrt();
+    let t = ziggurat_tables();
     for s in samples.iter_mut() {
-        s.re += standard_normal(rng) * sigma;
-        s.im += standard_normal(rng) * sigma;
+        s.re += standard_normal_with(t, rng) * sigma;
+        s.im += standard_normal_with(t, rng) * sigma;
     }
 }
 

@@ -36,7 +36,7 @@
 use crate::channel::{add_awgn, convolve_acc, frequency_response_into, ChannelModel};
 use crate::convcode::Codec;
 use crate::cplx::{mean_power, Cplx};
-use crate::fft::{plan, FftPlan};
+use crate::fft::{plan, FftPlan, FFT_BATCH};
 use crate::modem::{demodulate_into, modulate_into};
 use crate::preamble::{build_preamble_into, detect_preamble, preamble_len};
 use crate::prefix::{cp_len_for, extend_with_cp};
@@ -59,10 +59,12 @@ const CONSTELLATION_PER_PACKET: usize = 512;
 const CONSTELLATION_PACKETS: usize = 64;
 /// Hard upper bound on the constellation sample a report retains.
 const CONSTELLATION_CAP: usize = 4096;
-/// Packets per parallel work item. Chunking is by fixed packet index
-/// ranges, so the partition — and hence the result — is independent of the
-/// worker count.
-const PACKET_CHUNK: usize = 8;
+/// Packets per parallel work item *and* per batched
+/// [`FrameWorkspace::run_packets`] call on the trial paths. Chunking is by
+/// fixed packet index ranges, so the partition — and hence the result — is
+/// independent of the worker count. Public so benchmarks can record the
+/// effective batch size next to their numbers.
+pub const PACKET_CHUNK: usize = 8;
 
 /// How the receiver finds the frame start.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -397,8 +399,14 @@ pub struct FrameWorkspace {
     rx_symbols: Vec<Cplx>,
     rx_bits: Vec<bool>,
     rx_info: Vec<bool>,
-    pairs: Vec<(Option<bool>, Option<bool>)>,
-    survivor: Vec<u8>,
+    /// Depunctured received-symbol class bytes, one per trellis step.
+    classes: Vec<u8>,
+    /// Packed Viterbi survivor words, one `u64` per trellis step.
+    survivor: Vec<u64>,
+    /// Planar lane buffers for the batched FFT kernels (`FFT_BATCH`
+    /// transforms in bin-major layout).
+    batch_re: Vec<f64>,
+    batch_im: Vec<f64>,
 }
 
 impl FrameWorkspace {
@@ -455,6 +463,94 @@ impl FrameWorkspace {
         self.ensure(config);
         let mut rng = StdRng::seed_from_u64(packet_seed);
         Ok(run_packet_inner(config, self, &mut rng, sink))
+    }
+
+    /// Runs one packet per seed through the pipeline, appending a
+    /// [`PacketOutcome`] per packet to `outcomes` (cleared first). This is
+    /// the batched engine entry: config validation, the [`ensure`]d
+    /// precomputations (FFT plan, training grid, preamble) and the obs
+    /// setup are hoisted out of the per-packet loop, so per-packet fixed
+    /// costs amortize over the batch. Packet `k` runs on
+    /// `StdRng::seed_from_u64(seeds[k])` — exactly what
+    /// [`run_packet`](FrameWorkspace::run_packet) would do — so the
+    /// outcomes are bit-identical to `seeds.iter().map(|&s|
+    /// ws.run_packet(config, s))`, and zero allocations occur once the
+    /// workspace is warm and `outcomes` has capacity.
+    pub fn run_packets(
+        &mut self,
+        config: &FrameConfig,
+        seeds: &[u64],
+        outcomes: &mut Vec<PacketOutcome>,
+    ) -> Result<(), FrameError> {
+        self.run_packets_obs(config, seeds, outcomes, &NullSink)
+    }
+
+    /// [`run_packets`](FrameWorkspace::run_packets) with batch-level obs
+    /// accounting. The inner loop runs span-free ([`NullSink`]); after the
+    /// batch, each stage counter is bumped once by its packet count —
+    /// identical totals to running
+    /// [`run_packet_obs`](FrameWorkspace::run_packet_obs) per packet
+    /// (sync-failed packets never reach the receive/decode stages, and a
+    /// counter that would stay zero is never touched, keeping recorded
+    /// snapshots byte-identical), at one sink call per stage instead of
+    /// one per packet per stage.
+    pub fn run_packets_obs<S: Sink>(
+        &mut self,
+        config: &FrameConfig,
+        seeds: &[u64],
+        outcomes: &mut Vec<PacketOutcome>,
+        sink: &S,
+    ) -> Result<(), FrameError> {
+        self.run_batch(config, seeds, outcomes, 0, None)?;
+        if sink.enabled() {
+            let n = seeds.len() as u64;
+            let failures = outcomes.iter().filter(|o| o.sync_failed).count() as u64;
+            if n > 0 {
+                sink.add(names::BASEBAND_PACKETS, n);
+                sink.add(names::BASEBAND_STAGE_ENCODE, n);
+                sink.add(names::BASEBAND_STAGE_STREAMS, n);
+                sink.add(names::BASEBAND_STAGE_CHANNEL, n);
+                sink.add(names::BASEBAND_STAGE_SYNC, n);
+            }
+            if n > failures {
+                sink.add(names::BASEBAND_STAGE_RECEIVE, n - failures);
+                sink.add(names::BASEBAND_STAGE_DECODE, n - failures);
+            }
+            if failures > 0 {
+                sink.add(names::BASEBAND_SYNC_FAILURES, failures);
+            }
+        }
+        Ok(())
+    }
+
+    /// The shared batched loop: validates and [`ensure`]s once, then runs
+    /// every seed back-to-back. The first `capture_first` packets append
+    /// their constellation samples to `constellation` (the trial paths
+    /// capture the globally-first [`CONSTELLATION_PACKETS`] packets; the
+    /// plain batched entry captures none).
+    fn run_batch(
+        &mut self,
+        config: &FrameConfig,
+        seeds: &[u64],
+        outcomes: &mut Vec<PacketOutcome>,
+        capture_first: usize,
+        mut constellation: Option<&mut Vec<Cplx>>,
+    ) -> Result<(), FrameError> {
+        config.validate()?;
+        self.ensure(config);
+        outcomes.clear();
+        outcomes.reserve(seeds.len());
+        for (k, &packet_seed) in seeds.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(packet_seed);
+            let o = run_packet_inner(config, self, &mut rng, &NullSink);
+            if k < capture_first {
+                if let Some(c) = constellation.as_deref_mut() {
+                    c.extend_from_slice(self.constellation_sample());
+                }
+            }
+            outcomes.push(o);
+        }
+        Ok(())
     }
 
     /// The equalized data symbols of the last packet, capped at the
@@ -610,7 +706,7 @@ fn run_packet_inner<S: Sink>(
             c.decode_into(
                 &ws.rx_bits[..ws.coded.len()],
                 info_len,
-                &mut ws.pairs,
+                &mut ws.classes,
                 &mut ws.survivor,
                 &mut ws.rx_info,
             );
@@ -652,13 +748,44 @@ fn build_siso_stream(config: &FrameConfig, amplitude: f64, cp: usize, ws: &mut F
     stream.clear();
     let n_data_ofdm = ws.tx_symbols.len().div_ceil(bins.len());
     stream.reserve((n_train + n_data_ofdm) * (n + cp));
-    for _ in 0..n_train {
+    // Every training symbol carries the same grid: transform once and
+    // replay the time-domain block.
+    if n_train > 0 {
         grid.clear();
         grid.extend(train.iter().map(|t| t.scale(inv_n)));
         fft.inverse_raw(grid);
-        extend_with_cp(stream, grid, cp);
+        for _ in 0..n_train {
+            extend_with_cp(stream, grid, cp);
+        }
     }
-    for chunk in ws.tx_symbols.chunks(bins.len()) {
+    // Data symbols go through the batched kernel FFT_BATCH at a time;
+    // each lane is bit-identical to the single-transform path, so the
+    // remainder symbols fall through to it unchanged.
+    let mut chunks = ws.tx_symbols.chunks(bins.len());
+    let (re, im) = (&mut ws.batch_re, &mut ws.batch_im);
+    while chunks.len() >= FFT_BATCH {
+        re.clear();
+        re.resize(n * FFT_BATCH, 0.0);
+        im.clear();
+        im.resize(n * FFT_BATCH, 0.0);
+        for l in 0..FFT_BATCH {
+            let chunk = chunks.next().expect("length checked above");
+            for (slot, sym) in chunk.iter().enumerate() {
+                let s = sym.scale(amp);
+                re[bins[slot] * FFT_BATCH + l] = s.re;
+                im[bins[slot] * FFT_BATCH + l] = s.im;
+            }
+        }
+        fft.inverse_raw_batch(re, im);
+        for l in 0..FFT_BATCH {
+            // De-transpose the lane into the contiguous grid, then let
+            // `extend_with_cp` memcpy CP + body as usual.
+            grid.clear();
+            grid.extend((0..n).map(|i| Cplx::new(re[i * FFT_BATCH + l], im[i * FFT_BATCH + l])));
+            extend_with_cp(stream, grid, cp);
+        }
+    }
+    for chunk in chunks {
         grid.clear();
         grid.resize(n, Cplx::ZERO);
         for (slot, sym) in chunk.iter().enumerate() {
@@ -797,7 +924,41 @@ fn receive_siso(
     let n_symbols = ws.tx_symbols.len();
     out.clear();
     out.reserve(n_symbols);
+    let n_data_ofdm = n_symbols.div_ceil(bins.len());
+    let end_idx = n_train + n_data_ofdm;
     let mut ofdm_idx = n_train;
+    // Full groups of FFT_BATCH data symbols run through the batched
+    // kernel; each lane is bit-identical to `fft_block_into`, and the
+    // equalizing multiply is the same either way, so the symbol stream
+    // matches the sequential path exactly.
+    let (re, im) = (&mut ws.batch_re, &mut ws.batch_im);
+    while end_idx - ofdm_idx >= FFT_BATCH {
+        re.clear();
+        re.resize(n * FFT_BATCH, 0.0);
+        im.clear();
+        im.resize(n * FFT_BATCH, 0.0);
+        for l in 0..FFT_BATCH {
+            let start = data_start + (ofdm_idx + l) * block;
+            // A block running off the end stays all-zero, matching
+            // `fft_block_into` on a bad sync offset.
+            if let Some(blk) = rx.get(start..start + cp + n) {
+                for (i, z) in blk[cp..].iter().enumerate() {
+                    re[i * FFT_BATCH + l] = z.re;
+                    im[i * FFT_BATCH + l] = z.im;
+                }
+            }
+        }
+        fft.forward_batch(re, im);
+        for l in 0..FFT_BATCH {
+            for &b in bins {
+                if out.len() >= n_symbols {
+                    break;
+                }
+                out.push(Cplx::new(re[b * FFT_BATCH + l], im[b * FFT_BATCH + l]) * inv_h[b]);
+            }
+        }
+        ofdm_idx += FFT_BATCH;
+    }
     while out.len() < n_symbols {
         fft_block_into(rx, data_start + ofdm_idx * block, cp, &fft, fb);
         for &b in bins {
@@ -981,8 +1142,21 @@ fn subsample_constellation(v: &mut Vec<Cplx>) {
     v.truncate(CONSTELLATION_CAP);
 }
 
-/// One chunk of packets `[lo, hi)` on the caller's workspace; returns the
-/// per-packet outcomes plus this chunk's constellation contribution.
+/// Derives the per-packet seeds for global indices `[lo, hi)` into a
+/// stack buffer (`hi - lo ≤ PACKET_CHUNK` on every trial path).
+fn chunk_seeds(seed: u64, lo: usize, hi: usize) -> [u64; PACKET_CHUNK] {
+    debug_assert!(hi - lo <= PACKET_CHUNK);
+    let mut seeds = [0u64; PACKET_CHUNK];
+    for i in lo..hi {
+        seeds[i - lo] = mix_seed(seed, i as u64);
+    }
+    seeds
+}
+
+/// One chunk of packets `[lo, hi)` on the caller's workspace via the
+/// batched entry; returns the per-packet outcomes plus this chunk's
+/// constellation contribution (packets with global index below
+/// [`CONSTELLATION_PACKETS`] — always a prefix of the chunk).
 fn run_chunk(
     config: &FrameConfig,
     seed: u64,
@@ -992,15 +1166,16 @@ fn run_chunk(
 ) -> (Vec<PacketOutcome>, Vec<Cplx>) {
     let mut outcomes = Vec::with_capacity(hi - lo);
     let mut constellation = Vec::new();
-    for i in lo..hi {
-        let o = ws
-            .run_packet(config, mix_seed(seed, i as u64))
-            .expect("config validated before fan-out");
-        if i < CONSTELLATION_PACKETS {
-            constellation.extend_from_slice(ws.constellation_sample());
-        }
-        outcomes.push(o);
-    }
+    let seeds = chunk_seeds(seed, lo, hi);
+    let capture = CONSTELLATION_PACKETS.saturating_sub(lo).min(hi - lo);
+    ws.run_batch(
+        config,
+        &seeds[..hi - lo],
+        &mut outcomes,
+        capture,
+        Some(&mut constellation),
+    )
+    .expect("config validated before fan-out");
     (outcomes, constellation)
 }
 
@@ -1023,14 +1198,23 @@ pub fn run_trial_with(
 ) -> Result<FrameReport, FrameError> {
     config.validate()?;
     let mut fold = ReportFold::new(config);
-    for i in 0..n_packets {
-        let o = ws.run_packet(config, mix_seed(seed, i as u64))?;
-        if i < CONSTELLATION_PACKETS {
-            fold.report
-                .constellation
-                .extend_from_slice(ws.constellation_sample());
+    let mut outcomes = Vec::with_capacity(PACKET_CHUNK);
+    let mut lo = 0usize;
+    while lo < n_packets {
+        let hi = (lo + PACKET_CHUNK).min(n_packets);
+        let seeds = chunk_seeds(seed, lo, hi);
+        let capture = CONSTELLATION_PACKETS.saturating_sub(lo).min(hi - lo);
+        ws.run_batch(
+            config,
+            &seeds[..hi - lo],
+            &mut outcomes,
+            capture,
+            Some(&mut fold.report.constellation),
+        )?;
+        for o in &outcomes {
+            fold.push(o);
         }
-        fold.push(&o);
+        lo = hi;
     }
     Ok(fold.finish())
 }

@@ -32,8 +32,21 @@ fn bench_viterbi(c: &mut Criterion) {
     let codec = Codec::new(CodeRate::R34);
     let info: Vec<bool> = (0..1200).map(|i| i % 3 == 0).collect();
     let coded = codec.encode(&info);
+    // The measured path goes through the `_into` twin with reused scratch,
+    // exactly like the frame pipeline's decode stage — steady state is
+    // allocation-free.
+    let (mut classes, mut survivor, mut out) = (Vec::new(), Vec::new(), Vec::new());
     c.bench_function("baseband/viterbi_1200b_r34", |b| {
-        b.iter(|| codec.decode(black_box(&coded), info.len()))
+        b.iter(|| {
+            codec.decode_into(
+                black_box(&coded),
+                info.len(),
+                &mut classes,
+                &mut survivor,
+                &mut out,
+            );
+            out.len()
+        })
     });
 }
 

@@ -16,6 +16,7 @@ use acorn_baseband::frame::{
     mix_seed, run_trial_with, try_run_trial, Equalization, FrameConfig, FrameWorkspace, SyncMode,
 };
 use acorn_baseband::ChannelModel;
+use acorn_baseband::PACKET_CHUNK;
 use acorn_bench::alloc_counter::allocations_during;
 use acorn_bench::baseline_frame::run_trial_baseline;
 use acorn_bench::header;
@@ -167,6 +168,11 @@ struct BasebandConfigBench {
     baseline_allocs_per_packet: f64,
     /// try_run_trial reports are bit-identical at 1, 2 and 8 threads.
     parallel_bit_identical: bool,
+    /// Per-worker packet batch handed to `run_packets` (PACKET_CHUNK).
+    batch_packets: usize,
+    /// The `-C target-cpu` the engine binary was compiled with
+    /// (`.cargo/config.toml`); lane-kernel throughput depends on it.
+    target_cpu: String,
 }
 
 #[derive(Serialize)]
@@ -239,7 +245,25 @@ fn bench_baseband_config(label: &str, cfg: &FrameConfig, packets: usize) -> Base
         engine_allocs_per_packet: engine_allocs as f64 / packets as f64,
         baseline_allocs_per_packet: baseline_allocs as f64 / 2.0,
         parallel_bit_identical: identical,
+        batch_packets: PACKET_CHUNK,
+        target_cpu: effective_target_cpu(),
     }
+}
+
+/// The widest SIMD tier compiled into this binary — the observable effect
+/// of `.cargo/config.toml`'s `-C target-cpu=native` on the machine the
+/// snapshot ran on, recorded so rows from different hosts are comparable.
+fn effective_target_cpu() -> String {
+    let tier = if cfg!(target_feature = "avx512bw") {
+        "avx512bw"
+    } else if cfg!(target_feature = "avx2") {
+        "avx2"
+    } else if cfg!(target_feature = "sse2") {
+        "sse2"
+    } else {
+        "baseline"
+    };
+    format!("native ({tier})")
 }
 
 fn bench_baseband() -> BenchBaseband {

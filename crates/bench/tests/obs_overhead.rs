@@ -57,6 +57,45 @@ fn plain_and_null_sink_paths_are_bit_identical() {
 }
 
 #[test]
+fn batched_null_sink_path_is_allocation_free() {
+    let cfg = warm_config();
+    let mut ws = FrameWorkspace::new();
+    let seeds: Vec<u64> = (0..16u64).map(|i| mix_seed(7, i)).collect();
+    let mut outcomes = Vec::new();
+    // Warm-up grows the outcome vector and workspace buffers.
+    ws.run_packets_obs(&cfg, &seeds, &mut outcomes, &NullSink)
+        .unwrap();
+    let (allocs, _) = allocations_during(|| {
+        ws.run_packets_obs(&cfg, &seeds, &mut outcomes, &NullSink)
+            .unwrap();
+    });
+    assert_eq!(
+        allocs, 0,
+        "batched instrumented path must stay zero-alloc with NullSink"
+    );
+}
+
+#[test]
+fn batched_and_per_packet_paths_are_bit_identical() {
+    let cfg = warm_config();
+    let mut ws_seq = FrameWorkspace::new();
+    let mut ws_batch = FrameWorkspace::new();
+    let seeds: Vec<u64> = (0..12u64).map(|i| mix_seed(11, i)).collect();
+    let mut outcomes = Vec::new();
+    ws_batch.run_packets(&cfg, &seeds, &mut outcomes).unwrap();
+    assert_eq!(outcomes.len(), seeds.len());
+    for (&seed, b) in seeds.iter().zip(outcomes.iter()) {
+        let a = ws_seq.run_packet(&cfg, seed).unwrap();
+        assert_eq!(a.bits, b.bits);
+        assert_eq!(a.bit_errors, b.bit_errors);
+        assert_eq!(a.sync_failed, b.sync_failed);
+        assert_eq!(a.tx_power.to_bits(), b.tx_power.to_bits());
+        assert_eq!(a.evm_sum.to_bits(), b.evm_sum.to_bits());
+        assert_eq!(a.evm_n, b.evm_n);
+    }
+}
+
+#[test]
 fn null_sink_spans_report_no_wall_time() {
     // The NullSink must never ask for wall-clock time: that is what makes
     // the disabled spans free and the deterministic contract trivial.

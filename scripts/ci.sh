@@ -84,11 +84,16 @@ echo "== determinism across thread counts =="
 # determinism.rs sweeps ACORN_THREADS internally (fault-free AND faulty
 # composites); the outer loop additionally pins the *ambient* thread
 # count for the golden-fingerprint and resilience suites.
+# baseband_determinism.rs sweeps ACORN_THREADS itself and asserts the
+# batched packet engine (run_packets) is outcome-for-outcome bit-identical
+# to the per-packet path at 1/2/8 threads; the obs_overhead gate above
+# holds the companion zero-allocation claim for both paths.
 for t in 1 2 8; do
     echo "-- ACORN_THREADS=$t --"
     ACORN_THREADS=$t cargo test -q --offline --release \
         --test determinism --test event_runtime --test resilience
 done
+cargo test -q --offline --release --test baseband_determinism
 
 echo
 echo "== city-scale determinism (10k APs, sharded + memoized) =="

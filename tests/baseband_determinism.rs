@@ -14,6 +14,7 @@ use acorn::baseband::frame::{
     mix_seed, run_trial_with, run_trials, try_run_trial, Equalization, FrameConfig, FrameReport,
     FrameWorkspace, SyncMode,
 };
+use acorn::baseband::PacketOutcome;
 use acorn::phy::ChannelWidth;
 
 /// A spread of operating points that together exercise every branch the
@@ -89,6 +90,36 @@ fn baseband_results_are_identical_across_thread_counts() {
                 "parallel trial differs from sequential at {threads} threads \
                  for {c:?}: {got:?} vs {want:?}"
             );
+        }
+
+        // The batched packet engine must match the per-packet entry,
+        // outcome for outcome, at every thread count: `run_packets` is
+        // what every worker's chunk loop executes, so this is the
+        // bit-identity contract the engine speedup rests on.
+        for c in &configs {
+            let seeds: Vec<u64> = (0..PACKETS as u64).map(|i| mix_seed(SEED, i)).collect();
+            let mut ws_batch = FrameWorkspace::new();
+            let mut batched: Vec<PacketOutcome> = Vec::new();
+            ws_batch.run_packets(c, &seeds, &mut batched).unwrap();
+            let mut ws_seq = FrameWorkspace::new();
+            for (k, &seed) in seeds.iter().enumerate() {
+                let single = ws_seq.run_packet(c, seed).unwrap();
+                let b = &batched[k];
+                assert_eq!(single.bits, b.bits, "packet {k} bits for {c:?}");
+                assert_eq!(single.bit_errors, b.bit_errors, "packet {k} for {c:?}");
+                assert_eq!(single.sync_failed, b.sync_failed, "packet {k} for {c:?}");
+                assert_eq!(
+                    single.tx_power.to_bits(),
+                    b.tx_power.to_bits(),
+                    "packet {k} tx power for {c:?}"
+                );
+                assert_eq!(
+                    single.evm_sum.to_bits(),
+                    b.evm_sum.to_bits(),
+                    "packet {k} evm for {c:?}"
+                );
+                assert_eq!(single.evm_n, b.evm_n, "packet {k} evm count for {c:?}");
+            }
         }
 
         // The batched sweep must honor its documented contract at every
