@@ -258,6 +258,54 @@ pub fn allocate_with_restarts_obs<M: ThroughputModel + Sync, S: Sink + Sync>(
     .unwrap_or_else(|| allocate_from_random_obs(model, plan, config, seed, sink))
 }
 
+/// One shard's slice of [`allocate_sharded_with_restarts_obs`]: the
+/// current-start attempt plus that shard's restart hedge, folded under
+/// the exact same tie rules (later random attempt wins exact ties among
+/// the hedge; the hedge replaces the current-start winner only on a
+/// strict improvement) and the exact same seed schedule
+/// (`seed + shard_index·restarts + attempt - 1`).
+///
+/// This is the distributed control plane's zone-view entry point: a zone
+/// controller that holds only its own component's submodel
+/// ([`NetworkModel::restrict`](crate::model::NetworkModel::restrict))
+/// and knows its index in the canonical component ordering reproduces
+/// the centralized sharded allocator's decision for that component
+/// bit-for-bit — the golden-twin property the benign distributed path is
+/// gated on. On a single-component graph, `shard_index = 0` makes the
+/// schedule coincide with the centralized single-shard fast path.
+pub fn allocate_shard_slice_obs<M: ThroughputModel + Sync, S: Sink + Sync>(
+    sub: &M,
+    plan: &ChannelPlan,
+    init: Vec<ChannelAssignment>,
+    config: &AllocationConfig,
+    restarts: usize,
+    seed: u64,
+    shard_index: usize,
+    sink: &S,
+) -> AllocationResult {
+    let per_shard = restarts + 1;
+    let attempts: Vec<AllocationResult> = par::par_map_n(per_shard, |k| {
+        if k == 0 {
+            allocate_obs(sub, plan, init.clone(), config, sink)
+        } else {
+            if sink.enabled() {
+                sink.inc(names::ALLOC_RESTARTS);
+            }
+            let attempt_seed = seed.wrapping_add((shard_index * restarts + k - 1) as u64);
+            allocate_from_random_obs(sub, plan, config, attempt_seed, sink)
+        }
+    });
+    let mut attempts = attempts.into_iter();
+    let best = attempts
+        .next()
+        .unwrap_or_else(|| allocate_obs(sub, plan, init, config, sink));
+    let hedged = attempts.reduce(|b, r| if r.total_bps >= b.total_bps { r } else { b });
+    match hedged {
+        Some(h) if h.total_bps > best.total_bps => h,
+        _ => best,
+    }
+}
+
 /// Sharded Algorithm 2: decompose the conflict graph into connected
 /// components and solve each independently — a current-assignment run
 /// plus a `restarts`-way random hedge per shard — merging the per-shard

@@ -18,8 +18,8 @@
 //!   ([`AcornController::adapt_widths`]).
 
 use crate::allocation::{
-    allocate_obs, allocate_sharded_with_restarts_obs, allocate_with_restarts_obs, random_initial,
-    AllocationConfig, AllocationResult,
+    allocate_obs, allocate_shard_slice_obs, allocate_sharded_with_restarts_obs,
+    allocate_with_restarts_obs, random_initial, AllocationConfig, AllocationResult,
 };
 use crate::association::{choose_ap_obs, Candidate};
 use crate::beacon::Beacon;
@@ -434,6 +434,55 @@ impl AcornController {
         state.assignments = best.assignments.clone();
         state.operating_width = state.assignments.iter().map(|a| a.width()).collect();
         self.finish_epoch_obs(&model, best.total_bps, sink);
+        best
+    }
+
+    /// The canonical zone decomposition: the connected components of the
+    /// interference graph under the current association, each sorted
+    /// ascending and ordered by smallest vertex — exactly the component
+    /// order [`allocate_sharded_with_restarts_obs`] shards over, so a
+    /// zone's position in this list is the `shard_index` its zone-view
+    /// reallocation must replay.
+    pub fn zones(&self, wlan: &Wlan, state: &NetworkState) -> Vec<Vec<usize>> {
+        wlan.interference_graph(&state.assoc).connected_components()
+    }
+
+    /// Zone view of Algorithm 2: re-allocates only the APs in `nodes`
+    /// (one connected component, ascending global ids), mutating just
+    /// that slice of the state. `zone_model` must be the submodel for
+    /// `nodes` ([`NetworkModel::restrict`] of the full model, or an
+    /// equivalently built zone-local model) and `shard_index` the zone's
+    /// position in [`AcornController::zones`]. Given the same per-epoch
+    /// `seed`, the slice this produces is bit-identical to what
+    /// [`AcornController::reallocate_sharded_with_restarts`] assigns
+    /// those APs — the golden-twin contract of the distributed control
+    /// plane.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reallocate_zone_obs<S: Sink + Sync>(
+        &self,
+        zone_model: &NetworkModel,
+        state: &mut NetworkState,
+        nodes: &[usize],
+        shard_index: usize,
+        restarts: usize,
+        seed: u64,
+        sink: &S,
+    ) -> AllocationResult {
+        let init: Vec<ChannelAssignment> = nodes.iter().map(|&n| state.assignments[n]).collect();
+        let best = allocate_shard_slice_obs(
+            zone_model,
+            &self.config.plan,
+            init,
+            &self.config.allocation,
+            restarts,
+            seed,
+            shard_index,
+            sink,
+        );
+        for (local, &global) in nodes.iter().enumerate() {
+            state.assignments[global] = best.assignments[local];
+            state.operating_width[global] = best.assignments[local].width();
+        }
         best
     }
 
@@ -927,6 +976,71 @@ mod tests {
             assert_eq!(t.counter(names::TABLE_REBUILDS), 1);
             assert!(t.gauge(names::TABLE_MAX_QUANT_ERROR).is_some());
         });
+    }
+
+    /// Two distant AP pairs: the conflict graph has exactly two
+    /// components, so the zone-view entry must replay each shard of the
+    /// centralized sharded reallocation bit-for-bit.
+    fn two_zone_wlan() -> Wlan {
+        let mut w = Wlan::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(60.0, 0.0),
+                Point::new(5000.0, 0.0),
+                Point::new(5060.0, 0.0),
+            ],
+            vec![
+                Point::new(3.0, 0.0),
+                Point::new(57.0, 0.0),
+                Point::new(5003.0, 0.0),
+                Point::new(5057.0, 0.0),
+            ],
+            21,
+        );
+        w.pathloss.shadowing_sigma_db = 0.0;
+        w.radio.tx_power_dbm = 5.0;
+        w
+    }
+
+    #[test]
+    fn zone_view_replays_the_sharded_reallocation_exactly() {
+        let w = two_zone_wlan();
+        let c = controller();
+        let mut s_central = c.new_state(&w, 31);
+        for cl in 0..4 {
+            c.associate(&w, &mut s_central, ClientId(cl));
+        }
+        let mut s_zones = s_central.clone();
+
+        let zones = c.zones(&w, &s_zones);
+        assert_eq!(zones.len(), 2, "distant pairs must split into two zones");
+        assert_eq!(zones[0], vec![0, 1]);
+        assert_eq!(zones[1], vec![2, 3]);
+
+        for (restarts, seed) in [(0usize, 7u64), (3, 7), (2, 991)] {
+            let central = c.reallocate_sharded_with_restarts(&w, &mut s_central, restarts, seed);
+            // Zone controllers: each restricts the shared model and solves
+            // only its own slice, in any order (slices are disjoint).
+            let model = c.build_model(&w, &s_zones);
+            for (z, nodes) in zones.iter().enumerate() {
+                let sub = model.restrict(nodes);
+                c.reallocate_zone_obs(
+                    &sub,
+                    &mut s_zones,
+                    nodes,
+                    z,
+                    restarts,
+                    seed,
+                    &acorn_obs::NullSink,
+                );
+            }
+            assert_eq!(
+                s_central.assignments, s_zones.assignments,
+                "restarts={restarts} seed={seed}"
+            );
+            assert_eq!(s_central.operating_width, s_zones.operating_width);
+            assert!(central.total_bps > 0.0);
+        }
     }
 
     #[test]

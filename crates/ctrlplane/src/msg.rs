@@ -1,0 +1,567 @@
+//! The control-plane message taxonomy and its 802.11-style wire format.
+//!
+//! Zone controllers exchange four message kinds, batched into one
+//! [`CtrlEnvelope`] per peer per epoch:
+//!
+//! * [`CtrlMsg::BeaconDigest`] — a border AP's current channel/width/load,
+//!   the IAPP neighbour report distilled to what a foreign zone can act on;
+//! * [`CtrlMsg::IappState`] — the sender zone's epoch counter, plan
+//!   fingerprint, and safe-mode flag (the liveness heartbeat);
+//! * [`CtrlMsg::ProposedSwitch`] — an AP the sender re-assigned this epoch
+//!   (the CSA the neighbour zone would observe over the air);
+//! * [`CtrlMsg::Ack`] — cumulative acknowledgement of one envelope id.
+//!
+//! The wire encoding mirrors `acorn_core::wire`: a management-frame
+//! header, little-endian fields, and a CRC-32 FCS trailer. Parsing is
+//! defensive — every malformed input maps to a typed [`CtrlWireError`],
+//! never a panic, because envelopes cross the same loss/corruption
+//! gauntlet as data-plane beacons.
+
+use acorn_core::wire::crc32;
+use acorn_topology::{Channel20, ChannelAssignment};
+use serde::Serialize;
+use std::fmt;
+
+/// 802.11 frame control bytes for a management/action frame — the same
+/// two bytes the beacon codec uses for announcements.
+pub const FC_ACTION: [u8; 2] = [0xD0, 0x00];
+
+/// Vendor action subtype distinguishing control-plane envelopes from the
+/// CSA announcements (`0x01`/`0x02`) of `acorn_core::wire`.
+pub const CTRL_SUBTYPE: u8 = 0x03;
+
+/// Wire-format version of the envelope encoding.
+pub const CTRL_VERSION: u8 = 1;
+
+/// `FaultRng` salt for the control-plane frame gauntlet, disjoint from
+/// the data-plane salts `0x01..=0x04` used by `acorn_events::faults`.
+pub const SALT_CTRL: u64 = 0x05;
+
+const TAG_DIGEST: u8 = 0x01;
+const TAG_IAPP: u8 = 0x02;
+const TAG_SWITCH: u8 = 0x03;
+const TAG_ACK: u8 = 0x04;
+
+/// Header bytes before the message list: FC (2) + subtype (1) +
+/// version (1) + from (2) + to (2) + msg id (8) + count (2).
+const HEADER_LEN: usize = 18;
+const FCS_LEN: usize = 4;
+
+/// A typed parse failure. Like `acorn_core::wire::WireError`, corruption
+/// is *detected*, not tolerated: a flipped bit lands in [`BadFcs`]
+/// (or an earlier structural variant) and the frame is dropped for the
+/// retransmit timer to recover.
+///
+/// [`BadFcs`]: CtrlWireError::BadFcs
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlWireError {
+    /// Frame shorter than its fixed or declared layout.
+    Truncated,
+    /// Frame-control/subtype bytes are not a control-plane envelope.
+    NotControl,
+    /// Unknown encoding version.
+    BadVersion(u8),
+    /// Unknown message tag byte.
+    BadTag(u8),
+    /// Width byte is neither 20 nor 40.
+    BadWidth(u8),
+    /// A 40 MHz bond anchored on an odd channel index.
+    IllegalBond(u8),
+    /// Declared message count disagrees with the frame length.
+    LengthMismatch,
+    /// CRC-32 trailer does not match the body.
+    BadFcs,
+}
+
+impl fmt::Display for CtrlWireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtrlWireError::Truncated => write!(f, "control frame truncated"),
+            CtrlWireError::NotControl => write!(f, "not a control-plane envelope"),
+            CtrlWireError::BadVersion(v) => write!(f, "unknown control version {v}"),
+            CtrlWireError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            CtrlWireError::BadWidth(w) => write!(f, "illegal width byte {w}"),
+            CtrlWireError::IllegalBond(c) => write!(f, "illegal bond anchor {c}"),
+            CtrlWireError::LengthMismatch => write!(f, "message count disagrees with length"),
+            CtrlWireError::BadFcs => write!(f, "FCS check failed"),
+        }
+    }
+}
+
+impl std::error::Error for CtrlWireError {}
+
+/// One control-plane message. Channel assignments ride as
+/// `(primary index, width)` pairs — the same two bytes the beacon vendor
+/// IE uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlMsg {
+    /// A border AP's current operating point, gossiped so the
+    /// neighbouring zone's interference view stays warm.
+    BeaconDigest {
+        /// Global AP id.
+        ap: u16,
+        /// The AP's channel assignment.
+        assignment: ChannelAssignment,
+        /// Associated client count.
+        n_clients: u16,
+    },
+    /// The sender zone's liveness heartbeat and plan summary.
+    IappState {
+        /// Sender zone index.
+        zone: u16,
+        /// Last epoch the sender applied (global, 1-based).
+        epoch: u64,
+        /// FNV-1a fingerprint of the sender's assignment slice.
+        fingerprint: u64,
+        /// Whether the sender is in partition safe mode.
+        safe_mode: bool,
+    },
+    /// An AP the sender re-assigned this epoch.
+    ProposedSwitch {
+        /// Global AP id.
+        ap: u16,
+        /// The new assignment.
+        assignment: ChannelAssignment,
+        /// Epoch the switch deploys in.
+        epoch: u64,
+    },
+    /// Acknowledges receipt of the envelope with id `ack_of`.
+    Ack {
+        /// The acknowledged envelope's `msg_id`.
+        ack_of: u64,
+    },
+}
+
+impl CtrlMsg {
+    /// Whether this message demands reliable delivery. Pure-ack envelopes
+    /// are fire-and-forget — acking an ack would never terminate.
+    pub fn needs_ack(&self) -> bool {
+        !matches!(self, CtrlMsg::Ack { .. })
+    }
+}
+
+/// A batched, uniquely identified unit of transmission between two zone
+/// controllers. `msg_id` is monotonic per sender and is what receivers
+/// dedup and ack on; a retransmission reuses the id verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtrlEnvelope {
+    /// Sender zone index.
+    pub from: u16,
+    /// Receiver zone index.
+    pub to: u16,
+    /// Sender-monotonic envelope id.
+    pub msg_id: u64,
+    /// The batched payload.
+    pub msgs: Vec<CtrlMsg>,
+}
+
+impl CtrlEnvelope {
+    /// Whether any payload message requires acknowledgement.
+    pub fn needs_ack(&self) -> bool {
+        self.msgs.iter().any(CtrlMsg::needs_ack)
+    }
+}
+
+fn push_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_assignment(out: &mut Vec<u8>, a: ChannelAssignment) {
+    out.push(a.primary().0);
+    out.push(match a.width() {
+        acorn_phy::ChannelWidth::Ht20 => 20,
+        acorn_phy::ChannelWidth::Ht40 => 40,
+    });
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CtrlWireError> {
+        let end = self.at.checked_add(n).ok_or(CtrlWireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CtrlWireError::Truncated);
+        }
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CtrlWireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CtrlWireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CtrlWireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    fn assignment(&mut self) -> Result<ChannelAssignment, CtrlWireError> {
+        let channel = self.u8()?;
+        let width = self.u8()?;
+        match width {
+            20 => Ok(ChannelAssignment::Single(Channel20(channel))),
+            40 => ChannelAssignment::bonded(Channel20(channel))
+                .ok_or(CtrlWireError::IllegalBond(channel)),
+            w => Err(CtrlWireError::BadWidth(w)),
+        }
+    }
+}
+
+/// Encodes an envelope into its wire frame, FCS included.
+pub fn encode_envelope(env: &CtrlEnvelope) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + 20 * env.msgs.len() + FCS_LEN);
+    out.extend_from_slice(&FC_ACTION);
+    out.push(CTRL_SUBTYPE);
+    out.push(CTRL_VERSION);
+    push_u16(&mut out, env.from);
+    push_u16(&mut out, env.to);
+    push_u64(&mut out, env.msg_id);
+    push_u16(&mut out, env.msgs.len() as u16);
+    for m in &env.msgs {
+        match *m {
+            CtrlMsg::BeaconDigest {
+                ap,
+                assignment,
+                n_clients,
+            } => {
+                out.push(TAG_DIGEST);
+                push_u16(&mut out, ap);
+                push_assignment(&mut out, assignment);
+                push_u16(&mut out, n_clients);
+            }
+            CtrlMsg::IappState {
+                zone,
+                epoch,
+                fingerprint,
+                safe_mode,
+            } => {
+                out.push(TAG_IAPP);
+                push_u16(&mut out, zone);
+                push_u64(&mut out, epoch);
+                push_u64(&mut out, fingerprint);
+                out.push(safe_mode as u8);
+            }
+            CtrlMsg::ProposedSwitch {
+                ap,
+                assignment,
+                epoch,
+            } => {
+                out.push(TAG_SWITCH);
+                push_u16(&mut out, ap);
+                push_assignment(&mut out, assignment);
+                push_u64(&mut out, epoch);
+            }
+            CtrlMsg::Ack { ack_of } => {
+                out.push(TAG_ACK);
+                push_u64(&mut out, ack_of);
+            }
+        }
+    }
+    let fcs = crc32(&out);
+    out.extend_from_slice(&fcs.to_le_bytes());
+    out
+}
+
+/// Parses a wire frame back into an envelope, verifying the FCS first —
+/// a corrupted frame fails [`CtrlWireError::BadFcs`] (or an earlier
+/// structural check) before any field is interpreted.
+pub fn parse_envelope(frame: &[u8]) -> Result<CtrlEnvelope, CtrlWireError> {
+    if frame.len() < HEADER_LEN + FCS_LEN {
+        return Err(CtrlWireError::Truncated);
+    }
+    let (body, trailer) = frame.split_at(frame.len() - FCS_LEN);
+    let fcs = u32::from_le_bytes(trailer.try_into().expect("4-byte trailer"));
+    if crc32(body) != fcs {
+        return Err(CtrlWireError::BadFcs);
+    }
+    let mut c = Cursor { buf: body, at: 0 };
+    if c.take(2)? != FC_ACTION || c.u8()? != CTRL_SUBTYPE {
+        return Err(CtrlWireError::NotControl);
+    }
+    let version = c.u8()?;
+    if version != CTRL_VERSION {
+        return Err(CtrlWireError::BadVersion(version));
+    }
+    let from = c.u16()?;
+    let to = c.u16()?;
+    let msg_id = c.u64()?;
+    let count = c.u16()? as usize;
+    let mut msgs = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let tag = c.u8()?;
+        let msg = match tag {
+            TAG_DIGEST => CtrlMsg::BeaconDigest {
+                ap: c.u16()?,
+                assignment: c.assignment()?,
+                n_clients: c.u16()?,
+            },
+            TAG_IAPP => CtrlMsg::IappState {
+                zone: c.u16()?,
+                epoch: c.u64()?,
+                fingerprint: c.u64()?,
+                safe_mode: c.u8()? != 0,
+            },
+            TAG_SWITCH => CtrlMsg::ProposedSwitch {
+                ap: c.u16()?,
+                assignment: c.assignment()?,
+                epoch: c.u64()?,
+            },
+            TAG_ACK => CtrlMsg::Ack { ack_of: c.u64()? },
+            t => return Err(CtrlWireError::BadTag(t)),
+        };
+        msgs.push(msg);
+    }
+    if c.at != body.len() {
+        return Err(CtrlWireError::LengthMismatch);
+    }
+    Ok(CtrlEnvelope {
+        from,
+        to,
+        msg_id,
+        msgs,
+    })
+}
+
+/// FNV-1a over an assignment slice's `(primary, width)` byte pairs — the
+/// plan fingerprint zones gossip in [`CtrlMsg::IappState`] so peers can
+/// detect divergence without shipping the full slice.
+pub fn fingerprint_slice(assignments: &[ChannelAssignment]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for a in assignments {
+        for byte in [
+            a.primary().0,
+            match a.width() {
+                acorn_phy::ChannelWidth::Ht20 => 20,
+                acorn_phy::ChannelWidth::Ht40 => 40,
+            },
+        ] {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn assignment_fields(a: ChannelAssignment) -> (u8, u8) {
+    (
+        a.primary().0,
+        match a.width() {
+            acorn_phy::ChannelWidth::Ht20 => 20,
+            acorn_phy::ChannelWidth::Ht40 => 40,
+        },
+    )
+}
+
+// The vendored serde derive handles structs only, so the enum's tagged
+// encoding (`"type"` discriminant first, then the variant fields) is
+// written by hand against the same `write_object` runtime the derive
+// emits — snapshots stay byte-stable alongside derived neighbours.
+impl Serialize for CtrlMsg {
+    fn serialize_json(&self, out: &mut String, indent: usize) {
+        match *self {
+            CtrlMsg::BeaconDigest {
+                ap,
+                assignment,
+                n_clients,
+            } => {
+                let (channel, width_mhz) = assignment_fields(assignment);
+                serde::write_object(
+                    out,
+                    indent,
+                    &[
+                        ("type", &"beacon_digest"),
+                        ("ap", &ap),
+                        ("channel", &channel),
+                        ("width_mhz", &width_mhz),
+                        ("n_clients", &n_clients),
+                    ],
+                );
+            }
+            CtrlMsg::IappState {
+                zone,
+                epoch,
+                fingerprint,
+                safe_mode,
+            } => {
+                serde::write_object(
+                    out,
+                    indent,
+                    &[
+                        ("type", &"iapp_state"),
+                        ("zone", &zone),
+                        ("epoch", &epoch),
+                        ("fingerprint", &fingerprint),
+                        ("safe_mode", &safe_mode),
+                    ],
+                );
+            }
+            CtrlMsg::ProposedSwitch {
+                ap,
+                assignment,
+                epoch,
+            } => {
+                let (channel, width_mhz) = assignment_fields(assignment);
+                serde::write_object(
+                    out,
+                    indent,
+                    &[
+                        ("type", &"proposed_switch"),
+                        ("ap", &ap),
+                        ("channel", &channel),
+                        ("width_mhz", &width_mhz),
+                        ("epoch", &epoch),
+                    ],
+                );
+            }
+            CtrlMsg::Ack { ack_of } => {
+                serde::write_object(out, indent, &[("type", &"ack"), ("ack_of", &ack_of)]);
+            }
+        }
+    }
+}
+
+impl Serialize for CtrlEnvelope {
+    fn serialize_json(&self, out: &mut String, indent: usize) {
+        serde::write_object(
+            out,
+            indent,
+            &[
+                ("from", &self.from),
+                ("to", &self.to),
+                ("msg_id", &self.msg_id),
+                ("msgs", &self.msgs),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CtrlEnvelope {
+        CtrlEnvelope {
+            from: 2,
+            to: 5,
+            msg_id: 0xDEAD_BEEF_0042,
+            msgs: vec![
+                CtrlMsg::IappState {
+                    zone: 2,
+                    epoch: 17,
+                    fingerprint: 0x1234_5678_9ABC_DEF0,
+                    safe_mode: false,
+                },
+                CtrlMsg::BeaconDigest {
+                    ap: 301,
+                    assignment: ChannelAssignment::Bonded(Channel20(4)),
+                    n_clients: 9,
+                },
+                CtrlMsg::ProposedSwitch {
+                    ap: 302,
+                    assignment: ChannelAssignment::Single(Channel20(7)),
+                    epoch: 17,
+                },
+                CtrlMsg::Ack { ack_of: 41 },
+            ],
+        }
+    }
+
+    #[test]
+    fn envelope_round_trips_the_wire() {
+        let env = sample();
+        let frame = encode_envelope(&env);
+        assert_eq!(parse_envelope(&frame).expect("parse"), env);
+    }
+
+    #[test]
+    fn empty_envelope_round_trips() {
+        let env = CtrlEnvelope {
+            from: 0,
+            to: 1,
+            msg_id: 0,
+            msgs: vec![],
+        };
+        let frame = encode_envelope(&env);
+        assert_eq!(frame.len(), 22);
+        assert_eq!(parse_envelope(&frame).expect("parse"), env);
+        assert!(!env.needs_ack());
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_a_typed_error() {
+        let frame = encode_envelope(&sample());
+        for bit in 0..frame.len() * 8 {
+            let mut bad = frame.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                parse_envelope(&bad).is_err(),
+                "bit {bit} slipped through the FCS"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_and_foreign_frames_are_rejected() {
+        let frame = encode_envelope(&sample());
+        assert_eq!(parse_envelope(&frame[..10]), Err(CtrlWireError::Truncated));
+        assert_eq!(parse_envelope(&[]), Err(CtrlWireError::Truncated));
+        let mut foreign = frame.clone();
+        foreign[2] = 0x01; // a CSA announcement subtype, valid FCS
+        let body_len = foreign.len() - FCS_LEN;
+        let fcs = crc32(&foreign[..body_len]);
+        foreign[body_len..].copy_from_slice(&fcs.to_le_bytes());
+        assert_eq!(parse_envelope(&foreign), Err(CtrlWireError::NotControl));
+    }
+
+    #[test]
+    fn illegal_bond_and_width_are_structural_errors() {
+        let mut env = sample();
+        env.msgs = vec![CtrlMsg::BeaconDigest {
+            ap: 1,
+            assignment: ChannelAssignment::Single(Channel20(3)),
+            n_clients: 0,
+        }];
+        let mut frame = encode_envelope(&env);
+        let width_at = HEADER_LEN + 1 + 2 + 1;
+        frame[width_at] = 40; // odd channel 3 now claims a bond
+        let body_len = frame.len() - FCS_LEN;
+        let fcs = crc32(&frame[..body_len]);
+        frame[body_len..].copy_from_slice(&fcs.to_le_bytes());
+        assert_eq!(parse_envelope(&frame), Err(CtrlWireError::IllegalBond(3)));
+
+        frame[width_at] = 80;
+        let fcs = crc32(&frame[..body_len]);
+        frame[body_len..].copy_from_slice(&fcs.to_le_bytes());
+        assert_eq!(parse_envelope(&frame), Err(CtrlWireError::BadWidth(80)));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_width_from_channel() {
+        let a = [ChannelAssignment::Single(Channel20(4))];
+        let b = [ChannelAssignment::Bonded(Channel20(4))];
+        let c = [ChannelAssignment::Single(Channel20(5))];
+        assert_ne!(fingerprint_slice(&a), fingerprint_slice(&b));
+        assert_ne!(fingerprint_slice(&a), fingerprint_slice(&c));
+        assert_eq!(fingerprint_slice(&a), fingerprint_slice(&a));
+    }
+
+    #[test]
+    fn tagged_json_is_stable() {
+        let mut out = String::new();
+        CtrlMsg::Ack { ack_of: 7 }.serialize_json(&mut out, 0);
+        assert_eq!(out, "{\n  \"type\": \"ack\",\n  \"ack_of\": 7\n}");
+    }
+}

@@ -133,6 +133,38 @@ impl FaultPlan {
             && self.meas_outlier == 0.0
             && self.meas_freeze == 0.0
     }
+
+    /// Rolls the per-copy message-fault gauntlet. Returns `None` if the
+    /// copy is lost, `Some((frame, Some(dt)))` if it is delayed by `dt`,
+    /// and `Some((frame, None))` for immediate delivery. Corruption
+    /// mutates the frame (and breaks its FCS — deliberately *not*
+    /// repaired). Counters are reported under `counters`' names, so the
+    /// AP control round and the distributed control plane share one
+    /// pipeline with distinct namespaces.
+    pub fn roll_copy(
+        &self,
+        tel: &mut Telemetry,
+        rng: &mut FaultRng,
+        frame: &[u8],
+        counters: &GauntletCounters,
+    ) -> Option<(Vec<u8>, Option<f64>)> {
+        tel.inc(counters.sent);
+        if self.loss > 0.0 && rng.u01() < self.loss {
+            tel.inc(counters.lost);
+            return None;
+        }
+        let mut frame = frame.to_vec();
+        if self.corruption > 0.0 && rng.u01() < self.corruption {
+            tel.inc(counters.corrupted);
+            corrupt_frame(&mut frame, rng);
+        }
+        if self.delay_prob > 0.0 && rng.u01() < self.delay_prob {
+            tel.inc(counters.delayed);
+            let dt = rng.u01_open() * self.delay_max_s;
+            return Some((frame, Some(dt)));
+        }
+        Some((frame, None))
+    }
 }
 
 /// What a faulty run did to the network, aggregated from telemetry.
@@ -215,35 +247,80 @@ impl ResilienceReport {
 
 /// One independent fault stream: successive draws are
 /// `mix_seed(mix_seed(seed, key), 0..)`.
-struct FaultRng {
+///
+/// Public so that other fault-routed layers (the distributed control
+/// plane in `acorn-ctrlplane`) can key their own per-frame streams off
+/// [`mix_seed`] with the same derivation discipline.
+pub struct FaultRng {
     base: u64,
     n: u64,
 }
 
 impl FaultRng {
-    fn new(seed: u64, key: u64, salt: u64) -> FaultRng {
+    /// A stream keyed `(seed, key, salt)` — typically the plan seed, the
+    /// firing event's sequence number (or a frame id), and a stream salt.
+    pub fn new(seed: u64, key: u64, salt: u64) -> FaultRng {
         FaultRng {
             base: mix_seed(mix_seed(seed, key), salt),
             n: 0,
         }
     }
 
-    fn next_u64(&mut self) -> u64 {
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
         let x = mix_seed(self.base, self.n);
         self.n += 1;
         x
     }
 
     /// Uniform in `[0, 1)`.
-    fn u01(&mut self) -> f64 {
+    pub fn u01(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Uniform in `(0, 1]` — safe under `ln`.
-    fn u01_open(&mut self) -> f64 {
+    pub fn u01_open(&mut self) -> f64 {
         ((self.next_u64() >> 11) + 1) as f64 / (1u64 << 53) as f64
     }
 }
+
+/// Flips 1–3 seeded bits somewhere in the frame — the corruption model
+/// every fault-routed message path shares. The FCS is deliberately *not*
+/// repaired: parsers must catch the damage as a typed error.
+pub fn corrupt_frame(frame: &mut [u8], rng: &mut FaultRng) {
+    let bits = frame.len() * 8;
+    if bits == 0 {
+        return;
+    }
+    let flips = 1 + (rng.next_u64() % 3) as usize;
+    for _ in 0..flips {
+        let pos = (rng.next_u64() % bits as u64) as usize;
+        frame[pos / 8] ^= 1 << (pos % 8);
+    }
+}
+
+/// The counter names a message gauntlet reports under. The AP control
+/// round uses the historical `faults.*` set; the distributed control
+/// plane reports the same physical pipeline under `ctrl.frames.*`.
+#[derive(Debug, Clone, Copy)]
+pub struct GauntletCounters {
+    /// Copies pushed through the gauntlet.
+    pub sent: &'static str,
+    /// Copies dropped by the loss process.
+    pub lost: &'static str,
+    /// Copies bit-corrupted in flight.
+    pub corrupted: &'static str,
+    /// Copies delivered late.
+    pub delayed: &'static str,
+}
+
+/// The `faults.*` counter set the AP control round reports under.
+pub const FAULT_GAUNTLET: GauntletCounters = GauntletCounters {
+    sent: "faults.frames_sent",
+    lost: "faults.frames_lost",
+    corrupted: "faults.frames_corrupted",
+    delayed: "faults.frames_delayed",
+};
 
 /// A frame copy in flight (delayed by the fault layer).
 enum Delivery {
@@ -316,46 +393,14 @@ impl FaultProcess {
         ]
     }
 
-    /// Flips 1–3 seeded bits somewhere in the frame.
-    fn corrupt(frame: &mut [u8], rng: &mut FaultRng) {
-        let bits = frame.len() * 8;
-        if bits == 0 {
-            return;
-        }
-        let flips = 1 + (rng.next_u64() % 3) as usize;
-        for _ in 0..flips {
-            let pos = (rng.next_u64() % bits as u64) as usize;
-            frame[pos / 8] ^= 1 << (pos % 8);
-        }
-    }
-
-    /// Rolls the per-copy message-fault gauntlet. Returns `None` if the
-    /// copy is lost, `Some((frame, Some(dt)))` if it is delayed by `dt`,
-    /// and `Some((frame, None))` for immediate delivery. Corruption
-    /// mutates the frame (and breaks its FCS — deliberately *not*
-    /// repaired).
+    /// The per-copy gauntlet under the historical `faults.*` names.
     fn roll_copy(
         &self,
         tel: &mut Telemetry,
         rng: &mut FaultRng,
         frame: &[u8],
     ) -> Option<(Vec<u8>, Option<f64>)> {
-        tel.inc("faults.frames_sent");
-        if self.plan.loss > 0.0 && rng.u01() < self.plan.loss {
-            tel.inc("faults.frames_lost");
-            return None;
-        }
-        let mut frame = frame.to_vec();
-        if self.plan.corruption > 0.0 && rng.u01() < self.plan.corruption {
-            tel.inc("faults.frames_corrupted");
-            Self::corrupt(&mut frame, rng);
-        }
-        if self.plan.delay_prob > 0.0 && rng.u01() < self.plan.delay_prob {
-            tel.inc("faults.frames_delayed");
-            let dt = rng.u01_open() * self.plan.delay_max_s;
-            return Some((frame, Some(dt)));
-        }
-        Some((frame, None))
+        self.plan.roll_copy(tel, rng, frame, &FAULT_GAUNTLET)
     }
 
     fn queue_delayed(
@@ -847,7 +892,7 @@ mod tests {
         for _ in 0..100 {
             let original = vec![0xA5u8; 40];
             let mut copy = original.clone();
-            FaultProcess::corrupt(&mut copy, &mut rng);
+            corrupt_frame(&mut copy, &mut rng);
             assert_ne!(copy, original, "1–3 bit flips must change something");
         }
     }

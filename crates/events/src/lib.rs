@@ -48,7 +48,10 @@ pub use city::{
     CityDriftProcess, CityReallocationTimer, CityReport, CityScenario, CitySessionProcess,
     CityWorld,
 };
-pub use faults::{FaultPlan, FaultProcess, ResilienceReport};
+pub use faults::{
+    corrupt_frame, FaultPlan, FaultProcess, FaultRng, GauntletCounters, ResilienceReport,
+    FAULT_GAUNTLET,
+};
 pub use queue::{EventId, EventQueue, Fired};
 pub use sim::{
     mix_seed, Ctx, Envelope, EventLog, LogEntry, Process, ProcessId, RunStats, Simulation,

@@ -80,3 +80,48 @@ pub const BASEBAND_STAGE_RECEIVE: &str = "baseband.stage.receive";
 pub const BASEBAND_STAGE_DECODE: &str = "baseband.stage.decode";
 /// Packets that failed preamble sync (pipeline aborted at stage 6).
 pub const BASEBAND_SYNC_FAILURES: &str = "baseband.sync_failures";
+
+/// Distributed-control-plane envelopes sent (originals, not retransmit
+/// copies) by zone controllers.
+pub const CTRL_MSGS_SENT: &str = "ctrl.msgs.sent";
+/// Envelopes confirmed by an `Ack` from the receiving zone.
+pub const CTRL_MSGS_ACKED: &str = "ctrl.msgs.acked";
+/// Retransmission copies sent after an ack timeout.
+pub const CTRL_MSGS_RETRANSMITTED: &str = "ctrl.msgs.retransmitted";
+/// Duplicate envelope deliveries suppressed by the receive-side dedup
+/// (the duplicate is re-acked but not re-processed).
+pub const CTRL_MSGS_DEDUPED: &str = "ctrl.msgs.deduped";
+/// Envelopes abandoned after the retransmit-attempt cap.
+pub const CTRL_MSGS_EXPIRED: &str = "ctrl.msgs.expired";
+/// Envelope copies silently dropped by an active network partition.
+pub const CTRL_MSGS_PARTITION_DROPPED: &str = "ctrl.msgs.partition_dropped";
+/// Pending retransmit timers cancelled by an arriving ack (the
+/// event-queue tombstone path).
+pub const CTRL_RESEND_CANCELLED: &str = "ctrl.resend.cancelled";
+/// Control-plane frame copies pushed through the fault gauntlet.
+pub const CTRL_FRAMES_SENT: &str = "ctrl.frames.sent";
+/// Control-plane frame copies dropped by the loss process.
+pub const CTRL_FRAMES_LOST: &str = "ctrl.frames.lost";
+/// Control-plane frame copies bit-corrupted in flight.
+pub const CTRL_FRAMES_CORRUPTED: &str = "ctrl.frames.corrupted";
+/// Control-plane frame copies delivered late.
+pub const CTRL_FRAMES_DELAYED: &str = "ctrl.frames.delayed";
+/// Delivered control-plane frames the parser rejected (typed errors —
+/// corruption is caught by the FCS, never by a panic).
+pub const CTRL_PARSE_ERRORS: &str = "ctrl.parse_errors";
+/// Zone re-allocation epochs applied (including catch-up replays).
+pub const CTRL_EPOCHS: &str = "ctrl.epochs";
+/// Catch-up epochs replayed after a crash or partition heal.
+pub const CTRL_EPOCHS_REPLAYED: &str = "ctrl.epochs.replayed";
+/// Zone epochs spent in safe mode (last-known-good plan, border cells
+/// forced to 20 MHz). Per-zone counts live under
+/// `ctrl.zone.<z>.safe_mode_epochs`.
+pub const CTRL_SAFE_MODE_EPOCHS: &str = "ctrl.safe_mode_epochs";
+/// Transitions into safe mode (quorum of peers unheard).
+pub const CTRL_PARTITION_DETECTIONS: &str = "ctrl.partition.detections";
+/// Transitions out of safe mode (peer quorum heard again).
+pub const CTRL_PARTITION_HEALS: &str = "ctrl.partition.heals";
+/// Border-cell beacon digests received from peer zones.
+pub const CTRL_DIGESTS_RX: &str = "ctrl.digests.rx";
+/// Proposed channel switches received from peer zones.
+pub const CTRL_SWITCHES_RX: &str = "ctrl.switches.rx";

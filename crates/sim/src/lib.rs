@@ -32,5 +32,5 @@ pub use churn::{run_churn, ChurnConfig, ChurnReport, Snapshot};
 pub use interference::evaluate_analytic_sinr;
 pub use mobility::{paper_walk, MobilityExperiment, MobilitySample, Trajectory, WidthPolicy};
 pub use runner::{evaluate_analytic, evaluate_dcf, Evaluation};
-pub use scenario::{enterprise_grid, fig11, topology1, topology2};
+pub use scenario::{city_grid, enterprise_grid, fig11, topology1, topology2, zoned_city};
 pub use traffic::Traffic;

@@ -221,6 +221,72 @@ pub fn city_grid(
     Wlan::new(aps, clients, seed)
 }
 
+/// A zone-partitioned city: like [`city_grid`] but with a configurable
+/// district pitch, so scenarios can place districts close enough that
+/// their edge APs fall inside a *border margin* of a neighbouring
+/// district while the interference graph still decomposes into exactly
+/// `districts_per_side²` components. This is the reference workload for
+/// the distributed control plane: each district is one zone controller,
+/// and the border cells are the ones a zone forces to 20 MHz when it
+/// loses its peers.
+///
+/// The caller picks `pitch_m`; the builder asserts the resulting
+/// inter-district AP gap (`pitch_m` minus the district extent) stays
+/// above 180 m — comfortably beyond the default 80 m carrier-sense
+/// radius plus shadowing headroom — so the components are guaranteed
+/// regardless of association, exactly as in [`city_grid`].
+pub fn zoned_city(
+    districts_per_side: usize,
+    aps_per_district_side: usize,
+    pitch_m: f64,
+    n_clients: usize,
+    seed: u64,
+) -> Wlan {
+    assert!(districts_per_side >= 1, "need at least one district");
+    assert!(
+        (1..=4).contains(&aps_per_district_side),
+        "district extent must stay below the inter-district gap"
+    );
+    let extent = (aps_per_district_side - 1) as f64 * CITY_AP_SPACING_M;
+    assert!(
+        pitch_m - extent >= 180.0,
+        "pitch {pitch_m} m leaves a {:.0} m gap: zones would merge",
+        pitch_m - extent
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = aps_per_district_side;
+    let mut aps = Vec::with_capacity(districts_per_side * districts_per_side * k * k);
+    let mut origins = Vec::with_capacity(districts_per_side * districts_per_side);
+    for dy in 0..districts_per_side {
+        for dx in 0..districts_per_side {
+            let origin = Point::new(dx as f64 * pitch_m, dy as f64 * pitch_m);
+            origins.push(origin);
+            for j in 0..k {
+                for i in 0..k {
+                    aps.push(Point::new(
+                        origin.x + i as f64 * CITY_AP_SPACING_M,
+                        origin.y + j as f64 * CITY_AP_SPACING_M,
+                    ));
+                }
+            }
+        }
+    }
+    let clients: Vec<Point> = (0..n_clients)
+        .map(|c| {
+            let o = origins[c % origins.len()];
+            Point::new(
+                o.x + rng.gen_range(-CITY_CLIENT_MARGIN_M..=extent + CITY_CLIENT_MARGIN_M),
+                o.y + rng.gen_range(-CITY_CLIENT_MARGIN_M..=extent + CITY_CLIENT_MARGIN_M),
+            )
+        })
+        .collect();
+    let mut w = Wlan::new(aps, clients, seed);
+    // Deterministic geometry: zone membership and border sets should not
+    // depend on a shadowing draw.
+    w.pathloss.shadowing_sigma_db = 0.0;
+    w
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +377,33 @@ mod tests {
             .collect();
         let full = w.interference_graph(&assoc);
         assert_eq!(full.connected_components().len(), 9);
+    }
+
+    #[test]
+    fn zoned_city_is_isolated_yet_border_reachable() {
+        let w = zoned_city(2, 2, 250.0, 24, 5);
+        assert_eq!(w.aps.len(), 16);
+        // Districts still decompose into exactly 4 components…
+        let g = w.ap_only_interference_graph();
+        assert_eq!(g.connected_components().len(), 4);
+        // …but each district has at least one AP within 250 m of a
+        // foreign AP, so a 250 m border margin yields non-empty border
+        // sets (unlike the 400 m-pitch city_grid).
+        for z in 0..4 {
+            let mine = (z * 4)..(z * 4 + 4);
+            let has_border = mine.clone().any(|a| {
+                (0..w.aps.len())
+                    .filter(|b| !mine.contains(b))
+                    .any(|b| w.aps[a].pos.distance(&w.aps[b].pos) <= 250.0)
+            });
+            assert!(has_border, "zone {z} has no border AP");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zones would merge")]
+    fn zoned_city_rejects_merging_pitch() {
+        let _ = zoned_city(2, 2, 200.0, 8, 1);
     }
 
     #[test]

@@ -8,6 +8,9 @@
 #   4. release build,
 #   5. the root test suite (tier-1: reproduction guards, properties,
 #      determinism, resilience, event-runtime goldens),
+#   5b. the distributed golden-twin gate: the zone-controller plane's
+#      benign-path allocation must equal the centralized controller's
+#      exactly, and partitions must degrade per-zone only,
 #   6. the observability overhead gate: the baseband packet path must
 #      stay zero-allocation with a NullSink attached (measured under the
 #      counting allocator), and instrumented runs must be bit-identical
@@ -80,9 +83,20 @@ echo "== goodput-table accuracy gate =="
 cargo test -q --offline --release --test table_accuracy --test spatial_graph
 
 echo
+echo "== distributed golden-twin gate =="
+# The distributed control plane must land on EXACTLY the centralized
+# controller's allocation on the benign path (assignments, widths and
+# associations, bit for bit) on three seeded multi-zone topologies, and
+# a partition must degrade only the isolated zone (per-zone safe mode,
+# post-heal reconvergence to the twin).
+cargo test -q --offline --release --test distributed_twin
+
+echo
 echo "== determinism across thread counts =="
 # determinism.rs sweeps ACORN_THREADS internally (fault-free AND faulty
-# composites); the outer loop additionally pins the *ambient* thread
+# composites, plus the faulty distributed control plane: loss + a
+# zone-controller crash, event-log/telemetry/per-zone-allocation
+# equality); the outer loop additionally pins the *ambient* thread
 # count for the golden-fingerprint and resilience suites.
 # baseband_determinism.rs sweeps ACORN_THREADS itself and asserts the
 # batched packet engine (run_packets) is outcome-for-outcome bit-identical

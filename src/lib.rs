@@ -12,6 +12,7 @@
 //! | [`core`] | ACORN itself: Algorithms 1 & 2, estimator, controller, theory |
 //! | [`obs`] | observability: metric sinks, spans, deterministic telemetry |
 //! | [`events`] | deterministic discrete-event runtime + telemetry recorder |
+//! | [`ctrlplane`] | distributed zone-controller control plane over [`events`] |
 //! | [`baselines`] | \[17\]-style greedy CB, RSSI, random/fixed configs, optimal |
 //! | [`sim`] | scenarios, traffic models, statistics, mobility, eval runner |
 //!
@@ -37,6 +38,7 @@ pub mod calibration;
 pub use acorn_baseband as baseband;
 pub use acorn_baselines as baselines;
 pub use acorn_core as core;
+pub use acorn_ctrlplane as ctrlplane;
 pub use acorn_events as events;
 pub use acorn_mac as mac;
 pub use acorn_obs as obs;

@@ -13,6 +13,7 @@ use acorn_core::allocation::{
 };
 use acorn_core::model::{ClientSnr, NetworkModel, ThroughputModel};
 use acorn_core::{AcornConfig, AcornController, NetworkState};
+use acorn_ctrlplane::{CrashWindow, DistributedPlane, PlaneConfig};
 use acorn_events::{
     CityReport, CityScenario, CompositeReport, CompositeScenario, DriftSpec, FaultPlan,
     MobilitySpec,
@@ -20,7 +21,7 @@ use acorn_events::{
 use acorn_obs::RecordingSink;
 use acorn_phy::{GoodputTable, LinkQualityEstimator};
 use acorn_sim::churn::{run_churn, ChurnConfig, ChurnReport};
-use acorn_sim::scenario::{city_grid, enterprise_grid};
+use acorn_sim::scenario::{city_grid, enterprise_grid, zoned_city};
 use acorn_topology::{ApId, ChannelPlan, ClientId, InterferenceGraph, Point, Trajectory, Wlan};
 use acorn_traces::{AssociationDurations, Session, SessionGenerator};
 use rand::rngs::StdRng;
@@ -444,5 +445,82 @@ fn results_are_identical_across_thread_counts() {
                 "topology {topo}: resilience report differs at {threads} threads"
             );
         }
+    }
+}
+
+/// The distributed control plane under wire faults *and* a mid-run
+/// zone-controller crash must be bit-identical across thread counts:
+/// the executed-event log, the telemetry JSON bytes, and the final
+/// per-zone allocations may not depend on `ACORN_THREADS`.
+#[test]
+fn distributed_plane_is_identical_across_thread_counts() {
+    let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let thread_counts = ["1", "2", "8"];
+    let mut runs = Vec::new();
+    for threads in thread_counts {
+        std::env::set_var("ACORN_THREADS", threads);
+        let wlan = zoned_city(2, 2, 250.0, 16, 5);
+        let ctl = AcornController::new(AcornConfig::default());
+        let cfg = PlaneConfig {
+            seed: 31,
+            epoch_period_s: 100.0,
+            first_epoch_at_s: 10.0,
+            horizon_s: 510.0,
+            restarts: 2,
+            faults: FaultPlan {
+                seed: 31 ^ 0xFA17,
+                loss: 0.2,
+                corruption: 0.05,
+                delay_prob: 0.1,
+                delay_max_s: 20.0,
+                ..FaultPlan::default()
+            },
+            crash: Some(CrashWindow {
+                zone: 1,
+                at_s: 130.0,
+                restart_at_s: 230.0,
+            }),
+            record_log: true,
+            ..PlaneConfig::default()
+        };
+        let mut plane = DistributedPlane::new(wlan, ctl, cfg);
+        plane.run_to_quiescence();
+        runs.push((
+            plane
+                .event_log()
+                .expect("log recording was enabled")
+                .clone(),
+            plane.telemetry().snapshot().to_json(),
+            plane.state().clone(),
+            plane.sim.world.applied_epoch.clone(),
+            plane.sim.world.fingerprints.clone(),
+        ));
+    }
+    std::env::remove_var("ACORN_THREADS");
+    assert!(
+        runs[0].0.entries.len() > 0,
+        "the faulty distributed run must execute events"
+    );
+    for (t, threads) in thread_counts.iter().enumerate().skip(1) {
+        assert_eq!(
+            runs[0].0, runs[t].0,
+            "distributed: event log differs at {threads} threads"
+        );
+        assert_eq!(
+            runs[0].1, runs[t].1,
+            "distributed: telemetry JSON differs at {threads} threads"
+        );
+        assert_eq!(
+            runs[0].2, runs[t].2,
+            "distributed: final state differs at {threads} threads"
+        );
+        assert_eq!(
+            runs[0].3, runs[t].3,
+            "distributed: applied epochs differ at {threads} threads"
+        );
+        assert_eq!(
+            runs[0].4, runs[t].4,
+            "distributed: zone fingerprints differ at {threads} threads"
+        );
     }
 }

@@ -1,0 +1,199 @@
+//! The golden-twin contract of the distributed control plane: a benign
+//! distributed run — zone controllers exchanging real wire frames on the
+//! event runtime — must converge to **exactly** the allocation the
+//! centralized controller computes, bit for bit, on every seeded
+//! multi-zone topology. Under a partition the isolated zone (and only
+//! it) degrades to safe mode, and catch-up replay restores twin
+//! equality after the heal.
+
+use acorn_core::{AcornConfig, AcornController};
+use acorn_ctrlplane::{DistributedPlane, PartitionWindow, PlaneConfig};
+use acorn_obs::names;
+use acorn_phy::{GoodputTable, LinkQualityEstimator};
+use acorn_sim::{city_grid, zoned_city};
+use acorn_topology::Wlan;
+use std::sync::Arc;
+
+fn fast_cfg(seed: u64, epochs: u64) -> PlaneConfig {
+    PlaneConfig {
+        seed,
+        epoch_period_s: 100.0,
+        first_epoch_at_s: 10.0,
+        horizon_s: 10.0 + (epochs - 1) as f64 * 100.0,
+        restarts: 2,
+        ..PlaneConfig::default()
+    }
+}
+
+fn assert_twin_equality(wlan: Wlan, ctl: AcornController, cfg: PlaneConfig, label: &str) {
+    let epochs = cfg.n_epochs();
+    let mut plane = DistributedPlane::new(wlan, ctl, cfg);
+    let n_zones = plane.sim.world.zones.len();
+    assert!(n_zones >= 2, "{label}: expected a multi-zone topology");
+    plane.run_to_quiescence();
+    let twin = plane.centralized_twin();
+    assert_eq!(
+        plane.state().assignments,
+        twin.assignments,
+        "{label}: distributed assignments diverge from the centralized twin"
+    );
+    assert_eq!(
+        plane.state().operating_width,
+        twin.operating_width,
+        "{label}: operating widths diverge from the centralized twin"
+    );
+    assert_eq!(
+        plane.state().assoc,
+        twin.assoc,
+        "{label}: associations diverge from the centralized twin"
+    );
+    assert_eq!(
+        plane.sim.world.applied_epoch,
+        vec![epochs; n_zones],
+        "{label}: every zone must have applied every epoch"
+    );
+    let r = plane.report();
+    assert_eq!(
+        r.safe_mode_epochs, 0,
+        "{label}: benign run entered safe mode"
+    );
+    assert_eq!(r.epochs_replayed, 0, "{label}: benign run needed catch-up");
+    assert_eq!(r.parse_errors, 0, "{label}: benign run dropped frames");
+    assert!(r.msgs_acked > 0, "{label}: gossip must flow between zones");
+}
+
+#[test]
+fn benign_distributed_runs_match_the_centralized_twin() {
+    let ctl = || AcornController::new(AcornConfig::default());
+
+    // Three seeded multi-zone topologies across both city generators.
+    assert_twin_equality(
+        zoned_city(2, 2, 250.0, 16, 5),
+        ctl(),
+        fast_cfg(5, 3),
+        "zoned_city 2x2",
+    );
+    assert_twin_equality(
+        city_grid(2, 2, 12, 9),
+        ctl(),
+        fast_cfg(9, 3),
+        "city_grid 2x2",
+    );
+    // The memoized-table controller path, on a 9-zone city.
+    let table = Arc::new(GoodputTable::build(
+        LinkQualityEstimator::default(),
+        -12.0,
+        48.0,
+        0.25,
+    ));
+    assert_twin_equality(
+        zoned_city(3, 2, 300.0, 18, 13),
+        AcornController::with_table(AcornConfig::default(), table),
+        fast_cfg(13, 4),
+        "zoned_city 3x3 with table",
+    );
+}
+
+/// A partition isolating one zone: only that zone enters safe mode
+/// (peers each lose a minority and stay healthy), and after the window
+/// closes catch-up replay reconverges the whole network to the twin.
+#[test]
+fn partition_degrades_one_zone_then_heals_to_the_twin() {
+    let wlan = zoned_city(2, 2, 250.0, 16, 5);
+    let ctl = AcornController::new(AcornConfig::default());
+    let isolated = 3usize;
+    let cfg = PlaneConfig {
+        stale_epochs: 1,
+        partition: Some(PartitionWindow {
+            zone: isolated,
+            from_s: 150.0,
+            until_s: 360.0,
+        }),
+        ..fast_cfg(5, 6)
+    };
+    let epochs = cfg.n_epochs();
+    assert_eq!(epochs, 6);
+    let mut plane = DistributedPlane::new(wlan, ctl, cfg);
+    let n_zones = plane.sim.world.zones.len();
+    assert_eq!(n_zones, 4);
+
+    // Stage 1: run into the partition, past epoch 4 (t = 310) where the
+    // isolated zone has been deaf for > stale_epochs epochs.
+    plane.run_until(320.0);
+    let tel = plane.telemetry();
+    assert!(
+        tel.counter(&format!("ctrl.zone.{isolated}.safe_mode_epochs")) >= 1,
+        "isolated zone must be in safe mode during the partition"
+    );
+    for z in 0..n_zones {
+        if z != isolated {
+            assert_eq!(
+                tel.counter(&format!("ctrl.zone.{z}.safe_mode_epochs")),
+                0,
+                "zone {z} lost only a minority of peers and must stay healthy"
+            );
+        }
+    }
+    assert_eq!(tel.counter(names::CTRL_PARTITION_DETECTIONS), 1);
+    assert!(
+        tel.counter(names::CTRL_MSGS_PARTITION_DROPPED) > 0,
+        "the window must actually sever frames"
+    );
+    assert!(
+        plane.sim.world.applied_epoch[isolated] < 4,
+        "safe mode must freeze the isolated zone's applied epoch"
+    );
+
+    // Stage 2: heal and drain. Catch-up replay must restore exact twin
+    // equality as if the partition never happened.
+    plane.run_to_quiescence();
+    let twin = plane.centralized_twin();
+    assert_eq!(plane.state().assignments, twin.assignments);
+    assert_eq!(plane.state().operating_width, twin.operating_width);
+    assert_eq!(plane.sim.world.applied_epoch, vec![epochs; n_zones]);
+    let r = plane.report();
+    assert_eq!(r.partition_heals, 1, "the isolated zone must heal once");
+    assert!(
+        r.epochs_replayed >= 1,
+        "healing must catch up via replayed epochs: {r:?}"
+    );
+    let zone_safe: Vec<u64> = (0..n_zones)
+        .map(|z| {
+            plane
+                .telemetry()
+                .counter(&format!("ctrl.zone.{z}.safe_mode_epochs"))
+        })
+        .collect();
+    for (z, &s) in zone_safe.iter().enumerate() {
+        if z == isolated {
+            assert!(s >= 1, "isolated zone safe epochs: {zone_safe:?}");
+        } else {
+            assert_eq!(s, 0, "only the isolated zone may degrade: {zone_safe:?}");
+        }
+    }
+    assert_eq!(r.safe_mode_epochs, zone_safe.iter().sum::<u64>());
+}
+
+/// Heavy wire faults without a partition: retransmission and dedup keep
+/// the protocol exactly-once, so the plan still lands on the twin.
+#[test]
+fn faulty_wire_still_lands_on_the_twin() {
+    let wlan = city_grid(2, 2, 12, 9);
+    let ctl = AcornController::new(AcornConfig::default());
+    let mut cfg = fast_cfg(9, 3);
+    cfg.faults.loss = 0.3;
+    cfg.faults.corruption = 0.1;
+    cfg.faults.delay_prob = 0.2;
+    cfg.faults.delay_max_s = 8.0;
+    let mut plane = DistributedPlane::new(wlan, ctl, cfg);
+    plane.run_to_quiescence();
+    let twin = plane.centralized_twin();
+    assert_eq!(plane.state().assignments, twin.assignments);
+    assert_eq!(plane.state().operating_width, twin.operating_width);
+    let r = plane.report();
+    assert!(r.frames_lost > 0 && r.msgs_retransmitted > 0, "{r:?}");
+    assert_eq!(
+        r.parse_errors, r.frames_corrupted,
+        "every corrupted frame must die at the FCS, not in a panic: {r:?}"
+    );
+}
