@@ -43,7 +43,7 @@ impl PsdEstimate {
             .map(|(_, v)| v)
             .collect();
         assert!(!vals.is_empty(), "mask selected no bins");
-        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vals.sort_by(|a, b| a.total_cmp(b));
         vals[vals.len() / 2]
     }
 }

@@ -27,8 +27,7 @@ pub fn associate_rssi(wlan: &Wlan, client: ClientId, snr_floor_db: f64) -> Optio
         .max_by(|&a, &b| {
             wlan.link_budget(a, client)
                 .rx_power_dbm()
-                .partial_cmp(&wlan.link_budget(b, client).rx_power_dbm())
-                .unwrap()
+                .total_cmp(&wlan.link_budget(b, client).rx_power_dbm())
         })
 }
 

@@ -171,6 +171,7 @@ fn city(districts_per_side: usize, seed: u64) -> ScenarioBench {
             period_s: 600.0,
             phase_step_rad: 0.02,
         }),
+        faults: None,
         seed,
         record_log: false,
     };

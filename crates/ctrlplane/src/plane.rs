@@ -110,10 +110,13 @@ pub struct PlaneConfig {
     pub border_margin_m: f64,
     /// The wire fault gauntlet for control frames.
     pub faults: FaultPlan,
-    /// Optional partition window.
-    pub partition: Option<PartitionWindow>,
-    /// Optional zone-controller crash.
-    pub crash: Option<CrashWindow>,
+    /// Partition windows. Windows may repeat or overlap; a zone is
+    /// severed at `t` when *any* window covers it. Empty = no partitions.
+    pub partitions: Vec<PartitionWindow>,
+    /// Scheduled zone-controller crashes. A zone may crash any number of
+    /// times over a long soak; each window is an independent
+    /// crash/restart pair. Empty = no crashes.
+    pub crashes: Vec<CrashWindow>,
     /// Record the executed-event log (determinism tests).
     pub record_log: bool,
 }
@@ -133,8 +136,8 @@ impl Default for PlaneConfig {
             stale_epochs: 2,
             border_margin_m: 600.0,
             faults: FaultPlan::default(),
-            partition: None,
-            crash: None,
+            partitions: Vec::new(),
+            crashes: Vec::new(),
             record_log: false,
         }
     }
@@ -154,8 +157,8 @@ impl PlaneConfig {
     pub fn benign_twin(&self) -> PlaneConfig {
         PlaneConfig {
             faults: self.faults.benign_twin(),
-            partition: None,
-            crash: None,
+            partitions: Vec::new(),
+            crashes: Vec::new(),
             ..self.clone()
         }
     }
@@ -567,19 +570,26 @@ mod tests {
     fn benign_twin_strips_every_fault() {
         let mut cfg = short_cfg();
         cfg.faults.loss = 0.5;
-        cfg.partition = Some(PartitionWindow {
-            zone: 0,
-            from_s: 0.0,
-            until_s: 1.0,
-        });
-        cfg.crash = Some(CrashWindow {
+        cfg.partitions = vec![
+            PartitionWindow {
+                zone: 0,
+                from_s: 0.0,
+                until_s: 1.0,
+            },
+            PartitionWindow {
+                zone: 0,
+                from_s: 40.0,
+                until_s: 50.0,
+            },
+        ];
+        cfg.crashes = vec![CrashWindow {
             zone: 1,
             at_s: 5.0,
             restart_at_s: 6.0,
-        });
+        }];
         let benign = cfg.benign_twin();
         assert!(benign.faults.is_benign());
-        assert!(benign.partition.is_none() && benign.crash.is_none());
+        assert!(benign.partitions.is_empty() && benign.crashes.is_empty());
         assert_eq!(benign.seed, cfg.seed);
         assert_eq!(benign.n_epochs(), cfg.n_epochs());
     }

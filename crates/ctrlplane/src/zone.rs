@@ -84,12 +84,12 @@ impl ZoneController {
         }
     }
 
-    /// Whether a partition window severs `zone`'s links at time `t`.
+    /// Whether any partition window severs `zone`'s links at time `t`.
     fn partitioned(&self, zone: usize, t: f64) -> bool {
         self.cfg
-            .partition
-            .as_ref()
-            .is_some_and(|w| w.zone == zone && t >= w.from_s && t < w.until_s)
+            .partitions
+            .iter()
+            .any(|w| w.zone == zone && t >= w.from_s && t < w.until_s)
     }
 
     /// Pushes one envelope through the wire: encode → partition check →
@@ -390,7 +390,7 @@ impl ZoneController {
 impl Process<PlaneWorld, PlaneEvent> for ZoneController {
     fn start(&mut self, ctx: &mut Ctx<'_, PlaneWorld, PlaneEvent>) {
         ctx.schedule_at(self.cfg.first_epoch_at_s, PlaneEvent::Epoch(1));
-        if let Some(cw) = self.cfg.crash {
+        for cw in &self.cfg.crashes {
             if cw.zone == self.zone {
                 ctx.schedule_at(cw.at_s, PlaneEvent::Crash);
                 ctx.schedule_at(cw.restart_at_s, PlaneEvent::Restart);

@@ -99,6 +99,9 @@ pub struct ReallocRecord {
     /// Whether this epoch ran in safe mode (degraded network: the
     /// controller kept the last-known-good plan instead of re-optimizing).
     pub degraded: bool,
+    /// APs down when the epoch fired (the watchdog cross-checks
+    /// `degraded == (down_aps > 0)` on safe-mode-enabled runs).
+    pub down_aps: usize,
 }
 
 /// Event payload shared by the standard processes. Every variant carries
@@ -125,6 +128,13 @@ pub enum AcornEvent {
     ControlRound,
     /// A delayed control-message copy arrives (fault layer).
     DeliverMsg(u32),
+    /// One streaming workload-generator tick (soak layer): draw the next
+    /// arrival window without materializing a trace.
+    WorkloadTick,
+    /// One telemetry probe sample (soak layer): sketch-record goodput.
+    ProbeSample,
+    /// One online invariant check (soak layer).
+    WatchdogCheck,
 }
 
 /// Drives Algorithm 1 association from a session trace.
@@ -343,6 +353,7 @@ impl Process<AcornWorld, AcornEvent> for ReallocationTimer {
             after_bps: after,
             switches,
             degraded,
+            down_aps: w.down_count(),
         };
         w.realloc_log.push(record);
         ctx.telemetry.inc("reallocations");

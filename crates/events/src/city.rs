@@ -39,6 +39,8 @@
 //! runs are bit-identical at any `ACORN_THREADS`.
 
 use crate::acorn::{AcornEvent, DriftSpec, ReallocRecord, SeedPolicy};
+use crate::cityfaults::CityFaultProcess;
+use crate::faults::{FaultPlan, ResilienceReport};
 use crate::sim::{Ctx, Process, Simulation};
 use crate::telemetry::{Histogram, TelemetrySnapshot};
 use acorn_core::{
@@ -47,7 +49,7 @@ use acorn_core::{
 };
 use acorn_obs::RecordingSink;
 use acorn_phy::ChannelWidth;
-use acorn_topology::{ApId, ClientId, InterferenceGraph, SpatialGrid, Wlan};
+use acorn_topology::{ApId, ChannelAssignment, ClientId, InterferenceGraph, SpatialGrid, Wlan};
 use acorn_traces::Session;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -64,6 +66,13 @@ pub struct CityWorld {
     pub candidate_radius_m: f64,
     /// One record per re-allocation epoch, in firing order.
     pub realloc_log: Vec<ReallocRecord>,
+    /// Liveness per AP — all `true` unless a fault process crashes one.
+    /// Dead APs don't beacon, so association skips them.
+    pub ap_up: Vec<bool>,
+    /// The last assignment + width vector a *healthy* re-allocation epoch
+    /// deployed; safe mode restores it instead of re-optimizing on a
+    /// partial view of the network.
+    pub last_good: Option<(Vec<ChannelAssignment>, Vec<ChannelWidth>)>,
     /// Spatial index over AP positions.
     grid: SpatialGrid,
     /// Static AP–AP conflict edges (both directions, ascending).
@@ -108,6 +117,8 @@ impl CityWorld {
             state,
             candidate_radius_m,
             realloc_log: Vec::new(),
+            ap_up: vec![true; n],
+            last_good: None,
             grid,
             static_adj,
             via_adj: vec![BTreeMap::new(); n],
@@ -122,6 +133,38 @@ impl CityWorld {
     /// Clients currently associated.
     pub fn active_clients(&self) -> usize {
         self.active
+    }
+
+    /// Whether every AP is up.
+    pub fn all_up(&self) -> bool {
+        self.ap_up.iter().all(|&u| u)
+    }
+
+    /// APs currently down.
+    pub fn down_count(&self) -> usize {
+        self.ap_up.iter().filter(|&&u| !u).count()
+    }
+
+    /// Static (AP–AP carrier-sense) neighbours of `ap`, ascending.
+    pub fn static_neighbors(&self, ap: usize) -> &[u32] {
+        &self.static_adj[ap]
+    }
+
+    /// The clients currently in `ap`'s cell, in association order.
+    pub fn cell_clients(&self, ap: usize) -> &[u32] {
+        &self.cells[ap]
+    }
+
+    /// The cached HT20 SNR of client `c` to its AP (meaningless for
+    /// unassociated clients).
+    pub fn client_snr20_cached(&self, c: usize) -> f64 {
+        self.client_snr20[c]
+    }
+
+    /// Overwrites client `c`'s cached SNR — the measurement path a fault
+    /// process drives (its outlier/NaN gates decide what lands here).
+    pub fn set_client_snr20(&mut self, c: usize, snr20_db: f64) {
+        self.client_snr20[c] = snr20_db;
     }
 
     /// Materializes the current conflict graph — identical, edge for
@@ -182,7 +225,7 @@ impl CityWorld {
     /// Localized §5.2 width adaptation for one AP (same hysteretic rule
     /// as [`AcornController::adapt_widths`]; cell throughput at equal
     /// access share is `k·8·payload/ATD`, so widths compare by `1/ATD`).
-    fn adapt_width_local(&mut self, ap: usize) {
+    pub fn adapt_width_local(&mut self, ap: usize) {
         if self.state.assignments[ap].width() != ChannelWidth::Ht40 || self.cells[ap].is_empty() {
             return;
         }
@@ -233,12 +276,16 @@ impl CityWorld {
 
     /// Algorithm 1 over the spatial candidate set. Returns the chosen AP
     /// and the client's own delivery delay there, recording candidate
-    /// metrics into `sink`.
-    fn associate_obs(&mut self, c: usize, sink: &RecordingSink) -> Option<(usize, f64)> {
+    /// metrics into `sink`. Dead APs don't beacon, so clients never see
+    /// them as candidates — a no-op while every AP is up.
+    pub fn associate_obs(&mut self, c: usize, sink: &RecordingSink) -> Option<(usize, f64)> {
         let pos = self.wlan.clients[c].pos;
         let mut candidates = Vec::new();
         let mut snrs = Vec::new();
         for ap in self.grid.within(&pos, self.candidate_radius_m) {
+            if !self.ap_up[ap] {
+                continue;
+            }
             let snr20 = self.wlan.snr_db(ApId(ap), ClientId(c), ChannelWidth::Ht20);
             if snr20 < self.ctl.config.association_snr_floor_db {
                 continue;
@@ -266,7 +313,7 @@ impl CityWorld {
 
     /// Removes a departing client, unwinding its edges and cell entry.
     /// Returns its former AP.
-    fn deassociate(&mut self, c: usize) -> Option<usize> {
+    pub fn deassociate(&mut self, c: usize) -> Option<usize> {
         let ap = self.state.assoc[c]?.0;
         self.update_via_edges(c, ap, -1);
         self.cells[ap].retain(|&x| x as usize != c);
@@ -278,7 +325,7 @@ impl CityWorld {
     /// Builds the throughput model from the maintained structures (the
     /// composite's `build_model` re-derives cells by scanning every
     /// client per AP — O(aps·clients) — which this path exists to avoid).
-    fn build_model(&self) -> NetworkModel {
+    pub fn build_model(&self) -> NetworkModel {
         let graph = self.graph_snapshot();
         let cells: Vec<Vec<ClientSnr>> = self
             .cells
@@ -307,13 +354,66 @@ impl CityWorld {
 
     /// Refreshes every active client's cached SNR (after a drift step
     /// decorrelated the shadowing draws).
-    fn refresh_snrs(&mut self) {
+    pub fn refresh_snrs(&mut self) {
         for ap in 0..self.cells.len() {
             for i in 0..self.cells[ap].len() {
                 let c = self.cells[ap][i] as usize;
                 self.client_snr20[c] = self.wlan.snr_db(ApId(ap), ClientId(c), ChannelWidth::Ht20);
             }
         }
+    }
+
+    /// `M = 1/(|con|+1)` counting only *live* conflicting neighbours —
+    /// dead APs don't transmit, so they cost no airtime.
+    pub fn access_share_up(&self, ap: usize) -> f64 {
+        let own = self.state.effective_assignment(ApId(ap));
+        let mut con = 0usize;
+        for &j in &self.static_adj[ap] {
+            if self.ap_up[j as usize]
+                && own.conflicts(self.state.effective_assignment(ApId(j as usize)))
+            {
+                con += 1;
+            }
+        }
+        for &j in self.via_adj[ap].keys() {
+            if self.static_adj[ap].binary_search(&j).is_ok() {
+                continue;
+            }
+            if self.ap_up[j as usize]
+                && own.conflicts(self.state.effective_assignment(ApId(j as usize)))
+            {
+                con += 1;
+            }
+        }
+        1.0 / (con as f64 + 1.0)
+    }
+
+    /// One live cell's goodput under the localized model:
+    /// `share · k · 8 · payload / ATD` at the cell's operating width.
+    /// Zero for dead or empty cells. O(neighbours) — cheap enough for
+    /// per-tick soak probes, unlike a full model build.
+    pub fn cell_bps_up(&self, ap: usize) -> f64 {
+        if !self.ap_up[ap] || self.cells[ap].is_empty() {
+            return 0.0;
+        }
+        let width = self.state.operating_width[ap];
+        let atd = self.cell_atd_s(ap, width);
+        if !(atd > 0.0) || !atd.is_finite() {
+            return 0.0;
+        }
+        let k = self.cells[ap].len() as f64;
+        self.access_share_up(ap) * k * 8.0 * self.ctl.config.payload_bytes as f64 / atd
+    }
+
+    /// Network goodput over live APs only (sum of [`cell_bps_up`]
+    /// over all cells) — the quantity the soak probe records and
+    /// `throughput_retained` compares across fault profiles.
+    ///
+    /// [`cell_bps_up`]: CityWorld::cell_bps_up
+    pub fn network_bps_up(&self) -> f64 {
+        (0..self.wlan.aps.len())
+            .map(|ap| self.cell_bps_up(ap))
+            .sum()
     }
 }
 
@@ -398,6 +498,12 @@ pub struct CityReallocationTimer {
     pub adapt_widths: bool,
     /// Per-epoch seed derivation.
     pub seed_policy: SeedPolicy,
+    /// Degrade gracefully when APs are down: keep the last-known-good
+    /// plan, skip re-optimization, and force cells bordering a dead AP to
+    /// 20 MHz. Off, the timer re-optimizes blindly every epoch (the
+    /// pre-fault-layer behaviour — and bit-identical to it while every
+    /// AP is up).
+    pub safe_mode: bool,
 }
 
 impl Process<CityWorld, AcornEvent> for CityReallocationTimer {
@@ -422,41 +528,66 @@ impl Process<CityWorld, AcornEvent> for CityReallocationTimer {
         // once per AP, which is O(n²) and exactly what city mode avoids.
         let before = model.total_bps(&w.state.assignments);
         let active = w.active_clients();
-        let sink = RecordingSink::new();
-        let r = allocate_sharded_with_restarts_obs(
-            &model,
-            &w.ctl.config.plan,
-            w.state.assignments.clone(),
-            &w.ctl.config.allocation,
-            self.restarts,
-            seed,
-            &sink,
-        );
-        w.state.assignments = r.assignments.clone();
-        w.state.operating_width = w.state.assignments.iter().map(|a| a.width()).collect();
-        if self.adapt_widths {
-            for ap in 0..w.wlan.aps.len() {
-                w.adapt_width_local(ap);
+        let degraded = self.safe_mode && !w.all_up();
+        let (after, switches) = if degraded {
+            // Safe mode: a partial network means a partial view — any
+            // re-optimization now would chase phantom interference. Keep
+            // the last plan a healthy epoch deployed and shed the risky
+            // 40 MHz bonds next to the hole.
+            if let Some((assignments, widths)) = w.last_good.clone() {
+                w.state.assignments = assignments;
+                w.state.operating_width = widths;
             }
-        }
-        // Flush the epoch's model-evaluation and goodput-table counters
-        // alongside the alloc.* metrics (the controller's obs entry
-        // points do the same through `finish_epoch_obs`).
-        model.flush_stats_into(&sink);
-        sink.drain_into(ctx.telemetry);
+            for ap in 0..w.wlan.aps.len() {
+                if w.ap_up[ap] && w.static_adj[ap].iter().any(|&n| !w.ap_up[n as usize]) {
+                    w.state.operating_width[ap] = ChannelWidth::Ht20;
+                }
+            }
+            ctx.telemetry
+                .inc(acorn_obs::names::CONTROLLER_SAFE_MODE_EPOCHS);
+            (model.total_bps(&w.state.assignments), 0)
+        } else {
+            let sink = RecordingSink::new();
+            let r = allocate_sharded_with_restarts_obs(
+                &model,
+                &w.ctl.config.plan,
+                w.state.assignments.clone(),
+                &w.ctl.config.allocation,
+                self.restarts,
+                seed,
+                &sink,
+            );
+            w.state.assignments = r.assignments.clone();
+            w.state.operating_width = w.state.assignments.iter().map(|a| a.width()).collect();
+            if self.adapt_widths {
+                for ap in 0..w.wlan.aps.len() {
+                    w.adapt_width_local(ap);
+                }
+            }
+            // Flush the epoch's model-evaluation and goodput-table counters
+            // alongside the alloc.* metrics (the controller's obs entry
+            // points do the same through `finish_epoch_obs`).
+            model.flush_stats_into(&sink);
+            sink.drain_into(ctx.telemetry);
+            if self.safe_mode {
+                w.last_good = Some((w.state.assignments.clone(), w.state.operating_width.clone()));
+            }
+            (r.total_bps, r.switches)
+        };
         let record = ReallocRecord {
             t_s: t,
             active_clients: active,
             before_bps: before,
-            after_bps: r.total_bps,
-            switches: r.switches,
-            degraded: false,
+            after_bps: after,
+            switches,
+            degraded,
+            down_aps: w.down_count(),
         };
         w.realloc_log.push(record);
         ctx.telemetry.inc("reallocations");
         ctx.telemetry.record("network_bps.before", t, before);
-        ctx.telemetry.record("network_bps.after", t, r.total_bps);
-        ctx.telemetry.observe("switches", r.switches as f64);
+        ctx.telemetry.record("network_bps.after", t, after);
+        ctx.telemetry.observe("switches", switches as f64);
         let next = t + self.period_s;
         if next < self.horizon_s {
             ctx.schedule_at(next, AcornEvent::Reallocate);
@@ -524,6 +655,11 @@ pub struct CityScenario {
     pub adapt_widths: bool,
     /// Optional shadowing drift.
     pub drift: Option<DriftSpec>,
+    /// Optional fault-injection layer (AP crash/restart, measurement
+    /// faults, beacon gauntlet). Setting it (even to a benign plan)
+    /// switches the re-allocation timer to safe mode and epoch seeds to
+    /// the sequential policy (for twin comparability).
+    pub faults: Option<FaultPlan>,
     /// Master seed (initial assignment + per-epoch restart streams).
     pub seed: u64,
     /// Record the executed-event log (costs a `String` per event — avoid
@@ -543,6 +679,11 @@ pub struct CityReport {
     pub realloc: Vec<ReallocRecord>,
     /// The final controller state.
     pub final_state: NetworkState,
+    /// Fault-layer aggregates (present iff `faults` was set). The golden
+    /// comparison fields are zero unless
+    /// [`run_resilience`](CityScenario::run_resilience) produced the
+    /// report.
+    pub resilience: Option<ResilienceReport>,
 }
 
 impl CityScenario {
@@ -566,7 +707,18 @@ impl CityScenario {
             horizon_s: self.horizon_s,
             restarts: self.restarts,
             adapt_widths: self.adapt_widths,
-            seed_policy: SeedPolicy::FromEventSeq { base: self.seed },
+            // With faults on, epoch seeds count epochs rather than events:
+            // a faulty run and its golden twin schedule different event
+            // interleavings, and the resilience comparison is only
+            // meaningful if both draw identical per-epoch restart streams.
+            seed_policy: if self.faults.is_some() {
+                SeedPolicy::Sequential {
+                    next: self.seed.wrapping_add(1),
+                }
+            } else {
+                SeedPolicy::FromEventSeq { base: self.seed }
+            },
+            safe_mode: self.faults.is_some(),
         }));
         if let Some(d) = self.drift {
             sim.add_process(Box::new(CityDriftProcess {
@@ -575,14 +727,47 @@ impl CityScenario {
                 phase_step_rad: d.phase_step_rad,
             }));
         }
+        // The fault process registers *last* so the benign event schedule
+        // (and every pre-existing golden fingerprint) is untouched when it
+        // is absent.
+        if let Some(plan) = self.faults {
+            sim.add_process(Box::new(CityFaultProcess::new(plan, self.horizon_s)));
+        }
         let stats = sim.run(self.horizon_s);
+        let resilience = self
+            .faults
+            .map(|_| ResilienceReport::from_telemetry(&sim.telemetry));
         CityReport {
             stats,
             telemetry: sim.telemetry.snapshot(),
             log: sim.event_log().cloned(),
             realloc: std::mem::take(&mut sim.world.realloc_log),
             final_state: sim.world.state.clone(),
+            resilience,
         }
+    }
+
+    /// Runs the scenario twice — once with its fault plan, once with the
+    /// plan's fault-free twin — and returns the faulty report with its
+    /// [`ResilienceReport`] golden-comparison fields filled in
+    /// (`golden_mean_bps`, `throughput_retained`).
+    pub fn run_resilience(&self, ctl: &AcornController) -> CityReport {
+        let plan = self.faults.unwrap_or_default();
+        let mut faulty = self.clone();
+        faulty.faults = Some(plan);
+        let mut report = faulty.run(ctl);
+        let mut golden = self.clone();
+        golden.faults = Some(plan.benign_twin());
+        let golden_report = golden.run(ctl);
+        if let (Some(r), Some(g)) = (report.resilience.as_mut(), golden_report.resilience) {
+            r.golden_mean_bps = g.faulty_mean_bps;
+            r.throughput_retained = if g.faulty_mean_bps > 0.0 {
+                r.faulty_mean_bps / g.faulty_mean_bps
+            } else {
+                0.0
+            };
+        }
+        report
     }
 }
 
@@ -641,6 +826,7 @@ mod tests {
                 period_s: 250.0,
                 phase_step_rad: 0.05,
             }),
+            faults: None,
             seed,
             record_log: true,
         }

@@ -12,8 +12,8 @@
 //! The fixed-step and sort-a-vec time loops the simulations grew up with
 //! had two structural problems this crate removes at the type level:
 //!
-//! 1. **Partial orderings.** Sorting event vectors by
-//!    `f64::partial_cmp().unwrap()` panics on NaN and, worse, leaves
+//! 1. **Partial orderings.** Sorting event vectors by an unwrapped
+//!    `f64::partial_cmp` panics on NaN and, worse, leaves
 //!    same-timestamp ordering to the sort's whims. The
 //!    [`EventQueue`] validates times once at scheduling and orders by
 //!    `(f64::to_bits(t), seq)` — total, NaN-free, and stable: ties fire
@@ -35,6 +35,7 @@
 
 pub mod acorn;
 pub mod city;
+pub mod cityfaults;
 pub mod faults;
 pub mod queue;
 pub mod sim;
@@ -48,6 +49,7 @@ pub use city::{
     CityDriftProcess, CityReallocationTimer, CityReport, CityScenario, CitySessionProcess,
     CityWorld,
 };
+pub use cityfaults::CityFaultProcess;
 pub use faults::{
     corrupt_frame, FaultPlan, FaultProcess, FaultRng, GauntletCounters, ResilienceReport,
     FAULT_GAUNTLET,

@@ -4,7 +4,7 @@
 //! Two design rules make the queue deterministic where ad-hoc time loops
 //! are not:
 //!
-//! * **No `partial_cmp().unwrap()`.** Timestamps are validated once at
+//! * **No unwrapped `partial_cmp`.** Timestamps are validated once at
 //!   scheduling time (finite, non-negative, never in the past) and then
 //!   compared as raw `u64` bit patterns — for non-negative finite `f64`s
 //!   the IEEE-754 bit order *is* the numeric order, so the heap needs no

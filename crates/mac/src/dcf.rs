@@ -119,7 +119,10 @@ pub fn simulate_dcf(stations: &[StationConfig], duration_s: f64, seed: u64) -> V
     let mut t = 0.0f64;
     while t < duration_s {
         // Advance to the next backoff expiry.
-        let min_b = active.iter().map(|&i| state[i].backoff).min().unwrap();
+        // `active` is non-empty (early return above), so a minimum exists.
+        let Some(min_b) = active.iter().map(|&i| state[i].backoff).min() else {
+            break;
+        };
         t += min_b as f64 * SLOT_S;
         if t >= duration_s {
             break;

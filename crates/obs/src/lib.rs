@@ -30,10 +30,12 @@
 
 pub mod names;
 pub mod sink;
+pub mod sketch;
 pub mod telemetry;
 
 pub use sink::{NullSink, RecordingSink, Sink, Span};
+pub use sketch::{QuantileSketch, SketchEntry, SketchError, DEFAULT_SKETCH_K};
 pub use telemetry::{
     CounterEntry, GaugeEntry, Histogram, HistogramEntry, HistogramError, Series, SeriesEntry,
-    Telemetry, TelemetrySnapshot,
+    Telemetry, TelemetrySnapshot, DEFAULT_SERIES_CAP,
 };

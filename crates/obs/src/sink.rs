@@ -59,6 +59,13 @@ pub trait Sink {
     /// Records `x` into the histogram `name` (sequential contexts only).
     fn observe(&self, name: &str, x: f64);
 
+    /// Records `x` into the bounded-memory quantile sketch `name`
+    /// (sequential contexts only — sketch state is order-sensitive under
+    /// compaction, like series samples). Default is a no-op so existing
+    /// sinks stay source-compatible.
+    #[inline]
+    fn sketch_observe(&self, _name: &str, _x: f64) {}
+
     /// True when this sink wants wall-clock span durations. Defaults to
     /// `false`; deterministic sinks must never return `true` inside
     /// simulations.
@@ -101,6 +108,10 @@ impl<S: Sink + ?Sized> Sink for &S {
     #[inline]
     fn observe(&self, name: &str, x: f64) {
         (**self).observe(name, x)
+    }
+    #[inline]
+    fn sketch_observe(&self, name: &str, x: f64) {
+        (**self).sketch_observe(name, x)
     }
     #[inline]
     fn wants_wall_time(&self) -> bool {
@@ -239,6 +250,9 @@ impl Sink for RecordingSink {
     }
     fn observe(&self, name: &str, x: f64) {
         self.lock().observe(name, x);
+    }
+    fn sketch_observe(&self, name: &str, x: f64) {
+        self.lock().sketch_observe(name, x);
     }
     fn wants_wall_time(&self) -> bool {
         self.wall

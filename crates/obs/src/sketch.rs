@@ -1,0 +1,540 @@
+//! Fixed-memory mergeable quantile sketches (KLL-style).
+//!
+//! Long soak runs observe hundreds of millions of per-client goodput
+//! samples; materializing them (or even histogramming them with enough
+//! resolution for p99) is either unbounded or lossy in the wrong way.
+//! [`QuantileSketch`] keeps a cascade of weighted buffers — level `i`
+//! holds items that each stand for `2^i` original observations — with a
+//! uniform per-level capacity `k`, so memory is `O(k·log2(n/k))` items
+//! regardless of the stream length, and every quantile query carries a
+//! *deterministic worst-case* rank-error bound the sketch tracks as it
+//! compacts ([`QuantileSketch::rank_error_bound`]).
+//!
+//! Three properties are load-bearing for the soak harness:
+//!
+//! * **Deterministic.** Compaction parity comes from a counter-keyed
+//!   splitmix64 draw, not an RNG with hidden state: the same observation
+//!   sequence produces the same sketch, bit for bit, at any
+//!   `ACORN_THREADS`.
+//! * **Mergeable, commutatively.** [`merge`](QuantileSketch::merge)
+//!   canonicalizes (concatenate per level, sort by `total_cmp`, compact,
+//!   re-sort every level), so `merge(a, b)` and `merge(b, a)` produce
+//!   bit-identical state. Associativity holds within the tracked rank
+//!   error (exact associativity is impossible for any compacting
+//!   summary; the proptests in `tests/sketch_props.rs` pin both claims).
+//! * **Never panics.** NaN observations are counted in
+//!   [`nan_rejected`](QuantileSketch::nan_rejected) and otherwise
+//!   ignored — the same policy [`Histogram`](crate::Histogram) adopted
+//!   when the fault layer started injecting NaN measurements. Any other
+//!   f64 bit pattern (±∞, subnormals, -0.0) is accepted and ordered by
+//!   `total_cmp`.
+
+use serde::Serialize;
+
+/// Default per-level capacity: ~0.6 kB per level, worst-case rank error
+/// around `levels/k` of the stream — ≲ 5 % at a billion observations,
+/// far tighter in practice with pseudorandom compaction parity.
+pub const DEFAULT_SKETCH_K: usize = 256;
+
+/// Why a sketch could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SketchError {
+    /// `k` must be an even number ≥ 8 (odd capacities cannot halve a
+    /// full buffer weight-exactly; tiny ones cannot bound error).
+    BadCapacity {
+        /// The rejected capacity.
+        k: usize,
+    },
+}
+
+impl std::fmt::Display for SketchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SketchError::BadCapacity { k } => {
+                write!(f, "sketch capacity must be an even number >= 8, got {k}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
+/// The splitmix64 finalizer (same constants as `acorn_events::mix_seed`;
+/// duplicated here so `acorn-obs` stays dependency-free below the
+/// events layer).
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A mergeable streaming quantile sketch with bounded memory and a
+/// deterministic worst-case rank-error bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    /// Per-level buffer capacity (even, ≥ 8).
+    k: usize,
+    /// `levels[i]` holds items of weight `2^i`. Level 0 is insertion
+    /// order; higher levels are sorted ascending by `total_cmp` (and all
+    /// levels are sorted after a merge).
+    levels: Vec<Vec<f64>>,
+    /// Non-NaN observations absorbed (equals the total item weight).
+    count: u64,
+    /// NaN observations rejected (counted, never stored).
+    nan_rejected: u64,
+    /// Smallest / largest non-NaN observation (exact, never compacted
+    /// away).
+    min: Option<f64>,
+    /// Largest observation.
+    max: Option<f64>,
+    /// Compactions performed (keys the parity stream).
+    compactions: u64,
+    /// Accumulated worst-case rank error in *weight* units: each
+    /// compaction at level `i` can shift any rank estimate by at most
+    /// `2^i`.
+    rank_err: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        // DEFAULT_SKETCH_K is even and >= 8, so this literal upholds the
+        // same invariant `new` checks.
+        QuantileSketch {
+            k: DEFAULT_SKETCH_K,
+            levels: vec![Vec::new()],
+            count: 0,
+            nan_rejected: 0,
+            min: None,
+            max: None,
+            compactions: 0,
+            rank_err: 0,
+        }
+    }
+}
+
+impl QuantileSketch {
+    /// A sketch with per-level capacity `k` (even, ≥ 8).
+    pub fn new(k: usize) -> Result<QuantileSketch, SketchError> {
+        if k < 8 || k % 2 != 0 {
+            return Err(SketchError::BadCapacity { k });
+        }
+        Ok(QuantileSketch {
+            k,
+            ..QuantileSketch::default()
+        })
+    }
+
+    /// The per-level capacity.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Non-NaN observations absorbed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// NaN observations rejected.
+    pub fn nan_rejected(&self) -> u64 {
+        self.nan_rejected
+    }
+
+    /// Smallest observation (`None` when empty). Exact.
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest observation (`None` when empty). Exact.
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+
+    /// True when nothing (non-NaN) has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Items currently retained across all levels — the memory bound the
+    /// soak regression test asserts is `O(k·log2(n/k))`, not `O(n)`.
+    pub fn retained(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum()
+    }
+
+    /// Worst-case rank error of any [`rank`](QuantileSketch::rank) /
+    /// [`quantile`](QuantileSketch::quantile) answer, as a fraction of
+    /// the stream (`0.0` for an uncompacted sketch: answers are exact).
+    /// Deterministic — accumulated from the compaction schedule actually
+    /// executed, not a probabilistic bound.
+    pub fn rank_error_bound(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.rank_err as f64 / self.count as f64
+        }
+    }
+
+    /// Records one observation. NaN is counted and ignored; every other
+    /// bit pattern is absorbed. Never panics.
+    pub fn observe(&mut self, x: f64) {
+        if x.is_nan() {
+            self.nan_rejected += 1;
+            return;
+        }
+        self.count += 1;
+        self.min = Some(match self.min {
+            Some(m) if m.total_cmp(&x).is_le() => m,
+            _ => x,
+        });
+        self.max = Some(match self.max {
+            Some(m) if m.total_cmp(&x).is_ge() => m,
+            _ => x,
+        });
+        if let Some(l0) = self.levels.first_mut() {
+            l0.push(x);
+        }
+        if self.levels.first().is_some_and(|l| l.len() >= self.k) {
+            self.compact_cascade(0);
+        }
+    }
+
+    /// Compacts level `from` upward while any level is at capacity:
+    /// sort, promote every other item (pseudorandom parity) at doubled
+    /// weight, keep an odd leftover in place so total weight is
+    /// preserved exactly.
+    fn compact_cascade(&mut self, from: usize) {
+        let mut i = from;
+        while i < self.levels.len() && self.levels[i].len() >= self.k {
+            self.levels[i].sort_by(f64::total_cmp);
+            let len = self.levels[i].len();
+            let even = len & !1;
+            let parity = (splitmix(self.compactions) & 1) as usize;
+            self.compactions += 1;
+            // Rank-error accounting: promoting weight-2^i pairs can move
+            // any rank estimate by at most one item weight.
+            self.rank_err = self.rank_err.saturating_add(1u64 << i);
+            let mut promoted = Vec::with_capacity(even / 2);
+            let leftover = (even < len).then(|| self.levels[i][len - 1]);
+            for j in (parity..even).step_by(2) {
+                promoted.push(self.levels[i][j]);
+            }
+            self.levels[i].clear();
+            if let Some(x) = leftover {
+                self.levels[i].push(x);
+            }
+            if self.levels.len() == i + 1 {
+                self.levels.push(Vec::new());
+            }
+            self.levels[i + 1].extend_from_slice(&promoted);
+            // Keep higher levels sorted so compaction order never
+            // depends on arrival order more than it must.
+            self.levels[i + 1].sort_by(f64::total_cmp);
+            i += 1;
+        }
+    }
+
+    /// Estimated number of observations `<= x` (weighted rank). Within
+    /// `rank_err` of the true rank, deterministically.
+    pub fn rank(&self, x: f64) -> u64 {
+        if x.is_nan() {
+            return 0;
+        }
+        let mut r = 0u64;
+        for (i, level) in self.levels.iter().enumerate() {
+            let w = 1u64 << i;
+            for v in level {
+                if v.total_cmp(&x).is_le() {
+                    r += w;
+                }
+            }
+        }
+        r
+    }
+
+    /// Estimated CDF at `x` (`rank(x) / count`); `0.0` when empty.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.rank(x) as f64 / self.count as f64
+        }
+    }
+
+    /// The estimated `q`-quantile (`q ∈ [0, 1]`, nearest-rank over the
+    /// weighted items, matching `acorn_traces::Ecdf::quantile`). `None`
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let mut items: Vec<(f64, u64)> = Vec::with_capacity(self.retained());
+        for (i, level) in self.levels.iter().enumerate() {
+            let w = 1u64 << i;
+            items.extend(level.iter().map(|&v| (v, w)));
+        }
+        items.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let target = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (v, w) in &items {
+            cum += w;
+            if cum >= target {
+                return Some(*v);
+            }
+        }
+        items.last().map(|(v, _)| *v)
+    }
+
+    /// Folds `other` into `self`, canonically: per-level concatenation,
+    /// then compaction, then a per-level sort — so the merged state is a
+    /// symmetric function of the two inputs and `merge` commutes bit for
+    /// bit. Returns `false` (leaving `self` untouched) when the
+    /// capacities differ, mirroring
+    /// [`Histogram::merge`](crate::Histogram::merge)'s edge check.
+    pub fn merge(&mut self, other: &QuantileSketch) -> bool {
+        if self.k != other.k {
+            return false;
+        }
+        while self.levels.len() < other.levels.len() {
+            self.levels.push(Vec::new());
+        }
+        for (i, level) in other.levels.iter().enumerate() {
+            self.levels[i].extend_from_slice(level);
+        }
+        self.count += other.count;
+        self.nan_rejected += other.nan_rejected;
+        self.rank_err = self.rank_err.saturating_add(other.rank_err);
+        self.compactions += other.compactions;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(if a.total_cmp(&b).is_le() { a } else { b }),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(if a.total_cmp(&b).is_ge() { a } else { b }),
+            (a, b) => a.or(b),
+        };
+        // Canonical form: sort every level (erasing concatenation
+        // order), then compact any over-full level.
+        for level in &mut self.levels {
+            level.sort_by(f64::total_cmp);
+        }
+        self.compact_cascade(0);
+        true
+    }
+
+    /// FNV-1a fingerprint of the full sketch state (levels, counts,
+    /// extremes) — the compact bit-identity witness the thread-sweep
+    /// gates compare through snapshots.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(self.k as u64);
+        eat(self.count);
+        eat(self.nan_rejected);
+        eat(self.rank_err);
+        eat(self.min.map_or(u64::MAX, f64::to_bits));
+        eat(self.max.map_or(u64::MAX, f64::to_bits));
+        for level in &self.levels {
+            eat(level.len() as u64);
+            for v in level {
+                eat(v.to_bits());
+            }
+        }
+        h
+    }
+
+    /// Freezes the sketch into its snapshot row.
+    pub fn entry(&self, name: &str) -> SketchEntry {
+        SketchEntry {
+            name: name.to_string(),
+            k: self.k as u64,
+            count: self.count,
+            nan_rejected: self.nan_rejected,
+            min: self.min,
+            max: self.max,
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            rank_error_bound: self.rank_error_bound(),
+            retained: self.retained() as u64,
+            fingerprint: self.fingerprint(),
+        }
+    }
+}
+
+/// Snapshot of one quantile sketch: the summary quantiles plus an exact
+/// state fingerprint, so snapshot equality implies bit-identical sketch
+/// state without serializing every retained item.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SketchEntry {
+    /// Metric name.
+    pub name: String,
+    /// Per-level capacity.
+    pub k: u64,
+    /// Observations absorbed.
+    pub count: u64,
+    /// NaN observations rejected.
+    pub nan_rejected: u64,
+    /// Smallest observation (exact; `null` when empty).
+    pub min: Option<f64>,
+    /// Largest observation (exact; `null` when empty).
+    pub max: Option<f64>,
+    /// Estimated median.
+    pub p50: Option<f64>,
+    /// Estimated 90th percentile.
+    pub p90: Option<f64>,
+    /// Estimated 95th percentile.
+    pub p95: Option<f64>,
+    /// Estimated 99th percentile.
+    pub p99: Option<f64>,
+    /// Deterministic worst-case rank error (fraction of the stream).
+    pub rank_error_bound: f64,
+    /// Items currently retained (the memory actually held).
+    pub retained: u64,
+    /// FNV-1a fingerprint of the full internal state.
+    pub fingerprint: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(n: usize, k: usize) -> QuantileSketch {
+        let mut s = QuantileSketch::new(k).expect("valid k");
+        for i in 0..n {
+            s.observe(i as f64);
+        }
+        s
+    }
+
+    #[test]
+    fn bad_capacities_are_typed_errors() {
+        assert_eq!(
+            QuantileSketch::new(7).unwrap_err(),
+            SketchError::BadCapacity { k: 7 }
+        );
+        assert_eq!(
+            QuantileSketch::new(9).unwrap_err(),
+            SketchError::BadCapacity { k: 9 }
+        );
+        assert!(QuantileSketch::new(8).is_ok());
+        assert!(SketchError::BadCapacity { k: 7 }.to_string().contains("7"));
+    }
+
+    #[test]
+    fn small_streams_are_exact() {
+        let s = filled(100, 256);
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.rank_error_bound(), 0.0);
+        assert_eq!(s.quantile(0.5), Some(49.0));
+        assert_eq!(s.min(), Some(0.0));
+        assert_eq!(s.max(), Some(99.0));
+        assert_eq!(s.rank(49.0), 50);
+    }
+
+    #[test]
+    fn memory_is_bounded_and_error_tracked() {
+        let k = 64;
+        let s = filled(1_000_000, k);
+        assert_eq!(s.count(), 1_000_000);
+        // log2(1e6/64) ~ 14 levels, each < k items.
+        assert!(
+            s.retained() <= k * 40,
+            "retained {} items for 1M stream",
+            s.retained()
+        );
+        let bound = s.rank_error_bound();
+        assert!(bound > 0.0 && bound < 0.5, "bound {bound}");
+        // The bound must actually hold for the uniform stream.
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let est = s.quantile(q).expect("non-empty");
+            let true_rank = est + 1.0; // value i has exact rank i+1
+            let est_rank = 1_000_000.0 * q;
+            assert!(
+                (true_rank - est_rank).abs() <= bound * 1_000_000.0 + 1.0,
+                "q={q}: est {est}, bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_is_counted_never_stored() {
+        let mut s = QuantileSketch::default();
+        s.observe(f64::NAN);
+        s.observe(1.0);
+        s.observe(f64::NAN);
+        assert_eq!(s.nan_rejected(), 2);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.quantile(0.5), Some(1.0));
+    }
+
+    #[test]
+    fn infinities_and_negative_zero_are_ordered() {
+        let mut s = QuantileSketch::default();
+        for x in [f64::INFINITY, f64::NEG_INFINITY, -0.0, 0.0] {
+            s.observe(x);
+        }
+        assert_eq!(s.min(), Some(f64::NEG_INFINITY));
+        assert_eq!(s.max(), Some(f64::INFINITY));
+        // total_cmp orders -0.0 < 0.0.
+        assert_eq!(s.quantile(0.5).map(f64::to_bits), Some((-0.0f64).to_bits()));
+    }
+
+    #[test]
+    fn merge_commutes_bit_for_bit() {
+        let a = filled(10_000, 32);
+        let mut b = QuantileSketch::new(32).expect("valid k");
+        for i in 0..5_000 {
+            b.observe((i * 7 % 1000) as f64);
+        }
+        let mut ab = a.clone();
+        assert!(ab.merge(&b));
+        let mut ba = b.clone();
+        assert!(ba.merge(&a));
+        assert_eq!(ab, ba);
+        assert_eq!(ab.fingerprint(), ba.fingerprint());
+        assert_eq!(ab.count(), 15_000);
+    }
+
+    #[test]
+    fn merge_rejects_capacity_mismatch() {
+        let mut a = filled(10, 32);
+        let b = filled(10, 64);
+        let before = a.clone();
+        assert!(!a.merge(&b));
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn determinism_same_stream_same_fingerprint() {
+        let a = filled(100_000, 64);
+        let b = filled(100_000, 64);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn empty_sketch_answers_are_none() {
+        let s = QuantileSketch::default();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.cdf(1.0), 0.0);
+        assert_eq!(s.entry("e").p99, None);
+    }
+
+    #[test]
+    fn entry_is_a_faithful_summary() {
+        let s = filled(1000, 256);
+        let e = s.entry("goodput");
+        assert_eq!(e.name, "goodput");
+        assert_eq!(e.count, 1000);
+        assert_eq!(e.fingerprint, s.fingerprint());
+        assert_eq!(e.retained as usize, s.retained());
+    }
+}

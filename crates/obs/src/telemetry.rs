@@ -22,9 +22,18 @@
 //! * [`Histogram::linear`] / [`Histogram::with_edges`] return a typed
 //!   [`HistogramError`] instead of asserting on bad bounds.
 
+use crate::sketch::{QuantileSketch, SketchEntry};
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Default per-series sample capacity. Generous enough that every
+/// short-horizon scenario keeps its full history (the longest series the
+/// repo records outside soak runs is a few thousand samples), yet it
+/// bounds a multi-day soak's telemetry at ~2 MB per series instead of
+/// O(horizon). Opt out per recorder with
+/// [`Telemetry::set_series_capacity`]`(None)`.
+pub const DEFAULT_SERIES_CAP: usize = 65_536;
 
 /// Why a histogram could not be constructed.
 #[derive(Debug, Clone, PartialEq)]
@@ -197,28 +206,129 @@ impl Histogram {
     }
 }
 
-/// One (time, value) series.
+/// One (time, value) series, optionally capacity-capped: with a cap of
+/// `c`, the series keeps between `c` and `2c` of the *most recent*
+/// samples (eviction drops the oldest half-window in one amortized-O(1)
+/// memmove rather than shifting per push), and
+/// [`total`](Series::total) keeps counting everything ever recorded —
+/// so bounded memory never silently masquerades as a short run.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Series {
-    /// Sample times (s, virtual).
+    /// Sample times (s, virtual) — the retained window.
     pub times_s: Vec<f64>,
-    /// Sample values.
+    /// Sample values — the retained window.
     pub values: Vec<f64>,
+    /// Retention cap (`None` = unbounded, the pre-soak behaviour).
+    cap: Option<usize>,
+    /// Samples ever recorded, including evicted ones.
+    total: u64,
+}
+
+impl Series {
+    /// An empty series with the given retention cap.
+    pub fn with_capacity(cap: Option<usize>) -> Series {
+        Series {
+            cap,
+            ..Series::default()
+        }
+    }
+
+    /// Samples ever recorded (≥ `values.len()` once eviction starts).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples currently retained.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// True once eviction has dropped at least one sample.
+    pub fn is_truncated(&self) -> bool {
+        self.total > self.values.len() as u64
+    }
+
+    /// The retention cap.
+    pub fn capacity(&self) -> Option<usize> {
+        self.cap
+    }
+
+    fn set_capacity(&mut self, cap: Option<usize>) {
+        self.cap = cap;
+        self.enforce_cap();
+    }
+
+    fn push(&mut self, t_s: f64, value: f64) {
+        self.total += 1;
+        self.times_s.push(t_s);
+        self.values.push(value);
+        self.enforce_cap();
+    }
+
+    fn enforce_cap(&mut self) {
+        if let Some(cap) = self.cap {
+            let cap = cap.max(1);
+            if self.values.len() >= cap * 2 {
+                let drop = self.values.len() - cap;
+                self.times_s.drain(..drop);
+                self.values.drain(..drop);
+                self.times_s.shrink_to(cap * 2);
+                self.values.shrink_to(cap * 2);
+            }
+        }
+    }
 }
 
 /// The telemetry recorder processes and sinks write into.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Telemetry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     series: BTreeMap<String, Series>,
     histograms: BTreeMap<String, Histogram>,
+    sketches: BTreeMap<String, QuantileSketch>,
+    /// Retention cap newly-created series inherit.
+    series_cap: Option<usize>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            series: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            sketches: BTreeMap::new(),
+            series_cap: Some(DEFAULT_SERIES_CAP),
+        }
+    }
 }
 
 impl Telemetry {
-    /// An empty recorder.
+    /// An empty recorder (series capped at [`DEFAULT_SERIES_CAP`]).
     pub fn new() -> Telemetry {
         Telemetry::default()
+    }
+
+    /// Sets the retention cap applied to every series, existing and
+    /// future (`None` is the explicit opt-out back to unbounded
+    /// history). Soak harnesses tighten this; plot-oriented short runs
+    /// that need every sample loosen it.
+    pub fn set_series_capacity(&mut self, cap: Option<usize>) {
+        self.series_cap = cap;
+        for s in self.series.values_mut() {
+            s.set_capacity(cap);
+        }
+    }
+
+    /// The retention cap newly-created series inherit.
+    pub fn series_capacity(&self) -> Option<usize> {
+        self.series_cap
     }
 
     /// Increments a counter by 1.
@@ -246,11 +356,15 @@ impl Telemetry {
         self.gauges.get(name).copied()
     }
 
-    /// Appends a (time, value) sample to a series.
+    /// Appends a (time, value) sample to a series (evicting the oldest
+    /// window once the recorder's series cap is exceeded).
     pub fn record(&mut self, name: &str, t_s: f64, value: f64) {
-        let s = self.series.entry(name.to_string()).or_default();
-        s.times_s.push(t_s);
-        s.values.push(value);
+        let cap = self.series_cap;
+        let s = self
+            .series
+            .entry(name.to_string())
+            .or_insert_with(|| Series::with_capacity(cap));
+        s.push(t_s, value);
     }
 
     /// Reads a series.
@@ -280,12 +394,34 @@ impl Telemetry {
         self.histograms.get(name)
     }
 
+    /// Registers a quantile sketch under `name` (replacing any existing
+    /// one).
+    pub fn register_sketch(&mut self, name: &str, sketch: QuantileSketch) {
+        self.sketches.insert(name.to_string(), sketch);
+    }
+
+    /// Records an observation into a registered sketch; auto-registers a
+    /// default-capacity one when the name is new. NaN is counted in the
+    /// sketch's `nan_rejected`, matching the histogram policy.
+    pub fn sketch_observe(&mut self, name: &str, x: f64) {
+        self.sketches
+            .entry(name.to_string())
+            .or_default()
+            .observe(x);
+    }
+
+    /// Reads a sketch.
+    pub fn sketch(&self, name: &str) -> Option<&QuantileSketch> {
+        self.sketches.get(name)
+    }
+
     /// True when nothing has ever been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty()
             && self.gauges.is_empty()
             && self.series.is_empty()
             && self.histograms.is_empty()
+            && self.sketches.is_empty()
     }
 
     /// Folds another recorder into this one: counters add, gauges take
@@ -301,9 +437,15 @@ impl Telemetry {
             self.gauges.insert(name, v);
         }
         for (name, s) in other.series {
-            let dst = self.series.entry(name).or_default();
+            let cap = self.series_cap;
+            let dst = self
+                .series
+                .entry(name)
+                .or_insert_with(|| Series::with_capacity(cap));
             dst.times_s.extend_from_slice(&s.times_s);
             dst.values.extend_from_slice(&s.values);
+            dst.total += s.total;
+            dst.enforce_cap();
         }
         for (name, h) in other.histograms {
             let merged = self
@@ -312,6 +454,15 @@ impl Telemetry {
                 .is_some_and(|dst| dst.merge(&h));
             if !merged {
                 self.histograms.insert(name, h);
+            }
+        }
+        for (name, s) in other.sketches {
+            let merged = self
+                .sketches
+                .get_mut(&name)
+                .is_some_and(|dst| dst.merge(&s));
+            if !merged {
+                self.sketches.insert(name, s);
             }
         }
     }
@@ -343,6 +494,7 @@ impl Telemetry {
                     name: k.clone(),
                     times_s: s.times_s.clone(),
                     values: s.values.clone(),
+                    total: s.total,
                 })
                 .collect(),
             histograms: self
@@ -361,6 +513,7 @@ impl Telemetry {
                     nan_rejected: h.nan_rejected,
                 })
                 .collect(),
+            sketches: self.sketches.iter().map(|(k, s)| s.entry(k)).collect(),
         }
     }
 }
@@ -388,10 +541,13 @@ pub struct GaugeEntry {
 pub struct SeriesEntry {
     /// Metric name.
     pub name: String,
-    /// Sample times (s).
+    /// Sample times (s) — the retained window.
     pub times_s: Vec<f64>,
-    /// Sample values.
+    /// Sample values — the retained window.
     pub values: Vec<f64>,
+    /// Samples ever recorded (> `values.len()` once the series cap
+    /// evicted history).
+    pub total: u64,
 }
 
 /// Snapshot of one histogram.
@@ -432,6 +588,8 @@ pub struct TelemetrySnapshot {
     pub series: Vec<SeriesEntry>,
     /// All histograms, by name.
     pub histograms: Vec<HistogramEntry>,
+    /// All quantile sketches, by name.
+    pub sketches: Vec<SketchEntry>,
 }
 
 impl TelemetrySnapshot {
@@ -618,6 +776,93 @@ mod tests {
         // Empty histogram min/max serialize as null, not NaN.
         t.register_histogram("empty", Histogram::linear(0.0, 1.0, 2).unwrap());
         assert!(t.snapshot().to_json().contains("null"));
+    }
+
+    #[test]
+    fn series_cap_keeps_recent_window_and_counts_total() {
+        let mut t = Telemetry::new();
+        t.set_series_capacity(Some(4));
+        for i in 0..100 {
+            t.record("s", i as f64, 2.0 * i as f64);
+        }
+        let s = t.series("s").unwrap();
+        assert_eq!(s.total(), 100);
+        assert!(s.is_truncated());
+        assert!(
+            (4..8).contains(&s.len()),
+            "len {} out of [cap, 2cap)",
+            s.len()
+        );
+        // The retained window is the most recent samples, in order.
+        let last = *s.times_s.last().unwrap();
+        assert_eq!(last, 99.0);
+        assert!(s.times_s.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*s.values.last().unwrap(), 198.0);
+    }
+
+    #[test]
+    fn series_opt_out_is_unbounded() {
+        let mut t = Telemetry::new();
+        t.set_series_capacity(None);
+        for i in 0..(DEFAULT_SERIES_CAP * 2 / 64) {
+            t.record("s", i as f64, 0.0);
+        }
+        let s = t.series("s").unwrap();
+        assert_eq!(s.len() as u64, s.total());
+        assert!(!s.is_truncated());
+        assert_eq!(s.capacity(), None);
+    }
+
+    #[test]
+    fn series_cap_applies_to_existing_series() {
+        let mut t = Telemetry::new();
+        for i in 0..100 {
+            t.record("s", i as f64, 0.0);
+        }
+        t.set_series_capacity(Some(8));
+        let s = t.series("s").unwrap();
+        assert!(s.len() < 100);
+        assert_eq!(s.total(), 100);
+    }
+
+    #[test]
+    fn absorb_preserves_series_totals_under_cap() {
+        let mut a = Telemetry::new();
+        a.set_series_capacity(Some(4));
+        for i in 0..50 {
+            a.record("s", i as f64, 0.0);
+        }
+        let mut b = Telemetry::new();
+        b.set_series_capacity(Some(4));
+        for i in 50..100 {
+            b.record("s", i as f64, 0.0);
+        }
+        a.absorb(b);
+        let s = a.series("s").unwrap();
+        assert_eq!(s.total(), 100);
+        assert!(s.len() < 100);
+    }
+
+    #[test]
+    fn sketches_record_merge_and_snapshot() {
+        let mut a = Telemetry::new();
+        for i in 0..100 {
+            a.sketch_observe("lat", i as f64);
+        }
+        a.sketch_observe("lat", f64::NAN);
+        let mut b = Telemetry::new();
+        for i in 100..200 {
+            b.sketch_observe("lat", i as f64);
+        }
+        a.absorb(b);
+        let s = a.sketch("lat").unwrap();
+        assert_eq!(s.count(), 200);
+        assert_eq!(s.nan_rejected(), 1);
+        let snap = a.snapshot();
+        assert_eq!(snap.sketches.len(), 1);
+        assert_eq!(snap.sketches[0].name, "lat");
+        assert_eq!(snap.sketches[0].count, 200);
+        assert!(snap.to_json().contains("\"p99\""));
     }
 
     #[test]

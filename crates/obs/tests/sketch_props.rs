@@ -1,0 +1,165 @@
+//! Property tests pinning the three load-bearing [`QuantileSketch`]
+//! claims the soak harness stands on:
+//!
+//! * **merge commutes bit for bit** (and is associative within the
+//!   tracked rank error — exact associativity is impossible for any
+//!   compacting summary),
+//! * **rank answers respect the deterministic error bound** against an
+//!   exact ECDF of the same stream, including adversarial sorted /
+//!   reversed / constant orderings,
+//! * **no f64 bit pattern panics**: NaN is counted and rejected,
+//!   everything else (±∞, subnormals, -0.0) is absorbed and ordered by
+//!   `total_cmp`.
+
+use acorn_obs::QuantileSketch;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn sketch_of(k: usize, xs: &[f64]) -> QuantileSketch {
+    let mut s = QuantileSketch::new(k).expect("test capacities are valid");
+    for &x in xs {
+        s.observe(x);
+    }
+    s
+}
+
+/// Exact weighted rank: observations `<= x` under `total_cmp`.
+fn exact_rank(data: &[f64], x: f64) -> u64 {
+    data.iter().filter(|v| v.total_cmp(&x).is_le()).count() as u64
+}
+
+fn any_k() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(8usize), Just(16), Just(32), Just(64)]
+}
+
+/// Capacities large enough that the tracked error bound stays
+/// informative (< 1) on the stream lengths below.
+fn roomy_k() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(32usize), Just(64), Just(128)]
+}
+
+proptest! {
+    #[test]
+    fn any_bit_pattern_is_absorbed_without_panicking(
+        bits in vec(any::<u64>(), 0..300),
+        k in any_k(),
+        q in 0.0f64..1.0,
+    ) {
+        let xs: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let s = sketch_of(k, &xs);
+        let nans = xs.iter().filter(|x| x.is_nan()).count() as u64;
+        prop_assert_eq!(s.nan_rejected(), nans, "every NaN counted");
+        prop_assert_eq!(s.count() + s.nan_rejected(), xs.len() as u64);
+        // Extremes are exact and NaN-free, ordered by total_cmp.
+        let finite = || xs.iter().copied().filter(|x| !x.is_nan());
+        prop_assert_eq!(
+            s.min().map(f64::to_bits),
+            finite().min_by(|a, b| a.total_cmp(b)).map(f64::to_bits)
+        );
+        prop_assert_eq!(
+            s.max().map(f64::to_bits),
+            finite().max_by(|a, b| a.total_cmp(b)).map(f64::to_bits)
+        );
+        // Queries never panic, whatever was absorbed.
+        prop_assert_eq!(s.quantile(q).is_some(), s.count() > 0);
+        prop_assert_eq!(s.rank(f64::NAN), 0, "NaN queries are inert");
+        let _ = s.cdf(0.0);
+        let _ = s.entry("prop");
+    }
+
+    #[test]
+    fn merge_commutes_bit_for_bit(
+        a in vec(-1e9f64..1e9, 0..400),
+        b in vec(-1e9f64..1e9, 0..400),
+        k in any_k(),
+    ) {
+        let (sa, sb) = (sketch_of(k, &a), sketch_of(k, &b));
+        let mut ab = sa.clone();
+        prop_assert!(ab.merge(&sb));
+        let mut ba = sb.clone();
+        prop_assert!(ba.merge(&sa));
+        prop_assert_eq!(&ab, &ba, "merge must be a symmetric function");
+        prop_assert_eq!(ab.fingerprint(), ba.fingerprint());
+        prop_assert_eq!(ab.count(), (a.len() + b.len()) as u64);
+    }
+
+    #[test]
+    fn merge_is_associative_within_the_tracked_rank_error(
+        a in vec(-1e6f64..1e6, 1..250),
+        b in vec(-1e6f64..1e6, 1..250),
+        c in vec(-1e6f64..1e6, 1..250),
+        k in roomy_k(),
+    ) {
+        let (sa, sb, sc) = (sketch_of(k, &a), sketch_of(k, &b), sketch_of(k, &c));
+        let mut left = sa.clone();
+        prop_assert!(left.merge(&sb));
+        prop_assert!(left.merge(&sc));
+        let mut bc = sb.clone();
+        prop_assert!(bc.merge(&sc));
+        let mut right = sa;
+        prop_assert!(right.merge(&bc));
+        // The exact parts agree exactly...
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.min().map(f64::to_bits), right.min().map(f64::to_bits));
+        prop_assert_eq!(left.max().map(f64::to_bits), right.max().map(f64::to_bits));
+        // ...and both groupings answer every rank query within their own
+        // tracked bound of the ground truth, so grouping order never
+        // changes what the sketch is *for*.
+        let all: Vec<f64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let n = all.len() as f64;
+        let probes = [a[0], b[0], c[0], 0.0, -1e6, 1e6];
+        for s in [&left, &right] {
+            let slack = (s.rank_error_bound() * n).ceil() as i64 + 1;
+            for &x in &probes {
+                let truth = exact_rank(&all, x) as i64;
+                let got = s.rank(x) as i64;
+                prop_assert!(
+                    (got - truth).abs() <= slack,
+                    "rank({x}) = {got}, exact {truth}, slack {slack}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_answers_respect_the_deterministic_error_bound(
+        raw in vec(-1e9f64..1e9, 1..600),
+        mode in 0u8..4,
+        k in roomy_k(),
+    ) {
+        let mut xs = raw;
+        match mode {
+            1 => xs.sort_by(f64::total_cmp),
+            2 => {
+                xs.sort_by(f64::total_cmp);
+                xs.reverse();
+            }
+            3 => {
+                let v = xs[0];
+                xs.iter_mut().for_each(|x| *x = v);
+            }
+            _ => {}
+        }
+        let s = sketch_of(k, &xs);
+        let bound = s.rank_error_bound();
+        prop_assert!(bound < 1.0, "bound stays informative: {bound}");
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let slack = (bound * xs.len() as f64).ceil() as i64;
+        for i in [0, sorted.len() / 4, sorted.len() / 2, sorted.len() - 1] {
+            let x = sorted[i];
+            let truth = exact_rank(&sorted, x) as i64;
+            let got = s.rank(x) as i64;
+            prop_assert!(
+                (got - truth).abs() <= slack,
+                "mode {mode}, k {k}: rank({x}) = {got}, exact {truth}, slack {slack}"
+            );
+        }
+        // Quantiles always land inside the exact extremes.
+        let (lo, hi) = (s.min().expect("non-empty"), s.max().expect("non-empty"));
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            let v = s.quantile(q).expect("non-empty");
+            prop_assert!(lo.total_cmp(&v).is_le() && v.total_cmp(&hi).is_le());
+        }
+    }
+}

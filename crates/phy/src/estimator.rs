@@ -163,8 +163,7 @@ impl LinkQualityEstimator {
     /// prediction: maximize expected goodput `(1 − PER) · R` over MCS 0–7
     /// with STBC and MCS 8–15 with SDM.
     pub fn best_rate_point(&self, snr_db: f64, width: ChannelWidth) -> RatePoint {
-        let mut best: Option<RatePoint> = None;
-        for idx in McsIndex::all() {
+        let rate_point = |idx: McsIndex| {
             let mcs = idx.mcs();
             let mode = if mcs.n_ss == 1 {
                 MimoMode::Stbc
@@ -173,20 +172,24 @@ impl LinkQualityEstimator {
             };
             let eff_snr = mode.effective_snr_db(snr_db);
             let (coded_ber, per) = self.error_rates(&mcs, eff_snr);
-            let goodput = (1.0 - per) * mcs.rate_bps(width, self.gi);
-            let candidate = RatePoint {
+            RatePoint {
                 mcs: idx,
                 mode,
                 coded_ber,
                 per,
-                goodput_bps: goodput,
-            };
-            match &best {
-                Some(b) if b.goodput_bps >= goodput => {}
-                _ => best = Some(candidate),
+                goodput_bps: (1.0 - per) * mcs.rate_bps(width, self.gi),
+            }
+        };
+        // Seed with MCS 0, then scan upward keeping the first candidate
+        // on exact ties — same selection order as the auto-rate model.
+        let mut best = rate_point(McsIndex::new(0).unwrap_or(McsIndex::MAX));
+        for idx in McsIndex::all().skip(1) {
+            let candidate = rate_point(idx);
+            if candidate.goodput_bps > best.goodput_bps {
+                best = candidate;
             }
         }
-        best.expect("MCS table is non-empty")
+        best
     }
 
     /// Runs the full §4.2 pipeline: calibrate the measured SNR to both

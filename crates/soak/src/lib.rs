@@ -1,0 +1,72 @@
+//! # acorn-soak — long-horizon chaos soak for city-scale ACORN runs
+//!
+//! The scenario layers so far answer "does the controller converge?"
+//! over minutes-to-hours of virtual time. This crate answers the ops
+//! question the paper's deployment story implies but never tests: does
+//! an auto-configured 802.11n WLAN *stay* healthy over days of churn,
+//! diurnal load, flash crowds, AP crashes, and a lossy control wire —
+//! without the harness itself becoming the bottleneck?
+//!
+//! Three design rules keep multi-day horizons tractable:
+//!
+//! 1. **Streaming workload.** [`WorkloadGen`] draws arrivals by
+//!    thinning a dominating Poisson process against a diurnal × flash
+//!    rate curve, one event at a time — no materialized session trace,
+//!    so the workload's memory is O(clients), not O(horizon).
+//! 2. **Bounded-memory telemetry.** Goodput distributions go into
+//!    KLL-style [`QuantileSketch`]es (O(k log n) retained items) and
+//!    time-series ride the ring-buffered `Series` cap, so peak RSS is
+//!    O(1) in the horizon. Sketch snapshots carry an exact state
+//!    fingerprint — byte-stable across `ACORN_THREADS`.
+//! 3. **Online invariants.** The [`InvariantWatchdog`] cross-checks the
+//!    incremental world against from-scratch recomputation *during* the
+//!    run and fails fast with a replayable `(seed, check, t)` triple,
+//!    instead of letting a silent corruption skew days of statistics.
+//!
+//! [`QuantileSketch`]: acorn_obs::QuantileSketch
+//! [`WorkloadGen`]: crate::workload::WorkloadGen
+//! [`InvariantWatchdog`]: crate::watchdog::InvariantWatchdog
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod probe;
+pub mod watchdog;
+pub mod workload;
+
+pub use harness::{periodic_crashes, periodic_partitions, SoakReport, SoakScenario};
+pub use probe::SoakProbe;
+pub use watchdog::{InvariantWatchdog, SabotageProcess, WatchdogSpec};
+pub use workload::{FlashCrowd, WorkloadGen, WorkloadSpec};
+
+/// Peak resident-set size of this process in kB (`VmHWM` from
+/// `/proc/self/status`), or `None` where the proc filesystem is absent.
+/// The soak bench records it per profile so the O(1)-memory claim is a
+/// measured number, not an assertion.
+pub fn peak_rss_kb() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                return rest.split_whitespace().next()?.parse().ok();
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_readable_and_plausible() {
+        let kb = super::peak_rss_kb().expect("linux has /proc/self/status");
+        assert!(kb > 100, "a Rust test binary uses more than 100 kB: {kb}");
+    }
+}

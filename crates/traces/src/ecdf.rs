@@ -44,8 +44,8 @@ impl Ecdf {
         if samples.iter().any(|s| s.is_nan()) {
             return Err(EcdfError::Nan);
         }
-        // No NaNs: total order exists, so the comparison cannot fail.
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaNs rejected above"));
+        // NaNs were rejected above, so total_cmp agrees with numeric order.
+        samples.sort_by(|a, b| a.total_cmp(b));
         Ok(Ecdf { sorted: samples })
     }
 
@@ -80,10 +80,7 @@ impl Ecdf {
 
     /// Smallest and largest samples.
     pub fn range(&self) -> (f64, f64) {
-        (
-            self.sorted[0],
-            *self.sorted.last().expect("non-empty by construction"),
-        )
+        (self.sorted[0], self.sorted[self.sorted.len() - 1])
     }
 
     /// Evaluates the ECDF on a grid of `n` evenly spaced points spanning

@@ -28,11 +28,11 @@ fn main() {
         horizon_s: 510.0,
         restarts: 2,
         stale_epochs: 1,
-        partition: Some(PartitionWindow {
+        partitions: vec![PartitionWindow {
             zone: isolated,
             from_s: 150.0,
             until_s: 360.0,
-        }),
+        }],
         ..PlaneConfig::default()
     };
     let epochs = cfg.n_epochs();

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # The tier-1 gate, runnable locally and from any CI runner:
 #   1. formatting (cargo fmt --check, whole workspace),
-#   2. panic-path budget: `unwrap()` / `expect(` / `panic!(` in
-#      crates/core non-test code must not grow past the audited baseline
-#      (control-plane code returns typed ControlError instead),
+#   2. panic-path budget: `unwrap()` / `expect(` / `panic!(` in ANY
+#      crate's non-test code must not grow past the audited baselines
+#      (one for library crates, one for the bench/figure binaries —
+#      fallible library paths return typed errors instead),
 #   3. warnings-clean check build of the whole workspace,
 #   4. release build,
 #   5. the root test suite (tier-1: reproduction guards, properties,
@@ -11,6 +12,10 @@
 #   5b. the distributed golden-twin gate: the zone-controller plane's
 #      benign-path allocation must equal the centralized controller's
 #      exactly, and partitions must degrade per-zone only,
+#   5c. the chaos-soak smoke gate: short-horizon soak with internal
+#      ACORN_THREADS = 1/2/8 sweep (bit-identical logs + sketch
+#      fingerprints), sabotage negative test, bounded-telemetry growth,
+#      plane chaos heal, and the sketch property suite,
 #   6. the observability overhead gate: the baseband packet path must
 #      stay zero-allocation with a NullSink attached (measured under the
 #      counting allocator), and instrumented runs must be bit-identical
@@ -30,26 +35,39 @@ echo "== fmt check =="
 cargo fmt --all -- --check
 
 echo
-echo "== panic-path budget (crates/core, non-test) =="
-# Audited baseline: 1 (par.rs's provably-unreachable expect). Everything
-# else in the control plane must surface a typed ControlError. Test
-# modules sit at the bottom of each file behind #[cfg(test)], so counting
-# stops at that marker.
-PANIC_BASELINE=1
-count=0
-for f in crates/core/src/*.rs; do
-    hits=$(awk '/#\[cfg\(test\)\]/{exit} {print}' "$f" \
-        | grep -cE '\.unwrap\(\)|\.expect\(|panic!\(' || true)
-    if [ "$hits" -gt 0 ]; then
-        echo "  $f: $hits"
-        count=$((count + hits))
-    fi
-done
-echo "  total: $count (baseline $PANIC_BASELINE)"
-if [ "$count" -gt "$PANIC_BASELINE" ]; then
-    echo "panic-path budget exceeded: $count > $PANIC_BASELINE" >&2
-    echo "(convert the new unwrap/expect/panic to ControlError, or" >&2
-    echo " re-audit and bump PANIC_BASELINE in scripts/ci.sh)" >&2
+echo "== panic-path budget (all crates, non-test) =="
+# Two audited baselines. Library crates (28): provably-unreachable
+# expects (core/par.rs), frame-layout invariants (baseband/frame.rs),
+# and lock-poisoning fallbacks — everything reachable from user input
+# returns a typed error (the soak crate adds zero: all fallible
+# registrations go through `if let Ok`). Bench/figure binaries (32) may
+# unwrap on their own outputs. Test modules sit at the bottom of each
+# file behind #[cfg(test)], so counting stops at that marker.
+LIB_PANIC_BASELINE=28
+BIN_PANIC_BASELINE=32
+count_panics() { # $1: newline-separated file list
+    local total=0 f hits
+    while IFS= read -r f; do
+        [ -f "$f" ] || continue
+        hits=$(awk '/#\[cfg\(test\)\]/{exit} {print}' "$f" \
+            | grep -cE '\.unwrap\(\)|\.expect\(|panic!\(' || true)
+        if [ "$hits" -gt 0 ]; then
+            echo "  $f: $hits" >&2
+            total=$((total + hits))
+        fi
+    done <<< "$1"
+    echo "$total"
+}
+lib_count=$(count_panics "$(find crates -path 'crates/bench' -prune -o \
+    -path '*/src/*' -name '*.rs' -print | sort)")
+bin_count=$(count_panics "$(find crates/bench/src -name '*.rs' | sort)")
+echo "  lib total: $lib_count (baseline $LIB_PANIC_BASELINE)"
+echo "  bench-bin total: $bin_count (baseline $BIN_PANIC_BASELINE)"
+if [ "$lib_count" -gt "$LIB_PANIC_BASELINE" ] \
+    || [ "$bin_count" -gt "$BIN_PANIC_BASELINE" ]; then
+    echo "panic-path budget exceeded" >&2
+    echo "(convert the new unwrap/expect/panic to a typed error, or" >&2
+    echo " re-audit and bump the baseline in scripts/ci.sh)" >&2
     exit 1
 fi
 
@@ -90,6 +108,20 @@ echo "== distributed golden-twin gate =="
 # a partition must degrade only the isolated zone (per-zone safe mode,
 # post-heal reconvergence to the twin).
 cargo test -q --offline --release --test distributed_twin
+
+echo
+echo "== chaos-soak smoke gate =="
+# Short-horizon soak over a 16-AP city grid: the chaos sweep test runs
+# the full faulty soak at ACORN_THREADS = 1/2/8 internally and asserts
+# bit-identical event logs, telemetry snapshot bytes (which cover every
+# sketch fingerprint), and final state; sabotage must trip the watchdog
+# with replayable coordinates; sketch/series telemetry must stay
+# bounded as the horizon grows; and the distributed plane must heal
+# back to its centralized twin under periodic partition/crash windows.
+# The sketch property suite pins merge commutativity / associativity
+# and the deterministic rank-error bound against an exact ECDF.
+cargo test -q --offline --release --test soak
+cargo test -q --offline --release -p acorn-obs --test sketch_props
 
 echo
 echo "== determinism across thread counts =="

@@ -15,6 +15,7 @@
 //! | [`ctrlplane`] | distributed zone-controller control plane over [`events`] |
 //! | [`baselines`] | \[17\]-style greedy CB, RSSI, random/fixed configs, optimal |
 //! | [`sim`] | scenarios, traffic models, statistics, mobility, eval runner |
+//! | [`soak`] | chaos soak: streaming workloads, sketch telemetry, watchdogs |
 //!
 //! ## Quickstart
 //!
@@ -44,5 +45,6 @@ pub use acorn_mac as mac;
 pub use acorn_obs as obs;
 pub use acorn_phy as phy;
 pub use acorn_sim as sim;
+pub use acorn_soak as soak;
 pub use acorn_topology as topology;
 pub use acorn_traces as traces;

@@ -297,6 +297,7 @@ fn sharded_and_city_runs_are_identical_across_thread_counts() {
                     period_s: 600.0,
                     phase_step_rad: 0.02,
                 }),
+                faults: None,
                 seed: 4242,
                 record_log: true,
             }
@@ -475,11 +476,11 @@ fn distributed_plane_is_identical_across_thread_counts() {
                 delay_max_s: 20.0,
                 ..FaultPlan::default()
             },
-            crash: Some(CrashWindow {
+            crashes: vec![CrashWindow {
                 zone: 1,
                 at_s: 130.0,
                 restart_at_s: 230.0,
-            }),
+            }],
             record_log: true,
             ..PlaneConfig::default()
         };

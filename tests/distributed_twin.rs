@@ -104,11 +104,11 @@ fn partition_degrades_one_zone_then_heals_to_the_twin() {
     let isolated = 3usize;
     let cfg = PlaneConfig {
         stale_epochs: 1,
-        partition: Some(PartitionWindow {
+        partitions: vec![PartitionWindow {
             zone: isolated,
             from_s: 150.0,
             until_s: 360.0,
-        }),
+        }],
         ..fast_cfg(5, 6)
     };
     let epochs = cfg.n_epochs();

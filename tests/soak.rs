@@ -1,0 +1,258 @@
+//! System-level gates for the chaos-soak harness: the thread count must
+//! not move a bit of a faulty soak (event log, telemetry bytes, sketch
+//! fingerprints), sketch/series telemetry must stay bounded as the
+//! horizon grows, sabotage must trip the watchdog with coordinates that
+//! replay, and the distributed control plane must heal back to its
+//! centralized twin under *periodic* partition and crash windows.
+
+use acorn_core::{AcornConfig, AcornController};
+use acorn_ctrlplane::{DistributedPlane, PlaneConfig};
+use acorn_events::FaultPlan;
+use acorn_obs::DEFAULT_SERIES_CAP;
+use acorn_phy::{GoodputTable, LinkQualityEstimator};
+use acorn_sim::{city_grid, zoned_city};
+use acorn_soak::{
+    periodic_crashes, periodic_partitions, FlashCrowd, SoakScenario, WatchdogSpec, WorkloadSpec,
+};
+use std::sync::{Arc, Mutex};
+
+/// The thread-sweep test mutates the process-global `ACORN_THREADS`
+/// variable; anything sharing the binary must serialize on this lock.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn table_ctl() -> AcornController {
+    AcornController::with_table(
+        AcornConfig::default(),
+        Arc::new(GoodputTable::build(
+            LinkQualityEstimator::default(),
+            -12.0,
+            48.0,
+            0.25,
+        )),
+    )
+}
+
+/// A debug-test-sized soak: 16-AP city grid, 48 clients, diurnal +
+/// flash workload, watchdog on a tight period.
+fn short_soak(seed: u64, horizon_s: f64) -> SoakScenario {
+    let wlan = city_grid(2, 2, 48, seed);
+    let mut s = SoakScenario::new(wlan, horizon_s, seed);
+    s.reallocation_period_s = 900.0;
+    s.probe_period_s = 20.0;
+    s.workload = WorkloadSpec {
+        base_rate_per_s: 1.0 / 15.0,
+        diurnal_amplitude: 0.5,
+        day_period_s: 1500.0,
+        flash: vec![FlashCrowd {
+            at_s: 800.0,
+            duration_s: 250.0,
+            rate_multiplier: 4.0,
+        }],
+        ..WorkloadSpec::default()
+    };
+    s.watchdog = Some(WatchdogSpec {
+        period_s: 30.0,
+        graph_check_every: 4,
+        fail_fast: true,
+    });
+    s
+}
+
+/// A chaos soak — streaming workload, drift, AP crash/repair cycles,
+/// measurement faults — must be bit-identical at `ACORN_THREADS` 1, 2
+/// and 8: same executed-event log, same telemetry snapshot bytes (which
+/// cover every sketch fingerprint), same final controller state.
+#[test]
+fn chaos_soak_is_bit_identical_across_thread_counts() {
+    let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let thread_counts = ["1", "2", "8"];
+    let mut runs = Vec::new();
+    for threads in thread_counts {
+        std::env::set_var("ACORN_THREADS", threads);
+        let mut s = short_soak(0x50AC, 2500.0);
+        s.drift = Some(acorn_events::DriftSpec {
+            period_s: 400.0,
+            phase_step_rad: 0.02,
+        });
+        s.faults = Some(FaultPlan {
+            seed: 0x50AC ^ 0xFA17,
+            control_period_s: 25.0,
+            ap_mttf_s: Some(600.0),
+            ap_mttr_s: 300.0,
+            max_crashes: 2,
+            loss: 0.1,
+            meas_nan: 0.02,
+            meas_outlier: 0.05,
+            ..FaultPlan::default()
+        });
+        s.record_log = true;
+        let r = s.run(&table_ctl());
+        assert_eq!(r.violations, 0, "{threads} threads: watchdog tripped");
+        let client = r
+            .sketch(acorn_soak::probe::CLIENT_BPS)
+            .expect("client sketch present");
+        assert!(client.fingerprint != 0 && client.count > 0);
+        runs.push((
+            r.log.clone().expect("log recorded"),
+            r.telemetry.to_json(),
+            r.final_state.clone(),
+            r.stats,
+        ));
+    }
+    std::env::remove_var("ACORN_THREADS");
+    for (t, threads) in thread_counts.iter().enumerate().skip(1) {
+        assert_eq!(
+            runs[0].0, runs[t].0,
+            "event log differs at {threads} threads"
+        );
+        assert_eq!(
+            runs[0].1, runs[t].1,
+            "telemetry snapshot bytes differ at {threads} threads"
+        );
+        assert_eq!(
+            runs[0].2, runs[t].2,
+            "final state differs at {threads} threads"
+        );
+        assert_eq!(
+            runs[0].3, runs[t].3,
+            "run stats differ at {threads} threads"
+        );
+    }
+}
+
+/// Quadrupling the virtual horizon must grow the observation count
+/// roughly linearly but the *retained* telemetry only logarithmically:
+/// the sketches compact and the ring-buffered series never exceed their
+/// cap. This is the system-level form of the O(1)-in-horizon memory
+/// claim (`peak_rss_kb` is too noisy to gate on in a shared test
+/// runner; retained items are exact).
+#[test]
+fn telemetry_stays_bounded_as_the_horizon_grows() {
+    let short = short_soak(21, 2500.0).run(&table_ctl());
+    let long = short_soak(21, 10_000.0).run(&table_ctl());
+    for r in [&short, &long] {
+        assert_eq!(r.violations, 0);
+    }
+    let (cs, cl) = (
+        short.sketch(acorn_soak::probe::CLIENT_BPS).expect("sketch"),
+        long.sketch(acorn_soak::probe::CLIENT_BPS).expect("sketch"),
+    );
+    assert!(
+        cl.count >= 3 * cs.count,
+        "the long run must observe ~4x as much: {} vs {}",
+        cl.count,
+        cs.count
+    );
+    // O(k·log2(n/k)): each level holds < k items and there are about
+    // log2(n/k) levels (+ slack for the partially-filled ones).
+    let k = acorn_obs::DEFAULT_SKETCH_K as u64;
+    let level_bound = |count: u64| k * (((count.max(k) / k) as f64).log2() as u64 + 3);
+    assert!(
+        cl.retained <= level_bound(cl.count),
+        "retained items must grow logarithmically, not linearly: {} items for {} obs",
+        cl.retained,
+        cl.count
+    );
+    assert!(4 * cl.retained < cl.count, "compaction must actually run");
+    assert!(
+        cl.rank_error_bound < 0.25,
+        "quantiles stay usable: {}",
+        cl.rank_error_bound
+    );
+    for r in [&short, &long] {
+        let series = r.series(acorn_soak::probe::NETWORK_BPS).expect("series");
+        assert!(series.values.len() <= DEFAULT_SERIES_CAP);
+        assert_eq!(
+            series.values.len() as u64,
+            series.total.min(DEFAULT_SERIES_CAP as u64)
+        );
+    }
+}
+
+/// Sabotage must trip the watchdog with replayable coordinates: the
+/// trip gauges name the seed, check index, virtual time, and event
+/// sequence — and re-running the same scenario reproduces the identical
+/// trip, which is what makes a multi-day soak failure debuggable.
+#[test]
+fn sabotage_trips_the_watchdog_and_the_trip_replays() {
+    let run = || {
+        let mut s = short_soak(33, 2500.0);
+        s.sabotage_at_s = Some(1200.0);
+        s.run(&table_ctl())
+    };
+    let a = run();
+    assert!(a.violations >= 1, "watchdog must catch the corruption");
+    assert_eq!(a.gauge("watchdog.trip.code"), Some(2.0), "cells invariant");
+    assert_eq!(a.gauge("watchdog.trip.seed"), Some(33.0));
+    let t = a.gauge("watchdog.trip.t_s").expect("trip time");
+    assert!(t >= 1200.0, "tripped after the sabotage: {t}");
+    assert!(a.gauge("watchdog.trip.event_seq").is_some());
+    assert!(
+        a.stats.end_time_s < 2500.0,
+        "fail-fast must stop the run: {:?}",
+        a.stats
+    );
+    let b = run();
+    assert_eq!(a.gauge("watchdog.trip.t_s"), b.gauge("watchdog.trip.t_s"));
+    assert_eq!(
+        a.gauge("watchdog.trip.event_seq"),
+        b.gauge("watchdog.trip.event_seq")
+    );
+    assert_eq!(a.stats, b.stats, "the trip must replay exactly");
+}
+
+/// Continuous control-plane chaos: periodic partition windows cycling
+/// over the zones plus scheduled zone-controller crashes. Every window
+/// heals, catch-up replay runs, and the final allocation still lands on
+/// the centralized twin bit for bit.
+#[test]
+fn plane_chaos_windows_heal_back_to_the_centralized_twin() {
+    let wlan = zoned_city(2, 2, 250.0, 16, 5);
+    let ctl = AcornController::new(AcornConfig::default());
+    let horizon_s = 10.0 + 11.0 * 100.0; // 12 epochs at 100 s
+                                         // Chaos stops at 860 s: the final clean epochs are what let every
+                                         // zone catch back up to the twin before the run drains.
+    let chaos_until_s = 860.0;
+    let cfg = PlaneConfig {
+        seed: 5,
+        epoch_period_s: 100.0,
+        first_epoch_at_s: 10.0,
+        horizon_s,
+        restarts: 2,
+        stale_epochs: 1,
+        partitions: periodic_partitions(4, 150.0, 300.0, 220.0, chaos_until_s),
+        crashes: periodic_crashes(4, 380.0, 400.0, 60.0, chaos_until_s),
+        ..PlaneConfig::default()
+    };
+    assert!(cfg.partitions.len() >= 3, "{:?}", cfg.partitions);
+    assert!(cfg.crashes.len() >= 2, "{:?}", cfg.crashes);
+    let epochs = cfg.n_epochs();
+    let mut plane = DistributedPlane::new(wlan, ctl, cfg);
+    let n_zones = plane.sim.world.zones.len();
+    assert_eq!(n_zones, 4);
+    plane.run_to_quiescence();
+    let twin = plane.centralized_twin();
+    assert_eq!(
+        plane.state().assignments,
+        twin.assignments,
+        "chaos run must still land on the centralized twin"
+    );
+    assert_eq!(plane.state().operating_width, twin.operating_width);
+    assert_eq!(
+        plane.sim.world.applied_epoch,
+        vec![epochs; n_zones],
+        "every zone must catch up to every epoch"
+    );
+    let r = plane.report();
+    // A zone that crashes while in safe mode loses its volatile
+    // safe-mode flag with the rest of its protocol state, so a
+    // detection may end in a crash instead of a counted heal —
+    // detections bound heals from above, and at least one partition
+    // must heal the ordinary way.
+    assert!(r.partition_detections >= 2, "{r:?}");
+    assert!(r.partition_heals >= 1, "{r:?}");
+    assert!(r.partition_detections >= r.partition_heals, "{r:?}");
+    assert!(r.epochs_replayed >= 1, "healing needs catch-up: {r:?}");
+    assert!(r.msgs_partition_dropped > 0, "windows must sever frames");
+    assert!(r.safe_mode_epochs >= 2, "{r:?}");
+}
