@@ -136,7 +136,7 @@ fn allocate_full_recompute_with_restarts(
             let initial = random_initial(plan, model.n_aps(), seed.wrapping_add(i as u64));
             allocate_full_recompute(model, plan, initial, config)
         })
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .max_by(|a, b| a.1.total_cmp(&b.1))
         .expect("restarts >= 1")
 }
 

@@ -80,8 +80,8 @@ fn main() {
     });
     let mut udp: Vec<f64> = scored.iter().map(|&(u, _)| u).collect();
     let mut tcp: Vec<f64> = scored.iter().map(|&(_, t)| t).collect();
-    udp.sort_by(|a, b| b.partial_cmp(a).unwrap());
-    tcp.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    udp.sort_by(|a, b| b.total_cmp(a));
+    tcp.sort_by(|a, b| b.total_cmp(a));
     let best_udp: Vec<f64> = udp[..10].to_vec();
     let best_tcp: Vec<f64> = tcp[..10].to_vec();
 

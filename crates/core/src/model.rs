@@ -106,6 +106,56 @@ impl Clone for ModelStats {
     }
 }
 
+/// Per-attach flush cursor over a shared [`GoodputTable`]'s *cumulative*
+/// counters. The table itself is never drained (its counters only grow, so
+/// any number of models can share one `Arc` without stealing each other's
+/// counts — the DESIGN.md §13.3 footgun); instead each model remembers the
+/// last values it flushed and reports deltas. The cursor starts at the
+/// table's hit/miss counts as of the attach but at **zero** rebuilds, so a
+/// model adopting an already-built table still surfaces the build cost
+/// once, in its own first flush, while the traffic counters cover only
+/// lookups made while this model was attached.
+#[derive(Debug)]
+struct TableFlushCursor {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rebuilds: AtomicU64,
+}
+
+impl TableFlushCursor {
+    fn at_attach(table: Option<&Arc<GoodputTable>>) -> TableFlushCursor {
+        let (hits, misses) = match table {
+            Some(t) => {
+                let s = t.stats();
+                (s.hits, s.misses)
+            }
+            None => (0, 0),
+        };
+        TableFlushCursor {
+            hits: AtomicU64::new(hits),
+            misses: AtomicU64::new(misses),
+            rebuilds: AtomicU64::new(0),
+        }
+    }
+
+    /// Advances one counter to `now` and returns the delta since the last
+    /// flush. Flushes are sequential-context-only, so the load/swap pair
+    /// never races another flush of the same cursor.
+    fn advance(slot: &AtomicU64, now: u64) -> u64 {
+        now.saturating_sub(slot.swap(now, Ordering::Relaxed))
+    }
+}
+
+impl Clone for TableFlushCursor {
+    fn clone(&self) -> TableFlushCursor {
+        TableFlushCursor {
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
+            misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
+            rebuilds: AtomicU64::new(self.rebuilds.load(Ordering::Relaxed)),
+        }
+    }
+}
+
 /// Anything that can score a full channel assignment.
 pub trait ThroughputModel {
     /// Number of APs.
@@ -207,6 +257,9 @@ pub struct NetworkModel {
     /// so model clones (and per-shard submodels) reuse one build and one
     /// set of hit/miss counters.
     table: Option<Arc<GoodputTable>>,
+    /// Where this model's last flush left off in the shared table's
+    /// cumulative counters (see [`TableFlushCursor`]).
+    table_cursor: TableFlushCursor,
     stats: ModelStats,
 }
 
@@ -240,6 +293,7 @@ impl NetworkModel {
             payload_bytes,
             cell_base: Vec::new(),
             table: None,
+            table_cursor: TableFlushCursor::at_attach(None),
             stats: ModelStats::default(),
         };
         model.rebuild_cell_base();
@@ -259,6 +313,7 @@ impl NetworkModel {
     ) -> NetworkModel {
         assert_eq!(graph.len(), cells.len(), "one cell per AP");
         let estimator = *table.estimator();
+        let table_cursor = TableFlushCursor::at_attach(Some(&table));
         let mut model = NetworkModel {
             graph,
             cells,
@@ -266,6 +321,7 @@ impl NetworkModel {
             payload_bytes,
             cell_base: Vec::new(),
             table: Some(table),
+            table_cursor,
             stats: ModelStats::default(),
         };
         model.rebuild_cell_base();
@@ -317,6 +373,7 @@ impl NetworkModel {
     pub fn set_estimator(&mut self, estimator: LinkQualityEstimator) {
         self.estimator = estimator;
         self.table = None;
+        self.table_cursor = TableFlushCursor::at_attach(None);
         self.rebuild_cell_base();
     }
 
@@ -352,6 +409,7 @@ impl NetworkModel {
         if let Some(t) = &table {
             self.estimator = *t.estimator();
         }
+        self.table_cursor = TableFlushCursor::at_attach(table.as_ref());
         self.table = table;
         self.rebuild_cell_base();
     }
@@ -363,18 +421,35 @@ impl NetworkModel {
         &self.stats
     }
 
-    /// Flushes the model counters *and*, when a table is attached, its
-    /// hit/miss/rebuild counters (plus the max-quantization-error gauge)
-    /// into a sink under the `model.*` / `phy.table.*` names. Call from
-    /// sequential contexts only.
+    /// Flushes the model counters *and*, when a table is attached, the
+    /// model's view of its hit/miss/rebuild counters (plus the
+    /// max-quantization-error gauge) into a sink under the `model.*` /
+    /// `phy.table.*` names. Call from sequential contexts only.
+    ///
+    /// The shared table's counters are **cumulative and never reset**;
+    /// this flush reports the delta since this model's previous flush via
+    /// a per-attach cursor, so any number of models — including two
+    /// sequential runs sharing one `Arc<GoodputTable>` — report their own
+    /// traffic (and the one build, exactly once each) without draining
+    /// each other's counts.
     pub fn flush_stats_into<S: Sink>(&self, sink: &S) {
         self.stats.flush_into(sink);
         if let Some(t) = &self.table {
             if sink.enabled() {
-                let s = t.take_stats();
-                sink.add(names::TABLE_HITS, s.hits);
-                sink.add(names::TABLE_MISSES, s.misses);
-                sink.add(names::TABLE_REBUILDS, s.rebuilds);
+                let s = t.stats();
+                let c = &self.table_cursor;
+                sink.add(
+                    names::TABLE_HITS,
+                    TableFlushCursor::advance(&c.hits, s.hits),
+                );
+                sink.add(
+                    names::TABLE_MISSES,
+                    TableFlushCursor::advance(&c.misses, s.misses),
+                );
+                sink.add(
+                    names::TABLE_REBUILDS,
+                    TableFlushCursor::advance(&c.rebuilds, s.rebuilds),
+                );
                 sink.gauge(names::TABLE_MAX_QUANT_ERROR, s.max_quant_error_bps);
             }
         }
@@ -418,6 +493,7 @@ impl NetworkModel {
             payload_bytes: self.payload_bytes,
             cell_base,
             table: self.table.clone(),
+            table_cursor: self.table_cursor.clone(),
             stats: ModelStats::default(),
         }
     }
@@ -995,6 +1071,59 @@ mod tests {
         // Restriction shares the same table.
         let sub = fast.restrict(&[0]);
         assert!(sub.table().is_some());
+    }
+
+    /// Regression for the DESIGN.md §13.3 footgun: epoch flushes used to
+    /// *drain* the shared table's counters, so the second of two
+    /// sequential runs over one `Arc<GoodputTable>` saw zero rebuilds
+    /// (and whatever hits the first run hadn't stolen). With cumulative
+    /// counters and per-attach flush cursors, both runs must report
+    /// identical hit/miss/rebuild counts.
+    #[test]
+    fn sequential_runs_sharing_a_table_report_identical_counters() {
+        use acorn_obs::RecordingSink;
+        use acorn_phy::GoodputTable;
+        let graph = InterferenceGraph::complete(2);
+        let cells = vec![
+            vec![ClientSnr {
+                client: 0,
+                snr20_db: 27.0,
+            }],
+            vec![ClientSnr {
+                client: 1,
+                snr20_db: 14.5,
+            }],
+        ];
+        let table = std::sync::Arc::new(GoodputTable::build(
+            LinkQualityEstimator::default(),
+            -12.0,
+            48.0,
+            0.0625,
+        ));
+        let run = || {
+            let m = NetworkModel::with_table(graph.clone(), cells.clone(), table.clone(), 1500);
+            let a = vec![single(0), single(1)];
+            m.total_bps(&a);
+            let sink = RecordingSink::new();
+            m.flush_stats_into(&sink);
+            sink.with_telemetry(|t| {
+                (
+                    t.counter(names::TABLE_HITS),
+                    t.counter(names::TABLE_MISSES),
+                    t.counter(names::TABLE_REBUILDS),
+                )
+            })
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first, second, "shared-table runs must report identically");
+        assert_eq!(first.2, 1, "each attach reports the one build it adopted");
+        assert!(first.0 > 0, "cell-base build goes through the table");
+        // The table itself keeps cumulative counts: two identical runs,
+        // twice the traffic, still exactly one build.
+        let s = table.stats();
+        assert_eq!(s.rebuilds, 1);
+        assert_eq!(s.hits, 2 * first.0);
     }
 
     #[test]

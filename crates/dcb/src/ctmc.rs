@@ -1,0 +1,608 @@
+//! Exact CTMC throughput of overlapping bonded WLANs — the simulator's
+//! independent cross-check.
+//!
+//! Faridi et al. (arXiv:1509.00290) model a set of overlapping WLANs
+//! with channel bonding as a continuous-time Markov chain: each WLAN is
+//! `idle`, `tx@20` (primary only) or `tx@40` (its allocated pair), a
+//! feasible global state never has two *interfering* WLANs occupying a
+//! common 20 MHz channel, idle WLANs activate at rate `λ` onto whichever
+//! widths their DCB policy admits given the channels their active
+//! neighbours currently hold, and transmissions complete at a
+//! width-dependent service rate (`μ₄₀ = 2·μ₂₀` — double the width, half
+//! the airtime for the same payload). Solving `π·Q = 0` exactly gives
+//! per-WLAN long-run throughput with no simulation noise, which is
+//! precisely what makes it a *cross-check*: `tests/dcb.rs` gates the
+//! event-driven simulator (`acorn-events::dcb`) against these closed-form
+//! numbers within a documented tolerance, the same role PR 2's
+//! calibration module played for the baseband engine.
+//!
+//! Only the **Markovian** policy families appear here: static-primary,
+//! always-max, and probabilistic are memoryless decision rules, so the
+//! chain above is exact for them. The occupancy-aware family conditions
+//! on an EWMA of past observations — its state is history-dependent and
+//! it deliberately has no CTMC counterpart (DESIGN.md §17 documents the
+//! boundary).
+
+use crate::policy::PolicyKind;
+use acorn_topology::{Channel20, ChannelAssignment, InterferenceGraph};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The CTMC-checkable (memoryless) subset of [`PolicyKind`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MarkovPolicy {
+    /// Never bond — every activation is a 20 MHz transmission.
+    StaticPrimary,
+    /// Bond whenever the allocated secondary is free at activation.
+    AlwaysMax,
+    /// Bond with probability `p` when the secondary is free (activation
+    /// rate `λ` thins into `λ·p` at 40 MHz and `λ·(1−p)` at 20 MHz).
+    Probabilistic(f64),
+}
+
+impl TryFrom<PolicyKind> for MarkovPolicy {
+    type Error = CtmcError;
+
+    fn try_from(kind: PolicyKind) -> Result<MarkovPolicy, CtmcError> {
+        match kind {
+            PolicyKind::StaticPrimary => Ok(MarkovPolicy::StaticPrimary),
+            PolicyKind::AlwaysMax => Ok(MarkovPolicy::AlwaysMax),
+            PolicyKind::Probabilistic(p) => Ok(MarkovPolicy::Probabilistic(p)),
+            PolicyKind::OccupancyAware(_) => Err(CtmcError::NotMarkovian),
+        }
+    }
+}
+
+/// Rates and payload of the traffic model both the CTMC and the DCB
+/// simulator share.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CtmcParams {
+    /// Activation-attempt rate `λ` of an idle WLAN (1/s).
+    pub attempt_rate_hz: f64,
+    /// Service rate `μ₂₀` of a 20 MHz transmission (1/s); a 40 MHz
+    /// transmission completes at `2·μ₂₀`.
+    pub service_rate20_hz: f64,
+    /// Bits delivered per completed transmission.
+    pub payload_bits: f64,
+}
+
+impl Default for CtmcParams {
+    fn default() -> CtmcParams {
+        CtmcParams {
+            attempt_rate_hz: 1.0,
+            service_rate20_hz: 0.5,
+            payload_bits: 1.2e6,
+        }
+    }
+}
+
+/// Why a CTMC could not be built or solved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtmcError {
+    /// The policy's decision depends on history (occupancy EWMA) — it
+    /// has no memoryless chain and cannot be cross-checked here.
+    NotMarkovian,
+    /// `alloc.len()` disagrees with the graph's AP count.
+    MismatchedAllocation {
+        /// APs in the interference graph.
+        aps: usize,
+        /// Entries in the allocation vector.
+        allocs: usize,
+    },
+    /// A rate or payload was non-finite or non-positive.
+    BadRate(f64),
+    /// A bond probability fell outside `[0, 1]` (or was NaN).
+    BadProbability(f64),
+    /// The feasible state space exceeded the solver cap.
+    TooLarge {
+        /// Feasible states counted before giving up.
+        states: usize,
+        /// The cap.
+        cap: usize,
+    },
+    /// The stationary system was numerically singular.
+    Singular,
+}
+
+impl fmt::Display for CtmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtmcError::NotMarkovian => {
+                write!(f, "occupancy-aware DCB is history-dependent: no CTMC")
+            }
+            CtmcError::MismatchedAllocation { aps, allocs } => {
+                write!(f, "{aps} APs but {allocs} allocations")
+            }
+            CtmcError::BadRate(r) => write!(f, "rates must be finite and positive, got {r}"),
+            CtmcError::BadProbability(p) => write!(f, "bond probability {p} outside [0, 1]"),
+            CtmcError::TooLarge { states, cap } => {
+                write!(f, "{states} feasible states exceed the solver cap {cap}")
+            }
+            CtmcError::Singular => write!(f, "stationary system is singular"),
+        }
+    }
+}
+
+impl std::error::Error for CtmcError {}
+
+/// The exact stationary solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtmcSolution {
+    /// Long-run per-WLAN throughput (bits/s): completion rate in the
+    /// stationary distribution times the payload.
+    pub per_wlan_bps: Vec<f64>,
+    /// Stationary fraction of time each WLAN spends transmitting at
+    /// 40 MHz.
+    pub tx40_time_fraction: Vec<f64>,
+    /// Feasible states the chain was solved over.
+    pub n_states: usize,
+}
+
+impl CtmcSolution {
+    /// Aggregate network throughput (bits/s).
+    pub fn total_bps(&self) -> f64 {
+        self.per_wlan_bps.iter().sum()
+    }
+}
+
+/// Hard cap on the feasible state space (3^9 would already be past it —
+/// the cross-check is a small-topology instrument by design).
+const MAX_STATES: usize = 20_000;
+
+/// Per-WLAN CTMC state.
+const IDLE: u8 = 0;
+const TX20: u8 = 1;
+const TX40: u8 = 2;
+
+/// Channels WLAN `i` occupies in per-WLAN state `s`.
+fn occupied(alloc: ChannelAssignment, s: u8) -> (Channel20, Option<Channel20>) {
+    let p = alloc.primary();
+    match s {
+        TX40 => (p, Some(Channel20(p.0 + 1))),
+        _ => (p, None),
+    }
+}
+
+fn holds(alloc: ChannelAssignment, s: u8, ch: Channel20) -> bool {
+    if s == IDLE {
+        return false;
+    }
+    let (a, b) = occupied(alloc, s);
+    a == ch || b == Some(ch)
+}
+
+/// Builds and exactly solves the stationary CTMC of `graph`-interfering
+/// WLANs holding the epoch allocation `alloc` under a Markovian DCB
+/// policy. WLANs that do not interfere may share channels freely (they
+/// are out of carrier-sense range — the footnote-5 graph semantics); the
+/// feasibility constraint binds only along graph edges.
+pub fn solve(
+    graph: &InterferenceGraph,
+    alloc: &[ChannelAssignment],
+    policy: MarkovPolicy,
+    params: &CtmcParams,
+) -> Result<CtmcSolution, CtmcError> {
+    let n = graph.len();
+    if alloc.len() != n {
+        return Err(CtmcError::MismatchedAllocation {
+            aps: n,
+            allocs: alloc.len(),
+        });
+    }
+    for r in [
+        params.attempt_rate_hz,
+        params.service_rate20_hz,
+        params.payload_bits,
+    ] {
+        if !r.is_finite() || r <= 0.0 {
+            return Err(CtmcError::BadRate(r));
+        }
+    }
+    let bond_prob = match policy {
+        MarkovPolicy::StaticPrimary => 0.0,
+        MarkovPolicy::AlwaysMax => 1.0,
+        MarkovPolicy::Probabilistic(p) => {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(CtmcError::BadProbability(p));
+            }
+            p
+        }
+    };
+    if n == 0 {
+        return Ok(CtmcSolution {
+            per_wlan_bps: Vec::new(),
+            tx40_time_fraction: Vec::new(),
+            n_states: 1,
+        });
+    }
+
+    // Per-WLAN state alphabet: TX40 exists only for bonded allocations
+    // under a policy that can ever bond.
+    let may_bond: Vec<bool> = alloc
+        .iter()
+        .map(|a| bond_prob > 0.0 && matches!(a, ChannelAssignment::Bonded(_)))
+        .collect();
+
+    // Enumerate feasible global states (neighbours never share a busy
+    // 20 MHz channel).
+    let mut states: Vec<Vec<u8>> = Vec::new();
+    let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+    let mut stack = vec![Vec::with_capacity(n)];
+    while let Some(prefix) = stack.pop() {
+        if prefix.len() == n {
+            index.insert(prefix.clone(), states.len());
+            states.push(prefix);
+            if states.len() > MAX_STATES {
+                return Err(CtmcError::TooLarge {
+                    states: states.len(),
+                    cap: MAX_STATES,
+                });
+            }
+            continue;
+        }
+        let i = prefix.len();
+        let top = if may_bond[i] { TX40 } else { TX20 };
+        // Push in reverse so states pop in lexicographic order — the
+        // enumeration (and hence the solve) is order-deterministic.
+        for s in (IDLE..=top).rev() {
+            let ok = s == IDLE
+                || prefix.iter().enumerate().all(|(j, &sj)| {
+                    !graph.interferes(acorn_topology::ApId(i), acorn_topology::ApId(j))
+                        || sj == IDLE
+                        || {
+                            let (a, b) = occupied(alloc[i], s);
+                            !holds(alloc[j], sj, a) && b.map_or(true, |bb| !holds(alloc[j], sj, bb))
+                        }
+                });
+            if ok {
+                let mut next = prefix.clone();
+                next.push(s);
+                stack.push(next);
+            }
+        }
+    }
+    let m = states.len();
+
+    // Generator: columns of πQ = 0, i.e. balance equation per state.
+    let lambda = params.attempt_rate_hz;
+    let mu20 = params.service_rate20_hz;
+    let mu40 = 2.0 * mu20;
+    let mut q = vec![0.0f64; m * m];
+    for (si, s) in states.iter().enumerate() {
+        let mut out_rate = 0.0;
+        let mut push = |target: &[u8], rate: f64, q: &mut Vec<f64>| {
+            if rate <= 0.0 {
+                return;
+            }
+            let ti = index[target];
+            q[si * m + ti] += rate;
+            out_rate += rate;
+        };
+        for i in 0..n {
+            match s[i] {
+                IDLE => {
+                    let free = |ch: Channel20| {
+                        graph
+                            .neighbors(acorn_topology::ApId(i))
+                            .all(|j| !holds(alloc[j.0], s[j.0], ch))
+                    };
+                    let primary = alloc[i].primary();
+                    if !free(primary) {
+                        continue;
+                    }
+                    let secondary_free = may_bond[i] && free(Channel20(primary.0 + 1));
+                    let mut t = s.clone();
+                    if secondary_free {
+                        if bond_prob > 0.0 {
+                            t[i] = TX40;
+                            push(&t, lambda * bond_prob, &mut q);
+                        }
+                        if bond_prob < 1.0 {
+                            t[i] = TX20;
+                            push(&t, lambda * (1.0 - bond_prob), &mut q);
+                        }
+                    } else {
+                        t[i] = TX20;
+                        push(&t, lambda, &mut q);
+                    }
+                }
+                active => {
+                    let mut t = s.clone();
+                    t[i] = IDLE;
+                    push(&t, if active == TX40 { mu40 } else { mu20 }, &mut q);
+                }
+            }
+        }
+        q[si * m + si] -= out_rate;
+    }
+
+    // Solve π·Q = 0, Σπ = 1: rows of A are the balance equations
+    // (Aᵀ = Q), with the last replaced by normalization.
+    let mut a = vec![0.0f64; m * m];
+    for s in 0..m {
+        for t in 0..m {
+            a[t * m + s] = q[s * m + t];
+        }
+    }
+    for s in 0..m {
+        a[(m - 1) * m + s] = 1.0;
+    }
+    let mut b = vec![0.0f64; m];
+    b[m - 1] = 1.0;
+    let pi = solve_dense(&mut a, &mut b, m).ok_or(CtmcError::Singular)?;
+
+    let mut per_wlan_bps = vec![0.0; n];
+    let mut tx40 = vec![0.0; n];
+    for (si, s) in states.iter().enumerate() {
+        let p = pi[si].max(0.0);
+        for i in 0..n {
+            match s[i] {
+                TX20 => per_wlan_bps[i] += p * mu20 * params.payload_bits,
+                TX40 => {
+                    per_wlan_bps[i] += p * mu40 * params.payload_bits;
+                    tx40[i] += p;
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(CtmcSolution {
+        per_wlan_bps,
+        tx40_time_fraction: tx40,
+        n_states: m,
+    })
+}
+
+/// Dense Gaussian elimination with partial pivoting on an `m × m` system
+/// stored row-major in `a`. Returns `None` on a (near-)singular pivot.
+fn solve_dense(a: &mut [f64], b: &mut [f64], m: usize) -> Option<Vec<f64>> {
+    for col in 0..m {
+        let mut piv = col;
+        let mut piv_abs = a[col * m + col].abs();
+        for row in col + 1..m {
+            let v = a[row * m + col].abs();
+            if v > piv_abs {
+                piv = row;
+                piv_abs = v;
+            }
+        }
+        if piv_abs < 1e-12 {
+            return None;
+        }
+        if piv != col {
+            for k in 0..m {
+                a.swap(col * m + k, piv * m + k);
+            }
+            b.swap(col, piv);
+        }
+        let d = a[col * m + col];
+        for row in col + 1..m {
+            let f = a[row * m + col] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..m {
+                a[row * m + k] -= f * a[col * m + k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; m];
+    for col in (0..m).rev() {
+        let mut acc = b[col];
+        for k in col + 1..m {
+            acc -= a[col * m + k] * x[k];
+        }
+        x[col] = acc / a[col * m + col];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single(c: u8) -> ChannelAssignment {
+        ChannelAssignment::Single(Channel20(c))
+    }
+
+    fn bonded(c: u8) -> ChannelAssignment {
+        match ChannelAssignment::bonded(Channel20(c)) {
+            Some(b) => b,
+            None => unreachable!("even lower channel"),
+        }
+    }
+
+    /// One isolated WLAN at 20 MHz is the M/M/1-with-blocking two-state
+    /// chain: busy fraction λ/(λ+μ), throughput μ·payload·that.
+    #[test]
+    fn isolated_single_wlan_matches_closed_form() {
+        let g = InterferenceGraph::new(1);
+        let params = CtmcParams::default();
+        let sol = match solve(&g, &[single(0)], MarkovPolicy::StaticPrimary, &params) {
+            Ok(s) => s,
+            Err(e) => unreachable!("solvable: {e}"),
+        };
+        let lambda = params.attempt_rate_hz;
+        let mu = params.service_rate20_hz;
+        let busy = lambda / (lambda + mu);
+        let expect = busy * mu * params.payload_bits;
+        assert!((sol.per_wlan_bps[0] - expect).abs() / expect < 1e-12);
+        assert_eq!(sol.n_states, 2);
+    }
+
+    /// An isolated bonded WLAN under always-max transmits only at 40 MHz
+    /// and at double the service rate.
+    #[test]
+    fn isolated_bonded_always_max() {
+        let g = InterferenceGraph::new(1);
+        let params = CtmcParams::default();
+        let sol = match solve(&g, &[bonded(0)], MarkovPolicy::AlwaysMax, &params) {
+            Ok(s) => s,
+            Err(e) => unreachable!("solvable: {e}"),
+        };
+        let lambda = params.attempt_rate_hz;
+        let mu40 = 2.0 * params.service_rate20_hz;
+        let busy = lambda / (lambda + mu40);
+        let expect = busy * mu40 * params.payload_bits;
+        assert!((sol.per_wlan_bps[0] - expect).abs() / expect < 1e-12);
+        assert!((sol.tx40_time_fraction[0] - busy).abs() < 1e-12);
+    }
+
+    /// Two interfering WLANs on the same channel can never transmit
+    /// simultaneously — the chain must not contain that state, and by
+    /// symmetry they split throughput equally.
+    #[test]
+    fn two_contending_wlans_share_the_channel() {
+        let g = InterferenceGraph::complete(2);
+        let params = CtmcParams::default();
+        let sol = match solve(
+            &g,
+            &[single(0), single(0)],
+            MarkovPolicy::StaticPrimary,
+            &params,
+        ) {
+            Ok(s) => s,
+            Err(e) => unreachable!("solvable: {e}"),
+        };
+        assert_eq!(sol.n_states, 3, "idle-idle, tx-idle, idle-tx");
+        assert!((sol.per_wlan_bps[0] - sol.per_wlan_bps[1]).abs() < 1e-9);
+        // Contention strictly hurts vs. isolation.
+        let iso = match solve(
+            &InterferenceGraph::new(1),
+            &[single(0)],
+            MarkovPolicy::StaticPrimary,
+            &params,
+        ) {
+            Ok(s) => s,
+            Err(e) => unreachable!("solvable: {e}"),
+        };
+        assert!(sol.per_wlan_bps[0] < iso.per_wlan_bps[0]);
+    }
+
+    /// Non-interfering WLANs sharing a channel are independent: the pair
+    /// solution equals two isolated chains.
+    #[test]
+    fn non_interfering_wlans_are_independent() {
+        let g = InterferenceGraph::new(2);
+        let params = CtmcParams::default();
+        let pair = match solve(
+            &g,
+            &[single(0), single(0)],
+            MarkovPolicy::StaticPrimary,
+            &params,
+        ) {
+            Ok(s) => s,
+            Err(e) => unreachable!("solvable: {e}"),
+        };
+        let iso = match solve(
+            &InterferenceGraph::new(1),
+            &[single(0)],
+            MarkovPolicy::StaticPrimary,
+            &params,
+        ) {
+            Ok(s) => s,
+            Err(e) => unreachable!("solvable: {e}"),
+        };
+        for i in 0..2 {
+            assert!((pair.per_wlan_bps[i] - iso.per_wlan_bps[0]).abs() < 1e-9);
+        }
+    }
+
+    /// Probabilistic(0) and (1) coincide with the pure policies.
+    #[test]
+    fn probabilistic_extremes_match() {
+        let g = InterferenceGraph::complete(2);
+        let alloc = [bonded(0), single(1)];
+        let params = CtmcParams::default();
+        let cases = [
+            (
+                MarkovPolicy::Probabilistic(0.0),
+                MarkovPolicy::StaticPrimary,
+            ),
+            (MarkovPolicy::Probabilistic(1.0), MarkovPolicy::AlwaysMax),
+        ];
+        for (probab, pure) in cases {
+            let a = match solve(&g, &alloc, probab, &params) {
+                Ok(s) => s,
+                Err(e) => unreachable!("solvable: {e}"),
+            };
+            let b = match solve(&g, &alloc, pure, &params) {
+                Ok(s) => s,
+                Err(e) => unreachable!("solvable: {e}"),
+            };
+            for i in 0..2 {
+                assert!(
+                    (a.per_wlan_bps[i] - b.per_wlan_bps[i]).abs() < 1e-9,
+                    "{probab:?} vs {pure:?} at wlan {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_probabilities_cover_everything() {
+        // 3 WLANs in a line, mixed widths, overlapping spectrum.
+        let g = InterferenceGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let alloc = [bonded(0), single(1), bonded(2)];
+        let params = CtmcParams::default();
+        let sol = match solve(&g, &alloc, MarkovPolicy::Probabilistic(0.4), &params) {
+            Ok(s) => s,
+            Err(e) => unreachable!("solvable: {e}"),
+        };
+        assert!(sol.per_wlan_bps.iter().all(|&t| t.is_finite() && t > 0.0));
+        // The middle WLAN contends with both sides — it must do worst.
+        assert!(sol.per_wlan_bps[1] < sol.per_wlan_bps[0]);
+        assert!(sol.per_wlan_bps[1] < sol.per_wlan_bps[2]);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let g = InterferenceGraph::new(1);
+        let params = CtmcParams::default();
+        assert_eq!(
+            solve(&g, &[], MarkovPolicy::AlwaysMax, &params),
+            Err(CtmcError::MismatchedAllocation { aps: 1, allocs: 0 })
+        );
+        assert!(matches!(
+            solve(
+                &g,
+                &[single(0)],
+                MarkovPolicy::Probabilistic(f64::NAN),
+                &params
+            ),
+            Err(CtmcError::BadProbability(p)) if p.is_nan()
+        ));
+        assert!(matches!(
+            MarkovPolicy::try_from(PolicyKind::OccupancyAware(0.3)),
+            Err(CtmcError::NotMarkovian)
+        ));
+        let bad = CtmcParams {
+            attempt_rate_hz: 0.0,
+            ..params
+        };
+        assert_eq!(
+            solve(&g, &[single(0)], MarkovPolicy::AlwaysMax, &bad),
+            Err(CtmcError::BadRate(0.0))
+        );
+    }
+
+    /// Detailed-balance sanity on a non-trivial chain: π sums to 1 and
+    /// every component is non-negative (checked through the public
+    /// throughput surface by bounding against the busy-fraction ceiling).
+    #[test]
+    fn throughput_never_exceeds_saturation() {
+        let g = InterferenceGraph::complete(3);
+        let alloc = [bonded(0), bonded(2), single(1)];
+        let params = CtmcParams::default();
+        let sol = match solve(&g, &alloc, MarkovPolicy::AlwaysMax, &params) {
+            Ok(s) => s,
+            Err(e) => unreachable!("solvable: {e}"),
+        };
+        let cap = 2.0 * params.service_rate20_hz * params.payload_bits;
+        for (i, &t) in sol.per_wlan_bps.iter().enumerate() {
+            assert!(t <= cap, "wlan {i}: {t} above the saturated-40MHz cap");
+            assert!((0.0..=1.0).contains(&sol.tx40_time_fraction[i]));
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Per-transmission dynamic channel bonding (DCB) policies.
+//!
+//! A policy answers one question, at every transmission opportunity:
+//! *given the channelization the epoch plan allocated to this AP, at what
+//! width should this one transmission go out?* The allocation is a
+//! **ceiling**, not a command — an AP allocated `Bonded(c)` may always
+//! fall back to its primary `Single(c)` (the §5.2 opt-out the paper uses
+//! for mobile clients), but it may never transmit outside the channels it
+//! was allocated, and it may never bond over a secondary it just sensed
+//! busy. Those two rules live in [`DcbPolicy::choose`]'s contract and are
+//! pinned by proptests below under arbitrary — including NaN-poisoned —
+//! occupancy inputs.
+//!
+//! The four families mirror Barrachina-Muñoz et al. (arXiv:1803.09112,
+//! §III; arXiv:1801.00594): static-primary ("SCB" degenerated to 20 MHz —
+//! never bond), always-max ("AM" — bond whenever allowed and clear),
+//! probabilistic ("PU" — bond with probability `p` when allowed and
+//! clear), and occupancy-aware (bond only while the EWMA-observed
+//! secondary occupancy stays under a threshold — the adaptive family the
+//! papers show dominating in dense deployments).
+
+use acorn_topology::ChannelAssignment;
+
+/// What the runtime lets a policy see at one transmission opportunity
+/// (backoff expired, primary just sensed idle).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OccupancyObservation {
+    /// Smoothed (EWMA) busy fraction of the primary 20 MHz channel, in
+    /// `[0, 1]`. `NaN` means "no observation yet" (cold start) or a
+    /// poisoned sensor — policies must degrade safely, not panic.
+    pub primary_busy: f64,
+    /// Smoothed (EWMA) busy fraction of the secondary 20 MHz channel.
+    /// `NaN` when the allocation has no secondary, before the first
+    /// sample, or under measurement faults.
+    pub secondary_busy: f64,
+    /// Instantaneous carrier-sense verdict on the secondary at this
+    /// opportunity: `true` iff the allocation has a secondary and it is
+    /// idle *right now*. Bonding is only ever offered when this holds.
+    pub secondary_idle_now: bool,
+}
+
+impl OccupancyObservation {
+    /// A cold-start observation: no smoothed history yet, only the
+    /// instantaneous secondary verdict.
+    pub fn cold(secondary_idle_now: bool) -> OccupancyObservation {
+        OccupancyObservation {
+            primary_busy: f64::NAN,
+            secondary_busy: f64::NAN,
+            secondary_idle_now,
+        }
+    }
+}
+
+/// A per-transmission width decision rule.
+///
+/// Contract (proptest-pinned): the returned assignment occupies a subset
+/// of `allocated`'s 20 MHz channels — either `allocated` itself or its
+/// [`ChannelAssignment::fallback_20`] primary — so a legal epoch plan can
+/// never be widened or moved by a policy, only narrowed. Implementations
+/// must treat every float in `obs` (and `draw`) as potentially NaN and
+/// fall back to the primary rather than panic or bond blindly.
+pub trait DcbPolicy {
+    /// Short stable name for telemetry and bench tables.
+    fn name(&self) -> &'static str;
+
+    /// Chooses the channelization for one transmission. `allocated` is
+    /// the epoch plan's assignment for this AP; `draw` is a uniform
+    /// `[0, 1)` variate the runtime derives deterministically from the
+    /// event's sequence number (policies hold no RNG state of their own).
+    fn choose(
+        &self,
+        allocated: ChannelAssignment,
+        obs: &OccupancyObservation,
+        draw: f64,
+    ) -> ChannelAssignment;
+}
+
+/// `true` iff `allocated` has a secondary and it is idle right now — the
+/// precondition every bonding decision shares.
+fn bond_possible(allocated: ChannelAssignment, obs: &OccupancyObservation) -> bool {
+    matches!(allocated, ChannelAssignment::Bonded(_)) && obs.secondary_idle_now
+}
+
+/// Never bond: every transmission goes out on the primary 20 MHz channel
+/// even when the plan allocated a 40 MHz pair. The conservative baseline
+/// (and the paper's §5.2 opt-out made permanent).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticPrimary;
+
+impl DcbPolicy for StaticPrimary {
+    fn name(&self) -> &'static str {
+        "static-primary"
+    }
+
+    fn choose(
+        &self,
+        allocated: ChannelAssignment,
+        _obs: &OccupancyObservation,
+        _draw: f64,
+    ) -> ChannelAssignment {
+        allocated.fallback_20()
+    }
+}
+
+/// Bond to the full allocated width whenever the secondary is clear at
+/// the opportunity instant — the aggressive family ("always-max" / AM).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlwaysMax;
+
+impl DcbPolicy for AlwaysMax {
+    fn name(&self) -> &'static str {
+        "always-max"
+    }
+
+    fn choose(
+        &self,
+        allocated: ChannelAssignment,
+        obs: &OccupancyObservation,
+        _draw: f64,
+    ) -> ChannelAssignment {
+        if bond_possible(allocated, obs) {
+            allocated
+        } else {
+            allocated.fallback_20()
+        }
+    }
+}
+
+/// Bond with probability `bond_prob` when bonding is possible — the
+/// stochastic hedge between static-primary (`p = 0`) and always-max
+/// (`p = 1`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Probabilistic {
+    /// Probability of choosing the bonded width when the secondary is
+    /// clear. Values outside `[0, 1]` behave as their clamp; NaN never
+    /// bonds (the `draw < p` comparison is false), keeping the policy
+    /// total under poisoned configuration.
+    pub bond_prob: f64,
+}
+
+impl DcbPolicy for Probabilistic {
+    fn name(&self) -> &'static str {
+        "probabilistic"
+    }
+
+    fn choose(
+        &self,
+        allocated: ChannelAssignment,
+        obs: &OccupancyObservation,
+        draw: f64,
+    ) -> ChannelAssignment {
+        if bond_possible(allocated, obs) && draw < self.bond_prob {
+            allocated
+        } else {
+            allocated.fallback_20()
+        }
+    }
+}
+
+/// Bond only while the smoothed secondary occupancy stays at or under a
+/// threshold — the adaptive family. A NaN occupancy estimate (cold start,
+/// measurement fault) fails the comparison and falls back to the primary:
+/// under uncertainty the policy narrows rather than gambles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OccupancyAware {
+    /// Maximum tolerated EWMA busy fraction of the secondary channel.
+    pub max_secondary_busy: f64,
+}
+
+impl DcbPolicy for OccupancyAware {
+    fn name(&self) -> &'static str {
+        "occupancy-aware"
+    }
+
+    fn choose(
+        &self,
+        allocated: ChannelAssignment,
+        obs: &OccupancyObservation,
+        _draw: f64,
+    ) -> ChannelAssignment {
+        if bond_possible(allocated, obs) && obs.secondary_busy <= self.max_secondary_busy {
+            allocated
+        } else {
+            allocated.fallback_20()
+        }
+    }
+}
+
+/// The policy families as one plain-data enum — the currency scenario
+/// configs, bench tables, and the CTMC cross-check trade in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyKind {
+    /// [`StaticPrimary`].
+    StaticPrimary,
+    /// [`AlwaysMax`].
+    AlwaysMax,
+    /// [`Probabilistic`] with the given bond probability.
+    Probabilistic(f64),
+    /// [`OccupancyAware`] with the given busy-fraction threshold.
+    OccupancyAware(f64),
+}
+
+impl DcbPolicy for PolicyKind {
+    fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::StaticPrimary => StaticPrimary.name(),
+            PolicyKind::AlwaysMax => AlwaysMax.name(),
+            PolicyKind::Probabilistic(_) => "probabilistic",
+            PolicyKind::OccupancyAware(_) => "occupancy-aware",
+        }
+    }
+
+    fn choose(
+        &self,
+        allocated: ChannelAssignment,
+        obs: &OccupancyObservation,
+        draw: f64,
+    ) -> ChannelAssignment {
+        match *self {
+            PolicyKind::StaticPrimary => StaticPrimary.choose(allocated, obs, draw),
+            PolicyKind::AlwaysMax => AlwaysMax.choose(allocated, obs, draw),
+            PolicyKind::Probabilistic(p) => {
+                Probabilistic { bond_prob: p }.choose(allocated, obs, draw)
+            }
+            PolicyKind::OccupancyAware(t) => OccupancyAware {
+                max_secondary_busy: t,
+            }
+            .choose(allocated, obs, draw),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acorn_topology::{Channel20, ChannelPlan};
+    use proptest::prelude::*;
+
+    fn bonded(lower: u8) -> ChannelAssignment {
+        match ChannelAssignment::bonded(Channel20(lower)) {
+            Some(b) => b,
+            None => unreachable!("test uses even lower channels"),
+        }
+    }
+
+    #[test]
+    fn static_primary_never_bonds() {
+        let obs = OccupancyObservation {
+            primary_busy: 0.0,
+            secondary_busy: 0.0,
+            secondary_idle_now: true,
+        };
+        assert_eq!(
+            StaticPrimary.choose(bonded(0), &obs, 0.0),
+            ChannelAssignment::Single(Channel20(0))
+        );
+    }
+
+    #[test]
+    fn always_max_bonds_only_when_secondary_idle() {
+        let idle = OccupancyObservation::cold(true);
+        let busy = OccupancyObservation::cold(false);
+        assert_eq!(AlwaysMax.choose(bonded(2), &idle, 0.0), bonded(2));
+        assert_eq!(
+            AlwaysMax.choose(bonded(2), &busy, 0.0),
+            ChannelAssignment::Single(Channel20(2))
+        );
+        // A 20 MHz allocation can never be widened.
+        let single = ChannelAssignment::Single(Channel20(1));
+        assert_eq!(AlwaysMax.choose(single, &idle, 0.0), single);
+    }
+
+    #[test]
+    fn probabilistic_extremes_match_the_pure_policies() {
+        let idle = OccupancyObservation::cold(true);
+        let a = bonded(0);
+        for draw in [0.0, 0.3, 0.999] {
+            assert_eq!(
+                Probabilistic { bond_prob: 1.0 }.choose(a, &idle, draw),
+                AlwaysMax.choose(a, &idle, draw)
+            );
+            assert_eq!(
+                Probabilistic { bond_prob: 0.0 }.choose(a, &idle, draw),
+                StaticPrimary.choose(a, &idle, draw)
+            );
+        }
+        // NaN probability: never bonds, never panics.
+        assert_eq!(
+            Probabilistic {
+                bond_prob: f64::NAN
+            }
+            .choose(a, &idle, 0.5),
+            a.fallback_20()
+        );
+    }
+
+    #[test]
+    fn occupancy_aware_narrows_under_nan() {
+        let a = bonded(0);
+        let mut obs = OccupancyObservation::cold(true);
+        obs.secondary_busy = f64::NAN;
+        let p = OccupancyAware {
+            max_secondary_busy: 0.5,
+        };
+        assert_eq!(p.choose(a, &obs, 0.0), a.fallback_20());
+        obs.secondary_busy = 0.2;
+        assert_eq!(p.choose(a, &obs, 0.0), a);
+        obs.secondary_busy = 0.7;
+        assert_eq!(p.choose(a, &obs, 0.0), a.fallback_20());
+    }
+
+    /// An arbitrary policy, including NaN-poisoned parameters.
+    fn arb_policy(kind: u8, param_bits: u64) -> PolicyKind {
+        let param = f64::from_bits(param_bits);
+        match kind % 4 {
+            0 => PolicyKind::StaticPrimary,
+            1 => PolicyKind::AlwaysMax,
+            2 => PolicyKind::Probabilistic(param),
+            _ => PolicyKind::OccupancyAware(param),
+        }
+    }
+
+    proptest! {
+        /// The legality contract under arbitrary inputs: whatever the
+        /// occupancy observation (any bit pattern, including NaN and
+        /// infinities), the draw, and the policy parameters, the chosen
+        /// assignment occupies a subset of the allocated channels and
+        /// stays legal under the plan that produced the allocation.
+        #[test]
+        fn every_choice_is_a_legal_narrowing(
+            n_channels in 1u8..=12,
+            pick in 0usize..64,
+            kind in 0u8..4,
+            param_bits in any::<u64>(),
+            primary_bits in any::<u64>(),
+            secondary_bits in any::<u64>(),
+            secondary_idle_now in any::<bool>(),
+            draw_bits in any::<u64>(),
+        ) {
+            let plan = ChannelPlan::restricted(n_channels);
+            let all = plan.all_assignments();
+            let allocated = all[pick % all.len()];
+            let obs = OccupancyObservation {
+                primary_busy: f64::from_bits(primary_bits),
+                secondary_busy: f64::from_bits(secondary_bits),
+                secondary_idle_now,
+            };
+            let policy = arb_policy(kind, param_bits);
+            let chosen = policy.choose(allocated, &obs, f64::from_bits(draw_bits));
+            // Subset of the allocated channels: never widens, never moves.
+            prop_assert!(
+                chosen.occupied().all(|c| allocated.occupied().any(|a| a == c)),
+                "{policy:?} chose {chosen:?} outside allocation {allocated:?}"
+            );
+            // Still a legal colour of the plan (contiguous even-lower
+            // bond or in-plan single).
+            prop_assert!(plan.contains(chosen), "{chosen:?} illegal under {plan:?}");
+            // Bonding only ever happens over a secondary sensed idle.
+            if chosen.width() == acorn_phy::ChannelWidth::Ht40 {
+                prop_assert!(obs.secondary_idle_now);
+            }
+        }
+    }
+}

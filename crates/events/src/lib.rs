@@ -36,6 +36,7 @@
 pub mod acorn;
 pub mod city;
 pub mod cityfaults;
+pub mod dcb;
 pub mod faults;
 pub mod queue;
 pub mod sim;
@@ -50,6 +51,7 @@ pub use city::{
     CityWorld,
 };
 pub use cityfaults::CityFaultProcess;
+pub use dcb::{DcbDriver, DcbEvent, DcbReport, DcbScenario, DcbWorld, OverlappingBssGrid};
 pub use faults::{
     corrupt_frame, FaultPlan, FaultProcess, FaultRng, GauntletCounters, ResilienceReport,
     FAULT_GAUNTLET,

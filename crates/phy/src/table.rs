@@ -273,24 +273,18 @@ impl GoodputTable {
         f64::from_bits(self.counters.max_quant_error_bits.load(Ordering::Relaxed))
     }
 
-    /// Snapshot of the usage counters.
+    /// Snapshot of the usage counters. The counters are cumulative over
+    /// the table's lifetime and are **never reset** — a table is routinely
+    /// shared by `Arc` across models and sequential runs, and a draining
+    /// read here would silently steal counts from every other sharer (the
+    /// footgun DESIGN.md §13.3 documents). Periodic reporters keep their
+    /// own cursor into these values (see `NetworkModel::flush_stats_into`)
+    /// and flush deltas.
     pub fn stats(&self) -> TableStats {
         TableStats {
             hits: self.counters.hits.load(Ordering::Relaxed),
             misses: self.counters.misses.load(Ordering::Relaxed),
             rebuilds: self.counters.rebuilds.load(Ordering::Relaxed),
-            max_quant_error_bps: self.max_check_error_bps(),
-        }
-    }
-
-    /// Reads and zeroes the hit/miss/rebuild counters (for periodic
-    /// flushes into a metric sink); the max-error gauge is left in place —
-    /// it describes the build, not the traffic since the last flush.
-    pub fn take_stats(&self) -> TableStats {
-        TableStats {
-            hits: self.counters.hits.swap(0, Ordering::Relaxed),
-            misses: self.counters.misses.swap(0, Ordering::Relaxed),
-            rebuilds: self.counters.rebuilds.swap(0, Ordering::Relaxed),
             max_quant_error_bps: self.max_check_error_bps(),
         }
     }

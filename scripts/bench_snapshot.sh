@@ -26,4 +26,8 @@ echo "== event runtime: kernel micro + composite 25/400-AP scaling =="
 cargo run --offline --release -p acorn-bench --bin bench_events
 
 echo
-echo "snapshots written to BENCH_baseband.json, BENCH_allocation.json and BENCH_events.json"
+echo "== dynamic channel bonding: approximation gap + CTMC cross-check =="
+cargo run --offline --release -p acorn-bench --bin bench_dcb
+
+echo
+echo "snapshots written to BENCH_baseband.json, BENCH_allocation.json, BENCH_events.json and BENCH_dcb.json"

@@ -101,6 +101,16 @@ echo "== goodput-table accuracy gate =="
 cargo test -q --offline --release --test table_accuracy --test spatial_graph
 
 echo
+echo "== dynamic-channel-bonding gate =="
+# The DCB event simulator must land within the documented tolerance of
+# the exactly solved Faridi-style CTMC on every cross-check topology x
+# Markovian policy, and the branch-and-bound optimum must terminate on
+# the enumerable gap topologies without the greedy ever beating it
+# (tests/dcb.rs documents both bounds; bench_dcb snapshots the same
+# numbers to BENCH_dcb.json).
+cargo test -q --offline --release --test dcb
+
+echo
 echo "== distributed golden-twin gate =="
 # The distributed control plane must land on EXACTLY the centralized
 # controller's allocation on the benign path (assignments, widths and
@@ -126,7 +136,8 @@ cargo test -q --offline --release -p acorn-obs --test sketch_props
 echo
 echo "== determinism across thread counts =="
 # determinism.rs sweeps ACORN_THREADS internally (fault-free AND faulty
-# composites, plus the faulty distributed control plane: loss + a
+# composites, the per-transmission DCB runs over the overlapping-BSS
+# grid, plus the faulty distributed control plane: loss + a
 # zone-controller crash, event-log/telemetry/per-zone-allocation
 # equality); the outer loop additionally pins the *ambient* thread
 # count for the golden-fingerprint and resilience suites.

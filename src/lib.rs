@@ -10,6 +10,7 @@
 //! | [`mac`] | DCF airtime/anomaly model, contention, rate control, DCF simulator |
 //! | [`traces`] | association-duration traces, ECDF, arrival workloads |
 //! | [`core`] | ACORN itself: Algorithms 1 & 2, estimator, controller, theory |
+//! | [`dcb`] | per-transmission dynamic bonding: policies, CTMC check, exact optimum |
 //! | [`obs`] | observability: metric sinks, spans, deterministic telemetry |
 //! | [`events`] | deterministic discrete-event runtime + telemetry recorder |
 //! | [`ctrlplane`] | distributed zone-controller control plane over [`events`] |
@@ -40,6 +41,7 @@ pub use acorn_baseband as baseband;
 pub use acorn_baselines as baselines;
 pub use acorn_core as core;
 pub use acorn_ctrlplane as ctrlplane;
+pub use acorn_dcb as dcb;
 pub use acorn_events as events;
 pub use acorn_mac as mac;
 pub use acorn_obs as obs;

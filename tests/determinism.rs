@@ -14,9 +14,10 @@ use acorn_core::allocation::{
 use acorn_core::model::{ClientSnr, NetworkModel, ThroughputModel};
 use acorn_core::{AcornConfig, AcornController, NetworkState};
 use acorn_ctrlplane::{CrashWindow, DistributedPlane, PlaneConfig};
+use acorn_dcb::PolicyKind;
 use acorn_events::{
-    CityReport, CityScenario, CompositeReport, CompositeScenario, DriftSpec, FaultPlan,
-    MobilitySpec,
+    CityReport, CityScenario, CompositeReport, CompositeScenario, DcbReport, DriftSpec, FaultPlan,
+    MobilitySpec, OverlappingBssGrid,
 };
 use acorn_obs::RecordingSink;
 use acorn_phy::{GoodputTable, LinkQualityEstimator};
@@ -206,8 +207,10 @@ fn multi_component_model(i: usize) -> NetworkModel {
 }
 
 /// A memoized goodput table small enough to rebuild per run in a debug
-/// test (its hit/miss counters are process-global and drained at epoch
-/// flushes, so runs being compared must never share one table).
+/// test. Sharing one table between the compared runs would also be fine
+/// now — its counters are cumulative and every model reports deltas
+/// against its own attach-time cursor — but a fresh table per run keeps
+/// each comparand fully self-contained.
 fn small_table() -> Arc<GoodputTable> {
     Arc::new(GoodputTable::build(
         LinkQualityEstimator::default(),
@@ -446,6 +449,47 @@ fn results_are_identical_across_thread_counts() {
                 "topology {topo}: resilience report differs at {threads} threads"
             );
         }
+    }
+}
+
+/// The per-transmission DCB layer joins the same contract: an
+/// occupancy-aware run over the dense overlapping-BSS grid — the one
+/// family whose decisions feed on mutable EWMA state — must produce a
+/// byte-identical report at every thread count, alongside a
+/// probabilistic run to cover the stochastic width draws.
+#[test]
+fn dcb_runs_are_identical_across_thread_counts() {
+    let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let thread_counts = ["1", "2", "8"];
+    let grid = OverlappingBssGrid {
+        nx: 3,
+        ny: 3,
+        clients_per_ap: 2,
+        n_channels: 6,
+        seed: 42,
+    };
+    let mut aware_runs: Vec<DcbReport> = Vec::new();
+    let mut prob_runs: Vec<DcbReport> = Vec::new();
+    for threads in thread_counts {
+        std::env::set_var("ACORN_THREADS", threads);
+        let mut aware = grid.scenario(PolicyKind::OccupancyAware(0.3), 4);
+        aware.horizon_s = 2_000.0;
+        aware_runs.push(aware.run());
+        let mut prob = grid.scenario(PolicyKind::Probabilistic(0.5), 4);
+        prob.horizon_s = 2_000.0;
+        prob_runs.push(prob.run());
+    }
+    std::env::remove_var("ACORN_THREADS");
+    assert!(aware_runs[0].events > 0, "the DCB run must execute events");
+    for (t, threads) in thread_counts.iter().enumerate().skip(1) {
+        assert_eq!(
+            aware_runs[0], aware_runs[t],
+            "dcb: occupancy-aware report differs at {threads} threads"
+        );
+        assert_eq!(
+            prob_runs[0], prob_runs[t],
+            "dcb: probabilistic report differs at {threads} threads"
+        );
     }
 }
 
